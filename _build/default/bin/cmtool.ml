@@ -1,0 +1,320 @@
+(* cmtool: command-line front end to the constraint-management toolkit.
+
+   - parse:    check a rule file (interfaces or strategies) and print the
+               normalized rules
+   - suggest:  list applicable strategies + guarantees for a constraint,
+               given the interfaces each item offers
+   - config:   validate a CM-RID file and show what each source offers
+   - demo:     run the §4.2 payroll scenario and report guarantees *)
+
+open Cmdliner
+module Interface = Cm_core.Interface
+module Suggest = Cm_core.Suggest
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* ---- parse ---- *)
+
+let parse_cmd_run file =
+  match Cm_rule.Parser.parse_rules (read_file file) with
+  | exception Cm_rule.Parser.Parse_error { pos; message } ->
+    Printf.eprintf "%s: parse error near token %d: %s\n" file pos message;
+    1
+  | exception Sys_error m ->
+    Printf.eprintf "%s\n" m;
+    1
+  | rules ->
+    Printf.printf "# %d rule(s)\n" (List.length rules);
+    List.iter
+      (fun r ->
+        let kind =
+          match Interface.classify r with
+          | Some k -> " # " ^ Interface.kind_to_string k ^ " interface"
+          | None -> ""
+        in
+        Printf.printf "%s%s\n" (Cm_rule.Rule.to_string r) kind)
+      rules;
+    0
+
+let parse_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and normalize a rule file")
+    Term.(const parse_cmd_run $ file)
+
+(* ---- suggest ---- *)
+
+let kind_of_string = function
+  | "write" -> Ok Interface.Write
+  | "notify" -> Ok Interface.Notify
+  | "conditional-notify" -> Ok Interface.Conditional_notify
+  | "periodic-notify" -> Ok Interface.Periodic_notify
+  | "read" -> Ok Interface.Read
+  | "delete" -> Ok Interface.Delete
+  | "no-spontaneous-write" -> Ok Interface.No_spontaneous_write
+  | other -> Error ("unknown interface kind: " ^ other)
+
+let parse_kinds s =
+  List.fold_left
+    (fun acc w ->
+      match acc, kind_of_string (String.trim w) with
+      | Ok ks, Ok k -> Ok (ks @ [ k ])
+      | Error m, _ -> Error m
+      | _, Error m -> Error m)
+    (Ok [])
+    (String.split_on_char ',' s)
+
+let suggest_cmd_run source target source_if target_if =
+  match parse_kinds source_if, parse_kinds target_if with
+  | Error m, _ | _, Error m ->
+    Printf.eprintf "%s\n" m;
+    1
+  | Ok src_kinds, Ok tgt_kinds ->
+    let interfaces base =
+      if base = source then src_kinds else if base = target then tgt_kinds else []
+    in
+    let constraint_def =
+      Cm_core.Constraint_def.Copy
+        {
+          source = Interface.family source [ "n" ];
+          target = Interface.family target [ "n" ];
+        }
+    in
+    let candidates = Suggest.for_constraint ~interfaces constraint_def in
+    if candidates = [] then begin
+      Printf.printf
+        "No applicable strategy: the given interfaces cannot support the constraint.\n";
+      0
+    end
+    else begin
+      Printf.printf "Constraint: %s\n\n"
+        (Cm_core.Constraint_def.to_string constraint_def);
+      List.iteri
+        (fun i c -> Printf.printf "[%d] %s\n\n" (i + 1) (Suggest.describe c))
+        candidates;
+      0
+    end
+
+let suggest_cmd =
+  let source =
+    Arg.(value & opt string "Salary1" & info [ "source" ] ~docv:"BASE")
+  in
+  let target =
+    Arg.(value & opt string "Salary2" & info [ "target" ] ~docv:"BASE")
+  in
+  let source_if =
+    Arg.(
+      value & opt string "notify,read"
+      & info [ "source-interfaces" ] ~docv:"KINDS"
+          ~doc:"Comma-separated interface kinds the source offers")
+  in
+  let target_if =
+    Arg.(
+      value & opt string "write,read"
+      & info [ "target-interfaces" ] ~docv:"KINDS")
+  in
+  Cmd.v
+    (Cmd.info "suggest"
+       ~doc:"Suggest strategies and guarantees for a copy constraint")
+    Term.(const suggest_cmd_run $ source $ target $ source_if $ target_if)
+
+(* ---- derive ---- *)
+
+let derive_cmd_run interfaces_file strategy_file source target =
+  match
+    ( Cm_rule.Parser.parse_rules (read_file interfaces_file),
+      Cm_rule.Parser.parse_rules (read_file strategy_file) )
+  with
+  | exception Cm_rule.Parser.Parse_error { pos; message } ->
+    Printf.eprintf "parse error near token %d: %s\n" pos message;
+    1
+  | exception Sys_error m ->
+    Printf.eprintf "%s\n" m;
+    1
+  | interfaces, strategy ->
+    let report =
+      Cm_core.Derive.copy_guarantees ~interfaces ~strategy
+        ~source:(Interface.family source [ "n" ])
+        ~target:(Interface.family target [ "n" ])
+    in
+    Printf.printf "Derivation for the copy constraint %s(n) = %s(n):\n\n%s\n" target
+      source
+      (Cm_core.Derive.report_to_string report);
+    0
+
+let derive_cmd =
+  let interfaces_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INTERFACES")
+  in
+  let strategy_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"STRATEGY")
+  in
+  let source = Arg.(value & opt string "Salary1" & info [ "source" ] ~docv:"BASE") in
+  let target = Arg.(value & opt string "Salary2" & info [ "target" ] ~docv:"BASE") in
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:
+         "Derive which copy-constraint guarantees follow from interface and \
+          strategy rule files (the paper's proof rules, mechanized)")
+    Term.(const derive_cmd_run $ interfaces_file $ strategy_file $ source $ target)
+
+(* ---- config ---- *)
+
+let config_cmd_run file =
+  match Cm_core.Cmrid.parse_file file with
+  | Error m ->
+    Printf.eprintf "%s: %s\n" file m;
+    1
+  | Ok config -> (
+    match Cm_core.Toolkit.build config with
+    | Error m ->
+      Printf.eprintf "%s: %s\n" file m;
+      1
+    | Ok built ->
+      Printf.printf "sites: %s\n\n" (String.concat ", " (Cm_core.Cmrid.sites config));
+      Printf.printf "interfaces reported by the translators:\n";
+      List.iter
+        (fun (base, kinds) ->
+          Printf.printf "  %-12s %s\n" base (String.concat ", " kinds))
+        (Cm_core.Toolkit.interface_summary built);
+      Printf.printf "\ninterface statements:\n";
+      List.iter
+        (fun r -> Printf.printf "  %s\n" (Cm_rule.Rule.to_string r))
+        (Cm_core.System.interface_rules built.Cm_core.Toolkit.system);
+      0)
+
+let config_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "config" ~doc:"Validate a CM-RID configuration file")
+    Term.(const config_cmd_run $ file)
+
+(* ---- check-trace ---- *)
+
+let item_of_string s =
+  match Cm_rule.Parser.parse_expr s with
+  | Cm_rule.Expr.Item (base, args) ->
+    let params =
+      List.filter_map
+        (function Cm_rule.Expr.Const v -> Some v | _ -> None)
+        args
+    in
+    if List.length params = List.length args then
+      Ok (Cm_rule.Item.make base ~params)
+    else Error (s ^ " is not a concrete item")
+  | _ -> Error (s ^ " is not an item")
+  | exception Cm_rule.Parser.Parse_error { message; _ } -> Error message
+
+let check_trace_cmd_run trace_file rules_file source target kappa =
+  match Cm_rule.Trace_io.read_file trace_file with
+  | Error m ->
+    Printf.eprintf "%s: %s\n" trace_file m;
+    1
+  | Ok trace -> (
+    match Cm_rule.Parser.parse_rules (read_file rules_file) with
+    | exception Cm_rule.Parser.Parse_error { pos; message } ->
+      Printf.eprintf "%s: parse error near token %d: %s\n" rules_file pos message;
+      1
+    | rules ->
+      (* Without a configured locator, site restrictions cannot apply;
+         every rule is checked wherever its LHS matches. *)
+      let locator _ = "?" in
+      let violations = Cm_rule.Validity.check ~rules ~locator trace in
+      Printf.printf "%d event(s), %d rule(s): %d validity violation(s)\n"
+        (Cm_rule.Trace.length trace) (List.length rules) (List.length violations);
+      List.iter
+        (fun v -> Printf.printf "  %s\n" (Cm_rule.Validity.violation_to_string v))
+        violations;
+      (match source, target with
+       | Some source, Some target -> (
+         match item_of_string source, item_of_string target with
+         | Ok leader, Ok follower ->
+           let tl = Cm_rule.Timeline.of_trace trace in
+           let horizon = Cm_rule.Trace.last_time trace in
+           List.iter
+             (fun g ->
+               let r = Cm_core.Guarantee.check ~horizon tl g in
+               Printf.printf "  %-22s %s\n" (Cm_core.Guarantee.name g)
+                 (if r.Cm_core.Guarantee.holds then "holds"
+                  else
+                    "VIOLATED: "
+                    ^ String.concat "; " r.Cm_core.Guarantee.counterexamples))
+             (Cm_core.Guarantee.for_copy_constraint ~source:leader ~target:follower
+                ~kappa)
+         | Error m, _ | _, Error m ->
+           Printf.eprintf "%s\n" m)
+       | _ -> ());
+      if violations = [] then 0 else 1)
+
+let check_trace_cmd =
+  let trace_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let rules_file = Arg.(required & pos 1 (some file) None & info [] ~docv:"RULES") in
+  let source =
+    Arg.(value & opt (some string) None
+         & info [ "check-copy-source" ] ~docv:"ITEM"
+             ~doc:"Also check the copy guarantees with this concrete source item")
+  in
+  let target =
+    Arg.(value & opt (some string) None & info [ "check-copy-target" ] ~docv:"ITEM")
+  in
+  let kappa = Arg.(value & opt float 10.0 & info [ "kappa" ] ~docv:"SECONDS") in
+  Cmd.v
+    (Cmd.info "check-trace"
+       ~doc:"Re-check a dumped execution trace offline: Appendix-A validity \
+             against a rule file, and optionally the copy guarantees")
+    Term.(const check_trace_cmd_run $ trace_file $ rules_file $ source $ target $ kappa)
+
+(* ---- demo ---- *)
+
+let demo_cmd_run seed minutes dump_trace =
+  let module Payroll = Cm_workload.Payroll in
+  let module Sys_ = Cm_core.System in
+  let module Guarantee = Cm_core.Guarantee in
+  let p = Payroll.create ~seed ~employees:5 () in
+  Payroll.install_propagation p;
+  let horizon = float_of_int minutes *. 60.0 in
+  Payroll.random_updates p ~mean_interarrival:45.0 ~until:(horizon -. 60.0);
+  Sys_.run p.Payroll.system ~until:horizon;
+  Printf.printf "ran %d simulated minute(s); %d events recorded\n" minutes
+    (Cm_rule.Trace.length (Sys_.trace p.Payroll.system));
+  let tl = Sys_.timeline ~initial:p.Payroll.initial p.Payroll.system in
+  List.iter
+    (fun g ->
+      let r = Guarantee.check ~horizon ~ignore_after:(horizon -. 60.0) tl g in
+      Printf.printf "  %-22s %s\n" (Guarantee.name g)
+        (if r.Guarantee.holds then "holds" else "VIOLATED"))
+    (Payroll.guarantees p ~emp:"e1");
+  let violations = Sys_.check_validity p.Payroll.system in
+  Printf.printf "  %-22s %d violation(s)\n" "appendix-A validity" (List.length violations);
+  (match dump_trace with
+   | Some path ->
+     Cm_rule.Trace_io.write_file path (Sys_.trace p.Payroll.system);
+     let rules_path = path ^ ".rules" in
+     Out_channel.with_open_text rules_path (fun oc ->
+         List.iter
+           (fun r -> output_string oc (Cm_rule.Rule.to_string r ^ "\n"))
+           (Sys_.all_rules p.Payroll.system));
+     Printf.printf
+       "trace written to %s, rules to %s\n\
+        recheck with: cmtool check-trace %s %s\n"
+       path rules_path path rules_path
+   | None -> ());
+  0
+
+let demo_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let minutes = Arg.(value & opt int 20 & info [ "minutes" ] ~docv:"N") in
+  let dump_trace =
+    Arg.(value & opt (some string) None & info [ "dump-trace" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the payroll scenario and check its guarantees")
+    Term.(const demo_cmd_run $ seed $ minutes $ dump_trace)
+
+let () =
+  let info =
+    Cmd.info "cmtool" ~version:"1.0"
+      ~doc:"Constraint management toolkit for heterogeneous information systems"
+  in
+  exit (Cmd.eval' (Cmd.group info
+       [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_trace_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/demarcation_bank.ml: Cm_core Cm_net Cm_sim Cm_util Cm_workload List Printf

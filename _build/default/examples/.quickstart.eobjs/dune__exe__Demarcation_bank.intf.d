@@ -1,0 +1,1 @@
+examples/demarcation_bank.mli:

@@ -1,0 +1,1 @@
+examples/monitor_game.ml: Cm_core Cm_rule Cm_sim Cm_sources Cm_util Expr Item List Printf Value

@@ -1,0 +1,1 @@
+examples/monitor_game.mli:

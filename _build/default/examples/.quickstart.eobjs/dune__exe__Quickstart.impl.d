@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cm_core Cm_rule Cm_util Cm_workload List Printf Rule Value

@@ -1,0 +1,1 @@
+examples/stanford_federation.ml: Cm_core Cm_rule Cm_sim Cm_util Cm_workload List Printf Rule Value

@@ -1,0 +1,1 @@
+examples/stanford_federation.mli:

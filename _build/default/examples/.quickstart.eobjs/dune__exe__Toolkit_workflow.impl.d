@@ -1,0 +1,1 @@
+examples/toolkit_workflow.ml: Cm_core Cm_rule Cm_sim Cm_util Item List Printf Rule String Template Value

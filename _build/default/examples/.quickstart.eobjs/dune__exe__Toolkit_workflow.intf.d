@@ -1,0 +1,1 @@
+examples/toolkit_workflow.mli:

@@ -1,0 +1,131 @@
+(* Monitoring only (paper §6.3, with the robot/game flavour of §3.3.1):
+   a robot broadcasts its position into a field database X; an
+   independent legacy feed mirrors it into the plotter's database Y.
+   The CM can write NEITHER item — both sources are notify-only — so the
+   best it can do is monitor the copy constraint X = Y, maintaining the
+   auxiliary items Flag and Tb at the console's shell.  The guarantee:
+
+     ((Flag = true) /\ (Tb = s))@t  =>  (X = Y) throughout [s, t - kappa]
+
+   The console application reads Flag/Tb (local data only, §7.1) to
+   decide whether the plotted path was computed from consistent data.
+
+   Run with: dune exec examples/monitor_game.exe *)
+
+open Cm_rule
+module Sim = Cm_sim.Sim
+module Sys_ = Cm_core.System
+module Shell = Cm_core.Shell
+module Strategy = Cm_core.Strategy
+module Guarantee = Cm_core.Guarantee
+module Tr_objstore = Cm_core.Tr_objstore
+module Table = Cm_util.Table
+
+let locator item =
+  match item.Item.base with
+  | "RobotPos" -> "field"
+  | "PlotPos" -> "plotter"
+  | _ -> "console"
+
+let kappa = 6.0
+
+let () =
+  let system = Sys_.create ~seed:99 locator in
+  let sh_field = Sys_.add_shell system ~site:"field" in
+  let sh_plot = Sys_.add_shell system ~site:"plotter" in
+  let sh_console = Sys_.add_shell system ~site:"console" in
+  let sim = Sys_.sim system in
+
+  let make_source ~site ~shell ~base =
+    let store = Cm_sources.Objstore.create () in
+    Cm_sources.Objstore.put store ~cls:"pos" ~id:"r1" [ ("coord", Value.Int 0) ];
+    let tr =
+      Tr_objstore.create ~sim ~store ~site
+        ~emit:(Shell.emitter_for shell ~site)
+        ~report:(fun k -> Shell.report_failure shell k)
+        ~notify_latency:0.5 ~notify_delta:3.0
+        [
+          {
+            Tr_objstore.base;
+            cls = "pos";
+            attr = "coord";
+            writable = false;  (* the CM cannot enforce, only monitor *)
+            notify = Tr_objstore.Plain;
+          };
+        ]
+    in
+    Sys_.register_translator system ~shell (Tr_objstore.cmi tr);
+    tr
+  in
+  let tr_field = make_source ~site:"field" ~shell:sh_field ~base:"RobotPos" in
+  let tr_plot = make_source ~site:"plotter" ~shell:sh_plot ~base:"PlotPos" in
+
+  let x = Expr.Item ("RobotPos", [ Expr.Const (Value.Str "r1") ]) in
+  let y = Expr.Item ("PlotPos", [ Expr.Const (Value.Str "r1") ]) in
+  Sys_.install system (Strategy.monitor ~prefix:"r1" ~delta:3.0 ~x ~y ());
+  let aux = Strategy.monitor_items ~prefix:"r1" () in
+
+  (* The robot moves every ~4 s; the legacy feed mirrors each move with a
+     1.5 s lag (and the CM has no part in that propagation). *)
+  let move item tr v =
+    ignore (Tr_objstore.set_app tr (Item.make item ~params:[ Value.Str "r1" ]) (Value.Int v))
+  in
+  let positions = [ 3; 7; 12; 18; 25 ] in
+  List.iteri
+    (fun i v ->
+      let t = 5.0 +. (float_of_int i *. 4.0) in
+      Sim.schedule_at sim t (fun () -> move "RobotPos" tr_field v);
+      Sim.schedule_at sim (t +. 1.5) (fun () -> move "PlotPos" tr_plot v))
+    positions;
+
+  (* The console samples the monitor's auxiliary data every 2 s. *)
+  let table =
+    Table.create ~title:"console's view of the monitor (kappa = 6 s)"
+      ~columns:[ "t"; "Flag"; "Tb"; "application's conclusion" ]
+  in
+  Sim.every sim ~period:2.0 ~start:2.0
+    (fun () ->
+      let flag = Shell.read_aux sh_console aux.Strategy.flag in
+      let tb = Shell.read_aux sh_console aux.Strategy.tb in
+      let conclusion =
+        match flag, tb with
+        | Some (Value.Bool true), Some tb_v ->
+          Printf.sprintf "X = Y held on [%s, %.1f]: plot trustworthy"
+            (Value.to_string tb_v)
+            (Sim.now sim -. kappa)
+        | _ -> "unknown: recompute or wait"
+      in
+      Table.add_row table
+        [
+          Table.cell_f (Sim.now sim);
+          (match flag with Some v -> Value.to_string v | None -> "-");
+          (match tb with Some v -> Value.to_string v | None -> "-");
+          conclusion;
+        ])
+    ~cancel:(fun () -> Sim.now sim > 30.0);
+
+  Sys_.run system ~until:40.0;
+  Table.print table;
+
+  let tl =
+    Sys_.timeline system
+      ~initial:
+        [
+          (Item.make "RobotPos" ~params:[ Value.Str "r1" ], Value.Int 0);
+          (Item.make "PlotPos" ~params:[ Value.Str "r1" ], Value.Int 0);
+        ]
+  in
+  let g =
+    Guarantee.Monitor_window
+      {
+        flag = aux.Strategy.flag;
+        tb = aux.Strategy.tb;
+        x = Item.make "RobotPos" ~params:[ Value.Str "r1" ];
+        y = Item.make "PlotPos" ~params:[ Value.Str "r1" ];
+        kappa;
+      }
+  in
+  let r = Guarantee.check ~horizon:40.0 tl g in
+  Printf.printf "\nmonitor guarantee: holds = %b (%d obligations checked)\n"
+    r.Guarantee.holds r.Guarantee.checked_points;
+  List.iter print_endline r.Guarantee.counterexamples

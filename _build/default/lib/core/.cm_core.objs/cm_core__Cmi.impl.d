@@ -1,0 +1,1 @@
+lib/core/cmi.ml: Cm_rule Msg

@@ -1,0 +1,1 @@
+lib/core/cmi.mli: Cm_rule Msg

@@ -1,0 +1,1 @@
+lib/core/cmrid.ml: Cm_rule Hashtbl In_channel List Printf String

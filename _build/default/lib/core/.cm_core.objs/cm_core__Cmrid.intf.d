@@ -1,0 +1,1 @@
+lib/core/cmrid.mli: Cm_rule

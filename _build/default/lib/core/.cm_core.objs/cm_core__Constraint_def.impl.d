@@ -1,0 +1,1 @@
+lib/core/constraint_def.ml: Cm_rule Printf

@@ -1,0 +1,1 @@
+lib/core/constraint_def.mli: Cm_rule

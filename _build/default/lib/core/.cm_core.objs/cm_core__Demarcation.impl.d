@@ -1,0 +1,1 @@
+lib/core/demarcation.ml: Cm_rule Event Expr Item Rule Strategy Template Value

@@ -1,0 +1,1 @@
+lib/core/demarcation.mli: Cm_rule Cmi Strategy

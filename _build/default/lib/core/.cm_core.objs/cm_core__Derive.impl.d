@@ -1,0 +1,1 @@
+lib/core/derive.ml: Cm_rule Constraint_def Expr Float Interface List Option Printf Rule String Template Value

@@ -1,0 +1,1 @@
+lib/core/derive.mli: Cm_rule

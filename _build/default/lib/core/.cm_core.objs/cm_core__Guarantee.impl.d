@@ -1,0 +1,1 @@
+lib/core/guarantee.ml: Cm_rule Float Item List Option Printf Timeline Value

@@ -1,0 +1,1 @@
+lib/core/guarantee.mli: Cm_rule

@@ -1,0 +1,1 @@
+lib/core/interface.ml: Cm_rule Expr List Rule Template Value

@@ -1,0 +1,1 @@
+lib/core/interface.mli: Cm_rule

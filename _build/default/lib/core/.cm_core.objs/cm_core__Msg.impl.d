@@ -1,0 +1,1 @@
+lib/core/msg.ml: Cm_rule List

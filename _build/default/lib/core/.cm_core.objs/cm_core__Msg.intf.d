@@ -1,0 +1,1 @@
+lib/core/msg.mli: Cm_rule

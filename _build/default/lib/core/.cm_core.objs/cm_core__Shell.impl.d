@@ -1,0 +1,1 @@
+lib/core/shell.ml: Cm_net Cm_rule Cm_sim Cmi Event Expr Hashtbl Item List Logs Msg Option Rule Store String Template Trace Value

@@ -1,0 +1,1 @@
+lib/core/shell.mli: Cm_net Cm_rule Cm_sim Cmi Msg

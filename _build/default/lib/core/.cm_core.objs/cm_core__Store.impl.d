@@ -1,0 +1,1 @@
+lib/core/store.ml: Cm_rule List

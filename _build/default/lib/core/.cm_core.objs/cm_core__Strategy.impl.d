@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Cm_rule Expr Item List Rule String Template Value

@@ -1,0 +1,1 @@
+lib/core/suggest.ml: Cm_rule Constraint_def Demarcation Expr Guarantee Interface Item List Printf Rule Strategy String Template Value

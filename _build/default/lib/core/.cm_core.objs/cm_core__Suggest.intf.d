@@ -1,0 +1,1 @@
+lib/core/suggest.mli: Constraint_def Guarantee Interface Strategy

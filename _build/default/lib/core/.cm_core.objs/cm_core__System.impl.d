@@ -1,0 +1,1 @@
+lib/core/system.ml: Cm_net Cm_rule Cm_sim Cmi Expr Guarantee Hashtbl Item List Msg Printf Rule Shell Strategy String Template Timeline Trace Validity Value

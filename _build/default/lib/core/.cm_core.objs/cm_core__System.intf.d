@@ -1,0 +1,1 @@
+lib/core/system.mli: Cm_net Cm_rule Cm_sim Cmi Guarantee Msg Shell Strategy

@@ -1,0 +1,1 @@
+lib/core/toolkit.ml: Cm_relational Cm_rule Cm_sources Cmrid Float Hashtbl Interface List Option Printf Result Shell Strategy String System Tr_kvfile Tr_relational

@@ -1,0 +1,1 @@
+lib/core/toolkit.mli: Cm_net Cm_relational Cm_sources Cmrid Shell System Tr_kvfile Tr_relational

@@ -1,0 +1,1 @@
+lib/core/tr_bibdb.ml: Cm_rule Cm_sim Cm_sources Cmi Event Interface Item Logs Msg Option Printf String Value

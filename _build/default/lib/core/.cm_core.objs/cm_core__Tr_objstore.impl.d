@@ -1,0 +1,1 @@
+lib/core/tr_objstore.ml: Cm_rule Cm_sim Cm_sources Cmi Event Expr Hashtbl Interface Item List Logs Msg Option Printf Rule Value

@@ -1,0 +1,1 @@
+lib/core/tr_relational.ml: Cm_relational Cm_rule Cm_sim Cm_sources Cmi Event Expr Hashtbl Interface Item List Logs Msg Printf Rule String Value

@@ -1,0 +1,1 @@
+lib/core/tr_relational.mli: Cm_relational Cm_rule Cm_sim Cm_sources Cmi

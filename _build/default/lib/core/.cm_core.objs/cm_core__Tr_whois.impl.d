@@ -1,0 +1,1 @@
+lib/core/tr_whois.ml: Cm_rule Cm_sim Cm_sources Cmi Event Hashtbl Interface Item List Logs Msg Option Printf Rule String Value

@@ -1,0 +1,1 @@
+lib/core/tr_whois.mli: Cm_rule Cm_sim Cm_sources Cmi

@@ -1,0 +1,14 @@
+type emit = Cm_rule.Event.desc -> kind:Cm_rule.Event.kind -> Cm_rule.Event.t
+
+type failure_report = Msg.failure_kind -> unit
+
+type t = {
+  site : string;
+  name : string;
+  owns : string -> bool;
+  interface_rules : unit -> Cm_rule.Rule.t list;
+  current_value : Cm_rule.Item.t -> Cm_rule.Value.t option;
+  request : Cm_rule.Event.desc -> kind:Cm_rule.Event.kind -> unit;
+}
+
+let request_names = [ "WR"; "RR"; "DR" ]

@@ -1,0 +1,36 @@
+(** The CM-Interface: what every CM-Translator presents to its CM-Shell.
+
+    The CMI factors the peculiarities of each Raw Information Source away
+    from the shells (paper §4.1): whatever the RIS — SQL server, flat
+    files, a whois daemon — the shell sees the same record of operations.
+    Translators are constructed from a CM-RID-style configuration and an
+    {!emit} callback through which they report events (N, R, W, Ws, INS,
+    DEL, failure notices) back to the shell. *)
+
+type emit = Cm_rule.Event.desc -> kind:Cm_rule.Event.kind -> Cm_rule.Event.t
+(** Record an event occurrence at the translator's site and run it
+    through the local shell's rule matching, returning the recorded
+    event (translators thread its id into the provenance of response
+    events).  Supplied by the shell at attachment time. *)
+
+type failure_report = Msg.failure_kind -> unit
+
+type t = {
+  site : string;
+  name : string;  (** translator kind, for diagnostics: "relational", … *)
+  owns : string -> bool;
+      (** which item base names this translator is responsible for *)
+  interface_rules : unit -> Cm_rule.Rule.t list;
+      (** the interface statements this source honours, queried by the
+          toolkit during initialization (§4.1) *)
+  current_value : Cm_rule.Item.t -> Cm_rule.Value.t option;
+      (** synchronous local peek for condition evaluation at this site
+          (conditions may only reference local data, §3.2) *)
+  request : Cm_rule.Event.desc -> kind:Cm_rule.Event.kind -> unit;
+      (** submit a WR / RR / DR event: the translator records the
+          request's receipt and performs the native operation, emitting
+          the W / R / DEL response within the interface's bound *)
+}
+
+val request_names : string list
+(** Descriptor names a translator accepts via [request]. *)

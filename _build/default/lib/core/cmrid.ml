@@ -1,0 +1,263 @@
+type notify_decl = {
+  n_table : string;
+  n_column : string;
+  n_key : string;
+  n_send : bool;
+  n_threshold : float option;
+}
+
+type item_decl = {
+  i_base : string;
+  i_params : string list;
+  i_read : string option;
+  i_write : string option;
+  i_delete : string option;
+  i_notify : notify_decl option;
+  i_no_spontaneous : bool;
+  i_key_template : string option;
+  i_writable : bool;
+}
+
+type kind = Relational | Kvfile
+
+type op = Read_op | Write_op | Notify_op | Delete_op
+
+type source_decl = {
+  s_site : string;
+  s_kind : kind;
+  s_items : item_decl list;
+  s_init : string list;
+  s_latencies : (op * float) list;
+  s_deltas : (op * float) list;
+}
+
+type t = {
+  sources : source_decl list;
+  locations : (string * string) list;
+  rules : string list;
+}
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+(* "item Salary1(n)" -> base + param names *)
+let parse_item_head word =
+  match String.index_opt word '(' with
+  | None -> Ok (word, [])
+  | Some i ->
+    let base = String.sub word 0 i in
+    let rest = String.sub word (i + 1) (String.length word - i - 1) in
+    if String.length rest = 0 || rest.[String.length rest - 1] <> ')' then
+      Error ("malformed item declaration: " ^ word)
+    else
+      let inner = String.sub rest 0 (String.length rest - 1) in
+      let params =
+        String.split_on_char ',' inner |> List.map String.trim
+        |> List.filter (fun p -> p <> "")
+      in
+      Ok (base, params)
+
+let op_of_string = function
+  | "read" -> Some Read_op
+  | "write" -> Some Write_op
+  | "notify" -> Some Notify_op
+  | "delete" -> Some Delete_op
+  | _ -> None
+
+let empty_item base params =
+  {
+    i_base = base;
+    i_params = params;
+    i_read = None;
+    i_write = None;
+    i_delete = None;
+    i_notify = None;
+    i_no_spontaneous = false;
+    i_key_template = None;
+    i_writable = false;
+  }
+
+type state = {
+  mutable sources : source_decl list;  (* reversed *)
+  mutable locations : (string * string) list;
+  mutable rule_lines : string list;  (* reversed *)
+  mutable cur_source : source_decl option;
+  mutable cur_item : item_decl option;
+}
+
+let flush_item st =
+  match st.cur_item, st.cur_source with
+  | Some item, Some src ->
+    st.cur_source <- Some { src with s_items = src.s_items @ [ item ] };
+    st.cur_item <- None
+  | Some _, None -> ()
+  | None, _ -> ()
+
+let flush_source st =
+  flush_item st;
+  match st.cur_source with
+  | Some src ->
+    st.sources <- src :: st.sources;
+    st.cur_source <- None
+  | None -> ()
+
+let rest_after line n_words =
+  (* The raw text after the first n_words words — preserves SQL spacing. *)
+  let rec skip i remaining =
+    if remaining = 0 then i
+    else if i >= String.length line then i
+    else if line.[i] = ' ' then
+      let rec skip_spaces j = if j < String.length line && line.[j] = ' ' then skip_spaces (j + 1) else j in
+      skip (skip_spaces i) (remaining - 1)
+    else skip (i + 1) remaining
+  in
+  let start =
+    let rec skip_spaces j = if j < String.length line && line.[j] = ' ' then skip_spaces (j + 1) else j in
+    skip (skip_spaces 0) n_words
+  in
+  String.trim (String.sub line start (String.length line - start))
+
+let parse_notify words =
+  (* employees.salary key empid [threshold 0.1 | observe] *)
+  match words with
+  | target :: "key" :: key :: rest -> (
+    match String.split_on_char '.' target with
+    | [ table; column ] -> (
+      let base = { n_table = table; n_column = column; n_key = key; n_send = true; n_threshold = None } in
+      match rest with
+      | [] -> Ok base
+      | [ "observe" ] -> Ok { base with n_send = false }
+      | [ "threshold"; v ] -> (
+        match float_of_string_opt v with
+        | Some f -> Ok { base with n_threshold = Some f }
+        | None -> Error ("bad threshold: " ^ v))
+      | _ -> Error "malformed notify declaration")
+    | _ -> Error ("notify target must be table.column: " ^ target))
+  | _ -> Error "notify declaration needs: table.column key <column>"
+
+let parse src_text =
+  let st =
+    { sources = []; locations = []; rule_lines = []; cur_source = None; cur_item = None }
+  in
+  let error = ref None in
+  let fail lineno msg = if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno msg) in
+  let lines = String.split_on_char '\n' src_text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      if !error = None then begin
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let line = String.trim line in
+        if line <> "" then
+          match split_words line with
+          | "source" :: site :: kind :: [] -> (
+            flush_source st;
+            match kind with
+            | "relational" ->
+              st.cur_source <-
+                Some
+                  { s_site = site; s_kind = Relational; s_items = []; s_init = [];
+                    s_latencies = []; s_deltas = [] }
+            | "kvfile" ->
+              st.cur_source <-
+                Some
+                  { s_site = site; s_kind = Kvfile; s_items = []; s_init = [];
+                    s_latencies = []; s_deltas = [] }
+            | other -> fail lineno ("unknown source kind: " ^ other))
+          | "location" :: base :: site :: [] ->
+            st.locations <- (base, site) :: st.locations
+          | "rule" :: _ -> st.rule_lines <- rest_after line 1 :: st.rule_lines
+          | "init" :: _ -> (
+            match st.cur_source with
+            | Some src -> st.cur_source <- Some { src with s_init = src.s_init @ [ rest_after line 1 ] }
+            | None -> fail lineno "init outside a source block")
+          | "item" :: head :: [] -> (
+            match st.cur_source with
+            | None -> fail lineno "item outside a source block"
+            | Some _ -> (
+              flush_item st;
+              match parse_item_head head with
+              | Ok (base, params) -> st.cur_item <- Some (empty_item base params)
+              | Error m -> fail lineno m))
+          | ("read" | "write" | "delete") :: _ -> (
+            let sql = rest_after line 1 in
+            match st.cur_item with
+            | None -> fail lineno "SQL template outside an item block"
+            | Some item ->
+              let item =
+                match List.hd (split_words line) with
+                | "read" -> { item with i_read = Some sql }
+                | "write" -> { item with i_write = Some sql }
+                | _ -> { item with i_delete = Some sql }
+              in
+              st.cur_item <- Some item)
+          | "notify" :: rest -> (
+            match st.cur_item with
+            | None -> fail lineno "notify outside an item block"
+            | Some item -> (
+              match parse_notify rest with
+              | Ok n -> st.cur_item <- Some { item with i_notify = Some n }
+              | Error m -> fail lineno m))
+          | [ "no_spontaneous" ] -> (
+            match st.cur_item with
+            | None -> fail lineno "no_spontaneous outside an item block"
+            | Some item -> st.cur_item <- Some { item with i_no_spontaneous = true })
+          | "key" :: _ -> (
+            match st.cur_item with
+            | None -> fail lineno "key outside an item block"
+            | Some item -> st.cur_item <- Some { item with i_key_template = Some (rest_after line 1) })
+          | [ "writable" ] -> (
+            match st.cur_item with
+            | None -> fail lineno "writable outside an item block"
+            | Some item -> st.cur_item <- Some { item with i_writable = true })
+          | [ ("latency" | "delta") as what; op_name; v ] -> (
+            match st.cur_source, op_of_string op_name, float_of_string_opt v with
+            | None, _, _ -> fail lineno (what ^ " outside a source block")
+            | _, None, _ -> fail lineno ("unknown operation: " ^ op_name)
+            | _, _, None -> fail lineno ("bad number: " ^ v)
+            | Some src, Some op, Some f ->
+              flush_item st;
+              let src = match st.cur_source with Some s -> s | None -> src in
+              st.cur_source <-
+                Some
+                  (if what = "latency" then { src with s_latencies = src.s_latencies @ [ (op, f) ] }
+                   else { src with s_deltas = src.s_deltas @ [ (op, f) ] }))
+          | word :: _ -> fail lineno ("unrecognized directive: " ^ word)
+          | [] -> ()
+      end)
+    lines;
+  flush_source st;
+  match !error with
+  | Some m -> Error m
+  | None ->
+    Ok
+      {
+        sources = List.rev st.sources;
+        locations = List.rev st.locations;
+        rules = List.rev st.rule_lines;
+      }
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error m -> Error m
+
+let locator ?(default = "unknown") (t : t) =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun src -> List.iter (fun item -> Hashtbl.replace table item.i_base src.s_site) src.s_items)
+    t.sources;
+  List.iter (fun (base, site) -> Hashtbl.replace table base site) t.locations;
+  fun item ->
+    match Hashtbl.find_opt table item.Cm_rule.Item.base with
+    | Some site -> site
+    | None -> default
+
+let sites (t : t) =
+  let from_sources = List.map (fun s -> s.s_site) t.sources in
+  let from_locations = List.map snd t.locations in
+  List.sort_uniq compare (from_sources @ from_locations)

@@ -1,0 +1,85 @@
+(** CM-RID files: textual configuration of sources and their items.
+
+    The paper's CM-Raw-Interface-Description "configures standard
+    CM-Translators to the particular underlying data source" (§4.1) —
+    SQL command templates, trigger declarations, connection details.
+    Our format is line-based; [#] comments; one [source] block per RIS:
+
+    {v
+    source sf relational
+      init CREATE TABLE employees (empid TEXT PRIMARY KEY, salary INT NOT NULL)
+      init INSERT INTO employees VALUES ('e1', 100)
+      item Salary1(n)
+        read   SELECT salary FROM employees WHERE empid = $n
+        write  UPDATE employees SET salary = $b WHERE empid = $n
+        notify employees.salary key empid
+      latency write 0.2
+      delta notify 5.0
+
+    source ny kvfile
+      item Phone2(n)
+        key phone.$n
+        writable
+
+    location Flag app
+    v}
+
+    [notify] may end with [threshold 0.1] for a conditional-notify
+    interface (a relative-change filter) or [observe] for ground-truth
+    recording without a notify interface.  [location] lines place
+    CM-auxiliary item bases at sites; items declared under a source are
+    located there automatically.  Top-level [rule <text>] lines hold the
+    strategy specification (one rule each, in the rule language of
+    {!Cm_rule.Parser}); {!Toolkit.build} installs them. *)
+
+type notify_decl = {
+  n_table : string;
+  n_column : string;
+  n_key : string;
+  n_send : bool;
+  n_threshold : float option;
+}
+
+type item_decl = {
+  i_base : string;
+  i_params : string list;
+  i_read : string option;
+  i_write : string option;
+  i_delete : string option;
+  i_notify : notify_decl option;
+  i_no_spontaneous : bool;
+  i_key_template : string option;  (** kvfile sources *)
+  i_writable : bool;  (** kvfile sources *)
+}
+
+type kind = Relational | Kvfile
+
+type op = Read_op | Write_op | Notify_op | Delete_op
+
+type source_decl = {
+  s_site : string;
+  s_kind : kind;
+  s_items : item_decl list;
+  s_init : string list;  (** statements run at build time (relational) *)
+  s_latencies : (op * float) list;
+  s_deltas : (op * float) list;
+}
+
+type t = {
+  sources : source_decl list;
+  locations : (string * string) list;
+  rules : string list;
+      (** top-level [rule <text>] lines: the strategy specification, in
+          the rule language, installed by {!Toolkit.build} *)
+}
+
+val parse : string -> (t, string) result
+(** Errors carry a 1-based line number. *)
+
+val parse_file : string -> (t, string) result
+
+val locator : ?default:string -> t -> Cm_rule.Item.locator
+(** Item base → site, from source item declarations and [location]
+    lines.  Unknown bases go to [default] (default ["unknown"]). *)
+
+val sites : t -> string list

@@ -1,0 +1,20 @@
+type t =
+  | Copy of { source : Cm_rule.Expr.t; target : Cm_rule.Expr.t }
+  | Leq of { smaller : Cm_rule.Item.t; larger : Cm_rule.Item.t }
+  | Ref_int of { parent : string; child : string; bound : float }
+
+let base_of_pattern = function
+  | Cm_rule.Expr.Item (base, _) -> base
+  | e ->
+    invalid_arg
+      ("Constraint_def: not an item pattern: " ^ Cm_rule.Expr.to_string e)
+
+let to_string = function
+  | Copy { source; target } ->
+    Printf.sprintf "%s = %s (copy)" (Cm_rule.Expr.to_string target)
+      (Cm_rule.Expr.to_string source)
+  | Leq { smaller; larger } ->
+    Printf.sprintf "%s <= %s" (Cm_rule.Item.to_string smaller)
+      (Cm_rule.Item.to_string larger)
+  | Ref_int { parent; child; bound } ->
+    Printf.sprintf "E(%s(k)) requires E(%s(k)) within %gs" child parent bound

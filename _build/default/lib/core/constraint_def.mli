@@ -1,0 +1,26 @@
+(** Inter-site constraint declarations.
+
+    Applications inform the CM of the constraints to maintain (paper
+    Figure 1); these are the forms the toolkit's strategy-suggestion
+    menu covers.  Parameterized families (e.g. salary1(n) = salary2(n)
+    for all n) are expressed by using items with no parameters as family
+    representatives — the locator maps a whole family to one site, so
+    strategy rules generated from the representative cover every
+    instance. *)
+
+type t =
+  | Copy of { source : Cm_rule.Expr.t; target : Cm_rule.Expr.t }
+      (** maintain target as a copy of source (§3.3.1); both are item
+          patterns ([Interface.plain] or [Interface.family]) *)
+  | Leq of { smaller : Cm_rule.Item.t; larger : Cm_rule.Item.t }
+      (** X ≤ Y with X and Y at different sites (§6.1) *)
+  | Ref_int of {
+      parent : string;  (** item base whose existence is required *)
+      child : string;  (** item base requiring the parent *)
+      bound : float;  (** tolerated violation window, seconds (§6.2) *)
+    }
+
+val to_string : t -> string
+
+val base_of_pattern : Cm_rule.Expr.t -> string
+(** Base name of an item pattern.  @raise Invalid_argument otherwise. *)

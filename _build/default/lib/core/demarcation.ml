@@ -1,0 +1,94 @@
+open Cm_rule
+
+type policy = Eager | Conservative
+
+type side = { bal : string; lim : string; pend : string }
+
+let tt = Expr.Const (Value.Bool true)
+let step ?(guard = tt) template = { Rule.guard; template }
+let var x = Expr.Var x
+let item name = Expr.Item (name, [])
+
+let rid prefix name = match prefix with Some p -> p ^ "/" ^ name | None -> name
+
+let rules ?prefix ~policy ~delta ~x ~y () =
+  let le a b = Expr.Binop (Expr.Le, a, b) in
+  let ge a b = Expr.Binop (Expr.Ge, a, b) in
+  let eq a b = Expr.Binop (Expr.Eq, a, b) in
+  let conj a b = Expr.Binop (Expr.And, a, b) in
+  (* Raising X's upper limit: B grants by first raising Ȳ. *)
+  let grant_y_guard =
+    match policy with
+    | Conservative -> conj (le (var "w") (item y.bal)) (eq (var "m") (var "w"))
+    | Eager -> conj (le (var "w") (item y.bal)) (eq (item y.bal) (var "m"))
+  in
+  let raise_x =
+    [
+      Rule.make ~id:(rid prefix "reqx") ~delta
+        ~lhs:(Template.make "LCReq" [ item x.lim; var "w" ])
+        (Rule.Steps [ step (Template.make "SlackReq" [ item y.lim; var "w" ]) ]);
+      Rule.make ~id:(rid prefix "granty") ~delta
+        ~lhs:(Template.make "SlackReq" [ item y.lim; var "w" ])
+        (Rule.Steps
+           [ step ~guard:grant_y_guard (Template.make "W" [ item y.pend; var "m" ]) ]);
+      Rule.make ~id:(rid prefix "limy") ~delta
+        ~lhs:(Template.make "W" [ item y.pend; var "m" ])
+        (Rule.Steps [ step (Template.make "WR" [ item y.lim; var "m" ]) ]);
+      Rule.make ~id:(rid prefix "confy") ~delta
+        ~lhs_cond:(eq (item y.pend) (var "m"))
+        ~lhs:(Template.make "W" [ item y.lim; var "m" ])
+        (Rule.Steps [ step (Template.make "SlackGrant" [ item x.lim; var "m" ]) ]);
+      Rule.make ~id:(rid prefix "applyx") ~delta
+        ~lhs:(Template.make "SlackGrant" [ item x.lim; var "m" ])
+        (Rule.Steps [ step (Template.make "WR" [ item x.lim; var "m" ]) ]);
+    ]
+  in
+  (* Lowering Y's lower limit: A grants by first lowering X̄. *)
+  let grant_x_guard =
+    match policy with
+    | Conservative -> conj (ge (var "w") (item x.bal)) (eq (var "m") (var "w"))
+    | Eager -> conj (ge (var "w") (item x.bal)) (eq (item x.bal) (var "m"))
+  in
+  let lower_y =
+    [
+      Rule.make ~id:(rid prefix "reqy") ~delta
+        ~lhs:(Template.make "LCReqY" [ item y.lim; var "w" ])
+        (Rule.Steps [ step (Template.make "ShrinkReq" [ item x.lim; var "w" ]) ]);
+      Rule.make ~id:(rid prefix "grantx") ~delta
+        ~lhs:(Template.make "ShrinkReq" [ item x.lim; var "w" ])
+        (Rule.Steps
+           [ step ~guard:grant_x_guard (Template.make "W" [ item x.pend; var "m" ]) ]);
+      Rule.make ~id:(rid prefix "limx") ~delta
+        ~lhs:(Template.make "W" [ item x.pend; var "m" ])
+        (Rule.Steps [ step (Template.make "WR" [ item x.lim; var "m" ]) ]);
+      Rule.make ~id:(rid prefix "confx") ~delta
+        ~lhs_cond:(eq (item x.pend) (var "m"))
+        ~lhs:(Template.make "W" [ item x.lim; var "m" ])
+        (Rule.Steps [ step (Template.make "ShrinkGrant" [ item y.lim; var "m" ]) ]);
+      Rule.make ~id:(rid prefix "applyy") ~delta
+        ~lhs:(Template.make "ShrinkGrant" [ item y.lim; var "m" ])
+        (Rule.Steps [ step (Template.make "WR" [ item y.lim; var "m" ]) ]);
+    ]
+  in
+  {
+    Strategy.strategy_name =
+      (match policy with Eager -> "demarcation-eager" | Conservative -> "demarcation-conservative");
+    description = "Demarcation Protocol for X <= Y with limit-change rules";
+    rules = raise_x @ lower_y;
+    (* The pending items start absent on purpose: a limit write before any
+       grant leaves the confirmation rules' conditions unevaluable (hence
+       false), so set-up writes never look like grant confirmations. *)
+    aux_init = [];
+  }
+
+let request_increase_x ~emit ~x ~wanted =
+  ignore
+    (emit
+       { Event.name = "LCReq"; args = [ Event.Ai (Item.make x.lim); Event.Av wanted ] }
+       ~kind:Event.Spontaneous)
+
+let request_decrease_y ~emit ~y ~wanted =
+  ignore
+    (emit
+       { Event.name = "LCReqY"; args = [ Event.Ai (Item.make y.lim); Event.Av wanted ] }
+       ~kind:Event.Spontaneous)

@@ -1,0 +1,50 @@
+(** The Demarcation Protocol [BGM92] in the toolkit's rule language
+    (paper §6.1).
+
+    For an inequality constraint X ≤ Y with X and Y at different sites,
+    the protocol keeps local limits — X̄ (upper limit on X, at X's site)
+    and Ȳ (lower limit on Y, at Y's site) — with the invariant
+    X̄ ≤ Ȳ.  The {e local constraint managers of the underlying
+    databases} enforce X ≤ X̄ and Y ≥ Ȳ (here: CHECK constraints of the
+    relational engine), so X ≤ X̄ ≤ Ȳ ≤ Y always, with {b no
+    communication at all} for operations within the limits.
+
+    Crossing a limit requires a limit-change round, which the rules below
+    implement; safety hinges on ordering — Ȳ is raised {e before} X̄
+    (confirmed by matching the [W(Ylim, m)] event), and X̄ is lowered
+    before Ȳ:
+
+    {v
+    A: LCReq(Xlim, w)            →δ SlackReq(Ylim, w)
+    B: SlackReq(Ylim, w) ∧ grant →δ W(PendY, m)
+    B: W(PendY, m)               →δ WR(Ylim, m)
+    B: W(Ylim, m) ∧ PendY = m    →δ SlackGrant(Xlim, m)
+    A: SlackGrant(Xlim, m)       →δ WR(Xlim, m)
+    v}
+
+    (and the mirror image for lowering Y).  Under the [Eager] policy a
+    grant raises Ȳ all the way to Y's current value, buying future slack
+    at no extra cost; [Conservative] grants exactly the requested amount.
+    The policies obey the same safety guarantee and differ in
+    limit-change traffic — experiment E4 compares them. *)
+
+type policy = Eager | Conservative
+
+(** Item names for one side of the constraint. *)
+type side = {
+  bal : string;  (** the constrained value (database item) *)
+  lim : string;  (** the local limit (database item, CHECK-enforced) *)
+  pend : string;  (** CM-private pending-grant item *)
+}
+
+val rules :
+  ?prefix:string -> policy:policy -> delta:float -> x:side -> y:side -> unit -> Strategy.t
+(** The full rule set for X ≤ Y (both limit directions). *)
+
+val request_increase_x :
+  emit:Cmi.emit -> x:side -> wanted:Cm_rule.Value.t -> unit
+(** Application-side: ask the CM to raise X̄ to [wanted] (emits the
+    spontaneous [LCReq] event). *)
+
+val request_decrease_y :
+  emit:Cmi.emit -> y:side -> wanted:Cm_rule.Value.t -> unit

@@ -1,0 +1,20 @@
+type failure_kind = Metric | Logical
+
+type t =
+  | Fire of {
+      rule_id : string;
+      env : (string * Cm_rule.Expr.binding) list;
+      trigger_id : int;
+      trigger_time : float;
+    }
+  | Failure_notice of { origin_site : string; kind : failure_kind }
+  | Reset_notice of { origin_site : string }
+
+let env_to_list env = Cm_rule.Expr.Env.bindings env
+
+let env_of_list entries =
+  List.fold_left
+    (fun acc (k, v) -> Cm_rule.Expr.Env.add k v acc)
+    Cm_rule.Expr.empty_env entries
+
+let failure_kind_to_string = function Metric -> "metric" | Logical -> "logical"

@@ -1,0 +1,24 @@
+(** Messages exchanged between CM-Shells over the network.
+
+    Rule distribution (paper §4.1) places each rule at the shell of its
+    LHS site; when it matches there, the binding environment travels to
+    the shell of the RHS site as a {!Fire} envelope, where conditions are
+    evaluated against local data and the RHS events are produced.
+    Failure notices propagate between shells so that affected guarantees
+    can be marked invalid at every site (§5). *)
+
+type failure_kind = Metric | Logical
+
+type t =
+  | Fire of {
+      rule_id : string;
+      env : (string * Cm_rule.Expr.binding) list;
+      trigger_id : int;
+      trigger_time : float;
+    }
+  | Failure_notice of { origin_site : string; kind : failure_kind }
+  | Reset_notice of { origin_site : string }
+
+val env_to_list : Cm_rule.Expr.env -> (string * Cm_rule.Expr.binding) list
+val env_of_list : (string * Cm_rule.Expr.binding) list -> Cm_rule.Expr.env
+val failure_kind_to_string : failure_kind -> string

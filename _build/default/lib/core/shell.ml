@@ -1,0 +1,256 @@
+module Sim = Cm_sim.Sim
+module Net = Cm_net.Net
+open Cm_rule
+
+type t = {
+  sim : Sim.t;
+  net : Msg.t Net.t;
+  trace : Trace.t;
+  locator : Item.locator;
+  site : string;
+  store : Store.t;
+  mutable translators : Cmi.t list;
+  mutable handled_sites : string list;
+  mutable route : string -> string;
+  rules_by_id : (string, Rule.t) Hashtbl.t;
+  mutable lhs_rules : (Rule.t * string option) list;  (* rule, lhs site *)
+  mutable periodics : (string * float) list;
+  custom_handlers : (string, (Event.t -> unit) list ref) Hashtbl.t;
+  mutable failure_listeners : (origin:string -> Msg.failure_kind -> unit) list;
+  mutable reset_listeners : (origin:string -> unit) list;
+  mutable peer_sites : string list;
+  mutable fires_sent : int;
+  mutable fires_executed : int;
+  mutable events_seen : int;
+}
+
+let site t = t.site
+let sim t = t.sim
+let trace t = t.trace
+let translators t = t.translators
+
+let set_route t route = t.route <- route
+let set_peer_sites t sites =
+  t.peer_sites <- List.filter (fun s -> not (String.equal s t.site)) sites
+
+let local_state t =
+  Expr.state_of_fun (fun item ->
+      (* "Clock" is a built-in pseudo-item holding the local time; binding
+         it in a guard (Clock == t) is how strategies timestamp auxiliary
+         data such as the monitor's Tb (§6.3). *)
+      if String.equal item.Item.base "Clock" then Some (Value.Float (Sim.now t.sim))
+      else
+        let owner =
+          List.find_opt (fun (tr : Cmi.t) -> tr.owns item.Item.base) t.translators
+        in
+        match owner with
+        | Some tr -> tr.current_value item
+        | None -> Store.get t.store item)
+
+let eval_cond_safe t env cond =
+  try Expr.eval_cond (local_state t) env cond with Expr.Eval_error _ -> None
+
+(* --- event intake: record, then match strategy rules --- *)
+
+let rec occurred t (event : Event.t) =
+  t.events_seen <- t.events_seen + 1;
+  List.iter
+    (fun (rule, lhs_site) ->
+      let site_matches =
+        match lhs_site with
+        | Some s -> String.equal s event.site
+        | None -> String.equal event.site t.site
+      in
+      if site_matches then
+        match Template.matches rule.Rule.lhs event.desc ~seed:Expr.empty_env with
+        | None -> ()
+        | Some env0 -> (
+          match eval_cond_safe t env0 rule.Rule.lhs_cond with
+          | None -> ()
+          | Some env ->
+            let rhs_site =
+              match Rule.rhs_site rule t.locator with
+              | Some s -> s
+              | None -> t.site  (* pure chaining rules execute locally *)
+            in
+            t.fires_sent <- t.fires_sent + 1;
+            Net.send t.net ~from_site:t.site ~to_site:(t.route rhs_site)
+              (Msg.Fire
+                 {
+                   rule_id = rule.Rule.id;
+                   env = Msg.env_to_list env;
+                   trigger_id = event.id;
+                   trigger_time = event.time;
+                 })))
+    t.lhs_rules;
+  match Hashtbl.find_opt t.custom_handlers event.desc.Event.name with
+  | Some handlers -> List.iter (fun h -> h event) !handlers
+  | None -> ()
+
+and emit_at t ~site desc ~kind =
+  let event = Trace.record t.trace ~time:(Sim.now t.sim) ~site ~kind desc in
+  occurred t event;
+  event
+
+and dispatch t desc ~kind =
+  match desc.Event.name with
+  | "WR" | "RR" | "DR" -> (
+    let base =
+      match Event.item_of_desc desc with
+      | Some item -> item.Item.base
+      | None -> ""
+    in
+    match List.find_opt (fun (tr : Cmi.t) -> tr.owns base) t.translators with
+    | Some tr -> tr.request desc ~kind
+    | None ->
+      Logs.warn (fun m ->
+          m "shell %s: no translator owns %s; request dropped" t.site
+            (Event.desc_to_string desc)))
+  | "W" -> (
+    match Event.written_value desc with
+    | Some (item, v) ->
+      let owned =
+        List.exists (fun (tr : Cmi.t) -> tr.owns item.Item.base) t.translators
+      in
+      if owned then
+        Logs.warn (fun m ->
+            m "shell %s: W on database item %s must go through WR; dropped" t.site
+              (Item.to_string item))
+      else begin
+        Store.set t.store item v;
+        ignore (emit_at t ~site:t.site desc ~kind)
+      end
+    | None ->
+      Logs.warn (fun m -> m "shell %s: malformed W event dropped" t.site))
+  | _ ->
+    (* Custom / chaining event: occurs at this shell's site. *)
+    ignore (emit_at t ~site:t.site desc ~kind)
+
+and handle_fire t ~rule_id ~env ~trigger_id =
+  match Hashtbl.find_opt t.rules_by_id rule_id with
+  | None ->
+    Logs.err (fun m -> m "shell %s: Fire for unknown rule %s" t.site rule_id)
+  | Some rule ->
+    t.fires_executed <- t.fires_executed + 1;
+    let kind = Event.Generated { rule_id; trigger = trigger_id } in
+    let rec steps env = function
+      | [] -> ()
+      | (step : Rule.step) :: rest -> (
+        match eval_cond_safe t env step.guard with
+        | None -> steps env rest
+        | Some env' -> (
+          match Template.instantiate step.template env' with
+          | desc ->
+            dispatch t desc ~kind;
+            steps env' rest
+          | exception Expr.Eval_error message ->
+            Logs.err (fun m ->
+                m "shell %s: rule %s step cannot instantiate: %s" t.site rule_id
+                  message);
+            steps env' rest))
+    in
+    steps (Msg.env_of_list env) (Rule.rhs_steps rule)
+
+and handle_msg t = function
+  | Msg.Fire { rule_id; env; trigger_id; trigger_time = _ } ->
+    handle_fire t ~rule_id ~env ~trigger_id
+  | Msg.Failure_notice { origin_site; kind } ->
+    List.iter (fun f -> f ~origin:origin_site kind) t.failure_listeners
+  | Msg.Reset_notice { origin_site } ->
+    List.iter (fun f -> f ~origin:origin_site) t.reset_listeners
+
+let create ~sim ~net ~trace ~locator ~site =
+  let t =
+    {
+      sim;
+      net;
+      trace;
+      locator;
+      site;
+      store = Store.create ();
+      translators = [];
+      handled_sites = [ site ];
+      route = (fun s -> s);
+      rules_by_id = Hashtbl.create 16;
+      lhs_rules = [];
+      periodics = [];
+      custom_handlers = Hashtbl.create 8;
+      failure_listeners = [];
+      reset_listeners = [];
+      peer_sites = [];
+      fires_sent = 0;
+      fires_executed = 0;
+      events_seen = 0;
+    }
+  in
+  Net.register net ~site (handle_msg t);
+  t
+
+let attach_translator t (tr : Cmi.t) =
+  t.translators <- t.translators @ [ tr ];
+  if not (List.mem tr.site t.handled_sites) then
+    t.handled_sites <- t.handled_sites @ [ tr.site ]
+
+let emitter_for t ~site : Cmi.emit = fun desc ~kind -> emit_at t ~site desc ~kind
+
+let install_strategy t rules =
+  List.iter
+    (fun rule ->
+      if Hashtbl.mem t.rules_by_id rule.Rule.id then
+        invalid_arg ("Shell.install_strategy: duplicate rule id " ^ rule.Rule.id);
+      Hashtbl.replace t.rules_by_id rule.Rule.id rule;
+      let lhs_site = Rule.lhs_site rule t.locator in
+      let handled =
+        match lhs_site with
+        | Some s -> List.mem s t.handled_sites
+        | None -> true
+      in
+      if handled then t.lhs_rules <- t.lhs_rules @ [ (rule, lhs_site) ])
+    rules
+
+let installed_rules t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.rules_by_id []
+  |> List.sort (fun a b -> compare a.Rule.id b.Rule.id)
+
+let register_periodic t ?site ~period () =
+  let site = Option.value site ~default:t.site in
+  if not (List.mem (site, period) t.periodics) then begin
+    t.periodics <- (site, period) :: t.periodics;
+    Sim.every t.sim ~period
+      (fun () -> ignore (emit_at t ~site (Event.p period) ~kind:Event.Spontaneous))
+      ~cancel:(fun () -> false)
+  end
+
+let read_aux t item = Store.get t.store item
+
+let write_aux t item v =
+  Store.set t.store item v;
+  ignore (emit_at t ~site:t.site (Event.w item v) ~kind:Event.Spontaneous)
+
+let on_custom t name handler =
+  match Hashtbl.find_opt t.custom_handlers name with
+  | Some handlers -> handlers := !handlers @ [ handler ]
+  | None -> Hashtbl.replace t.custom_handlers name (ref [ handler ])
+
+let on_failure_notice t f = t.failure_listeners <- t.failure_listeners @ [ f ]
+let on_reset_notice t f = t.reset_listeners <- t.reset_listeners @ [ f ]
+
+let report_failure t kind =
+  List.iter (fun f -> f ~origin:t.site kind) t.failure_listeners;
+  List.iter
+    (fun peer ->
+      Net.send t.net ~from_site:t.site ~to_site:peer
+        (Msg.Failure_notice { origin_site = t.site; kind }))
+    t.peer_sites
+
+let broadcast_reset t =
+  List.iter (fun f -> f ~origin:t.site) t.reset_listeners;
+  List.iter
+    (fun peer ->
+      Net.send t.net ~from_site:t.site ~to_site:peer
+        (Msg.Reset_notice { origin_site = t.site }))
+    t.peer_sites
+
+let fires_sent t = t.fires_sent
+let fires_executed t = t.fires_executed
+let events_seen t = t.events_seen

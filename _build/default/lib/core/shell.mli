@@ -1,0 +1,102 @@
+(** CM-Shell: the per-site rule engine of the constraint manager.
+
+    Each shell (paper Figure 1, §4.1):
+
+    - receives events from its CM-Translators and from its own periodic
+      timers, records them in the global trace, and matches them against
+      the strategy rules whose LHS site it handles;
+    - on a match, evaluates the LHS condition against {e local} data and
+      forwards the binding environment to the shell of the rule's RHS
+      site as a {!Msg.Fire} envelope (rule distribution by LHS site);
+    - on receiving an envelope, evaluates each RHS step's guard against
+      local data and produces the step's event: requests (WR/RR/DR) go
+      to the owning translator, [W] on CM-local items updates the
+      private store, and any other name is recorded locally and fed back
+      into matching, which is how multi-rule strategies chain;
+    - propagates failure notices between sites (§5).
+
+    A shell may handle several sites: a database without a shell of its
+    own is served by another site's shell (Figure 1, site 3) by
+    attaching its translator here and routing its sites to this shell.
+
+    No global data, no global transactions: every condition is evaluated
+    against data co-located with the evaluating shell (§7.2). *)
+
+type t
+
+val create :
+  sim:Cm_sim.Sim.t ->
+  net:Msg.t Cm_net.Net.t ->
+  trace:Cm_rule.Trace.t ->
+  locator:Cm_rule.Item.locator ->
+  site:string ->
+  t
+(** Registers the shell's network handler at [site]. *)
+
+val site : t -> string
+val sim : t -> Cm_sim.Sim.t
+val trace : t -> Cm_rule.Trace.t
+
+val attach_translator : t -> Cmi.t -> unit
+(** The translator's sites become handled by this shell. *)
+
+val translators : t -> Cmi.t list
+
+val emitter_for : t -> site:string -> Cmi.emit
+(** The emit callback handed to a translator at [site]: records the event
+    there and runs local rule matching.  Also used by workload drivers to
+    record ground-truth spontaneous events on sources that cannot observe
+    their own changes. *)
+
+val set_route : t -> (string -> string) -> unit
+(** Map RHS sites to the shell site responsible for them (identity by
+    default).  Needed only when shells handle foreign sites. *)
+
+val install_strategy : t -> Cm_rule.Rule.t list -> unit
+(** Install strategy rules.  The shell matches those whose LHS site it
+    handles and executes the RHS of any rule it receives a Fire for.
+    Interface rules are {e not} installed here — they describe translator
+    behaviour, not shell behaviour. *)
+
+val installed_rules : t -> Cm_rule.Rule.t list
+
+val register_periodic : t -> ?site:string -> period:float -> unit -> unit
+(** Start a [P(period)] event source at [site] (default: the shell's own
+    site).  Duplicate (site, period) registrations are ignored. *)
+
+val read_aux : t -> Cm_rule.Item.t -> Cm_rule.Value.t option
+(** Application access to CM auxiliary data (§7.1): consistent because
+    the store is under the shell's control. *)
+
+val write_aux : t -> Cm_rule.Item.t -> Cm_rule.Value.t -> unit
+(** Host-language write to the private store; recorded as a [W] event. *)
+
+val local_state : t -> Cm_rule.Expr.state
+(** The local-data oracle: translator current values for owned items,
+    private store otherwise. *)
+
+val on_custom : t -> string -> (Cm_rule.Event.t -> unit) -> unit
+(** Host-language hook on a (usually custom) event name occurring at this
+    shell — the paper's "implemented using the host language of the CM"
+    escape hatch for set-oriented strategies such as the referential
+    integrity sweep (§6.2). *)
+
+val on_failure_notice : t -> (origin:string -> Msg.failure_kind -> unit) -> unit
+(** Runs for locally detected failures and for notices from other sites. *)
+
+val on_reset_notice : t -> (origin:string -> unit) -> unit
+
+val report_failure : t -> Msg.failure_kind -> unit
+(** Called by translators on detecting a RIS failure; notifies local
+    listeners and broadcasts to peer sites. *)
+
+val broadcast_reset : t -> unit
+
+val set_peer_sites : t -> string list -> unit
+(** Where failure/reset notices are broadcast. *)
+
+(** {2 Introspection for benchmarks} *)
+
+val fires_sent : t -> int
+val fires_executed : t -> int
+val events_seen : t -> int

@@ -1,0 +1,274 @@
+open Cm_rule
+
+type candidate = {
+  candidate_name : string;
+  strategy : Strategy.t;
+  guarantees : Guarantee.t list;
+  notes : string;
+}
+
+type bounds = {
+  rule_delta : float;
+  notify_delta : float;
+  write_delta : float;
+  poll_period : float;
+}
+
+let default_bounds =
+  { rule_delta = 5.0; notify_delta = 5.0; write_delta = 1.0; poll_period = 60.0 }
+
+(* Guarantees are expressed over representative concrete items; for a
+   family pattern the representative is the bare base item. *)
+let representative = function
+  | Expr.Item (base, []) -> Item.make base
+  | Expr.Item (base, args) ->
+    let concrete =
+      List.filter_map (function Expr.Const v -> Some v | _ -> None) args
+    in
+    if List.length concrete = List.length args then Item.make base ~params:concrete
+    else Item.make base
+  | e -> invalid_arg ("Suggest: not an item pattern: " ^ Expr.to_string e)
+
+let has kind kinds = List.mem kind kinds
+
+let copy_candidates bounds interfaces source target =
+  let source_base = Constraint_def.base_of_pattern source in
+  let target_base = Constraint_def.base_of_pattern target in
+  let src_kinds = interfaces source_base in
+  let tgt_kinds = interfaces target_base in
+  let src_item = representative source in
+  let tgt_item = representative target in
+  let pair = { Guarantee.leader = src_item; follower = tgt_item } in
+  let kappa = bounds.notify_delta +. bounds.rule_delta +. bounds.write_delta in
+  let candidates = ref [] in
+  let add c = candidates := c :: !candidates in
+  if has Interface.Write tgt_kinds then begin
+    if has Interface.Notify src_kinds then begin
+      add
+        {
+          candidate_name = "propagate";
+          strategy =
+            Strategy.propagate ~prefix:target_base ~delta:bounds.rule_delta ~source
+              ~target ();
+          guarantees =
+            [
+              Guarantee.Follows pair;
+              Guarantee.Leads pair;
+              Guarantee.Strictly_follows pair;
+              Guarantee.Metric_follows (pair, kappa);
+            ];
+          notes = "notify source + write target: all four §3.3.1 guarantees";
+        };
+      add
+        {
+          candidate_name = "propagate-cached";
+          strategy =
+            Strategy.propagate_cached ~prefix:target_base ~delta:bounds.rule_delta
+              ~source ~target
+              ~cache:("C_" ^ target_base)
+              ();
+          guarantees =
+            [
+              Guarantee.Follows pair;
+              Guarantee.Leads pair;
+              Guarantee.Strictly_follows pair;
+              Guarantee.Metric_follows (pair, kappa);
+            ];
+          notes =
+            "as propagate, but duplicate values are not re-sent; locate the \
+             cache item C_<target> at the target's shell";
+        }
+    end;
+    if has Interface.Conditional_notify src_kinds && not (has Interface.Notify src_kinds)
+    then
+      add
+        {
+          candidate_name = "propagate (filtered notifications)";
+          strategy =
+            Strategy.propagate ~prefix:target_base ~delta:bounds.rule_delta ~source
+              ~target ();
+          guarantees = [ Guarantee.Follows pair; Guarantee.Strictly_follows pair ];
+          notes =
+            "the source filters small changes, so values can be missed: \
+             guarantees (2) and (4) are not offered";
+        };
+    if has Interface.Periodic_notify src_kinds && not (has Interface.Notify src_kinds)
+    then
+      add
+        {
+          candidate_name = "propagate (periodic notifications)";
+          strategy =
+            Strategy.propagate ~prefix:target_base ~delta:bounds.rule_delta ~source
+              ~target ();
+          guarantees =
+            [
+              Guarantee.Follows pair;
+              Guarantee.Strictly_follows pair;
+              Guarantee.Metric_follows (pair, kappa +. bounds.poll_period);
+            ];
+          notes = "updates between periodic reports are missed: no guarantee (2)";
+        };
+    if
+      has Interface.Read src_kinds
+      && not (has Interface.Notify src_kinds)
+      && not (has Interface.Conditional_notify src_kinds)
+      && not (has Interface.Periodic_notify src_kinds)
+    then begin
+      let is_concrete =
+        match source with
+        | Expr.Item (_, args) ->
+          List.for_all (function Expr.Const _ -> true | _ -> false) args
+        | _ -> false
+      in
+      let strategy, extra_note =
+        if is_concrete then
+          ( Strategy.poll ~prefix:target_base ~period:bounds.poll_period
+              ~delta:bounds.rule_delta ~source ~target (),
+            "" )
+        else
+          (* A read request must name a concrete item, so a parameterized
+             family gets only the forwarding half here; the toolkit user
+             installs one tick rule per instance. *)
+          ( {
+              Strategy.strategy_name = "poll-family";
+              description = "forward read responses (per-instance tick rules required)";
+              rules =
+                [
+                  Rule.make ~id:(target_base ^ "/fwd") ~delta:bounds.rule_delta
+                    ~lhs:(Template.make "R" [ source; Expr.Var "b" ])
+                    (Rule.Steps
+                       [
+                         {
+                           Rule.guard = Expr.Const (Value.Bool true);
+                           template = Template.make "WR" [ target; Expr.Var "b" ];
+                         };
+                       ]);
+                ];
+              aux_init = [];
+            },
+            "; install one P(p) -> RR rule per family instance" )
+      in
+      add
+        {
+          candidate_name = "poll";
+          strategy;
+          guarantees =
+            [
+              Guarantee.Follows pair;
+              Guarantee.Strictly_follows pair;
+              Guarantee.Metric_follows
+                (pair, bounds.poll_period +. kappa +. bounds.rule_delta);
+            ];
+          notes =
+            "read-only source: updates inside one polling interval are missed, \
+             so guarantee (2) is not offered (§4.2.3)" ^ extra_note;
+        }
+    end
+  end;
+  (* No write access to the target: monitoring is the best we can do. *)
+  if
+    (not (has Interface.Write tgt_kinds))
+    && (has Interface.Notify src_kinds || has Interface.Conditional_notify src_kinds)
+    && (has Interface.Notify tgt_kinds || has Interface.Conditional_notify tgt_kinds)
+  then begin
+    let aux = Strategy.monitor_items ~prefix:target_base () in
+    add
+      {
+        candidate_name = "monitor";
+        strategy =
+          Strategy.monitor ~prefix:target_base ~delta:bounds.rule_delta ~x:source
+            ~y:target ();
+        guarantees =
+          [
+            Guarantee.Monitor_window
+              {
+                flag = aux.Strategy.flag;
+                tb = aux.Strategy.tb;
+                x = src_item;
+                y = tgt_item;
+                kappa;
+              };
+          ];
+        notes = "CM cannot write either item: monitor only (§6.3)";
+      }
+  end;
+  List.rev !candidates
+
+let leq_candidates bounds interfaces smaller larger =
+  let s_kinds = interfaces smaller.Item.base in
+  let l_kinds = interfaces larger.Item.base in
+  if
+    has Interface.Write s_kinds && has Interface.Read s_kinds
+    && has Interface.Write l_kinds && has Interface.Read l_kinds
+  then
+    let mk policy name =
+      let x =
+        { Demarcation.bal = smaller.Item.base; lim = smaller.Item.base ^ "_lim";
+          pend = "Pend_" ^ smaller.Item.base }
+      in
+      let y =
+        { Demarcation.bal = larger.Item.base; lim = larger.Item.base ^ "_lim";
+          pend = "Pend_" ^ larger.Item.base }
+      in
+      {
+        candidate_name = name;
+        strategy =
+          Demarcation.rules ~prefix:smaller.Item.base ~policy ~delta:bounds.rule_delta
+            ~x ~y ();
+        guarantees = [ Guarantee.Always_leq { smaller; larger } ];
+        notes =
+          "Demarcation Protocol (§6.1): requires local CHECK enforcement of \
+           the limits and <base>_lim limit items bound on both databases";
+      }
+    in
+    [
+      mk Demarcation.Conservative "demarcation (conservative grants)";
+      mk Demarcation.Eager "demarcation (eager grants)";
+    ]
+  else []
+
+let refint_candidates bounds ~parent ~child ~bound_secs =
+  let cache = "C_" ^ parent in
+  [
+    {
+      candidate_name = "refint-sweep";
+      strategy = Strategy.refint_cache ~prefix:child ~delta:bounds.rule_delta ~parent ~cache ();
+      guarantees =
+        [
+          Guarantee.Exists_within
+            {
+              antecedent = Item.make child;
+              consequent = Item.make parent;
+              bound = bound_secs;
+            };
+        ];
+      notes =
+        Printf.sprintf
+          "cache parent existence at the child's shell; a periodic sweep (every \
+           %gs at most) deletes orphaned children (§6.2)"
+          bound_secs;
+    };
+  ]
+
+let for_constraint ?(bounds = default_bounds) ~interfaces constraint_def =
+  match constraint_def with
+  | Constraint_def.Copy { source; target } ->
+    copy_candidates bounds interfaces source target
+  | Constraint_def.Leq { smaller; larger } ->
+    leq_candidates bounds interfaces smaller larger
+  | Constraint_def.Ref_int { parent; child; bound } ->
+    refint_candidates bounds ~parent ~child ~bound_secs:bound
+
+let describe c =
+  let rules =
+    String.concat "\n"
+      (List.map (fun r -> "    " ^ Rule.to_string r) c.strategy.Strategy.rules)
+  in
+  let guarantees =
+    String.concat "\n"
+      (List.map
+         (fun g -> Printf.sprintf "    %s: %s" (Guarantee.name g) (Guarantee.to_string g))
+         c.guarantees)
+  in
+  Printf.sprintf "%s — %s\n  rules:\n%s\n  guarantees:\n%s\n  note: %s"
+    c.candidate_name c.strategy.Strategy.description rules guarantees c.notes

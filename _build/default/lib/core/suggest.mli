@@ -1,0 +1,42 @@
+(** Strategy suggestion (paper §4.1).
+
+    During initialization the CM queries the translators for their
+    interface specifications and "suggests strategies that are applicable
+    to these interfaces, along with the associated guarantees".  This
+    module is that menu: given a constraint and the interface kinds each
+    item offers, it returns the applicable catalog strategies with their
+    {e previously proven} guarantees — e.g. polling never offers
+    guarantee (2), a conditional-notify source only supports (1)/(3).
+
+    Each suggestion's κ (for metric guarantees) is derived from the
+    supplied bounds: notification bound + rule bound + write bound, plus
+    the polling period where applicable. *)
+
+type candidate = {
+  candidate_name : string;
+  strategy : Strategy.t;
+  guarantees : Guarantee.t list;  (** proven for this interface/strategy pair *)
+  notes : string;
+}
+
+type bounds = {
+  rule_delta : float;  (** δ for generated strategy rules *)
+  notify_delta : float;  (** the source's notification bound *)
+  write_delta : float;  (** the target's write bound *)
+  poll_period : float;  (** period used when only polling is possible *)
+}
+
+val default_bounds : bounds
+(** 5 s rules, 5 s notify, 1 s write, 60 s polling. *)
+
+val for_constraint :
+  ?bounds:bounds ->
+  interfaces:(string -> Interface.kind list) ->
+  Constraint_def.t ->
+  candidate list
+(** Applicable candidates, strongest guarantees first.  Empty when the
+    interfaces cannot support the constraint at all (e.g. a copy whose
+    target is not writable and where a source is not even readable). *)
+
+val describe : candidate -> string
+(** One-paragraph rendering: name, rules, guarantees. *)

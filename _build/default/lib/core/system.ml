@@ -1,0 +1,162 @@
+module Sim = Cm_sim.Sim
+module Net = Cm_net.Net
+open Cm_rule
+
+type guarantee_entry = {
+  guarantee : Guarantee.t;
+  sites : string list;
+  mutable invalidated_by : (string * Msg.failure_kind) list;
+}
+
+type guarantee_handle = guarantee_entry
+
+type t = {
+  sim : Sim.t;
+  net : Msg.t Net.t;
+  trace : Trace.t;
+  locator : Item.locator;
+  shells : (string, Shell.t) Hashtbl.t;  (* by primary site *)
+  site_to_shell : (string, Shell.t) Hashtbl.t;  (* any handled site *)
+  mutable interface_rules : Rule.t list;
+  mutable strategy_rules : Rule.t list;
+  mutable guarantees : guarantee_entry list;
+}
+
+let create ?(seed = 42) ?latency ?fifo locator =
+  let sim = Sim.create ~seed () in
+  let net = Net.create ~sim ?latency ?fifo () in
+  {
+    sim;
+    net;
+    trace = Trace.create ();
+    locator;
+    shells = Hashtbl.create 8;
+    site_to_shell = Hashtbl.create 8;
+    interface_rules = [];
+    strategy_rules = [];
+    guarantees = [];
+  }
+
+let sim t = t.sim
+let net t = t.net
+let trace t = t.trace
+let locator t = t.locator
+
+let refresh_routing t =
+  let peers = Hashtbl.fold (fun site _ acc -> site :: acc) t.shells [] in
+  let route site =
+    match Hashtbl.find_opt t.site_to_shell site with
+    | Some shell -> Shell.site shell
+    | None -> site
+  in
+  Hashtbl.iter
+    (fun _ shell ->
+      Shell.set_peer_sites shell peers;
+      Shell.set_route shell route)
+    t.shells
+
+let note_failure t ~origin kind =
+  List.iter
+    (fun entry ->
+      if List.mem origin entry.sites then begin
+        let relevant =
+          match kind with
+          | Msg.Logical -> true
+          | Msg.Metric -> Guarantee.is_metric entry.guarantee
+        in
+        if relevant && not (List.mem (origin, kind) entry.invalidated_by) then
+          entry.invalidated_by <- (origin, kind) :: entry.invalidated_by
+      end)
+    t.guarantees
+
+let note_reset t ~origin =
+  List.iter
+    (fun entry ->
+      entry.invalidated_by <-
+        List.filter (fun (site, _) -> not (String.equal site origin)) entry.invalidated_by)
+    t.guarantees
+
+let add_shell t ~site =
+  if Hashtbl.mem t.shells site then
+    invalid_arg ("System.add_shell: duplicate site " ^ site);
+  let shell =
+    Shell.create ~sim:t.sim ~net:t.net ~trace:t.trace ~locator:t.locator ~site
+  in
+  Hashtbl.replace t.shells site shell;
+  Hashtbl.replace t.site_to_shell site shell;
+  Shell.on_failure_notice shell (fun ~origin kind -> note_failure t ~origin kind);
+  Shell.on_reset_notice shell (fun ~origin -> note_reset t ~origin);
+  refresh_routing t;
+  shell
+
+let shell t ~site =
+  match Hashtbl.find_opt t.site_to_shell site with
+  | Some s -> s
+  | None -> raise Not_found
+
+let register_translator t ~shell (cmi : Cmi.t) =
+  Shell.attach_translator shell cmi;
+  Hashtbl.replace t.site_to_shell cmi.Cmi.site shell;
+  t.interface_rules <- t.interface_rules @ cmi.Cmi.interface_rules ();
+  refresh_routing t
+
+let interface_rules t = t.interface_rules
+
+let period_of_rule rule =
+  match rule.Rule.lhs.Template.name, rule.Rule.lhs.Template.args with
+  | "P", [ Expr.Const v ] -> Some (Value.to_float v)
+  | _ -> None
+
+let install t (strategy : Strategy.t) =
+  t.strategy_rules <- t.strategy_rules @ strategy.Strategy.rules;
+  Hashtbl.iter (fun _ shell -> Shell.install_strategy shell strategy.Strategy.rules)
+    t.shells;
+  List.iter
+    (fun (item, v) ->
+      let site = t.locator item in
+      match Hashtbl.find_opt t.site_to_shell site with
+      | Some shell -> Shell.write_aux shell item v
+      | None ->
+        invalid_arg
+          (Printf.sprintf "System.install: no shell handles site %s for aux item %s"
+             site (Item.to_string item)))
+    strategy.Strategy.aux_init;
+  List.iter
+    (fun rule ->
+      match period_of_rule rule with
+      | None -> ()
+      | Some period -> (
+        match Rule.lhs_site rule t.locator with
+        | Some site -> (
+          match Hashtbl.find_opt t.site_to_shell site with
+          | Some sh -> Shell.register_periodic sh ~site ~period ()
+          | None ->
+            invalid_arg
+              ("System.install: no shell for polling rule site " ^ site))
+        | None ->
+          invalid_arg
+            ("System.install: polling rule " ^ rule.Rule.id ^ " has no resolvable site")))
+    strategy.Strategy.rules
+
+let strategy_rules t = t.strategy_rules
+let all_rules t = t.interface_rules @ t.strategy_rules
+
+let declare_guarantee t ~sites guarantee =
+  let entry = { guarantee; sites; invalidated_by = [] } in
+  t.guarantees <- t.guarantees @ [ entry ];
+  entry
+
+let guarantee_valid entry = entry.invalidated_by = []
+let guarantee_of entry = entry.guarantee
+let invalidations entry = entry.invalidated_by
+
+let run t ~until = Sim.run ~until t.sim
+
+let timeline ?initial t = Timeline.of_trace ?initial t.trace
+
+let check_guarantee ?initial ?ignore_after t guarantee =
+  let tl = timeline ?initial t in
+  Guarantee.check ?ignore_after ~horizon:(Sim.now t.sim) tl guarantee
+
+let check_validity ?initial t =
+  Validity.check ?initial ~rules:(all_rules t) ~locator:t.locator t.trace

@@ -1,0 +1,76 @@
+(** Whole-system assembly: the toolkit's initialization protocol.
+
+    Mirrors §4.1: create the simulated world, add one CM-Shell per
+    participating site (or have a shell serve several sites), register
+    each source's CM-Translator, then install a strategy — the system
+    distributes the rules by LHS site, initializes CM auxiliary data,
+    registers the periodic timers the rules mention, and wires failure
+    propagation.  Declared guarantees are tracked: metric failures at an
+    involved site invalidate the metric guarantees, logical failures
+    invalidate all of them, and a reset restores them (§5).
+
+    After a run, {!timeline} and {!check_validity} hand the execution to
+    the guarantee checker and the Appendix-A validity checker. *)
+
+type t
+
+val create :
+  ?seed:int -> ?latency:Cm_net.Net.latency -> ?fifo:bool -> Cm_rule.Item.locator -> t
+(** [fifo:false] disables the network's in-order delivery — only for the
+    ablation experiment showing why Appendix A.2's property 7 matters. *)
+
+val sim : t -> Cm_sim.Sim.t
+val net : t -> Msg.t Cm_net.Net.t
+val trace : t -> Cm_rule.Trace.t
+val locator : t -> Cm_rule.Item.locator
+
+val add_shell : t -> site:string -> Shell.t
+(** One shell per site; @raise Invalid_argument on duplicates. *)
+
+val shell : t -> site:string -> Shell.t
+(** The shell responsible for [site] (its own or a routed one).
+    @raise Not_found if no shell handles it. *)
+
+val register_translator : t -> shell:Shell.t -> Cmi.t -> unit
+(** Attach, route the translator's site to that shell, and collect its
+    interface statements. *)
+
+val interface_rules : t -> Cm_rule.Rule.t list
+(** Everything the translators reported — the toolkit's view of what
+    each database offers. *)
+
+val install : t -> Strategy.t -> unit
+(** Distribute the strategy's rules to all shells, write its auxiliary
+    data, and register [P(p)] timers for its polling rules. *)
+
+val strategy_rules : t -> Cm_rule.Rule.t list
+val all_rules : t -> Cm_rule.Rule.t list
+
+type guarantee_handle
+
+val declare_guarantee :
+  t -> sites:string list -> Guarantee.t -> guarantee_handle
+(** Track validity of a guarantee involving the given sites. *)
+
+val guarantee_valid : guarantee_handle -> bool
+val guarantee_of : guarantee_handle -> Guarantee.t
+val invalidations : guarantee_handle -> (string * Msg.failure_kind) list
+
+val run : t -> until:float -> unit
+
+val timeline : ?initial:(Cm_rule.Item.t * Cm_rule.Value.t) list -> t -> Cm_rule.Timeline.t
+
+val check_guarantee :
+  ?initial:(Cm_rule.Item.t * Cm_rule.Value.t) list ->
+  ?ignore_after:float ->
+  t ->
+  Guarantee.t ->
+  Guarantee.report
+(** Check against the recorded trace, up to the current simulation time. *)
+
+val check_validity :
+  ?initial:(Cm_rule.Item.t * Cm_rule.Value.t) list -> t -> Cm_rule.Validity.violation list
+(** Appendix-A validity of the recorded trace against interface +
+    strategy rules.  Pass [initial] when interface conditions read item
+    values (read and periodic-notify interfaces) and items existed
+    before the trace began. *)

@@ -1,0 +1,224 @@
+module Db = Cm_relational.Database
+
+type built = {
+  system : System.t;
+  shells : (string * Shell.t) list;
+  relational : (string * Tr_relational.t) list;
+  kvfiles : (string * Tr_kvfile.t) list;
+  databases : (string * Db.t) list;
+  stores : (string * Cm_sources.Kvfile.t) list;
+}
+
+let op_value ops op ~default =
+  match List.assoc_opt op ops with Some v -> v | None -> default
+
+let latencies_of decl =
+  let get op default = op_value decl.Cmrid.s_latencies op ~default in
+  {
+    Tr_relational.read = get Cmrid.Read_op 0.2;
+    write = get Cmrid.Write_op 0.2;
+    notify = get Cmrid.Notify_op 1.0;
+    delete = get Cmrid.Delete_op 0.2;
+  }
+
+let deltas_of decl (latencies : Tr_relational.latencies) =
+  let get op default = op_value decl.Cmrid.s_deltas op ~default in
+  {
+    Tr_relational.read = get Cmrid.Read_op (latencies.Tr_relational.read *. 5.0);
+    write = get Cmrid.Write_op (latencies.Tr_relational.write *. 5.0);
+    notify = get Cmrid.Notify_op (latencies.Tr_relational.notify *. 5.0);
+    delete = get Cmrid.Delete_op (latencies.Tr_relational.delete *. 5.0);
+  }
+
+let relational_binding (item : Cmrid.item_decl) =
+  let notify =
+    Option.map
+      (fun (n : Cmrid.notify_decl) ->
+        let filter, filter_expr =
+          match n.Cmrid.n_threshold with
+          | None -> (None, None)
+          | Some threshold ->
+            ( Some
+                (fun ~old_value ~new_value ->
+                  match old_value, new_value with
+                  | (Cm_rule.Value.Int _ | Cm_rule.Value.Float _),
+                    (Cm_rule.Value.Int _ | Cm_rule.Value.Float _) ->
+                    Float.abs
+                      (Cm_rule.Value.to_float new_value
+                      -. Cm_rule.Value.to_float old_value)
+                    > threshold *. Cm_rule.Value.to_float old_value
+                  | _ -> true),
+              Some (Interface.relative_change_condition ~threshold) )
+        in
+        {
+          Tr_relational.table = n.Cmrid.n_table;
+          column = n.Cmrid.n_column;
+          key_column = n.Cmrid.n_key;
+          send = n.Cmrid.n_send;
+          filter;
+          filter_expr;
+        })
+      item.Cmrid.i_notify
+  in
+  {
+    Tr_relational.base = item.Cmrid.i_base;
+    params = item.Cmrid.i_params;
+    read_sql = item.Cmrid.i_read;
+    write_sql = item.Cmrid.i_write;
+    delete_sql = item.Cmrid.i_delete;
+    notify;
+    no_spontaneous = item.Cmrid.i_no_spontaneous;
+    periodic = None;
+  }
+
+let kvfile_binding (item : Cmrid.item_decl) =
+  match item.Cmrid.i_key_template with
+  | None -> Error (Printf.sprintf "item %s: kvfile items need a key template" item.Cmrid.i_base)
+  | Some key_template ->
+    Ok
+      {
+        Tr_kvfile.base = item.Cmrid.i_base;
+        params = item.Cmrid.i_params;
+        key_template;
+        writable = item.Cmrid.i_writable;
+      }
+
+let build ?(seed = 42) ?net_latency config =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    (* duplicate item bases across sources are configuration errors *)
+    let bases =
+      List.concat_map
+        (fun s -> List.map (fun i -> i.Cmrid.i_base) s.Cmrid.s_items)
+        config.Cmrid.sources
+    in
+    let dupes =
+      List.filter (fun b -> List.length (List.filter (String.equal b) bases) > 1) bases
+      |> List.sort_uniq compare
+    in
+    if dupes = [] then Ok ()
+    else Error ("duplicate item bases: " ^ String.concat ", " dupes)
+  in
+  let locator = Cmrid.locator config in
+  let system = System.create ~seed ?latency:net_latency locator in
+  let shells =
+    List.map (fun site -> (site, System.add_shell system ~site)) (Cmrid.sites config)
+  in
+  let shell_of site = List.assoc site shells in
+  let build_source acc decl =
+    let* (relational, kvfiles, databases, stores) = acc in
+    let site = decl.Cmrid.s_site in
+    let shell = shell_of site in
+    let emit = Shell.emitter_for shell ~site in
+    let report kind = Shell.report_failure shell kind in
+    match decl.Cmrid.s_kind with
+    | Cmrid.Relational ->
+      let db = Db.create () in
+      let* () =
+        List.fold_left
+          (fun acc stmt ->
+            let* () = acc in
+            match Db.exec db stmt with
+            | Ok _ -> Ok ()
+            | Error e ->
+              Error (Printf.sprintf "site %s init failed: %s" site (Db.error_to_string e)))
+          (Ok ()) decl.Cmrid.s_init
+      in
+      let latencies = latencies_of decl in
+      let* tr =
+        match
+          Tr_relational.create ~sim:(System.sim system) ~db ~site ~emit ~report
+            ~latencies ~deltas:(deltas_of decl latencies)
+            (List.map relational_binding decl.Cmrid.s_items)
+        with
+        | tr -> Ok tr
+        | exception Invalid_argument m -> Error m
+      in
+      System.register_translator system ~shell (Tr_relational.cmi tr);
+      Ok ((site, tr) :: relational, kvfiles, (site, db) :: databases, stores)
+    | Cmrid.Kvfile ->
+      let fs = Cm_sources.Kvfile.create () in
+      let* bindings =
+        List.fold_left
+          (fun acc item ->
+            let* bs = acc in
+            let* b = kvfile_binding item in
+            Ok (b :: bs))
+          (Ok []) decl.Cmrid.s_items
+      in
+      let latency = op_value decl.Cmrid.s_latencies Cmrid.Read_op ~default:0.1 in
+      let delta = op_value decl.Cmrid.s_deltas Cmrid.Read_op ~default:(latency *. 5.0) in
+      let* tr =
+        match
+          Tr_kvfile.create ~sim:(System.sim system) ~fs ~site ~emit ~report ~latency
+            ~delta (List.rev bindings)
+        with
+        | tr -> Ok tr
+        | exception Invalid_argument m -> Error m
+      in
+      System.register_translator system ~shell (Tr_kvfile.cmi tr);
+      Ok (relational, (site, tr) :: kvfiles, databases, (site, fs) :: stores)
+  in
+  let* relational, kvfiles, databases, stores =
+    List.fold_left build_source (Ok ([], [], [], [])) config.Cmrid.sources
+  in
+  (* Install the strategy specification declared in the configuration. *)
+  let* () =
+    match config.Cmrid.rules with
+    | [] -> Ok ()
+    | lines -> (
+      match Cm_rule.Parser.parse_rules (String.concat "\n" lines) with
+      | exception Cm_rule.Parser.Parse_error { message; _ } ->
+        Error ("strategy rules: " ^ message)
+      | rules -> (
+        match
+          System.install system
+            {
+              Strategy.strategy_name = "configured";
+              description = "strategy specification from the CM-RID file";
+              rules;
+              aux_init = [];
+            }
+        with
+        | () -> Ok ()
+        | exception Invalid_argument m -> Error m))
+  in
+  Ok
+    {
+      system;
+      shells;
+      relational = List.rev relational;
+      kvfiles = List.rev kvfiles;
+      databases = List.rev databases;
+      stores = List.rev stores;
+    }
+
+let interface_summary built =
+  let by_base = Hashtbl.create 16 in
+  List.iter
+    (fun rule ->
+      match Interface.classify rule, Cm_rule.Template.item_base rule.Cm_rule.Rule.lhs with
+      | Some kind, Some base ->
+        let prior = Option.value (Hashtbl.find_opt by_base base) ~default:[] in
+        let name = Interface.kind_to_string kind in
+        if not (List.mem name prior) then Hashtbl.replace by_base base (prior @ [ name ])
+      | _ -> (
+        (* P-triggered interfaces carry the item on the RHS. *)
+        match Interface.classify rule with
+        | Some kind ->
+          let bases =
+            List.filter_map
+              (fun (s : Cm_rule.Rule.step) -> Cm_rule.Template.item_base s.template)
+              (Cm_rule.Rule.rhs_steps rule)
+          in
+          List.iter
+            (fun base ->
+              let prior = Option.value (Hashtbl.find_opt by_base base) ~default:[] in
+              let name = Interface.kind_to_string kind in
+              if not (List.mem name prior) then
+                Hashtbl.replace by_base base (prior @ [ name ]))
+            bases
+        | None -> ()))
+    (System.interface_rules built.system);
+  Hashtbl.fold (fun base kinds acc -> (base, kinds) :: acc) by_base []
+  |> List.sort compare

@@ -1,0 +1,28 @@
+(** Configuration-driven system assembly.
+
+    [build] turns a parsed {!Cmrid.t} into a live {!System.t}: one
+    CM-Shell per declared site, a fresh Raw Information Source per
+    [source] block (initialized by its [init] statements), a configured
+    CM-Translator attached to each, and the item locator derived from
+    the declarations.  This is the toolkit workflow of §4.1 end to end:
+    after [build], query {!System.interface_rules} for what the sources
+    offer, obtain candidates from {!Suggest.for_constraint}, and
+    {!System.install} the chosen strategy. *)
+
+type built = {
+  system : System.t;
+  shells : (string * Shell.t) list;  (** site → shell *)
+  relational : (string * Tr_relational.t) list;  (** site → translator *)
+  kvfiles : (string * Tr_kvfile.t) list;
+  databases : (string * Cm_relational.Database.t) list;
+  stores : (string * Cm_sources.Kvfile.t) list;
+}
+
+val build :
+  ?seed:int -> ?net_latency:Cm_net.Net.latency -> Cmrid.t -> (built, string) result
+(** Fails on unknown sites in [location] lines, bad SQL in item
+    templates or [init] statements, and duplicate item bases. *)
+
+val interface_summary : built -> (string * string list) list
+(** For each item base, the interface kinds its translator reports —
+    input for {!Suggest.for_constraint}. *)

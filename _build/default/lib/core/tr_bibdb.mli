@@ -1,0 +1,36 @@
+(** CM-Translator for the bibliographic information system.
+
+    Surfaces the paper catalog as an existence family: item
+    [<base>(key)] exists iff the paper with that key is present; its
+    value is the paper's title.  Read-only — the source of truth for the
+    referential-integrity scenario of §4.3/§6.2 ("every paper authored
+    by a database researcher … must also be mentioned in the Sybase
+    database").
+
+    Librarian operations ({!add_app}, {!withdraw_app}) record the
+    ground-truth [INS]/[DEL] events. *)
+
+type t
+
+val create :
+  sim:Cm_sim.Sim.t ->
+  db:Cm_sources.Bibdb.t ->
+  site:string ->
+  emit:Cmi.emit ->
+  report:Cmi.failure_report ->
+  ?latency:float ->
+  ?delta:float ->
+  base:string ->
+  unit ->
+  t
+(** Defaults: [latency] 0.5 s, [delta] 5×. *)
+
+val cmi : t -> Cmi.t
+val interface_rules : t -> Cm_rule.Rule.t list
+val health : t -> Cm_sources.Health.t
+
+val papers_by_author : t -> string -> Cm_sources.Bibdb.paper list
+(** Set-oriented query used by host-language sweep strategies. *)
+
+val add_app : t -> Cm_sources.Bibdb.paper -> unit
+val withdraw_app : t -> string -> bool

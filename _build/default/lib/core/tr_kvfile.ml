@@ -1,0 +1,192 @@
+module Sim = Cm_sim.Sim
+module Kvfile = Cm_sources.Kvfile
+module Health = Cm_sources.Health
+open Cm_rule
+
+type item_binding = {
+  base : string;
+  params : string list;
+  key_template : string;
+  writable : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  fs : Kvfile.t;
+  site : string;
+  emit : Cmi.emit;
+  report : Cmi.failure_report;
+  latency : float;
+  delta : float;
+  bindings : (string, item_binding) Hashtbl.t;
+}
+
+let health t = Kvfile.health t.fs
+
+let substitute template names values =
+  let buf = Buffer.create (String.length template) in
+  let n = String.length template in
+  let i = ref 0 in
+  while !i < n do
+    if template.[!i] = '$' then begin
+      incr i;
+      let start = !i in
+      while
+        !i < n
+        && (let c = template.[!i] in
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+            || c = '_')
+      do
+        incr i
+      done;
+      let name = String.sub template start (!i - start) in
+      match List.assoc_opt name (List.combine names values) with
+      | Some (Value.Str s) -> Buffer.add_string buf s
+      | Some v -> Buffer.add_string buf (Value.to_string v)
+      | None -> invalid_arg ("Tr_kvfile: unbound key parameter $" ^ name)
+    end
+    else begin
+      Buffer.add_char buf template.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let key_of t (item : Item.t) =
+  match Hashtbl.find_opt t.bindings item.Item.base with
+  | None -> None
+  | Some b -> Some (substitute b.key_template b.params item.Item.params)
+
+let decode data = Option.value (Value.of_string_literal data) ~default:(Value.Str data)
+
+let encode = function
+  | Value.Str s -> s
+  | v -> Value.to_string v
+
+let current_value t item =
+  if Health.mode (health t) = Health.Down then None
+  else
+    match key_of t item with
+    | None -> None
+    | Some key -> Option.map decode (Kvfile.read t.fs key)
+
+let rule_id t base kind = Printf.sprintf "%s/%s/%s" t.site base kind
+
+let interface_rules t =
+  Hashtbl.fold
+    (fun base b acc ->
+      let pattern = Interface.family base b.params in
+      let rules =
+        Interface.read ~id:(rule_id t base "read") ~delta:t.delta pattern
+        ::
+        (if b.writable then
+           [
+             Interface.write ~id:(rule_id t base "write") ~delta:t.delta pattern;
+             Interface.delete ~id:(rule_id t base "delete") ~delta:t.delta pattern;
+           ]
+         else [])
+      in
+      rules @ acc)
+    t.bindings []
+  |> List.sort (fun a b -> compare a.Rule.id b.Rule.id)
+
+let down t =
+  if Health.mode (health t) = Health.Down then begin
+    t.report Msg.Logical;
+    true
+  end
+  else false
+
+let delayed t perform =
+  let delay = t.latency +. Health.extra_latency (health t) in
+  Sim.schedule t.sim ~delay (fun () ->
+      perform ();
+      if delay > t.delta then t.report Msg.Metric)
+
+let request t desc ~kind =
+  let event = t.emit desc ~kind in
+  match desc.Event.name, desc.Event.args with
+  | "WR", [ Event.Ai item; Event.Av v ] -> (
+    if not (down t) then
+      match Hashtbl.find_opt t.bindings item.Item.base, key_of t item with
+      | Some { writable = true; _ }, Some key ->
+        let provenance =
+          Event.Generated
+            { rule_id = rule_id t item.Item.base "write"; trigger = event.Event.id }
+        in
+        delayed t (fun () ->
+            if Health.mode (health t) = Health.Down then t.report Msg.Logical
+            else begin
+              Kvfile.write t.fs key (encode v);
+              ignore (t.emit (Event.w item v) ~kind:provenance)
+            end)
+      | _ ->
+        Logs.err (fun m ->
+            m "translator %s: no write interface for %s" t.site (Item.to_string item)))
+  | "RR", [ Event.Ai item ] -> (
+    if not (down t) then
+      match current_value t item with
+      | None -> ()
+      | Some v ->
+        let provenance =
+          Event.Generated
+            { rule_id = rule_id t item.Item.base "read"; trigger = event.Event.id }
+        in
+        delayed t (fun () -> ignore (t.emit (Event.r item v) ~kind:provenance)))
+  | "DR", [ Event.Ai item ] -> (
+    if not (down t) then
+      match Hashtbl.find_opt t.bindings item.Item.base, key_of t item with
+      | Some { writable = true; _ }, Some key ->
+        let provenance =
+          Event.Generated
+            { rule_id = rule_id t item.Item.base "delete"; trigger = event.Event.id }
+        in
+        delayed t (fun () ->
+            if Health.mode (health t) = Health.Down then t.report Msg.Logical
+            else begin
+              ignore (Kvfile.remove t.fs key);
+              ignore (t.emit (Event.del item) ~kind:provenance)
+            end)
+      | _ ->
+        Logs.err (fun m ->
+            m "translator %s: no delete interface for %s" t.site (Item.to_string item)))
+  | name, _ ->
+    Logs.err (fun m -> m "translator %s: unsupported request %s" t.site name)
+
+let create ~sim ~fs ~site ~emit ~report ?(latency = 0.1) ?delta bindings =
+  let delta = Option.value delta ~default:(latency *. 5.0) in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem table b.base then
+        invalid_arg ("Tr_kvfile: duplicate binding for " ^ b.base);
+      Hashtbl.replace table b.base b)
+    bindings;
+  { sim; fs; site; emit; report; latency; delta; bindings = table }
+
+let cmi t =
+  {
+    Cmi.site = t.site;
+    name = "kvfile";
+    owns = Hashtbl.mem t.bindings;
+    interface_rules = (fun () -> interface_rules t);
+    current_value = current_value t;
+    request = request t;
+  }
+
+let write_app t item v =
+  match key_of t item with
+  | None -> invalid_arg ("Tr_kvfile.write_app: unknown item " ^ Item.to_string item)
+  | Some key ->
+    let old = Option.map decode (Kvfile.read t.fs key) in
+    Kvfile.write t.fs key (encode v);
+    ignore
+      (t.emit (Event.ws ?old:(Some (Option.value old ~default:Value.Null)) item v)
+         ~kind:Event.Spontaneous)
+
+let remove_app t item =
+  match key_of t item with
+  | None -> invalid_arg ("Tr_kvfile.remove_app: unknown item " ^ Item.to_string item)
+  | Some key ->
+    ignore (Kvfile.remove t.fs key);
+    ignore (t.emit (Event.del item) ~kind:Event.Spontaneous)

@@ -1,0 +1,52 @@
+(** CM-Translator for the object store — the notification-rich source.
+
+    Items map to class attributes with the item's parameter as the
+    object id: binding [("Phone", cls:"person", attr:"phone")] surfaces
+    phone("ann") as attribute ["phone"] of object [("person", "ann")].
+
+    Offers the full interface menu: read, write, plain notify, and
+    conditional notify where the filter condition is evaluated {e inside
+    the source} — the messages a filter suppresses are never sent, which
+    experiment E10 measures (paper §3.1.1). *)
+
+type notify_mode =
+  | No_notify
+  | Plain
+  | Filtered of {
+      filter : old_value:Cm_rule.Value.t -> new_value:Cm_rule.Value.t -> bool;
+      filter_expr : Cm_rule.Expr.t;  (** over [a] (old) and [b] (new) *)
+    }
+
+type item_binding = {
+  base : string;
+  cls : string;
+  attr : string;
+  writable : bool;
+  notify : notify_mode;
+}
+
+type t
+
+val create :
+  sim:Cm_sim.Sim.t ->
+  store:Cm_sources.Objstore.t ->
+  site:string ->
+  emit:Cmi.emit ->
+  report:Cmi.failure_report ->
+  ?latency:float ->
+  ?notify_latency:float ->
+  ?delta:float ->
+  ?notify_delta:float ->
+  item_binding list ->
+  t
+(** Subscribes to the store for every notify binding.  Defaults:
+    [latency] 0.1 s, [notify_latency] 0.5 s, deltas 5× each. *)
+
+val cmi : t -> Cmi.t
+val interface_rules : t -> Cm_rule.Rule.t list
+val health : t -> Cm_sources.Health.t
+
+val set_app : t -> Cm_rule.Item.t -> Cm_rule.Value.t -> bool
+(** Spontaneous application write through the native interface; the
+    store's subscription mechanism produces the [Ws]/[N] events.
+    [false] if the object does not exist. *)

@@ -1,0 +1,104 @@
+(** CM-Translator for relational Raw Information Sources (paper §4.2.1).
+
+    Configured per data item (family) with SQL command templates, exactly
+    as the paper's CM-RID prescribes: to write value [b] to
+    [Salary2(n)], the template
+    ["UPDATE employees SET salary = $b WHERE empid = $n"] is instantiated
+    and sent to the SQL engine.  The translator:
+
+    - serves WR/RR/DR requests from the shell, recording the request
+      receipt and emitting the W/R/DEL response after the configured
+      latency (plus any health-injected degradation);
+    - implements notify interfaces by declaring a trigger (an after-change
+      observer) on the underlying table and emitting [Ws] ground truth
+      plus [N] notifications for spontaneous changes — changes performed
+      by the translator itself are recognized and not treated as
+      spontaneous;
+    - tracks row existence for the referential-integrity scenario,
+      emitting [INS]/[DEL] events;
+    - maps SQL errors and outage to logical failures and degradation to
+      metric failures, reported through the shell (§5). *)
+
+type notify_spec = {
+  table : string;
+  column : string;
+  key_column : string;
+      (** the row field that becomes the item's parameter *)
+  send : bool;
+      (** [true]: a notify interface — [N] events are emitted.  [false]:
+          observation only — spontaneous [Ws] ground truth is recorded
+          (the simulation's omniscient view) but no notify interface is
+          offered to the CM. *)
+  filter : (old_value:Cm_rule.Value.t -> new_value:Cm_rule.Value.t -> bool) option;
+      (** in-source condition (conditional notify); [None] = plain *)
+  filter_expr : Cm_rule.Expr.t option;
+      (** the same condition as a rule expression over [a]/[b], used in
+          the reported interface statement *)
+}
+
+type existence_spec = { ex_base : string; ex_table : string; ex_key_column : string }
+(** Row presence in [ex_table] is surfaced as existence of the item
+    family [ex_base(key)] through [INS]/[DEL] events. *)
+
+type item_binding = {
+  base : string;
+  params : string list;
+  read_sql : string option;  (** single-value SELECT; [$param] syntax *)
+  write_sql : string option;  (** [$b] is the written value *)
+  delete_sql : string option;
+  notify : notify_spec option;
+  no_spontaneous : bool;
+      (** promise [Ws → ℱ]: local applications never touch this item *)
+  periodic : float option;
+      (** periodic-notify interface (§3.1.1): every [p] seconds the
+          source pushes the item's current value as an [N] event,
+          regardless of changes.  Only for items without parameters — a
+          parameterized family would need per-instance enumeration. *)
+}
+
+type latencies = { read : float; write : float; notify : float; delete : float }
+
+val default_latencies : latencies
+(** 0.2 s per operation, 1 s notification lag. *)
+
+type deltas = latencies
+(** Interface time bounds; default is 5× each latency. *)
+
+type t
+
+val create :
+  sim:Cm_sim.Sim.t ->
+  db:Cm_relational.Database.t ->
+  site:string ->
+  emit:Cmi.emit ->
+  report:Cmi.failure_report ->
+  ?latencies:latencies ->
+  ?deltas:deltas ->
+  ?existence:existence_spec list ->
+  ?recoverable:bool ->
+  item_binding list ->
+  t
+(** Declares the needed triggers on [db] (observers) immediately.
+
+    [recoverable] (default false) models §5's basic recovery facility:
+    while the source is [Down], notifications that come due are queued
+    instead of lost, and {!recover} delivers them — turning a crash into
+    a {e metric} failure (late but eventual delivery) rather than a
+    logical one. *)
+
+val cmi : t -> Cmi.t
+val health : t -> Cm_sources.Health.t
+val interface_rules : t -> Cm_rule.Rule.t list
+(** The generated interface statements, with stable ids
+    ["<site>/<base>/<kind>"]. *)
+
+val recover : t -> unit
+(** Bring a [Down] source back to [Healthy] and deliver the queued
+    notifications, in order.  Late deliveries report a metric failure. *)
+
+val exec_app :
+  t -> ?params:(string * Cm_rule.Value.t) list -> string ->
+  (Cm_relational.Database.result, Cm_relational.Database.error) result
+(** Run a statement as a {e local application} (spontaneous from the
+    CM's viewpoint): triggers fire, [Ws]/[INS]/[DEL] ground truth is
+    recorded.  Workload drivers use this. *)

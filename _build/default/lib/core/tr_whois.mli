@@ -1,0 +1,34 @@
+(** CM-Translator for the whois directory — a {b read-only} source.
+
+    Items are field families: binding [("WPhone", field:"phone")] surfaces
+    field ["phone"] of principal [n] as item wphone(n).  The only
+    interface offered is read; the CM can at best poll and {e monitor}
+    constraints involving this source (paper §6.3).
+
+    Directory changes happen through administrative applications;
+    {!update_app} / {!register_app} / {!unregister_app} perform them and
+    record the ground-truth events. *)
+
+type item_binding = { base : string; field : string }
+
+type t
+
+val create :
+  sim:Cm_sim.Sim.t ->
+  server:Cm_sources.Whois.t ->
+  site:string ->
+  emit:Cmi.emit ->
+  report:Cmi.failure_report ->
+  ?latency:float ->
+  ?delta:float ->
+  item_binding list ->
+  t
+(** Defaults: [latency] 0.3 s (a slow 1996 daemon), [delta] 5×. *)
+
+val cmi : t -> Cmi.t
+val interface_rules : t -> Cm_rule.Rule.t list
+val health : t -> Cm_sources.Health.t
+
+val register_app : t -> name:string -> fields:(string * string) list -> unit
+val update_app : t -> name:string -> field:string -> value:string -> bool
+val unregister_app : t -> name:string -> bool

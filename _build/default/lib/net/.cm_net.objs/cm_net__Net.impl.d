@@ -1,0 +1,1 @@
+lib/net/net.ml: Cm_sim Cm_util Float Hashtbl String

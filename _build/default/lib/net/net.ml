@@ -1,0 +1,88 @@
+module Sim = Cm_sim.Sim
+
+type latency = { base : float; jitter : float }
+
+let default_latency = { base = 0.05; jitter = 0.01 }
+
+type 'msg link = {
+  mutable link_latency : latency;
+  (* Time at which the most recently sent message on this link will be
+     delivered; later sends are delivered no earlier (FIFO). *)
+  mutable last_delivery : float;
+  mutable count : int;
+}
+
+type 'msg t = {
+  sim : Sim.t;
+  default : latency;
+  fifo : bool;
+  rng : Cm_util.Prng.t;
+  handlers : (string, 'msg -> unit) Hashtbl.t;
+  links : (string * string, 'msg link) Hashtbl.t;
+  mutable sent : int;
+}
+
+let create ~sim ?(latency = default_latency) ?(fifo = true) () =
+  {
+    sim;
+    default = latency;
+    fifo;
+    rng = Cm_util.Prng.split (Sim.rng sim);
+    handlers = Hashtbl.create 8;
+    links = Hashtbl.create 16;
+    sent = 0;
+  }
+
+let link t ~from_site ~to_site =
+  let key = (from_site, to_site) in
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+    let l = { link_latency = t.default; last_delivery = 0.0; count = 0 } in
+    Hashtbl.replace t.links key l;
+    l
+
+let set_latency t ~from_site ~to_site latency =
+  (link t ~from_site ~to_site).link_latency <- latency
+
+let register t ~site handler =
+  if Hashtbl.mem t.handlers site then
+    invalid_arg ("Net.register: site already registered: " ^ site);
+  Hashtbl.replace t.handlers site handler
+
+let send t ~from_site ~to_site msg =
+  let handler =
+    match Hashtbl.find_opt t.handlers to_site with
+    | Some h -> h
+    | None -> invalid_arg ("Net.send: unknown destination site " ^ to_site)
+  in
+  let now = Sim.now t.sim in
+  let delay =
+    if String.equal from_site to_site then 0.0
+    else
+      let l = link t ~from_site ~to_site in
+      l.link_latency.base
+      +. (if l.link_latency.jitter > 0.0 then
+            Cm_util.Prng.float t.rng l.link_latency.jitter
+          else 0.0)
+  in
+  let l = link t ~from_site ~to_site in
+  (* FIFO: never deliver before a previously sent message on this link. *)
+  let at =
+    if t.fifo then Float.max (now +. delay) l.last_delivery else now +. delay
+  in
+  l.last_delivery <- Float.max at l.last_delivery;
+  l.count <- l.count + 1;
+  t.sent <- t.sent + 1;
+  Sim.schedule_at t.sim at (fun () -> handler msg)
+
+let messages_sent t = t.sent
+
+let messages_between t ~from_site ~to_site =
+  match Hashtbl.find_opt t.links (from_site, to_site) with
+  | Some l -> l.count
+  | None -> 0
+
+let reset_counters t =
+  t.sent <- 0;
+  Hashtbl.iter (fun _ l -> l.count <- 0) t.links

@@ -1,0 +1,48 @@
+(** Simulated network between CM-Shell sites.
+
+    The paper assumes a reliable network with in-order message delivery
+    and in-order processing at each site (§5 footnote 4, Appendix A.2
+    property 7) — guarantee proofs depend on it.  This module provides
+    exactly that: per-ordered-pair FIFO channels over the simulation
+    clock, with configurable latency.  Jitter is sampled per message but
+    delivery order is still enforced (a delayed message holds back later
+    ones, as on a TCP stream).
+
+    Message payloads are a type parameter of the endpoint handlers; the
+    CM layer sends rule-firing envelopes.  Per-link statistics feed the
+    message-cost experiments (E9, E10). *)
+
+type 'msg t
+
+type latency = {
+  base : float;  (** seconds added to every message *)
+  jitter : float;  (** uniform extra delay in [\[0, jitter)] *)
+}
+
+val default_latency : latency
+(** 0.05 s base, 0.01 s jitter — a 1996 campus network. *)
+
+val create : sim:Cm_sim.Sim.t -> ?latency:latency -> ?fifo:bool -> unit -> 'msg t
+(** [fifo] (default [true]) enforces per-link in-order delivery.
+    Setting it to [false] lets jitter reorder messages — deliberately
+    violating the paper's in-order assumption (Appendix A.2, property 7)
+    for the ablation experiment that shows why the assumption matters. *)
+
+val set_latency : 'msg t -> from_site:string -> to_site:string -> latency -> unit
+(** Override the default for one directed link. *)
+
+val register : 'msg t -> site:string -> ('msg -> unit) -> unit
+(** Install the receive handler for a site.  @raise Invalid_argument if
+    the site is already registered. *)
+
+val send : 'msg t -> from_site:string -> to_site:string -> 'msg -> unit
+(** Deliver to the destination handler after the link latency, FIFO per
+    directed link.  Sending to the local site delivers with zero delay
+    but still asynchronously (on the next simulation step).
+    @raise Invalid_argument if the destination was never registered (the
+    paper assumes a reliable network; losing a message is a configuration
+    error, not a runtime condition). *)
+
+val messages_sent : 'msg t -> int
+val messages_between : 'msg t -> from_site:string -> to_site:string -> int
+val reset_counters : 'msg t -> unit

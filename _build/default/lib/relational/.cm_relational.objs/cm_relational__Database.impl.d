@@ -1,0 +1,1 @@
+lib/relational/database.ml: Cm_rule Hashtbl List Option Printf Row Sql_ast Sql_parser

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Cm_rule Row Sql_ast Stdlib

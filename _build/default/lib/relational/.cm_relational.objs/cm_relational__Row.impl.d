@@ -1,0 +1,1 @@
+lib/relational/row.ml: Cm_rule List Map Option String

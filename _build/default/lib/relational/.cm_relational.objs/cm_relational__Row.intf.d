@@ -1,0 +1,1 @@
+lib/relational/row.mli: Cm_rule

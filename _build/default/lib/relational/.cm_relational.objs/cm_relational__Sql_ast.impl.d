@@ -1,0 +1,1 @@
+lib/relational/sql_ast.ml: Cm_rule List Printf String

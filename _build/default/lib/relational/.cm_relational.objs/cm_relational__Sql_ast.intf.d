@@ -1,0 +1,1 @@
+lib/relational/sql_ast.mli: Cm_rule

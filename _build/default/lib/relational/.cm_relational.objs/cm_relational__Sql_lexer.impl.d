@@ -1,0 +1,1 @@
+lib/relational/sql_lexer.ml: Array Buffer Cm_rule List Printf String

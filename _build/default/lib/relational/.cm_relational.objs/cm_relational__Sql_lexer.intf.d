@@ -1,0 +1,1 @@
+lib/relational/sql_lexer.mli: Cm_rule

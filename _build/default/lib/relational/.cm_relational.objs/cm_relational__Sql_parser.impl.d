@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Array Cm_rule List Option Printf Sql_ast Sql_lexer String

@@ -1,0 +1,1 @@
+lib/relational/sql_parser.mli: Sql_ast

@@ -1,0 +1,66 @@
+(** In-memory relational engine — the "Sybase-class" Raw Information
+    Source of the paper's running example (§4.2).
+
+    Capabilities the CM-Translator builds on:
+
+    - SQL text execution with [$x] parameters, so CM-RID command
+      templates apply directly;
+    - row-level CHECK constraints, rejected writes leaving the table
+      unchanged — the {e local constraint manager} that the Demarcation
+      Protocol delegates to (§6.1);
+    - after-change observers (triggers), the basis of notify interfaces
+      (§4.2.1: "declaring a database trigger on the data items").
+
+    Execution is synchronous and deterministic; latency is modelled by
+    the translator, not here.  SELECT without ORDER BY returns rows in
+    insertion order. *)
+
+type t
+
+type error =
+  | Parse_failed of string
+  | Unknown_table of string
+  | Unknown_column of { table : string; column : string }
+  | Type_mismatch of string
+  | Check_failed of string  (** the violated CHECK's text; table unchanged *)
+  | Not_null_violated of string
+  | Duplicate_key of string
+  | Unbound_param of string
+  | Table_exists of string
+
+type result =
+  | Rows of { columns : string list; rows : Cm_rule.Value.t list list }
+  | Affected of int
+  | Done  (** DDL *)
+
+type change =
+  | Inserted of { table : string; row : Row.t }
+  | Updated of { table : string; old_row : Row.t; new_row : Row.t }
+  | Deleted of { table : string; row : Row.t }
+
+val create : unit -> t
+
+val exec :
+  t ->
+  ?params:(string * Cm_rule.Value.t) list ->
+  string ->
+  (result, error) Stdlib.result
+(** Parse and execute one statement. *)
+
+val exec_stmt :
+  t ->
+  ?params:(string * Cm_rule.Value.t) list ->
+  Sql_ast.stmt ->
+  (result, error) Stdlib.result
+(** Execute a pre-parsed statement (used on hot paths). *)
+
+val on_change : t -> (change -> unit) -> unit
+(** Register an after-change observer, called synchronously after each
+    successful insert/update/delete, once per affected row.  Several
+    observers run in registration order. *)
+
+val table_names : t -> string list
+val columns_of : t -> string -> string list option
+val row_count : t -> string -> int option
+
+val error_to_string : error -> string

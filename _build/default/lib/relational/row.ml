@@ -1,0 +1,24 @@
+module M = Map.Make (String)
+
+type t = Cm_rule.Value.t M.t
+
+let empty = M.empty
+
+let of_list entries =
+  List.fold_left (fun m (k, v) -> M.add k v m) M.empty entries
+
+let to_list t = M.bindings t
+
+let get t name = M.find_opt name t
+
+let get_or_null t name = Option.value (M.find_opt name t) ~default:Cm_rule.Value.Null
+
+let set t name v = M.add name v t
+
+let equal = M.equal Cm_rule.Value.equal
+
+let to_string t =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> k ^ "=" ^ Cm_rule.Value.to_string v) (M.bindings t))
+  ^ "}"

@@ -1,0 +1,14 @@
+(** Rows: column-name → value maps. *)
+
+type t
+
+val empty : t
+val of_list : (string * Cm_rule.Value.t) list -> t
+val to_list : t -> (string * Cm_rule.Value.t) list
+(** Sorted by column name. *)
+
+val get : t -> string -> Cm_rule.Value.t option
+val get_or_null : t -> string -> Cm_rule.Value.t
+val set : t -> string -> Cm_rule.Value.t -> t
+val equal : t -> t -> bool
+val to_string : t -> string

@@ -1,0 +1,141 @@
+type col_type = T_int | T_real | T_text | T_bool
+
+type expr =
+  | Lit of Cm_rule.Value.t
+  | Col of string
+  | Param of string
+  | Unary of unary * expr
+  | Binary of binary * expr * expr
+  | Is_null of expr * bool
+
+and unary = Neg | Not
+
+and binary = Add | Sub | Mul | Div | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+
+type col_def = {
+  col_name : string;
+  col_type : col_type;
+  primary_key : bool;
+  not_null : bool;
+}
+
+type order = Asc | Desc
+
+type agg = Count | Sum | Min | Max | Avg
+
+type sel_item =
+  | S_col of string
+  | S_agg of agg * string option
+
+type stmt =
+  | Create_table of { table : string; cols : col_def list; checks : expr list }
+  | Insert of { table : string; cols : string list option; values : expr list }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Select of {
+      table : string;
+      projection : sel_item list option;
+      where : expr option;
+      group_by : string option;
+      order_by : (string * order) option;
+    }
+  | Drop_table of { table : string }
+
+let col_type_to_string = function
+  | T_int -> "INT"
+  | T_real -> "REAL"
+  | T_text -> "TEXT"
+  | T_bool -> "BOOL"
+
+let agg_to_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Avg -> "AVG"
+
+let sel_item_to_string = function
+  | S_col c -> c
+  | S_agg (a, None) -> agg_to_string a ^ "(*)"
+  | S_agg (a, Some c) -> agg_to_string a ^ "(" ^ c ^ ")"
+
+let binary_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let rec expr_to_string = function
+  | Lit v -> (
+    match v with
+    | Cm_rule.Value.Str s -> "'" ^ s ^ "'"
+    | other -> Cm_rule.Value.to_string other)
+  | Col c -> c
+  | Param p -> "$" ^ p
+  | Unary (Neg, e) -> "-" ^ atom e
+  | Unary (Not, e) -> "NOT " ^ atom e
+  | Binary (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binary_to_string op)
+      (expr_to_string b)
+  | Is_null (e, false) -> atom e ^ " IS NULL"
+  | Is_null (e, true) -> atom e ^ " IS NOT NULL"
+
+and atom e =
+  match e with
+  | Lit _ | Col _ | Param _ -> expr_to_string e
+  | _ -> "(" ^ expr_to_string e ^ ")"
+
+let where_to_string = function
+  | None -> ""
+  | Some e -> " WHERE " ^ expr_to_string e
+
+let stmt_to_string = function
+  | Create_table { table; cols; checks } ->
+    let col_def c =
+      Printf.sprintf "%s %s%s%s" c.col_name
+        (col_type_to_string c.col_type)
+        (if c.primary_key then " PRIMARY KEY" else "")
+        (if c.not_null then " NOT NULL" else "")
+    in
+    let parts =
+      List.map col_def cols
+      @ List.map (fun e -> "CHECK (" ^ expr_to_string e ^ ")") checks
+    in
+    Printf.sprintf "CREATE TABLE %s (%s)" table (String.concat ", " parts)
+  | Insert { table; cols; values } ->
+    let cols_part =
+      match cols with None -> "" | Some cs -> " (" ^ String.concat ", " cs ^ ")"
+    in
+    Printf.sprintf "INSERT INTO %s%s VALUES (%s)" table cols_part
+      (String.concat ", " (List.map expr_to_string values))
+  | Update { table; sets; where } ->
+    Printf.sprintf "UPDATE %s SET %s%s" table
+      (String.concat ", "
+         (List.map (fun (c, e) -> c ^ " = " ^ expr_to_string e) sets))
+      (where_to_string where)
+  | Delete { table; where } ->
+    Printf.sprintf "DELETE FROM %s%s" table (where_to_string where)
+  | Select { table; projection; where; group_by; order_by } ->
+    let proj =
+      match projection with
+      | None -> "*"
+      | Some items -> String.concat ", " (List.map sel_item_to_string items)
+    in
+    let group = match group_by with None -> "" | Some c -> " GROUP BY " ^ c in
+    let order =
+      match order_by with
+      | None -> ""
+      | Some (c, Asc) -> " ORDER BY " ^ c
+      | Some (c, Desc) -> " ORDER BY " ^ c ^ " DESC"
+    in
+    Printf.sprintf "SELECT %s FROM %s%s%s%s" proj table (where_to_string where) group
+      order
+  | Drop_table { table } -> Printf.sprintf "DROP TABLE %s" table

@@ -1,0 +1,29 @@
+(** SQL tokenizer.  Keywords are case-insensitive; identifiers keep their
+    case; strings use single quotes with [''] escaping; [$name] is a
+    parameter; [--] comments run to end of line. *)
+
+type token =
+  | KW of string  (** upper-cased keyword *)
+  | IDENT of string
+  | NUMBER of Cm_rule.Value.t
+  | STRING of string
+  | PARAM of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string
+
+val tokenize : string -> token array
+val token_to_string : token -> string

@@ -1,0 +1,367 @@
+open Sql_ast
+
+exception Parse_error of string
+
+type stream = { tokens : Sql_lexer.token array; mutable pos : int }
+
+let error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st token what =
+  if peek st = token then advance st
+  else error "expected %s, found %s" what (Sql_lexer.token_to_string (peek st))
+
+let expect_kw st kw = expect st (Sql_lexer.KW kw) kw
+
+let ident st =
+  match peek st with
+  | Sql_lexer.IDENT s ->
+    advance st;
+    s
+  | other -> error "expected an identifier, found %s" (Sql_lexer.token_to_string other)
+
+let accept_kw st kw =
+  if peek st = Sql_lexer.KW kw then begin
+    advance st;
+    true
+  end
+  else false
+
+(* --- expressions --- *)
+
+let rec parse_or st =
+  let left = parse_and st in
+  if accept_kw st "OR" then Binary (Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept_kw st "AND" then Binary (And, left, parse_and st) else left
+
+and parse_not st =
+  if accept_kw st "NOT" then Unary (Not, parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_add st in
+  match peek st with
+  | Sql_lexer.EQ ->
+    advance st;
+    Binary (Eq, left, parse_add st)
+  | Sql_lexer.NE ->
+    advance st;
+    Binary (Ne, left, parse_add st)
+  | Sql_lexer.LT ->
+    advance st;
+    Binary (Lt, left, parse_add st)
+  | Sql_lexer.LE ->
+    advance st;
+    Binary (Le, left, parse_add st)
+  | Sql_lexer.GT ->
+    advance st;
+    Binary (Gt, left, parse_add st)
+  | Sql_lexer.GE ->
+    advance st;
+    Binary (Ge, left, parse_add st)
+  | Sql_lexer.KW "IS" ->
+    advance st;
+    let negated = accept_kw st "NOT" in
+    expect_kw st "NULL";
+    Is_null (left, negated)
+  | _ -> left
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | Sql_lexer.PLUS ->
+      advance st;
+      loop (Binary (Add, left, parse_mul st))
+    | Sql_lexer.MINUS ->
+      advance st;
+      loop (Binary (Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | Sql_lexer.STAR ->
+      advance st;
+      loop (Binary (Mul, left, parse_unary st))
+    | Sql_lexer.SLASH ->
+      advance st;
+      loop (Binary (Div, left, parse_unary st))
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if peek st = Sql_lexer.MINUS then begin
+    advance st;
+    Unary (Neg, parse_unary st)
+  end
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Sql_lexer.NUMBER v ->
+    advance st;
+    Lit v
+  | Sql_lexer.STRING s ->
+    advance st;
+    Lit (Cm_rule.Value.Str s)
+  | Sql_lexer.PARAM p ->
+    advance st;
+    Param p
+  | Sql_lexer.KW "TRUE" ->
+    advance st;
+    Lit (Cm_rule.Value.Bool true)
+  | Sql_lexer.KW "FALSE" ->
+    advance st;
+    Lit (Cm_rule.Value.Bool false)
+  | Sql_lexer.KW "NULL" ->
+    advance st;
+    Lit Cm_rule.Value.Null
+  | Sql_lexer.LPAREN ->
+    advance st;
+    let e = parse_or st in
+    expect st Sql_lexer.RPAREN ")";
+    e
+  | Sql_lexer.IDENT name ->
+    advance st;
+    Col name
+  | other -> error "expected an expression, found %s" (Sql_lexer.token_to_string other)
+
+(* --- statements --- *)
+
+let parse_col_type st =
+  match peek st with
+  | Sql_lexer.KW "INT" ->
+    advance st;
+    T_int
+  | Sql_lexer.KW "REAL" ->
+    advance st;
+    T_real
+  | Sql_lexer.KW "TEXT" ->
+    advance st;
+    T_text
+  | Sql_lexer.KW "BOOL" ->
+    advance st;
+    T_bool
+  | other -> error "expected a column type, found %s" (Sql_lexer.token_to_string other)
+
+let parse_create st =
+  expect_kw st "TABLE";
+  let table = ident st in
+  expect st Sql_lexer.LPAREN "(";
+  let cols = ref [] in
+  let checks = ref [] in
+  let parse_element () =
+    if accept_kw st "CHECK" then begin
+      expect st Sql_lexer.LPAREN "(";
+      let e = parse_or st in
+      expect st Sql_lexer.RPAREN ")";
+      checks := e :: !checks
+    end
+    else begin
+      let col_name = ident st in
+      let col_type = parse_col_type st in
+      let primary_key =
+        if accept_kw st "PRIMARY" then begin
+          expect_kw st "KEY";
+          true
+        end
+        else false
+      in
+      let not_null =
+        if accept_kw st "NOT" then begin
+          expect_kw st "NULL";
+          true
+        end
+        else false
+      in
+      cols := { col_name; col_type; primary_key; not_null } :: !cols
+    end
+  in
+  parse_element ();
+  while peek st = Sql_lexer.COMMA do
+    advance st;
+    parse_element ()
+  done;
+  expect st Sql_lexer.RPAREN ")";
+  Create_table { table; cols = List.rev !cols; checks = List.rev !checks }
+
+let parse_insert st =
+  expect_kw st "INTO";
+  let table = ident st in
+  let cols =
+    if peek st = Sql_lexer.LPAREN then begin
+      advance st;
+      let first = ident st in
+      let rec more acc =
+        if peek st = Sql_lexer.COMMA then begin
+          advance st;
+          more (ident st :: acc)
+        end
+        else List.rev acc
+      in
+      let cs = more [ first ] in
+      expect st Sql_lexer.RPAREN ")";
+      Some cs
+    end
+    else None
+  in
+  expect_kw st "VALUES";
+  expect st Sql_lexer.LPAREN "(";
+  let first = parse_or st in
+  let rec more acc =
+    if peek st = Sql_lexer.COMMA then begin
+      advance st;
+      more (parse_or st :: acc)
+    end
+    else List.rev acc
+  in
+  let values = more [ first ] in
+  expect st Sql_lexer.RPAREN ")";
+  Insert { table; cols; values }
+
+let parse_where_opt st =
+  if accept_kw st "WHERE" then Some (parse_or st) else None
+
+let parse_update st =
+  let table = ident st in
+  expect_kw st "SET";
+  let parse_set () =
+    let col = ident st in
+    expect st Sql_lexer.EQ "=";
+    (col, parse_or st)
+  in
+  let first = parse_set () in
+  let rec more acc =
+    if peek st = Sql_lexer.COMMA then begin
+      advance st;
+      more (parse_set () :: acc)
+    end
+    else List.rev acc
+  in
+  let sets = more [ first ] in
+  let where = parse_where_opt st in
+  Update { table; sets; where }
+
+let parse_delete st =
+  expect_kw st "FROM";
+  let table = ident st in
+  let where = parse_where_opt st in
+  Delete { table; where }
+
+let agg_of_kw = function
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | "AVG" -> Some Avg
+  | _ -> None
+
+let parse_sel_item st =
+  match peek st with
+  | Sql_lexer.KW kw when agg_of_kw kw <> None -> (
+    let agg = Option.get (agg_of_kw kw) in
+    advance st;
+    expect st Sql_lexer.LPAREN "(";
+    match peek st with
+    | Sql_lexer.STAR ->
+      advance st;
+      expect st Sql_lexer.RPAREN ")";
+      if agg <> Count then error "only COUNT accepts *";
+      S_agg (Count, None)
+    | _ ->
+      let col = ident st in
+      expect st Sql_lexer.RPAREN ")";
+      S_agg (agg, Some col))
+  | _ -> S_col (ident st)
+
+let parse_select st =
+  let projection =
+    if peek st = Sql_lexer.STAR then begin
+      advance st;
+      None
+    end
+    else begin
+      let first = parse_sel_item st in
+      let rec more acc =
+        if peek st = Sql_lexer.COMMA then begin
+          advance st;
+          more (parse_sel_item st :: acc)
+        end
+        else List.rev acc
+      in
+      Some (more [ first ])
+    end
+  in
+  expect_kw st "FROM";
+  let table = ident st in
+  let where = parse_where_opt st in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      Some (ident st)
+    end
+    else None
+  in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let col = ident st in
+      let dir = if accept_kw st "DESC" then Desc else (ignore (accept_kw st "ASC"); Asc) in
+      Some (col, dir)
+    end
+    else None
+  in
+  Select { table; projection; where; group_by; order_by }
+
+let parse_drop st =
+  expect_kw st "TABLE";
+  Drop_table { table = ident st }
+
+let parse_stmt st =
+  match peek st with
+  | Sql_lexer.KW "CREATE" ->
+    advance st;
+    parse_create st
+  | Sql_lexer.KW "INSERT" ->
+    advance st;
+    parse_insert st
+  | Sql_lexer.KW "UPDATE" ->
+    advance st;
+    parse_update st
+  | Sql_lexer.KW "DELETE" ->
+    advance st;
+    parse_delete st
+  | Sql_lexer.KW "SELECT" ->
+    advance st;
+    parse_select st
+  | Sql_lexer.KW "DROP" ->
+    advance st;
+    parse_drop st
+  | other -> error "expected a statement, found %s" (Sql_lexer.token_to_string other)
+
+let with_stream src f =
+  let tokens =
+    (* Strip one trailing semicolon: common in hand-written CM-RIDs. *)
+    let src = String.trim src in
+    let src =
+      if String.length src > 0 && src.[String.length src - 1] = ';' then
+        String.sub src 0 (String.length src - 1)
+      else src
+    in
+    try Sql_lexer.tokenize src with Sql_lexer.Lex_error m -> raise (Parse_error m)
+  in
+  let st = { tokens; pos = 0 } in
+  let result = f st in
+  if peek st <> Sql_lexer.EOF then
+    error "trailing input: %s" (Sql_lexer.token_to_string (peek st));
+  result
+
+let parse src = with_stream src parse_stmt
+let parse_expr src = with_stream src parse_or

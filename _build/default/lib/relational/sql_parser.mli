@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the SQL subset (see {!Sql_ast}). *)
+
+exception Parse_error of string
+
+val parse : string -> Sql_ast.stmt
+(** Parse one statement (an optional trailing [;] is accepted).
+    @raise Parse_error *)
+
+val parse_expr : string -> Sql_ast.expr
+(** Parse a bare SQL expression — used for trigger WHEN conditions. *)

@@ -1,0 +1,1 @@
+lib/rule/event.ml: Format Item List Printf String Value

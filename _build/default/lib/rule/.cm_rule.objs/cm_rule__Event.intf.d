@@ -1,0 +1,1 @@
+lib/rule/event.mli: Format Item Value

@@ -1,0 +1,1 @@
+lib/rule/expr.ml: Format Hashtbl Item List Map Printf String Value

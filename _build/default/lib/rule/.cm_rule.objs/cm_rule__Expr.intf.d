@@ -1,0 +1,1 @@
+lib/rule/expr.mli: Format Item Map Value

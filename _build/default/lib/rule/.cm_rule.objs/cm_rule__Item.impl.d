@@ -1,0 +1,1 @@
+lib/rule/item.ml: Format Hashtbl List Map Set String Value

@@ -1,0 +1,1 @@
+lib/rule/item.mli: Format Map Set Value

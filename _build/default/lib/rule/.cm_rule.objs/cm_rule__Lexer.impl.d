@@ -1,0 +1,1 @@
+lib/rule/lexer.ml: Array Buffer List Printf String Value

@@ -1,0 +1,1 @@
+lib/rule/lexer.mli: Value

@@ -1,0 +1,1 @@
+lib/rule/parser.ml: Array Expr Lexer List Printf Rule String Template Value

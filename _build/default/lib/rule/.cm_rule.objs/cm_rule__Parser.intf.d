@@ -1,0 +1,1 @@
+lib/rule/parser.mli: Expr Rule Template

@@ -1,0 +1,1 @@
+lib/rule/rule.ml: Expr Format List Printf Result String Template Value

@@ -1,0 +1,1 @@
+lib/rule/rule.mli: Expr Format Item Template

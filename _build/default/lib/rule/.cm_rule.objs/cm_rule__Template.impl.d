@@ -1,0 +1,1 @@
+lib/rule/template.ml: Event Expr Format Hashtbl Item List Printf String Value

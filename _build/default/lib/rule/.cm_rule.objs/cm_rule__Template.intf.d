@@ -1,0 +1,1 @@
+lib/rule/template.mli: Event Expr Format Item

@@ -1,0 +1,1 @@
+lib/rule/timeline.ml: Array Event Item List Option Trace Value

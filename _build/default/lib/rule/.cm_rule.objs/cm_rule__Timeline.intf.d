@@ -1,0 +1,1 @@
+lib/rule/timeline.mli: Item Trace Value

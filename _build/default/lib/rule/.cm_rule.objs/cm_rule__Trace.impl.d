@@ -1,0 +1,1 @@
+lib/rule/trace.ml: Event Format Item List Printf String

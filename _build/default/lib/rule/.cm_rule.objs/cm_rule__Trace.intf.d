@@ -1,0 +1,1 @@
+lib/rule/trace.mli: Event Format Item

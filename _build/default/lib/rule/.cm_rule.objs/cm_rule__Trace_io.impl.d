@@ -1,0 +1,1 @@
+lib/rule/trace_io.ml: Event Expr In_channel List Out_channel Parser Printf String Template Trace

@@ -1,0 +1,1 @@
+lib/rule/trace_io.mli: Event Trace

@@ -1,0 +1,1 @@
+lib/rule/validity.ml: Array Event Expr Hashtbl List Option Printf Rule String Template Timeline Trace Value

@@ -1,0 +1,1 @@
+lib/rule/validity.mli: Event Item Rule Trace Value

@@ -1,0 +1,1 @@
+lib/rule/value.ml: Float Format Printf Scanf Stdlib String

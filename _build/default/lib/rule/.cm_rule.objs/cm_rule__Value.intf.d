@@ -1,0 +1,1 @@
+lib/rule/value.mli: Format

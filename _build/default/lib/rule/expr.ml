@@ -1,0 +1,198 @@
+type unop = Neg | Not | Abs
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Item of string * t list
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Exists of string * t list
+  | Wildcard
+
+type binding = Bval of Value.t | Bitem of Item.t
+
+module Env = Map.Make (String)
+
+type env = binding Env.t
+
+let empty_env = Env.empty
+
+type state = { lookup : Item.t -> Value.t option }
+
+let state_of_fun lookup = { lookup }
+
+exception Eval_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let rec to_string = function
+  | Const v -> Value.to_string v
+  | Var x -> x
+  | Item (base, []) -> base
+  | Item (base, args) ->
+    base ^ "(" ^ String.concat ", " (List.map to_string args) ^ ")"
+  | Unop (Neg, e) -> "-" ^ atom_string e
+  | Unop (Not, e) -> "!" ^ atom_string e
+  (* Inner spaces keep nested bars from lexing as the "||" operator. *)
+  | Unop (Abs, e) -> "| " ^ to_string e ^ " |"
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (to_string a) (binop_string op) (to_string b)
+  | Exists (base, args) ->
+    "E(" ^ to_string (Item (base, args)) ^ ")"
+  | Wildcard -> "*"
+
+and atom_string e =
+  match e with
+  | Const _ | Var _ | Item _ | Wildcard -> to_string e
+  | _ -> "(" ^ to_string e ^ ")"
+
+and binop_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let rec eval state env expr =
+  match expr with
+  | Const v -> (v, env)
+  | Wildcard -> error "wildcard cannot be evaluated"
+  | Var x -> (
+    match Env.find_opt x env with
+    | Some (Bval v) -> (v, env)
+    | Some (Bitem it) -> error "parameter %s is bound to item %s, not a value" x (Item.to_string it)
+    | None -> error "unbound parameter %s" x)
+  | Item (base, args) ->
+    let item = eval_item state env (base, args) in
+    (match state.lookup item with
+     | Some v -> (v, env)
+     | None -> error "data item %s does not exist" (Item.to_string item))
+  | Exists (base, args) ->
+    let item = eval_item state env (base, args) in
+    (Value.Bool (state.lookup item <> None), env)
+  | Unop (op, e) ->
+    let v, env = eval state env e in
+    let r =
+      match op with
+      | Neg -> Value.neg v
+      | Abs -> Value.abs v
+      | Not -> Value.Bool (not (Value.truthy v))
+    in
+    (r, env)
+  | Binop (And, a, b) -> (
+    (* Conjunction threads bindings left to right and short-circuits. *)
+    match eval_cond state env a with
+    | None -> (Value.Bool false, env)
+    | Some env' -> (
+      match eval_cond state env' b with
+      | None -> (Value.Bool false, env)
+      | Some env'' -> (Value.Bool true, env'')))
+  | Binop (Or, a, b) -> (
+    (* No binding escapes a disjunction: which branch held is ambiguous. *)
+    match eval_cond state env a with
+    | Some _ -> (Value.Bool true, env)
+    | None -> (
+      match eval_cond state env b with
+      | Some _ -> (Value.Bool true, env)
+      | None -> (Value.Bool false, env)))
+  | Binop (Eq, a, b) -> eval_eq state env a b
+  | Binop (Ne, a, b) ->
+    let r, env = eval_eq state env a b in
+    (Value.Bool (not (Value.truthy r)), env)
+  | Binop (op, a, b) ->
+    let va, env = eval state env a in
+    let vb, env = eval state env b in
+    let r =
+      match op with
+      | Add -> Value.add va vb
+      | Sub -> Value.sub va vb
+      | Mul -> Value.mul va vb
+      | Div -> Value.div va vb
+      | Lt -> Value.Bool (Value.compare va vb < 0)
+      | Le -> Value.Bool (Value.compare va vb <= 0)
+      | Gt -> Value.Bool (Value.compare va vb > 0)
+      | Ge -> Value.Bool (Value.compare va vb >= 0)
+      | Eq | Ne | And | Or -> assert false
+    in
+    (r, env)
+
+(* Equality doubles as a binding construct: if exactly one side is an
+   unbound variable, bind it to the other side's value and succeed. *)
+and eval_eq state env a b =
+  let unbound = function
+    | Var x when not (Env.mem x env) -> Some x
+    | _ -> None
+  in
+  match unbound a, unbound b with
+  | Some x, None ->
+    let v, env = eval state env b in
+    (Value.Bool true, Env.add x (Bval v) env)
+  | None, Some x ->
+    let v, env = eval state env a in
+    (Value.Bool true, Env.add x (Bval v) env)
+  | Some x, Some _ -> error "equality between two unbound parameters (%s)" x
+  | None, None ->
+    let va, env = eval state env a in
+    let vb, env = eval state env b in
+    (Value.Bool (Value.equal va vb), env)
+
+and eval_cond state env expr =
+  let v, env' = eval state env expr in
+  if Value.truthy v then Some env' else None
+
+and eval_item state env (base, args) =
+  let eval_value e =
+    let v, _ = eval state env e in
+    v
+  in
+  Item.make base ~params:(List.map eval_value args)
+
+let free_vars expr =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let note x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      acc := x :: !acc
+    end
+  in
+  let rec go = function
+    | Const _ | Wildcard -> ()
+    | Var x -> note x
+    | Item (_, args) | Exists (_, args) -> List.iter go args
+    | Unop (_, e) -> go e
+    | Binop (_, a, b) ->
+      go a;
+      go b
+  in
+  go expr;
+  List.rev !acc
+
+let is_template_arg = function
+  | Const _ | Var _ | Wildcard -> true
+  | Item (_, args) ->
+    List.for_all (function Const _ | Var _ | Wildcard -> true | _ -> false) args
+  | _ -> false

@@ -1,0 +1,31 @@
+type t = { base : string; params : Value.t list }
+
+let make ?(params = []) base = { base; params }
+
+let compare a b =
+  match String.compare a.base b.base with
+  | 0 -> List.compare Value.compare a.params b.params
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let to_string t =
+  match t.params with
+  | [] -> t.base
+  | ps -> t.base ^ "(" ^ String.concat ", " (List.map Value.to_string ps) ^ ")"
+
+let hash t = Hashtbl.hash (t.base, List.map Value.to_string t.params)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+type site = string
+type locator = t -> site

@@ -1,0 +1,43 @@
+(** Tokenizer for the textual rule language.
+
+    Lexical conventions follow the paper: identifiers starting with an
+    upper-case letter are data items (or standard event names in template
+    head position); lower-case identifiers are rule parameters.  [#]
+    starts a comment running to end of line.  [|…|] is absolute value;
+    note that [||] always lexes as the boolean "or" — write [| x |] with
+    spaces when an absolute value directly follows another. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of Value.t  (** Int or Float *)
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | QUESTION
+  | ARROW  (** [->] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PIPE
+  | OROR
+  | ANDAND
+  | BANG
+  | EQ  (** [=] or [==] *)
+  | NE  (** [!=] or [<>] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of { pos : int; message : string }
+
+val tokenize : string -> token array
+(** The result always ends with [EOF]. @raise Lex_error on bad input. *)
+
+val token_to_string : token -> string

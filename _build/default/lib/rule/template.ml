@@ -1,0 +1,129 @@
+type t = { name : string; args : Expr.t list }
+
+let false_name = "FALSE"
+
+let false_ = { name = false_name; args = [] }
+
+let is_false t = String.equal t.name false_name
+
+let make name args =
+  let args =
+    (* Paper shorthand: Ws(X, b) abbreviates Ws(X, *, b). *)
+    match name, args with
+    | "Ws", [ item; v ] -> [ item; Expr.Wildcard; v ]
+    | _ -> args
+  in
+  List.iter
+    (fun a ->
+      if not (Expr.is_template_arg a) then
+        invalid_arg
+          (Printf.sprintf "Template.make: %s is not a template argument" (Expr.to_string a)))
+    args;
+  (match Event.known_arity name with
+   | Some n when n <> List.length args ->
+     invalid_arg
+       (Printf.sprintf "Template.make: %s expects %d arguments, got %d" name n
+          (List.length args))
+   | _ -> ());
+  { name; args }
+
+let match_value x v env =
+  match Expr.Env.find_opt x env with
+  | None -> Some (Expr.Env.add x (Expr.Bval v) env)
+  | Some (Expr.Bval v') -> if Value.equal v v' then Some env else None
+  | Some (Expr.Bitem _) -> None
+
+let match_item_binding x item env =
+  match Expr.Env.find_opt x env with
+  | None -> Some (Expr.Env.add x (Expr.Bitem item) env)
+  | Some (Expr.Bitem it') -> if Item.equal item it' then Some env else None
+  | Some (Expr.Bval _) -> None
+
+let rec match_args targs eargs env =
+  match targs, eargs with
+  | [], [] -> Some env
+  | [], _ | _, [] -> None
+  | targ :: targs, earg :: eargs -> (
+    match match_arg targ earg env with
+    | None -> None
+    | Some env -> match_args targs eargs env)
+
+and match_arg targ earg env =
+  match targ, earg with
+  | Expr.Wildcard, _ -> Some env
+  | Expr.Const c, Event.Av v -> if Value.equal c v then Some env else None
+  | Expr.Const _, Event.Ai _ -> None
+  | Expr.Var x, Event.Av v -> match_value x v env
+  | Expr.Var x, Event.Ai item -> match_item_binding x item env
+  | Expr.Item (base, params), Event.Ai item ->
+    if String.equal base item.Item.base then
+      match_args params (List.map (fun v -> Event.Av v) item.Item.params) env
+    else None
+  | Expr.Item _, Event.Av _ -> None
+  | (Expr.Unop _ | Expr.Binop _ | Expr.Exists _), _ -> None
+
+let matches t (desc : Event.desc) ~seed =
+  if is_false t then None
+  else if not (String.equal t.name desc.Event.name) then None
+  else match_args t.args desc.Event.args seed
+
+let instantiate_value env e =
+  match e with
+  | Expr.Const v -> v
+  | Expr.Var x -> (
+    match Expr.Env.find_opt x env with
+    | Some (Expr.Bval v) -> v
+    | Some (Expr.Bitem it) ->
+      raise
+        (Expr.Eval_error
+           (Printf.sprintf "parameter %s is an item (%s), a value is required" x
+              (Item.to_string it)))
+    | None -> raise (Expr.Eval_error (Printf.sprintf "unbound parameter %s" x)))
+  | _ ->
+    raise
+      (Expr.Eval_error
+         (Printf.sprintf "cannot instantiate %s to a value" (Expr.to_string e)))
+
+let instantiate_arg env e =
+  match e with
+  | Expr.Item (base, params) ->
+    Event.Ai (Item.make base ~params:(List.map (instantiate_value env) params))
+  | Expr.Var x -> (
+    match Expr.Env.find_opt x env with
+    | Some (Expr.Bitem it) -> Event.Ai it
+    | Some (Expr.Bval v) -> Event.Av v
+    | None -> raise (Expr.Eval_error (Printf.sprintf "unbound parameter %s" x)))
+  | Expr.Wildcard ->
+    raise (Expr.Eval_error "wildcard in a right-hand-side template")
+  | e -> Event.Av (instantiate_value env e)
+
+let instantiate t env =
+  { Event.name = t.name; args = List.map (instantiate_arg env) t.args }
+
+let item_base t =
+  List.find_map
+    (function Expr.Item (base, _) -> Some base | _ -> None)
+    t.args
+
+let site t locator =
+  match item_base t with
+  | Some base -> Some (locator (Item.make base))
+  | None -> None
+
+let free_vars t =
+  let all = List.concat_map Expr.free_vars t.args in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    all
+
+let to_string t =
+  if is_false t then false_name
+  else t.name ^ "(" ^ String.concat ", " (List.map Expr.to_string t.args) ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,51 @@
+(** Event templates and matching interpretations (Appendix A.1).
+
+    A template is an event descriptor whose arguments may be parameters
+    ([Var]), wild-cards, parameterized item references, or constants.  An
+    event {e matches} a template when some interpretation of the
+    template's parameters, substituted into the template, yields the
+    event's descriptor; {!matches} computes that matching interpretation
+    [mi(E, ℰ)], extending a seed environment (bindings carried over from
+    the rule's left-hand side).
+
+    The special false template [ℱ] matches no event — it expresses
+    prohibitions such as the "no spontaneous writes" interface
+    [Ws(X, b) → ℱ]. *)
+
+type t = { name : string; args : Expr.t list }
+
+val make : string -> Expr.t list -> t
+(** @raise Invalid_argument if an argument is not a valid template
+    argument form (see {!Expr.is_template_arg}) or the name is a standard
+    descriptor name used at the wrong arity.  The two-argument [Ws] form
+    is accepted and normalized by inserting a wildcard old-value. *)
+
+val false_ : t
+(** The never-matching template ℱ. *)
+
+val is_false : t -> bool
+
+val matches : t -> Event.desc -> seed:Expr.env -> Expr.env option
+(** [matches tpl desc ~seed] is [Some env] iff [desc] matches [tpl] under
+    some extension [env] of [seed].  Parameters already bound in [seed]
+    must agree with the event. *)
+
+val instantiate : t -> Expr.env -> Event.desc
+(** Substitute bound parameters into the template, producing a concrete
+    descriptor.  @raise Expr.Eval_error on unbound parameters or
+    wild-cards (a right-hand-side template must be fully instantiable). *)
+
+val item_base : t -> string option
+(** Base name of the first item argument — used with an item locator to
+    resolve the template's site. *)
+
+val site : t -> Item.locator -> Item.site option
+(** Site of the first item argument.  Parameterized items resolve by base
+    name with no parameters, so locators must assign sites per base name
+    (all instances of a parameterized family live at one site, as in the
+    paper's examples).  [None] for item-free templates such as [P(p)]. *)
+
+val free_vars : t -> string list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type t = {
+  histories : (float * Value.t option) list Item.Map.t;  (* newest first *)
+  times : float array;  (* sorted change times, all items *)
+}
+
+let of_trace ?(initial = []) trace =
+  let histories = ref Item.Map.empty in
+  let times = ref [] in
+  let set item time v =
+    let prior = Option.value (Item.Map.find_opt item !histories) ~default:[] in
+    histories := Item.Map.add item ((time, v) :: prior) !histories;
+    times := time :: !times
+  in
+  List.iter (fun (item, v) -> set item 0.0 (Some v)) initial;
+  let apply (e : Event.t) =
+    match Event.written_value e.desc with
+    | Some (item, v) -> set item e.time (Some v)
+    | None -> (
+      match e.desc.Event.name, e.desc.Event.args with
+      | "INS", [ Event.Ai item ] ->
+        let existing =
+          match Item.Map.find_opt item !histories with
+          | Some ((_, Some v) :: _) -> Some v
+          | _ -> None
+        in
+        (* INS preserves a value only if the item already exists. *)
+        set item e.time (Some (Option.value existing ~default:Value.Null))
+      | "DEL", [ Event.Ai item ] -> set item e.time None
+      | _ -> ())
+  in
+  List.iter apply (Trace.events trace);
+  let times_array = Array.of_list (List.sort_uniq compare !times) in
+  { histories = !histories; times = times_array }
+
+let items t = List.map fst (Item.Map.bindings t.histories)
+
+(* Histories are newest-first; find the newest entry at or before [time]. *)
+let entry_at t item time =
+  match Item.Map.find_opt item t.histories with
+  | None -> None
+  | Some history -> List.find_opt (fun (at, _) -> at <= time) history
+
+let value_at t item time =
+  match entry_at t item time with
+  | Some (_, v) -> v
+  | None -> None
+
+let exists_at t item time = value_at t item time <> None
+
+let changes t item =
+  match Item.Map.find_opt item t.histories with
+  | None -> []
+  | Some history -> List.rev history
+
+let values_taken t item =
+  let present =
+    List.filter_map (fun (at, v) -> Option.map (fun v -> (at, v)) v) (changes t item)
+  in
+  (* Collapse consecutive duplicates, keeping the first occurrence time. *)
+  let rec dedup = function
+    | (t1, v1) :: (_, v2) :: rest when Value.equal v1 v2 -> dedup ((t1, v1) :: rest)
+    | x :: rest -> x :: dedup rest
+    | [] -> []
+  in
+  dedup present
+
+let change_times t = Array.to_list t.times
+
+let lookup_fun t time item = value_at t item time

@@ -1,0 +1,37 @@
+(** Per-item value histories reconstructed from a trace.
+
+    Interpretations in the formal model (Appendix A.2, properties 2–3)
+    change only at write events; a timeline is exactly that sequence of
+    interpretations, indexed by item.  [W] and [Ws] events set a value;
+    [INS] brings an item into existence (value [Null] until written);
+    [DEL] removes it.  Guarantee predicates [(X = v)@t] and [E(X)@t]
+    are answered by {!value_at} and {!exists_at}. *)
+
+type t
+
+val of_trace : ?initial:(Item.t * Value.t) list -> Trace.t -> t
+(** Items in [initial] exist from time 0 with the given values. *)
+
+val items : t -> Item.t list
+
+val value_at : t -> Item.t -> float -> Value.t option
+(** [None] if the item does not exist at that time.  At a change point
+    the new value is in effect (events take effect at their time). *)
+
+val exists_at : t -> Item.t -> float -> bool
+
+val changes : t -> Item.t -> (float * Value.t option) list
+(** All change points ([None] = deleted), in time order, including the
+    initial point if the item existed initially. *)
+
+val values_taken : t -> Item.t -> (float * Value.t) list
+(** The (time, value) sequence of values the item held, collapsing
+    consecutive duplicates — the basis for "X leads Y"-style checks. *)
+
+val change_times : t -> float list
+(** Sorted times at which {e any} item changed; used to sample conditions
+    over a window. *)
+
+val lookup_fun : t -> float -> Item.t -> Value.t option
+(** [lookup_fun tl time] as an {!Expr.state}-compatible oracle for the
+    state at [time]. *)

@@ -1,0 +1,40 @@
+type t = { mutable rev_events : Event.t list; mutable count : int; mutable last : float }
+
+let create () = { rev_events = []; count = 0; last = 0.0 }
+
+let record t ~time ~site ?(kind = Event.Spontaneous) desc =
+  if time < t.last then
+    invalid_arg
+      (Printf.sprintf "Trace.record: time %g precedes last event at %g" time t.last);
+  let e = { Event.id = t.count; time; site; desc; kind } in
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1;
+  t.last <- time;
+  e
+
+let events t = List.rev t.rev_events
+
+let length t = t.count
+
+let find t id =
+  if id < 0 || id >= t.count then None
+  else List.find_opt (fun e -> e.Event.id = id) t.rev_events
+
+let named t name =
+  List.rev
+    (List.filter (fun e -> String.equal e.Event.desc.Event.name name) t.rev_events)
+
+let on_item t item =
+  let has e =
+    match Event.item_of_desc e.Event.desc with
+    | Some i -> Item.equal i item
+    | None -> false
+  in
+  List.rev (List.filter has t.rev_events)
+
+let last_time t = t.last
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%s@." (Event.to_string e)) (events t)
+
+let to_string t = Format.asprintf "%a" pp t

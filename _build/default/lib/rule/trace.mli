@@ -1,0 +1,42 @@
+(** Execution traces.
+
+    Every event occurrence in a run — database writes, notifications,
+    CM requests, periodic ticks — is recorded here, forming the
+    execution [(E1, …, En)] of Appendix A.2.  The {!Validity} checker
+    and the guarantee checker both consume traces; the CM-Shells and
+    CM-Translators produce them. *)
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  time:float ->
+  site:Item.site ->
+  ?kind:Event.kind ->
+  Event.desc ->
+  Event.t
+(** Append an occurrence (default [kind] is [Spontaneous]) and return it
+    with its fresh id.  @raise Invalid_argument if [time] precedes the
+    last recorded event — executions are recorded in time order. *)
+
+val events : t -> Event.t list
+(** In occurrence order. *)
+
+val length : t -> int
+
+val find : t -> int -> Event.t option
+(** Lookup by event id. *)
+
+val named : t -> string -> Event.t list
+(** Events with the given descriptor name, in order. *)
+
+val on_item : t -> Item.t -> Event.t list
+(** Events whose first item argument is the given item. *)
+
+val last_time : t -> float
+(** Time of the last event; 0 on an empty trace. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,89 @@
+let kind_to_string = function
+  | Event.Spontaneous -> "spont"
+  | Event.Generated { rule_id; trigger } -> Printf.sprintf "gen:%s:%d" rule_id trigger
+
+let event_to_line (e : Event.t) =
+  Printf.sprintf "%d %.6f %s %s %s" e.id e.time e.site (kind_to_string e.kind)
+    (Event.desc_to_string e.desc)
+
+let write_channel oc trace =
+  output_string oc "# cmtk trace v1\n";
+  List.iter
+    (fun e ->
+      output_string oc (event_to_line e);
+      output_char oc '\n')
+    (Trace.events trace)
+
+let write_file path trace =
+  Out_channel.with_open_text path (fun oc -> write_channel oc trace)
+
+let parse_kind s =
+  if String.equal s "spont" then Ok Event.Spontaneous
+  else
+    match String.index_opt s ':' with
+    | Some 3 when String.sub s 0 3 = "gen" -> (
+      (* gen:<rule-id>:<trigger>; the rule id may itself contain no ':'. *)
+      match String.rindex_opt s ':' with
+      | Some last when last > 3 -> (
+        let rule_id = String.sub s 4 (last - 4) in
+        match int_of_string_opt (String.sub s (last + 1) (String.length s - last - 1)) with
+        | Some trigger -> Ok (Event.Generated { rule_id; trigger })
+        | None -> Error "malformed trigger id")
+      | _ -> Error "malformed generated kind")
+    | _ -> Error ("unknown event kind: " ^ s)
+
+let parse_desc s =
+  match Parser.parse_template s with
+  | tpl -> (
+    match Template.instantiate tpl Expr.empty_env with
+    | desc -> Ok desc
+    | exception Expr.Eval_error m -> Error ("descriptor not concrete: " ^ m))
+  | exception Parser.Parse_error { message; _ } -> Error message
+
+let event_of_line line =
+  (* <id> <time> <site> <kind> <descriptor...> *)
+  let parts = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+  match parts with
+  | id :: time :: site :: kind :: rest when rest <> [] -> (
+    match int_of_string_opt id, float_of_string_opt time, parse_kind kind with
+    | Some id, Some time, Ok kind -> (
+      match parse_desc (String.concat " " rest) with
+      | Ok desc -> Ok { Event.id; time; site; desc; kind }
+      | Error m -> Error m)
+    | None, _, _ -> Error "malformed event id"
+    | _, None, _ -> Error "malformed time"
+    | _, _, Error m -> Error m)
+  | _ -> Error "expected: <id> <time> <site> <kind> <descriptor>"
+
+let read_string text =
+  let trace = Trace.create () in
+  let error = ref None in
+  List.iteri
+    (fun idx raw ->
+      if !error = None then begin
+        let line = String.trim raw in
+        if line <> "" && line.[0] <> '#' then
+          match event_of_line line with
+          | Error m -> error := Some (Printf.sprintf "line %d: %s" (idx + 1) m)
+          | Ok e ->
+            if e.Event.id <> Trace.length trace then
+              error :=
+                Some
+                  (Printf.sprintf "line %d: event id %d out of sequence (expected %d)"
+                     (idx + 1) e.Event.id (Trace.length trace))
+            else (
+              match
+                Trace.record trace ~time:e.Event.time ~site:e.Event.site
+                  ~kind:e.Event.kind e.Event.desc
+              with
+              | _ -> ()
+              | exception Invalid_argument m ->
+                error := Some (Printf.sprintf "line %d: %s" (idx + 1) m))
+      end)
+    (String.split_on_char '\n' text);
+  match !error with Some m -> Error m | None -> Ok trace
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> read_string contents
+  | exception Sys_error m -> Error m

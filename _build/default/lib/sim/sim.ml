@@ -1,0 +1,80 @@
+type time = float
+
+type entry = { at : time; seq : int; action : unit -> unit }
+
+type t = {
+  mutable clock : time;
+  mutable seq : int;
+  mutable processed : int;
+  queue : entry Cm_util.Heap.t;
+  rng : Cm_util.Prng.t;
+}
+
+exception Stop
+
+let entry_leq a b = a.at < b.at || (a.at = b.at && a.seq <= b.seq)
+
+let create ?(seed = 42) () =
+  {
+    clock = 0.0;
+    seq = 0;
+    processed = 0;
+    queue = Cm_util.Heap.create ~leq:entry_leq;
+    rng = Cm_util.Prng.create ~seed;
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t at action =
+  let at = if at < t.clock then t.clock else at in
+  t.seq <- t.seq + 1;
+  Cm_util.Heap.add t.queue { at; seq = t.seq; action }
+
+let schedule t ~delay action =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t (t.clock +. delay) action
+
+let every t ?start ~period action ~cancel =
+  if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
+  let first = match start with Some s -> s | None -> t.clock +. period in
+  let rec tick () =
+    if not (cancel ()) then begin
+      action ();
+      schedule t ~delay:period tick
+    end
+  in
+  schedule_at t first tick
+
+let step t =
+  match Cm_util.Heap.pop t.queue with
+  | None -> false
+  | Some e ->
+    t.clock <- e.at;
+    t.processed <- t.processed + 1;
+    e.action ();
+    true
+
+let run ?until t =
+  let continue () =
+    match Cm_util.Heap.min t.queue with
+    | None -> false
+    | Some e -> (
+      match until with
+      | Some horizon when e.at > horizon ->
+        t.clock <- horizon;
+        false
+      | _ -> true)
+  in
+  try
+    while continue () do
+      ignore (step t)
+    done;
+    match until with
+    | Some horizon when t.clock < horizon && Cm_util.Heap.is_empty t.queue ->
+      t.clock <- horizon
+    | _ -> ()
+  with Stop -> ()
+
+let pending t = Cm_util.Heap.size t.queue
+let events_processed t = t.processed

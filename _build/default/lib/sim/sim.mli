@@ -1,0 +1,57 @@
+(** Discrete-event simulation kernel.
+
+    The toolkit's formal framework (paper, Appendix A) reasons about events
+    in global physical time.  Running the whole system — information
+    sources, translators, CM-Shells, network, applications — inside one
+    deterministic simulated clock makes that reasoning premise literally
+    true, so metric guarantees (time bounds δ, κ) can be checked exactly.
+
+    Executions are fully deterministic: callbacks scheduled for the same
+    instant run in scheduling order (a sequence number breaks ties), and
+    all randomness must come from {!rng}. *)
+
+type t
+
+type time = float
+(** Simulated seconds since the start of the run. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulator at time 0.  [seed] (default 42) seeds {!rng}. *)
+
+val now : t -> time
+
+val rng : t -> Cm_util.Prng.t
+(** The root generator.  Long-lived components should [Prng.split] their
+    own stream from it at set-up time. *)
+
+exception Stop
+(** Raise from within a callback to end {!run} early. *)
+
+val schedule : t -> delay:time -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at time [now t +. delay].  Negative
+    delays are clamped to 0 (immediate, but still queued after already
+    pending work at the current instant). *)
+
+val schedule_at : t -> time -> (unit -> unit) -> unit
+(** Absolute-time variant.  Times before [now] are clamped to [now]. *)
+
+val every : t -> ?start:time -> period:time -> (unit -> unit) -> cancel:(unit -> bool) -> unit
+(** [every t ~period f ~cancel] runs [f] at [start] (default [now + period])
+    and then every [period] simulated seconds, until [cancel ()] returns
+    [true] (checked before each occurrence).  Implements the paper's
+    periodic events [P(p)]. *)
+
+val run : ?until:time -> t -> unit
+(** Process queued events in time order.  Stops when the queue drains, when
+    the next event would exceed [until] (clock then advances to [until]),
+    or when a callback raises {!Stop}. *)
+
+val step : t -> bool
+(** Process exactly one queued event.  [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued events (cancelled periodic re-arms included until they
+    fire). *)
+
+val events_processed : t -> int
+(** Total callbacks executed so far — used by throughput benchmarks. *)

@@ -1,0 +1,1 @@
+lib/sources/bibdb.mli: Health

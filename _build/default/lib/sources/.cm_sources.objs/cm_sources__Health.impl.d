@@ -1,0 +1,1 @@
+lib/sources/health.ml:

@@ -1,0 +1,1 @@
+lib/sources/kvfile.ml: Hashtbl Health List

@@ -1,0 +1,1 @@
+lib/sources/objstore.ml: Cm_rule Hashtbl Health List Map Option String

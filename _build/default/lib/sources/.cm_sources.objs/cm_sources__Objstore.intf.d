@@ -1,0 +1,1 @@
+lib/sources/objstore.mli: Cm_rule Health

@@ -1,0 +1,1 @@
+lib/sources/whois.ml: Hashtbl Health List Map Option String

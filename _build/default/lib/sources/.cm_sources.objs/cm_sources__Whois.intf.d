@@ -1,0 +1,1 @@
+lib/sources/whois.mli: Health

@@ -1,0 +1,31 @@
+type paper = { key : string; title : string; authors : string list; year : int }
+
+type t = { papers : (string, paper) Hashtbl.t; health : Health.t }
+
+let create () = { papers = Hashtbl.create 32; health = Health.create () }
+
+let health t = t.health
+
+let lookup t key =
+  Health.check t.health ~name:"bibdb.lookup";
+  Hashtbl.find_opt t.papers key
+
+let by_author t author =
+  Health.check t.health ~name:"bibdb.by_author";
+  Hashtbl.fold
+    (fun _ paper acc -> if List.mem author paper.authors then paper :: acc else acc)
+    t.papers []
+  |> List.sort (fun a b -> compare a.key b.key)
+
+let all_keys t =
+  Health.check t.health ~name:"bibdb.all_keys";
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.papers [] |> List.sort compare
+
+let add t paper = Hashtbl.replace t.papers paper.key paper
+
+let withdraw t key =
+  let existed = Hashtbl.mem t.papers key in
+  Hashtbl.remove t.papers key;
+  existed
+
+let size t = Hashtbl.length t.papers

@@ -1,0 +1,34 @@
+(** Bibliographic information system (§4.3's bibliographic database).
+
+    Native interface: query by paper key or by author.  Read-only for the
+    CM; papers are added and withdrawn by librarians (spontaneous
+    operations driven by the workload layer).  Substrate for the
+    referential-integrity scenario: "every paper authored by a database
+    researcher must also be mentioned in the Sybase database" (§4.3). *)
+
+type paper = { key : string; title : string; authors : string list; year : int }
+
+type t
+
+val create : unit -> t
+val health : t -> Health.t
+
+(** {2 Native query interface} *)
+
+val lookup : t -> string -> paper option
+(** By paper key.  @raise Health.Unavailable when down. *)
+
+val by_author : t -> string -> paper list
+(** Papers listing the author, sorted by key.
+    @raise Health.Unavailable when down. *)
+
+val all_keys : t -> string list
+(** Sorted.  @raise Health.Unavailable when down. *)
+
+(** {2 Librarian interface (local applications only)} *)
+
+val add : t -> paper -> unit
+(** Replaces any paper with the same key. *)
+
+val withdraw : t -> string -> bool
+val size : t -> int

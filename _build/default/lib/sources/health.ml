@@ -1,0 +1,21 @@
+type mode =
+  | Healthy
+  | Degraded of { extra_latency : float }
+  | Down
+  | Silent_drop
+
+type t = { mutable mode : mode }
+
+exception Unavailable of string
+
+let create () = { mode = Healthy }
+
+let mode t = t.mode
+let set t m = t.mode <- m
+
+let extra_latency t =
+  match t.mode with Degraded { extra_latency } -> extra_latency | _ -> 0.0
+
+let dropping_notifications t = t.mode = Silent_drop
+
+let check t ~name = if t.mode = Down then raise (Unavailable name)

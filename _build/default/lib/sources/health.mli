@@ -1,0 +1,38 @@
+(** Failure injection for Raw Information Sources (paper §5).
+
+    Each source carries a health handle its operations consult:
+
+    - [Healthy] — normal behaviour;
+    - [Degraded] — operations still succeed but the CM-Translator must
+      add [extra_latency] to every interaction, producing {e metric}
+      failures (time bounds missed, actions eventually performed);
+    - [Down] — operations raise {!Unavailable}, producing {e logical}
+      failures (interface statements no longer honoured);
+    - [Silent_drop] — notification-bearing sources stop invoking their
+      callbacks {e without any error}: the undetectable failure mode the
+      paper warns makes notify interfaces unsuitable (§5).  Read/write
+      operations are unaffected. *)
+
+type mode =
+  | Healthy
+  | Degraded of { extra_latency : float }
+  | Down
+  | Silent_drop
+
+type t
+
+exception Unavailable of string
+(** Raised by source operations while [Down]. *)
+
+val create : unit -> t
+(** Starts [Healthy]. *)
+
+val mode : t -> mode
+val set : t -> mode -> unit
+
+val extra_latency : t -> float
+(** 0 unless [Degraded]. *)
+
+val dropping_notifications : t -> bool
+val check : t -> name:string -> unit
+(** @raise Unavailable when [Down]. *)

@@ -1,0 +1,25 @@
+type t = { files : (string, string) Hashtbl.t; health : Health.t }
+
+let create () = { files = Hashtbl.create 32; health = Health.create () }
+
+let health t = t.health
+
+let read t key =
+  Health.check t.health ~name:"kvfile.read";
+  Hashtbl.find_opt t.files key
+
+let write t key data =
+  Health.check t.health ~name:"kvfile.write";
+  Hashtbl.replace t.files key data
+
+let remove t key =
+  Health.check t.health ~name:"kvfile.remove";
+  let existed = Hashtbl.mem t.files key in
+  Hashtbl.remove t.files key;
+  existed
+
+let keys t =
+  Health.check t.health ~name:"kvfile.keys";
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort compare
+
+let size t = Hashtbl.length t.files

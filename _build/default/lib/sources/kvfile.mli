@@ -1,0 +1,27 @@
+(** Flat key/value file store — the "Unix file system" class of source
+    (paper §4.3: CM-Translators for Unix files).
+
+    Native interface: byte-string reads and writes by key, no types, no
+    queries, {b no notifications} — the capability profile that forces a
+    polling strategy on the constraint manager.  Values are raw strings;
+    the CM-Translator is responsible for encoding/decoding scalars, just
+    as the paper's translators bridge data-model differences. *)
+
+type t
+
+val create : unit -> t
+val health : t -> Health.t
+
+val read : t -> string -> string option
+(** [None] models ENOENT.  @raise Health.Unavailable when down. *)
+
+val write : t -> string -> string -> unit
+(** Create or overwrite.  @raise Health.Unavailable when down. *)
+
+val remove : t -> string -> bool
+(** [true] if the key existed.  @raise Health.Unavailable when down. *)
+
+val keys : t -> string list
+(** Sorted.  @raise Health.Unavailable when down. *)
+
+val size : t -> int

@@ -1,0 +1,102 @@
+module Value = Cm_rule.Value
+module Attrs = Map.Make (String)
+
+type callback = id:string -> old_value:Value.t -> new_value:Value.t -> unit
+
+type sub = {
+  sub_id : int;
+  sub_cls : string;
+  sub_attr : string;
+  filter : (old_value:Value.t -> new_value:Value.t -> bool) option;
+  callback : callback;
+}
+
+type subscription = int
+
+type t = {
+  objects : (string * string, Value.t Attrs.t) Hashtbl.t;
+  mutable subs : sub list;  (* in subscription order *)
+  mutable next_sub : int;
+  mutable sent : int;
+  mutable suppressed : int;
+  health : Health.t;
+}
+
+let create () =
+  {
+    objects = Hashtbl.create 32;
+    subs = [];
+    next_sub = 0;
+    sent = 0;
+    suppressed = 0;
+    health = Health.create ();
+  }
+
+let health t = t.health
+
+let fire t ~cls ~id ~attr ~old_value ~new_value =
+  if not (Health.dropping_notifications t.health) then
+    List.iter
+      (fun sub ->
+        if String.equal sub.sub_cls cls && String.equal sub.sub_attr attr then
+          let wanted =
+            match sub.filter with
+            | None -> true
+            | Some f -> f ~old_value ~new_value
+          in
+          if wanted then begin
+            t.sent <- t.sent + 1;
+            sub.callback ~id ~old_value ~new_value
+          end
+          else t.suppressed <- t.suppressed + 1)
+      t.subs
+
+let put t ~cls ~id attrs =
+  Health.check t.health ~name:"objstore.put";
+  let m = List.fold_left (fun m (k, v) -> Attrs.add k v m) Attrs.empty attrs in
+  Hashtbl.replace t.objects (cls, id) m
+
+let set_attr t ~cls ~id ~attr v =
+  Health.check t.health ~name:"objstore.set_attr";
+  match Hashtbl.find_opt t.objects (cls, id) with
+  | None -> false
+  | Some attrs ->
+    let old_value = Option.value (Attrs.find_opt attr attrs) ~default:Value.Null in
+    Hashtbl.replace t.objects (cls, id) (Attrs.add attr v attrs);
+    if not (Value.equal old_value v) then
+      fire t ~cls ~id ~attr ~old_value ~new_value:v;
+    true
+
+let get_attr t ~cls ~id ~attr =
+  Health.check t.health ~name:"objstore.get_attr";
+  Option.bind (Hashtbl.find_opt t.objects (cls, id)) (Attrs.find_opt attr)
+
+let get t ~cls ~id =
+  Health.check t.health ~name:"objstore.get";
+  Option.map Attrs.bindings (Hashtbl.find_opt t.objects (cls, id))
+
+let delete t ~cls ~id =
+  Health.check t.health ~name:"objstore.delete";
+  let existed = Hashtbl.mem t.objects (cls, id) in
+  Hashtbl.remove t.objects (cls, id);
+  existed
+
+let ids t ~cls =
+  Health.check t.health ~name:"objstore.ids";
+  Hashtbl.fold
+    (fun (c, id) _ acc -> if String.equal c cls then id :: acc else acc)
+    t.objects []
+  |> List.sort compare
+
+let subscribe t ~cls ~attr ?filter callback =
+  let sub_id = t.next_sub in
+  t.next_sub <- sub_id + 1;
+  t.subs <-
+    t.subs @ [ { sub_id; sub_cls = cls; sub_attr = attr; filter; callback } ];
+  sub_id
+
+let unsubscribe t sub_id =
+  t.subs <- List.filter (fun s -> s.sub_id <> sub_id) t.subs
+
+let notifications_sent t = t.sent
+let notifications_suppressed t = t.suppressed

@@ -1,0 +1,58 @@
+(** Object store with attribute subscriptions — the "lookup" personnel
+    database class of source (§4.3): a system that can push update
+    notifications, including {e conditional} ones evaluated inside the
+    source (§3.1.1: "useful when the local database can evaluate
+    conditions that cannot be evaluated from the outside").
+
+    Objects are [(class, id)]-addressed attribute maps over
+    {!Cm_rule.Value.t}.  Subscriptions fire synchronously on attribute
+    change; the optional [filter] receives the old and new values and
+    suppresses the callback when it returns [false] — communication that
+    never happens, exactly like the paper's 10 %-change example.
+
+    When health is [Silent_drop], subscriptions silently stop firing
+    while reads and writes keep succeeding: the undetectable notify
+    failure of §5. *)
+
+type t
+
+type callback = id:string -> old_value:Cm_rule.Value.t -> new_value:Cm_rule.Value.t -> unit
+
+type subscription
+
+val create : unit -> t
+val health : t -> Health.t
+
+(** {2 Native data interface} *)
+
+val put : t -> cls:string -> id:string -> (string * Cm_rule.Value.t) list -> unit
+(** Create or replace an object.  @raise Health.Unavailable when down. *)
+
+val set_attr : t -> cls:string -> id:string -> attr:string -> Cm_rule.Value.t -> bool
+(** [false] if the object is missing.  Fires matching subscriptions.
+    @raise Health.Unavailable when down. *)
+
+val get_attr : t -> cls:string -> id:string -> attr:string -> Cm_rule.Value.t option
+val get : t -> cls:string -> id:string -> (string * Cm_rule.Value.t) list option
+val delete : t -> cls:string -> id:string -> bool
+val ids : t -> cls:string -> string list
+(** Sorted ids of a class. *)
+
+(** {2 Subscription interface} *)
+
+val subscribe :
+  t ->
+  cls:string ->
+  attr:string ->
+  ?filter:(old_value:Cm_rule.Value.t -> new_value:Cm_rule.Value.t -> bool) ->
+  callback ->
+  subscription
+
+val unsubscribe : t -> subscription -> unit
+
+val notifications_sent : t -> int
+(** Delivered callbacks since creation — message-cost accounting for the
+    conditional-notify experiment. *)
+
+val notifications_suppressed : t -> int
+(** Callbacks suppressed by filters (evaluated in-source, never sent). *)

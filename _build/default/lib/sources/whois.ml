@@ -1,0 +1,34 @@
+module Fields = Map.Make (String)
+
+type t = { entries : (string, string Fields.t) Hashtbl.t; health : Health.t }
+
+let create () = { entries = Hashtbl.create 32; health = Health.create () }
+
+let health t = t.health
+
+let query t name =
+  Health.check t.health ~name:"whois.query";
+  Option.map Fields.bindings (Hashtbl.find_opt t.entries name)
+
+let dump t =
+  Health.check t.health ~name:"whois.dump";
+  Hashtbl.fold (fun name fields acc -> (name, Fields.bindings fields) :: acc) t.entries []
+  |> List.sort compare
+
+let register t ~name ~fields =
+  let m = List.fold_left (fun m (k, v) -> Fields.add k v m) Fields.empty fields in
+  Hashtbl.replace t.entries name m
+
+let update_field t ~name ~field ~value =
+  match Hashtbl.find_opt t.entries name with
+  | None -> false
+  | Some fields ->
+    Hashtbl.replace t.entries name (Fields.add field value fields);
+    true
+
+let unregister t ~name =
+  let existed = Hashtbl.mem t.entries name in
+  Hashtbl.remove t.entries name;
+  existed
+
+let size t = Hashtbl.length t.entries

@@ -1,0 +1,31 @@
+(** Directory server — the "Stanford whois" class of source (§4.3).
+
+    Native interface: lookup of field lists by principal name, and a full
+    dump.  {b Read-only from the CM's perspective}: entries change only
+    through administrative operations performed by local applications
+    ({!register}, {!update_field}, {!unregister}), which the workload
+    layer drives as spontaneous events.  With no write access, the CM can
+    only {e monitor} constraints over this source (§6.3). *)
+
+type t
+
+val create : unit -> t
+val health : t -> Health.t
+
+(** {2 Native query interface (used by the CM-Translator)} *)
+
+val query : t -> string -> (string * string) list option
+(** Fields of the named principal, sorted by field name.
+    @raise Health.Unavailable when down. *)
+
+val dump : t -> (string * (string * string) list) list
+(** All entries, sorted by name.  @raise Health.Unavailable when down. *)
+
+(** {2 Administrative interface (local applications only)} *)
+
+val register : t -> name:string -> fields:(string * string) list -> unit
+val update_field : t -> name:string -> field:string -> value:string -> bool
+(** [false] if the principal is unknown. *)
+
+val unregister : t -> name:string -> bool
+val size : t -> int

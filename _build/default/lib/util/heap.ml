@@ -1,0 +1,51 @@
+type 'a node =
+  | Leaf
+  | Node of { rank : int; value : 'a; left : 'a node; right : 'a node }
+
+type 'a t = { leq : 'a -> 'a -> bool; mutable root : 'a node; mutable size : int }
+
+let create ~leq = { leq; root = Leaf; size = 0 }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let rank = function Leaf -> 0 | Node { rank; _ } -> rank
+
+let make value a b =
+  (* Leftist property: rank of left child >= rank of right child. *)
+  if rank a >= rank b then Node { rank = rank b + 1; value; left = a; right = b }
+  else Node { rank = rank a + 1; value; left = b; right = a }
+
+let rec merge leq a b =
+  match a, b with
+  | Leaf, n | n, Leaf -> n
+  | Node na, Node nb ->
+    if leq na.value nb.value then make na.value na.left (merge leq na.right b)
+    else make nb.value nb.left (merge leq nb.right a)
+
+let add t x =
+  t.root <- merge t.leq t.root (Node { rank = 1; value = x; left = Leaf; right = Leaf });
+  t.size <- t.size + 1
+
+let min t = match t.root with Leaf -> None | Node { value; _ } -> Some value
+
+let pop t =
+  match t.root with
+  | Leaf -> None
+  | Node { value; left; right; _ } ->
+    t.root <- merge t.leq left right;
+    t.size <- t.size - 1;
+    Some value
+
+let clear t =
+  t.root <- Leaf;
+  t.size <- 0
+
+let of_list ~leq xs =
+  let t = create ~leq in
+  List.iter (add t) xs;
+  t
+
+let to_sorted_list t =
+  let rec drain acc = match pop t with None -> List.rev acc | Some x -> drain (x :: acc) in
+  drain []

@@ -1,0 +1,42 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    let idx = max 0 (min (n - 1) idx) in
+    List.nth sorted idx
+
+let min_max = function
+  | [] -> (0.0, 0.0)
+  | x :: rest ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest
+
+let histogram ~buckets xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  match xs with
+  | [] -> []
+  | _ ->
+    let lo, hi = min_max xs in
+    let width = if hi = lo then 1.0 else (hi -. lo) /. float_of_int buckets in
+    let counts = Array.make buckets 0 in
+    let place x =
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = max 0 (min (buckets - 1) i) in
+      counts.(i) <- counts.(i) + 1
+    in
+    List.iter place xs;
+    List.init buckets (fun i ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), counts.(i)))

@@ -1,0 +1,18 @@
+(** Small numeric summaries used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0.0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0.0 on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on the sorted
+    list; 0.0 on the empty list. *)
+
+val min_max : float list -> float * float
+(** (min, max); (0., 0.) on the empty list. *)
+
+val histogram : buckets:int -> float list -> (float * float * int) list
+(** [histogram ~buckets xs] returns [(lo, hi, count)] triples covering
+    the data range with equal-width buckets. *)

@@ -1,0 +1,1 @@
+lib/workload/bank.ml: Cm_core Cm_relational Cm_rule Item Printf Value

@@ -1,0 +1,1 @@
+lib/workload/bank.mli: Cm_core Cm_net Cm_relational Cm_rule

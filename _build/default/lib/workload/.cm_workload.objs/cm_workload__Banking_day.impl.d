@@ -1,0 +1,1 @@
+lib/workload/banking_day.ml: Array Cm_core Cm_relational Cm_rule Cm_sim Cm_util Event Item List Value

@@ -1,0 +1,1 @@
+lib/workload/banking_day.mli: Cm_core Cm_relational Cm_rule

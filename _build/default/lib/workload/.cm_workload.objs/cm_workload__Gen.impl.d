@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Cm_sim Cm_util

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Cm_sim Cm_util

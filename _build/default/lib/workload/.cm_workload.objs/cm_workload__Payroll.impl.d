@@ -1,0 +1,1 @@
+lib/workload/payroll.ml: Array Cm_core Cm_relational Cm_rule Cm_sim Cm_util Expr Float Gen Item List Value

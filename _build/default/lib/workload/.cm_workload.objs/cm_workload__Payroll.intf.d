@@ -1,0 +1,1 @@
+lib/workload/payroll.mli: Cm_core Cm_net Cm_relational Cm_rule

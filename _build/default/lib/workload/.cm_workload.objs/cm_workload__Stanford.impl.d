@@ -1,0 +1,1 @@
+lib/workload/stanford.ml: Cm_core Cm_relational Cm_rule Cm_sources Expr Item List Parser Printf Value

@@ -1,0 +1,1 @@
+lib/workload/stanford.mli: Cm_core Cm_relational Cm_rule

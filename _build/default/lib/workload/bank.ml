@@ -1,0 +1,138 @@
+module Sys_ = Cm_core.System
+module Shell = Cm_core.Shell
+module Tr_rel = Cm_core.Tr_relational
+module Db = Cm_relational.Database
+module Demarcation = Cm_core.Demarcation
+open Cm_rule
+
+type t = {
+  system : Sys_.t;
+  shell_a : Shell.t;
+  shell_b : Shell.t;
+  tr_a : Tr_rel.t;
+  tr_b : Tr_rel.t;
+  db_a : Db.t;
+  db_b : Db.t;
+  x : Demarcation.side;
+  y : Demarcation.side;
+}
+
+let locator item =
+  match item.Item.base with
+  | "Xbal" | "Xlim" | "PendX" -> "branch_a"
+  | _ -> "branch_b"
+
+let must = function
+  | Ok r -> r
+  | Error e -> failwith (Db.error_to_string e)
+
+let binding base col =
+  {
+    Tr_rel.base;
+    params = [];
+    read_sql = Some (Printf.sprintf "SELECT %s FROM acct" col);
+    write_sql = Some (Printf.sprintf "UPDATE acct SET %s = $b" col);
+    delete_sql = None;
+    notify =
+      Some
+        {
+          Tr_rel.table = "acct";
+          column = col;
+          key_column = "id";
+          send = false;
+          filter = None;
+          filter_expr = None;
+        };
+    no_spontaneous = false;
+    periodic = None;
+  }
+
+let create ?(seed = 42) ?(x_init = (0, 50)) ?(y_init = (100, 50)) ?net_latency ~policy
+    () =
+  let system = Sys_.create ~seed ?latency:net_latency locator in
+  let shell_a = Sys_.add_shell system ~site:"branch_a" in
+  let shell_b = Sys_.add_shell system ~site:"branch_b" in
+  let db_a = Db.create () and db_b = Db.create () in
+  let xb, xl = x_init and yb, yl = y_init in
+  ignore
+    (must
+       (Db.exec db_a
+          "CREATE TABLE acct (id TEXT PRIMARY KEY, bal INT NOT NULL, lim INT NOT NULL, CHECK (bal <= lim))"));
+  ignore
+    (must
+       (Db.exec db_a "INSERT INTO acct VALUES ('x', $b, $l)"
+          ~params:[ ("b", Value.Int xb); ("l", Value.Int xl) ]));
+  ignore
+    (must
+       (Db.exec db_b
+          "CREATE TABLE acct (id TEXT PRIMARY KEY, bal INT NOT NULL, lim INT NOT NULL, CHECK (bal >= lim))"));
+  ignore
+    (must
+       (Db.exec db_b "INSERT INTO acct VALUES ('y', $b, $l)"
+          ~params:[ ("b", Value.Int yb); ("l", Value.Int yl) ]));
+  let tr_a =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_a ~site:"branch_a"
+      ~emit:(Shell.emitter_for shell_a ~site:"branch_a")
+      ~report:(fun k -> Shell.report_failure shell_a k)
+      [ binding "Xbal" "bal"; binding "Xlim" "lim" ]
+  in
+  let tr_b =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_b ~site:"branch_b"
+      ~emit:(Shell.emitter_for shell_b ~site:"branch_b")
+      ~report:(fun k -> Shell.report_failure shell_b k)
+      [ binding "Ybal" "bal"; binding "Ylim" "lim" ]
+  in
+  Sys_.register_translator system ~shell:shell_a (Tr_rel.cmi tr_a);
+  Sys_.register_translator system ~shell:shell_b (Tr_rel.cmi tr_b);
+  let x = { Demarcation.bal = "Xbal"; lim = "Xlim"; pend = "PendX" } in
+  let y = { Demarcation.bal = "Ybal"; lim = "Ylim"; pend = "PendY" } in
+  Sys_.install system (Demarcation.rules ~policy ~delta:30.0 ~x ~y ());
+  { system; shell_a; shell_b; tr_a; tr_b; db_a; db_b; x; y }
+
+type outcome = Applied | Requested
+
+let try_set_x t v =
+  match
+    Tr_rel.exec_app t.tr_a "UPDATE acct SET bal = $b" ~params:[ ("b", Value.Int v) ]
+  with
+  | Ok _ -> Applied
+  | Error (Db.Check_failed _) ->
+    Demarcation.request_increase_x
+      ~emit:(Shell.emitter_for t.shell_a ~site:"branch_a")
+      ~x:t.x ~wanted:(Value.Int v);
+    Requested
+  | Error e -> failwith (Db.error_to_string e)
+
+let try_set_y t v =
+  match
+    Tr_rel.exec_app t.tr_b "UPDATE acct SET bal = $b" ~params:[ ("b", Value.Int v) ]
+  with
+  | Ok _ -> Applied
+  | Error (Db.Check_failed _) ->
+    Demarcation.request_decrease_y
+      ~emit:(Shell.emitter_for t.shell_b ~site:"branch_b")
+      ~y:t.y ~wanted:(Value.Int v);
+    Requested
+  | Error e -> failwith (Db.error_to_string e)
+
+let read_col db col =
+  match Db.exec db (Printf.sprintf "SELECT %s FROM acct" col) with
+  | Ok (Db.Rows { rows = [ [ v ] ]; _ }) -> Value.to_float v
+  | _ -> failwith "bank: account row missing"
+
+let x_bal t = read_col t.db_a "bal"
+let y_bal t = read_col t.db_b "bal"
+let x_lim t = read_col t.db_a "lim"
+let y_lim t = read_col t.db_b "lim"
+
+let always_leq_guarantee =
+  Cm_core.Guarantee.Always_leq
+    { smaller = Item.make "Xbal"; larger = Item.make "Ybal" }
+
+let initial t =
+  [
+    (Item.make "Xbal", Value.Float (x_bal t));
+    (Item.make "Ybal", Value.Float (y_bal t));
+    (Item.make "Xlim", Value.Float (x_lim t));
+    (Item.make "Ylim", Value.Float (y_lim t));
+  ]

@@ -1,0 +1,166 @@
+module Sim = Cm_sim.Sim
+module Sys_ = Cm_core.System
+module Shell = Cm_core.Shell
+module Tr_rel = Cm_core.Tr_relational
+module Db = Cm_relational.Database
+module Strategy = Cm_core.Strategy
+open Cm_rule
+
+type t = {
+  system : Sys_.t;
+  shell_branch : Shell.t;
+  shell_ho : Shell.t;
+  tr_branch : Tr_rel.t;
+  tr_ho : Tr_rel.t;
+  db_branch : Db.t;
+  db_ho : Db.t;
+  accounts : string list;
+  initial : (Item.t * Value.t) list;
+}
+
+let day = 86_400.0
+let business_open = 9.0 *. 3600.0
+let business_close = 17.0 *. 3600.0
+let window_start = (17.0 *. 3600.0) +. (15.0 *. 60.0)
+let window_end = day +. (8.0 *. 3600.0)
+
+let locator item =
+  match item.Item.base with "Bal1" -> "branch" | _ -> "ho"
+
+let must = function
+  | Ok r -> r
+  | Error e -> failwith (Db.error_to_string e)
+
+let setup_db db accounts =
+  ignore
+    (must (Db.exec db "CREATE TABLE accounts (acct TEXT PRIMARY KEY, bal INT NOT NULL)"));
+  List.iteri
+    (fun i acct ->
+      ignore
+        (must
+           (Db.exec db "INSERT INTO accounts VALUES ($n, $b)"
+              ~params:[ ("n", Value.Str acct); ("b", Value.Int (1000 * (i + 1))) ])))
+    accounts
+
+let binding base =
+  {
+    Tr_rel.base;
+    params = [ "n" ];
+    read_sql = Some "SELECT bal FROM accounts WHERE acct = $n";
+    write_sql = Some "UPDATE accounts SET bal = $b WHERE acct = $n";
+    delete_sql = None;
+    notify =
+      Some
+        {
+          Tr_rel.table = "accounts";
+          column = "bal";
+          key_column = "acct";
+          send = false;
+          filter = None;
+          filter_expr = None;
+        };
+    no_spontaneous = false;
+    periodic = None;
+  }
+
+let eod_rules =
+  (* Eod(Bal1(n)) is the custom event the end-of-day job emits per account. *)
+  Cm_rule.Parser.parse_rules
+    {|eod_read: Eod(Bal1(n)) ->[60] RR(Bal1(n))
+      eod_prop: R(Bal1(n), b) ->[300] WR(Bal2(n), b)|}
+
+let create ?(seed = 42) ?(accounts = 5) () =
+  let accounts = List.init accounts (fun i -> "a" ^ string_of_int (i + 1)) in
+  let system = Sys_.create ~seed locator in
+  let shell_branch = Sys_.add_shell system ~site:"branch" in
+  let shell_ho = Sys_.add_shell system ~site:"ho" in
+  let db_branch = Db.create () and db_ho = Db.create () in
+  setup_db db_branch accounts;
+  setup_db db_ho accounts;
+  let tr_branch =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_branch ~site:"branch"
+      ~emit:(Shell.emitter_for shell_branch ~site:"branch")
+      ~report:(fun k -> Shell.report_failure shell_branch k)
+      [ binding "Bal1" ]
+  in
+  let tr_ho =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_ho ~site:"ho"
+      ~emit:(Shell.emitter_for shell_ho ~site:"ho")
+      ~report:(fun k -> Shell.report_failure shell_ho k)
+      [ binding "Bal2" ]
+  in
+  Sys_.register_translator system ~shell:shell_branch (Tr_rel.cmi tr_branch);
+  Sys_.register_translator system ~shell:shell_ho (Tr_rel.cmi tr_ho);
+  Sys_.install system
+    {
+      Strategy.strategy_name = "end-of-day";
+      description = "daily read sweep propagated to the head office";
+      rules = eod_rules;
+      aux_init = [];
+    };
+  let initial =
+    List.concat
+      (List.mapi
+         (fun i acct ->
+           let v = Value.Int (1000 * (i + 1)) in
+           [
+             (Item.make "Bal1" ~params:[ Value.Str acct ], v);
+             (Item.make "Bal2" ~params:[ Value.Str acct ], v);
+           ])
+         accounts)
+  in
+  { system; shell_branch; shell_ho; tr_branch; tr_ho; db_branch; db_ho; accounts;
+    initial }
+
+let update t acct bal =
+  ignore
+    (must
+       (Tr_rel.exec_app t.tr_branch "UPDATE accounts SET bal = $b WHERE acct = $n"
+          ~params:[ ("b", Value.Int bal); ("n", Value.Str acct) ]))
+
+let sweep t =
+  let emit = Shell.emitter_for t.shell_branch ~site:"branch" in
+  List.iter
+    (fun acct ->
+      let item = Item.make "Bal1" ~params:[ Value.Str acct ] in
+      ignore
+        (emit
+           { Event.name = "Eod"; args = [ Event.Ai item ] }
+           ~kind:Event.Spontaneous))
+    t.accounts
+
+let run_days t ~days ~updates_per_day =
+  let sim = Sys_.sim t.system in
+  let rng = Cm_util.Prng.split (Sim.rng sim) in
+  let accounts = Array.of_list t.accounts in
+  for d = 0 to days - 1 do
+    let day_start = float_of_int d *. day in
+    for _ = 1 to updates_per_day do
+      let at =
+        day_start +. Cm_util.Prng.uniform_in rng ~lo:business_open ~hi:business_close
+      in
+      let acct = Cm_util.Prng.pick rng accounts in
+      let bal = 100 + Cm_util.Prng.int rng 10_000 in
+      Sim.schedule_at sim at (fun () -> update t acct bal)
+    done;
+    Sim.schedule_at sim (day_start +. business_close) (fun () -> sweep t)
+  done;
+  Sys_.run t.system ~until:(float_of_int days *. day)
+
+let guarantee acct =
+  Cm_core.Guarantee.Periodic_equal
+    {
+      x = Item.make "Bal1" ~params:[ Value.Str acct ];
+      y = Item.make "Bal2" ~params:[ Value.Str acct ];
+      period = day;
+      valid_from = window_start;
+      valid_to = window_end;
+    }
+
+let balance_at t side acct =
+  let db = match side with `Branch -> t.db_branch | `Head_office -> t.db_ho in
+  match
+    Db.exec db "SELECT bal FROM accounts WHERE acct = $n" ~params:[ ("n", Value.Str acct) ]
+  with
+  | Ok (Db.Rows { rows = [ [ v ] ]; _ }) -> v
+  | _ -> failwith ("no such account: " ^ acct)

@@ -1,0 +1,21 @@
+module Sim = Cm_sim.Sim
+module Prng = Cm_util.Prng
+
+let poisson sim ~rng ~mean_interarrival ~until action =
+  let rec arm () =
+    let delay = Prng.exponential rng ~mean:mean_interarrival in
+    let at = Sim.now sim +. delay in
+    if at <= until then
+      Sim.schedule_at sim at (fun () ->
+          action ();
+          arm ())
+  in
+  arm ()
+
+let every_fixed sim ~period ~until action =
+  Sim.every sim ~period action ~cancel:(fun () -> Sim.now sim > until)
+
+let random_walk rng ~current ~step =
+  if step <= 0 then invalid_arg "Gen.random_walk: step must be positive";
+  let delta = 1 + Prng.int rng step in
+  if Prng.bool rng then current + delta else current - delta

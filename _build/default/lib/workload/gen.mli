@@ -1,0 +1,24 @@
+(** Spontaneous-update generators.
+
+    Local applications "operate on the local database independently" of
+    the CM (paper §3.1.1); these helpers drive that behaviour inside the
+    simulation: Poisson arrival processes and value walks, all drawing
+    from the simulator's seeded PRNG for reproducibility. *)
+
+val poisson :
+  Cm_sim.Sim.t ->
+  rng:Cm_util.Prng.t ->
+  mean_interarrival:float ->
+  until:float ->
+  (unit -> unit) ->
+  unit
+(** Run the action at exponentially distributed interarrival times,
+    starting one draw after now, stopping at [until]. *)
+
+val every_fixed :
+  Cm_sim.Sim.t -> period:float -> until:float -> (unit -> unit) -> unit
+(** Deterministic fixed-period variant. *)
+
+val random_walk : Cm_util.Prng.t -> current:int -> step:int -> int
+(** Next value of a bounded-step integer walk: uniform in
+    [\[current − step, current + step\]] excluding [current]. *)

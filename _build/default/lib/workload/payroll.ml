@@ -1,0 +1,192 @@
+module Sim = Cm_sim.Sim
+module Sys_ = Cm_core.System
+module Shell = Cm_core.Shell
+module Tr_rel = Cm_core.Tr_relational
+module Db = Cm_relational.Database
+module Strategy = Cm_core.Strategy
+module Interface = Cm_core.Interface
+open Cm_rule
+
+type source_mode = Notify | Conditional of float | Read_only
+
+type t = {
+  system : Sys_.t;
+  shell_a : Shell.t;
+  shell_b : Shell.t;
+  tr_a : Tr_rel.t;
+  tr_b : Tr_rel.t;
+  db_a : Db.t;
+  db_b : Db.t;
+  employees : string list;
+  initial : (Item.t * Value.t) list;
+}
+
+let site_a = "sf"
+let site_b = "ny"
+
+let locator item =
+  match item.Item.base with
+  | "Salary1" -> site_a
+  | _ -> site_b
+
+let source_item emp = Item.make "Salary1" ~params:[ Value.Str emp ]
+let target_item emp = Item.make "Salary2" ~params:[ Value.Str emp ]
+let source_pattern = Interface.family "Salary1" [ "n" ]
+let target_pattern = Interface.family "Salary2" [ "n" ]
+
+let must = function
+  | Ok r -> r
+  | Error e -> failwith (Db.error_to_string e)
+
+let initial_salary i = 1000 + (100 * i)
+
+let setup_db db employees =
+  ignore
+    (must
+       (Db.exec db "CREATE TABLE employees (empid TEXT PRIMARY KEY, salary INT NOT NULL)"));
+  List.iteri
+    (fun i emp ->
+      ignore
+        (must
+           (Db.exec db "INSERT INTO employees VALUES ($n, $s)"
+              ~params:[ ("n", Value.Str emp); ("s", Value.Int (initial_salary i)) ])))
+    employees
+
+let binding ~base ~mode =
+  let notify =
+    match mode with
+    | Read_only ->
+      (* Observe only: ground truth Ws without a notify interface. *)
+      Some
+        {
+          Tr_rel.table = "employees";
+          column = "salary";
+          key_column = "empid";
+          send = false;
+          filter = None;
+          filter_expr = None;
+        }
+    | Notify ->
+      Some
+        {
+          Tr_rel.table = "employees";
+          column = "salary";
+          key_column = "empid";
+          send = true;
+          filter = None;
+          filter_expr = None;
+        }
+    | Conditional threshold ->
+      Some
+        {
+          Tr_rel.table = "employees";
+          column = "salary";
+          key_column = "empid";
+          send = true;
+          filter =
+            Some
+              (fun ~old_value ~new_value ->
+                Float.abs (Value.to_float new_value -. Value.to_float old_value)
+                > threshold *. Value.to_float old_value);
+          filter_expr = Some (Interface.relative_change_condition ~threshold);
+        }
+  in
+  {
+    Tr_rel.base;
+    params = [ "n" ];
+    read_sql = Some "SELECT salary FROM employees WHERE empid = $n";
+    write_sql = Some "UPDATE employees SET salary = $b WHERE empid = $n";
+    delete_sql = None;
+    notify;
+    no_spontaneous = false;
+    periodic = None;
+  }
+
+let create ?(seed = 42) ?(employees = 10) ?(mode = Notify) ?(notify_latency = 1.0)
+    ?(notify_delta = 5.0) ?(write_latency = 0.2) ?net_latency ?fifo
+    ?(recoverable_source = false) () =
+  let employees = List.init employees (fun i -> "e" ^ string_of_int (i + 1)) in
+  let system = Sys_.create ~seed ?latency:net_latency ?fifo locator in
+  let shell_a = Sys_.add_shell system ~site:site_a in
+  let shell_b = Sys_.add_shell system ~site:site_b in
+  let db_a = Db.create () and db_b = Db.create () in
+  setup_db db_a employees;
+  setup_db db_b employees;
+  let latencies lat_notify =
+    { Tr_rel.read = 0.2; write = write_latency; notify = lat_notify; delete = 0.2 }
+  in
+  let deltas =
+    { Tr_rel.read = 1.0; write = 1.0; notify = notify_delta; delete = 1.0 }
+  in
+  let tr_a =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_a ~site:site_a
+      ~emit:(Shell.emitter_for shell_a ~site:site_a)
+      ~report:(fun k -> Shell.report_failure shell_a k)
+      ~latencies:(latencies notify_latency) ~deltas ~recoverable:recoverable_source
+      [ binding ~base:"Salary1" ~mode ]
+  in
+  let tr_b =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_b ~site:site_b
+      ~emit:(Shell.emitter_for shell_b ~site:site_b)
+      ~report:(fun k -> Shell.report_failure shell_b k)
+      ~latencies:(latencies 1.0) ~deltas
+      [ binding ~base:"Salary2" ~mode:Read_only ]
+  in
+  Sys_.register_translator system ~shell:shell_a (Tr_rel.cmi tr_a);
+  Sys_.register_translator system ~shell:shell_b (Tr_rel.cmi tr_b);
+  let initial =
+    List.concat
+      (List.mapi
+         (fun i emp ->
+           let v = Value.Int (initial_salary i) in
+           [ (source_item emp, v); (target_item emp, v) ])
+         employees)
+  in
+  { system; shell_a; shell_b; tr_a; tr_b; db_a; db_b; employees; initial }
+
+let install_propagation ?(delta = 5.0) t =
+  Sys_.install t.system
+    (Strategy.propagate ~delta ~source:source_pattern ~target:target_pattern ())
+
+let install_polling ?(delta = 5.0) ~period t =
+  List.iter
+    (fun emp ->
+      let concrete base = Expr.Item (base, [ Expr.Const (Value.Str emp) ]) in
+      Sys_.install t.system
+        (Strategy.poll ~prefix:("poll_" ^ emp) ~period ~delta
+           ~source:(concrete "Salary1") ~target:(concrete "Salary2") ()))
+    t.employees
+
+let update_salary t ~emp ~salary =
+  ignore
+    (must
+       (Tr_rel.exec_app t.tr_a "UPDATE employees SET salary = $b WHERE empid = $n"
+          ~params:[ ("b", Value.Int salary); ("n", Value.Str emp) ]))
+
+let schedule_update t ~at ~emp ~salary =
+  Sim.schedule_at (Sys_.sim t.system) at (fun () -> update_salary t ~emp ~salary)
+
+let random_updates t ~mean_interarrival ~until =
+  let sim = Sys_.sim t.system in
+  let rng = Cm_util.Prng.split (Sim.rng sim) in
+  let employees = Array.of_list t.employees in
+  Gen.poisson sim ~rng ~mean_interarrival ~until (fun () ->
+      let emp = Cm_util.Prng.pick rng employees in
+      let salary = 1000 + Cm_util.Prng.int rng 9000 in
+      update_salary t ~emp ~salary)
+
+let salary_at t side emp =
+  let db = match side with `A -> t.db_a | `B -> t.db_b in
+  match
+    Db.exec db "SELECT salary FROM employees WHERE empid = $n"
+      ~params:[ ("n", Value.Str emp) ]
+  with
+  | Ok (Db.Rows { rows = [ [ v ] ]; _ }) -> v
+  | Ok _ -> failwith ("no such employee: " ^ emp)
+  | Error e -> failwith (Db.error_to_string e)
+
+let guarantees ?(kappa = 10.0) _t ~emp =
+  Cm_core.Guarantee.for_copy_constraint ~source:(source_item emp)
+    ~target:(target_item emp) ~kappa
+
+let recover_source t = Tr_rel.recover t.tr_a

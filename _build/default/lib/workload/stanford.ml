@@ -1,0 +1,252 @@
+module Sys_ = Cm_core.System
+module Shell = Cm_core.Shell
+module Tr_whois = Cm_core.Tr_whois
+module Tr_objstore = Cm_core.Tr_objstore
+module Tr_rel = Cm_core.Tr_relational
+module Tr_bibdb = Cm_core.Tr_bibdb
+module Db = Cm_relational.Database
+module Strategy = Cm_core.Strategy
+open Cm_rule
+
+type t = {
+  system : Sys_.t;
+  tr_whois : Tr_whois.t;
+  tr_lookup : Tr_objstore.t;
+  tr_group : Tr_rel.t;
+  tr_bib : Tr_bibdb.t;
+  people : string list;
+  db_group : Db.t;
+  initial : (Item.t * Value.t) list;
+}
+
+let locator item =
+  match item.Item.base with
+  | "WPhone" -> "whois"
+  | "LPhone" -> "lookup"
+  | "BibPaper" -> "biblio"
+  | _ -> "groupdb"
+
+let must = function
+  | Ok r -> r
+  | Error e -> failwith (Db.error_to_string e)
+
+let initial_phone i = Printf.sprintf "555-%04d" (1000 + i)
+
+let create ?(seed = 42) ?(people = 4) ?(poll_period = 120.0) () =
+  let people = List.init people (fun i -> "p" ^ string_of_int (i + 1)) in
+  let system = Sys_.create ~seed locator in
+  let sh_whois = Sys_.add_shell system ~site:"whois" in
+  let sh_lookup = Sys_.add_shell system ~site:"lookup" in
+  let sh_group = Sys_.add_shell system ~site:"groupdb" in
+  let sh_bib = Sys_.add_shell system ~site:"biblio" in
+  (* whois: the campus directory. *)
+  let whois_server = Cm_sources.Whois.create () in
+  List.iteri
+    (fun i person ->
+      Cm_sources.Whois.register whois_server ~name:person
+        ~fields:[ ("phone", initial_phone i) ])
+    people;
+  let tr_whois =
+    Tr_whois.create ~sim:(Sys_.sim system) ~server:whois_server ~site:"whois"
+      ~emit:(Shell.emitter_for sh_whois ~site:"whois")
+      ~report:(fun k -> Shell.report_failure sh_whois k)
+      [ { Tr_whois.base = "WPhone"; field = "phone" } ]
+  in
+  (* lookup: the departmental personnel database. *)
+  let store = Cm_sources.Objstore.create () in
+  List.iteri
+    (fun i person ->
+      Cm_sources.Objstore.put store ~cls:"person" ~id:person
+        [ ("phone", Value.Str (initial_phone i)) ])
+    people;
+  let tr_lookup =
+    Tr_objstore.create ~sim:(Sys_.sim system) ~store ~site:"lookup"
+      ~emit:(Shell.emitter_for sh_lookup ~site:"lookup")
+      ~report:(fun k -> Shell.report_failure sh_lookup k)
+      [
+        {
+          Tr_objstore.base = "LPhone";
+          cls = "person";
+          attr = "phone";
+          writable = true;
+          notify = Tr_objstore.Plain;
+        };
+      ]
+  in
+  (* groupdb: the database group's relational database. *)
+  let db_group = Db.create () in
+  ignore
+    (must (Db.exec db_group "CREATE TABLE people (person TEXT PRIMARY KEY, phone TEXT)"));
+  ignore
+    (must (Db.exec db_group "CREATE TABLE papers (id TEXT PRIMARY KEY, title TEXT)"));
+  List.iteri
+    (fun i person ->
+      ignore
+        (must
+           (Db.exec db_group "INSERT INTO people VALUES ($n, $p)"
+              ~params:[ ("n", Value.Str person); ("p", Value.Str (initial_phone i)) ])))
+    people;
+  let tr_group =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_group ~site:"groupdb"
+      ~emit:(Shell.emitter_for sh_group ~site:"groupdb")
+      ~report:(fun k -> Shell.report_failure sh_group k)
+      ~existence:
+        [ { Tr_rel.ex_base = "GPaper"; ex_table = "papers"; ex_key_column = "id" } ]
+      [
+        {
+          Tr_rel.base = "GPhone";
+          params = [ "n" ];
+          read_sql = Some "SELECT phone FROM people WHERE person = $n";
+          write_sql = Some "UPDATE people SET phone = $b WHERE person = $n";
+          delete_sql = None;
+          notify =
+            Some
+              {
+                Tr_rel.table = "people";
+                column = "phone";
+                key_column = "person";
+                send = false;
+                filter = None;
+                filter_expr = None;
+              };
+          no_spontaneous = false;
+    periodic = None;
+        };
+        {
+          Tr_rel.base = "GPaper";
+          params = [ "k" ];
+          read_sql = Some "SELECT title FROM papers WHERE id = $k";
+          write_sql = Some "INSERT INTO papers (id, title) VALUES ($k, $b)";
+          delete_sql = Some "DELETE FROM papers WHERE id = $k";
+          notify = None;
+          no_spontaneous = false;
+    periodic = None;
+        };
+      ]
+  in
+  (* biblio: the bibliographic information system. *)
+  let bib = Cm_sources.Bibdb.create () in
+  let tr_bib =
+    Tr_bibdb.create ~sim:(Sys_.sim system) ~db:bib ~site:"biblio"
+      ~emit:(Shell.emitter_for sh_bib ~site:"biblio")
+      ~report:(fun k -> Shell.report_failure sh_bib k)
+      ~base:"BibPaper" ()
+  in
+  Sys_.register_translator system ~shell:sh_whois (Tr_whois.cmi tr_whois);
+  Sys_.register_translator system ~shell:sh_lookup (Tr_objstore.cmi tr_lookup);
+  Sys_.register_translator system ~shell:sh_group (Tr_rel.cmi tr_group);
+  Sys_.register_translator system ~shell:sh_bib (Tr_bibdb.cmi tr_bib);
+  (* Strategy 1: whois -> lookup by polling, one poller per person. *)
+  List.iter
+    (fun person ->
+      let concrete base = Expr.Item (base, [ Expr.Const (Value.Str person) ]) in
+      Sys_.install system
+        (Strategy.poll ~prefix:("wl_" ^ person) ~period:poll_period ~delta:10.0
+           ~source:(concrete "WPhone") ~target:(concrete "LPhone") ()))
+    people;
+  (* Strategy 2: lookup -> groupdb.  Spontaneous lookup changes arrive as
+     N events; values the CM itself wrote into lookup (from the whois
+     poller) arrive as W events — both are forwarded. *)
+  let lphone = Cm_core.Interface.family "LPhone" [ "n" ] in
+  let gphone = Cm_core.Interface.family "GPhone" [ "n" ] in
+  Sys_.install system (Strategy.propagate ~prefix:"lg" ~delta:10.0 ~source:lphone ~target:gphone ());
+  Sys_.install system
+    {
+      Strategy.strategy_name = "propagate-cm-writes";
+      description = "forward CM-performed lookup writes to groupdb";
+      rules =
+        Parser.parse_rules "lgw: W(LPhone(n), b) ->[10] WR(GPhone(n), b)";
+      aux_init = [];
+    };
+  (* Strategy 3: referential integrity biblio -> groupdb (§4.3, §6.2). *)
+  Sys_.install system
+    {
+      Strategy.strategy_name = "refint-papers";
+      description = "mirror bibliographic papers into groupdb";
+      rules =
+        Parser.parse_rules
+          {|bibins: INS(BibPaper(k)) ->[5] RR(BibPaper(k))
+            bibcp:  R(BibPaper(k), b) ->[30] WR(GPaper(k), b)
+            bibdel: DEL(BibPaper(k)) ->[30] DR(GPaper(k))|};
+      aux_init = [];
+    };
+  let initial =
+    List.concat
+      (List.mapi
+         (fun i person ->
+           let v = Value.Str (initial_phone i) in
+           [
+             (Item.make "WPhone" ~params:[ Value.Str person ], v);
+             (Item.make "LPhone" ~params:[ Value.Str person ], v);
+             (Item.make "GPhone" ~params:[ Value.Str person ], v);
+           ])
+         people)
+  in
+  { system; tr_whois; tr_lookup; tr_group; tr_bib; people; db_group; initial }
+
+let admin_change_phone t ~person ~phone =
+  ignore (Tr_whois.update_app t.tr_whois ~name:person ~field:"phone" ~value:phone)
+
+let app_change_phone t ~person ~phone =
+  ignore
+    (Tr_objstore.set_app t.tr_lookup
+       (Item.make "LPhone" ~params:[ Value.Str person ])
+       (Value.Str phone))
+
+let publish_paper t ~key ~title ~authors =
+  Tr_bibdb.add_app t.tr_bib { Cm_sources.Bibdb.key; title; authors; year = 1996 }
+
+let withdraw_paper t ~key = ignore (Tr_bibdb.withdraw_app t.tr_bib key)
+
+let phone_in_lookup t ~person =
+  (Tr_objstore.cmi t.tr_lookup).Cm_core.Cmi.current_value
+    (Item.make "LPhone" ~params:[ Value.Str person ])
+
+let phone_in_groupdb t ~person =
+  match
+    Db.exec t.db_group "SELECT phone FROM people WHERE person = $n"
+      ~params:[ ("n", Value.Str person) ]
+  with
+  | Ok (Db.Rows { rows = [ [ v ] ]; _ }) -> Some v
+  | _ -> None
+
+let paper_in_groupdb t ~key =
+  match
+    Db.exec t.db_group "SELECT id FROM papers WHERE id = $k"
+      ~params:[ ("k", Value.Str key) ]
+  with
+  | Ok (Db.Rows { rows = [ _ ]; _ }) -> true
+  | _ -> false
+
+let phone_guarantees _t ~person =
+  (* Guarantees for the lookup -> groupdb hop.  (The whois -> lookup hop
+     only satisfies follows-style guarantees when lookup is not updated
+     independently — see {!directory_guarantees}.) *)
+  let p = Value.Str person in
+  let l = Item.make "LPhone" ~params:[ p ] in
+  let g = Item.make "GPhone" ~params:[ p ] in
+  let pair_lg = { Cm_core.Guarantee.leader = l; follower = g } in
+  [
+    Cm_core.Guarantee.Follows pair_lg;
+    Cm_core.Guarantee.Leads pair_lg;
+    Cm_core.Guarantee.Strictly_follows pair_lg;
+    Cm_core.Guarantee.Metric_follows (pair_lg, 25.0);
+  ]
+
+let directory_guarantees _t ~person =
+  let p = Value.Str person in
+  let w = Item.make "WPhone" ~params:[ p ] in
+  let l = Item.make "LPhone" ~params:[ p ] in
+  let pair_wl = { Cm_core.Guarantee.leader = w; follower = l } in
+  [
+    Cm_core.Guarantee.Follows pair_wl;
+    Cm_core.Guarantee.Strictly_follows pair_wl;
+  ]
+
+let refint_guarantee ~key ~bound =
+  Cm_core.Guarantee.Exists_within
+    {
+      antecedent = Item.make "BibPaper" ~params:[ Value.Str key ];
+      consequent = Item.make "GPaper" ~params:[ Value.Str key ];
+      bound;
+    }

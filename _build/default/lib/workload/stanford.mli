@@ -1,0 +1,64 @@
+(** The Stanford federation (§4.3): four heterogeneous sources
+    coordinated without modifying any of them.
+
+    - ["whois"]: the campus directory ({!Cm_sources.Whois}) — read-only;
+      phone numbers of record, changed by administrators.
+    - ["lookup"]: the CS department personnel database
+      ({!Cm_sources.Objstore}) — notify + write.
+    - ["groupdb"]: the database group's relational database — write,
+      with observer-based ground truth; holds people and the papers
+      table.
+    - ["biblio"]: the bibliographic system ({!Cm_sources.Bibdb}) —
+      read-only, INS/DEL observable.
+
+    Constraints maintained:
+    - wphone(n) = lphone(n): whois is read-only, so a per-person polling
+      strategy copies directory changes into lookup;
+    - lphone(n) = gphone(n): notify → write propagation;
+    - referential integrity: every paper in biblio (by a group member)
+      must be mentioned in groupdb — maintained by
+      [INS(BibPaper(k)) → RR(BibPaper(k))], [R(BibPaper(k), b) →
+      WR(GPaper(k), b)] and [DEL(BibPaper(k)) → DR(GPaper(k))]. *)
+
+type t = {
+  system : Cm_core.System.t;
+  tr_whois : Cm_core.Tr_whois.t;
+  tr_lookup : Cm_core.Tr_objstore.t;
+  tr_group : Cm_core.Tr_relational.t;
+  tr_bib : Cm_core.Tr_bibdb.t;
+  people : string list;
+  db_group : Cm_relational.Database.t;
+  initial : (Cm_rule.Item.t * Cm_rule.Value.t) list;
+}
+
+val create : ?seed:int -> ?people:int -> ?poll_period:float -> unit -> t
+(** Builds all four sources with consistent initial phone numbers and
+    installs all three strategies.  Default 4 people, 120 s polling. *)
+
+(** {2 Spontaneous operations} *)
+
+val admin_change_phone : t -> person:string -> phone:string -> unit
+(** Directory change on whois (at the current simulated time). *)
+
+val app_change_phone : t -> person:string -> phone:string -> unit
+(** Personnel-database change on lookup. *)
+
+val publish_paper : t -> key:string -> title:string -> authors:string list -> unit
+val withdraw_paper : t -> key:string -> unit
+
+(** {2 Observations} *)
+
+val phone_in_lookup : t -> person:string -> Cm_rule.Value.t option
+val phone_in_groupdb : t -> person:string -> Cm_rule.Value.t option
+val paper_in_groupdb : t -> key:string -> bool
+
+val phone_guarantees : t -> person:string -> Cm_core.Guarantee.t list
+(** The four §3.3.1 guarantees for the lookup→groupdb hop (κ = 25). *)
+
+val directory_guarantees : t -> person:string -> Cm_core.Guarantee.t list
+(** Follows/strictly-follows for the whois→lookup hop; only meaningful
+    when lookup is not independently updated (it is also a polling hop,
+    so the leads guarantee is never offered). *)
+
+val refint_guarantee : key:string -> bound:float -> Cm_core.Guarantee.t
+(** Bounded-window referential integrity for one paper key. *)

@@ -1,0 +1,534 @@
+(* End-to-end tests of the constraint manager: the paper's §4.2 payroll
+   scenario, the polling variant, the monitor strategy, failure handling,
+   and the Demarcation Protocol. *)
+
+open Cm_rule
+module Sys_ = Cm_core.System
+module Shell = Cm_core.Shell
+module Strategy = Cm_core.Strategy
+module Guarantee = Cm_core.Guarantee
+module Interface = Cm_core.Interface
+module Tr_rel = Cm_core.Tr_relational
+module Db = Cm_relational.Database
+module Health = Cm_sources.Health
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* ---- scenario builder: §4.2 payroll ---- *)
+
+type payroll = {
+  system : Sys_.t;
+  shell_a : Shell.t;
+  shell_b : Shell.t;
+  tr_a : Tr_rel.t;
+  tr_b : Tr_rel.t;
+  db_a : Db.t;
+  db_b : Db.t;
+}
+
+let locator item =
+  match item.Item.base with
+  | "Salary1" -> "sf"
+  | "Salary2" -> "ny"
+  | b when String.length b >= 2 && String.sub b 0 2 = "C_" -> "ny"
+  | _ -> "ny"
+
+let setup_db db =
+  (match
+     Db.exec db "CREATE TABLE employees (empid TEXT PRIMARY KEY, salary INT NOT NULL)"
+   with
+   | Ok _ -> ()
+   | Error e -> failwith (Db.error_to_string e));
+  List.iter
+    (fun (id, sal) ->
+      match
+        Db.exec db
+          (Printf.sprintf "INSERT INTO employees VALUES ('%s', %d)" id sal)
+      with
+      | Ok _ -> ()
+      | Error e -> failwith (Db.error_to_string e))
+    [ ("e1", 100); ("e2", 200); ("e3", 300) ]
+
+let payroll_binding ~base ~notify =
+  {
+    Tr_rel.base;
+    params = [ "n" ];
+    read_sql = Some "SELECT salary FROM employees WHERE empid = $n";
+    write_sql = Some "UPDATE employees SET salary = $b WHERE empid = $n";
+    delete_sql = None;
+    notify =
+      (if notify then
+         Some
+           {
+             Tr_rel.table = "employees";
+             column = "salary";
+             key_column = "empid";
+             send = true;
+             filter = None;
+             filter_expr = None;
+           }
+       else
+         (* Observe-only: ground-truth Ws events without a notify interface. *)
+         Some
+           {
+             Tr_rel.table = "employees";
+             column = "salary";
+             key_column = "empid";
+             send = false;
+             filter = None;
+             filter_expr = None;
+           });
+    no_spontaneous = false;
+    periodic = None;
+  }
+
+let make_payroll ?(notify = true) ?(seed = 7) () =
+  let system = Sys_.create ~seed locator in
+  let shell_a = Sys_.add_shell system ~site:"sf" in
+  let shell_b = Sys_.add_shell system ~site:"ny" in
+  let db_a = Db.create () in
+  let db_b = Db.create () in
+  setup_db db_a;
+  setup_db db_b;
+  let tr_a =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_a ~site:"sf"
+      ~emit:(Shell.emitter_for shell_a ~site:"sf")
+      ~report:(fun kind -> Shell.report_failure shell_a kind)
+      [ payroll_binding ~base:"Salary1" ~notify ]
+  in
+  let tr_b =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_b ~site:"ny"
+      ~emit:(Shell.emitter_for shell_b ~site:"ny")
+      ~report:(fun kind -> Shell.report_failure shell_b kind)
+      [ payroll_binding ~base:"Salary2" ~notify:false ]
+  in
+  Sys_.register_translator system ~shell:shell_a (Tr_rel.cmi tr_a);
+  Sys_.register_translator system ~shell:shell_b (Tr_rel.cmi tr_b);
+  { system; shell_a; shell_b; tr_a; tr_b; db_a; db_b }
+
+let update_salary p emp sal ~at =
+  Cm_sim.Sim.schedule_at (Sys_.sim p.system) at (fun () ->
+      match
+        Tr_rel.exec_app p.tr_a "UPDATE employees SET salary = $s WHERE empid = $n"
+          ~params:[ ("s", Value.Int sal); ("n", Value.Str emp) ]
+      with
+      | Ok _ -> ()
+      | Error e -> failwith (Db.error_to_string e))
+
+let salary_in db emp =
+  match
+    Db.exec db "SELECT salary FROM employees WHERE empid = $n"
+      ~params:[ ("n", Value.Str emp) ]
+  with
+  | Ok (Db.Rows { rows = [ [ v ] ]; _ }) -> v
+  | _ -> Alcotest.fail "salary lookup failed"
+
+let initial_state =
+  List.concat_map
+    (fun (id, sal) ->
+      [
+        (Item.make "Salary1" ~params:[ Value.Str id ], Value.Int sal);
+        (Item.make "Salary2" ~params:[ Value.Str id ], Value.Int sal);
+      ])
+    [ ("e1", 100); ("e2", 200); ("e3", 300) ]
+
+(* ---- tests ---- *)
+
+let propagation_end_to_end () =
+  let p = make_payroll () in
+  Sys_.install p.system
+    (Strategy.propagate ~delta:5.0
+       ~source:(Interface.family "Salary1" [ "n" ])
+       ~target:(Interface.family "Salary2" [ "n" ])
+       ());
+  update_salary p "e1" 150 ~at:10.0;
+  update_salary p "e2" 250 ~at:20.0;
+  update_salary p "e1" 175 ~at:30.0;
+  Sys_.run p.system ~until:100.0;
+  Alcotest.check value "e1 propagated" (Value.Int 175) (salary_in p.db_b "e1");
+  Alcotest.check value "e2 propagated" (Value.Int 250) (salary_in p.db_b "e2");
+  Alcotest.check value "e3 untouched" (Value.Int 300) (salary_in p.db_b "e3")
+
+let propagation_guarantees_hold () =
+  let p = make_payroll () in
+  Sys_.install p.system
+    (Strategy.propagate ~delta:5.0
+       ~source:(Interface.family "Salary1" [ "n" ])
+       ~target:(Interface.family "Salary2" [ "n" ])
+       ());
+  List.iteri
+    (fun i sal -> update_salary p "e1" sal ~at:(10.0 +. float_of_int (10 * i)))
+    [ 110; 120; 130; 140 ];
+  Sys_.run p.system ~until:200.0;
+  let tl = Sys_.timeline ~initial:initial_state p.system in
+  let source = Item.make "Salary1" ~params:[ Value.Str "e1" ] in
+  let target = Item.make "Salary2" ~params:[ Value.Str "e1" ] in
+  List.iter
+    (fun g ->
+      let r = Guarantee.check ~horizon:200.0 ~ignore_after:150.0 tl g in
+      Alcotest.(check bool)
+        (Guarantee.name g ^ " holds: " ^ String.concat "; " r.Guarantee.counterexamples)
+        true r.Guarantee.holds)
+    (Guarantee.for_copy_constraint ~source ~target ~kappa:10.0)
+
+let propagation_trace_is_valid_execution () =
+  let p = make_payroll () in
+  Sys_.install p.system
+    (Strategy.propagate ~delta:5.0
+       ~source:(Interface.family "Salary1" [ "n" ])
+       ~target:(Interface.family "Salary2" [ "n" ])
+       ());
+  update_salary p "e1" 150 ~at:10.0;
+  update_salary p "e2" 250 ~at:20.0;
+  Sys_.run p.system ~until:100.0;
+  let violations = Sys_.check_validity p.system in
+  Alcotest.(check (list string)) "valid execution" []
+    (List.map Validity.violation_to_string violations)
+
+let polling_misses_updates () =
+  (* §4.2.3: with a read interface and polling, guarantee (2) fails when
+     several updates land in one polling interval. *)
+  let p = make_payroll ~notify:false () in
+  let source = Expr.Item ("Salary1", [ Expr.Const (Value.Str "e1") ]) in
+  let target = Expr.Item ("Salary2", [ Expr.Const (Value.Str "e1") ]) in
+  Sys_.install p.system (Strategy.poll ~period:60.0 ~delta:5.0 ~source ~target ());
+  (* Two updates within one 60 s polling interval: the first is missed. *)
+  update_salary p "e1" 111 ~at:70.0;
+  update_salary p "e1" 122 ~at:80.0;
+  Sys_.run p.system ~until:400.0;
+  let tl = Sys_.timeline ~initial:initial_state p.system in
+  let src = Item.make "Salary1" ~params:[ Value.Str "e1" ] in
+  let tgt = Item.make "Salary2" ~params:[ Value.Str "e1" ] in
+  let pair = { Guarantee.leader = src; follower = tgt } in
+  let follows = Guarantee.check ~horizon:400.0 tl (Guarantee.Follows pair) in
+  Alcotest.(check bool) "(1) still holds" true follows.Guarantee.holds;
+  let leads = Guarantee.check ~horizon:400.0 ~ignore_after:300.0 tl (Guarantee.Leads pair) in
+  Alcotest.(check bool) "(2) fails under polling" false leads.Guarantee.holds;
+  let strict = Guarantee.check ~horizon:400.0 tl (Guarantee.Strictly_follows pair) in
+  Alcotest.(check bool) "(3) still holds" true strict.Guarantee.holds;
+  Alcotest.check value "final value did arrive" (Value.Int 122) (salary_in p.db_b "e1")
+
+let monitor_strategy_flag () =
+  (* §6.3: two notify-only sources; the CM maintains Flag/Tb. *)
+  let locator item =
+    match item.Item.base with "Salary1" -> "sf" | "Salary2" -> "ny" | _ -> "app"
+  in
+  let system = Sys_.create ~seed:11 locator in
+  let shell_a = Sys_.add_shell system ~site:"sf" in
+  let shell_b = Sys_.add_shell system ~site:"ny" in
+  let shell_app = Sys_.add_shell system ~site:"app" in
+  let db_a = Db.create () and db_b = Db.create () in
+  setup_db db_a;
+  setup_db db_b;
+  let notify_only base =
+    {
+      (payroll_binding ~base ~notify:true) with
+      Tr_rel.write_sql = None;
+      read_sql = Some "SELECT salary FROM employees WHERE empid = $n";
+    }
+  in
+  let tr_a =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_a ~site:"sf"
+      ~emit:(Shell.emitter_for shell_a ~site:"sf")
+      ~report:(fun k -> Shell.report_failure shell_a k)
+      [ notify_only "Salary1" ]
+  in
+  let tr_b =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_b ~site:"ny"
+      ~emit:(Shell.emitter_for shell_b ~site:"ny")
+      ~report:(fun k -> Shell.report_failure shell_b k)
+      [ notify_only "Salary2" ]
+  in
+  Sys_.register_translator system ~shell:shell_a (Tr_rel.cmi tr_a);
+  Sys_.register_translator system ~shell:shell_b (Tr_rel.cmi tr_b);
+  (* Monitor the e1 salaries only. *)
+  let x = Expr.Item ("Salary1", [ Expr.Const (Value.Str "e1") ]) in
+  let y = Expr.Item ("Salary2", [ Expr.Const (Value.Str "e1") ]) in
+  Sys_.install system (Strategy.monitor ~prefix:"m" ~delta:5.0 ~x ~y ());
+  let aux = Strategy.monitor_items ~prefix:"m" () in
+  (* Update X, making them unequal; then update Y to match. *)
+  let app_update tr sal ~at =
+    Cm_sim.Sim.schedule_at (Sys_.sim system) at (fun () ->
+        match
+          Tr_rel.exec_app tr "UPDATE employees SET salary = $s WHERE empid = 'e1'"
+            ~params:[ ("s", Value.Int sal) ]
+        with
+        | Ok _ -> ()
+        | Error e -> failwith (Db.error_to_string e))
+  in
+  app_update tr_a 500 ~at:10.0;
+  app_update tr_b 500 ~at:50.0;
+  Sys_.run system ~until:100.0;
+  (* After both updates and notifications, caches are equal: Flag true. *)
+  (match Shell.read_aux shell_app aux.Strategy.flag with
+   | Some (Value.Bool b) -> Alcotest.(check bool) "flag true at end" true b
+   | _ -> Alcotest.fail "flag missing");
+  (match Shell.read_aux shell_app aux.Strategy.tb with
+   | Some (Value.Float tb) ->
+     Alcotest.(check bool) "Tb set after Y's catch-up" true (tb >= 50.0 && tb <= 60.0)
+   | _ -> Alcotest.fail "Tb missing");
+  (* The monitor guarantee itself holds on the trace. *)
+  let tl = Sys_.timeline ~initial:initial_state system in
+  let g =
+    Guarantee.Monitor_window
+      {
+        flag = aux.Strategy.flag;
+        tb = aux.Strategy.tb;
+        x = Item.make "Salary1" ~params:[ Value.Str "e1" ];
+        y = Item.make "Salary2" ~params:[ Value.Str "e1" ];
+        kappa = 6.0;
+      }
+  in
+  let r = Guarantee.check ~horizon:100.0 tl g in
+  Alcotest.(check bool)
+    ("monitor guarantee: " ^ String.concat "; " r.Guarantee.counterexamples)
+    true r.Guarantee.holds
+
+let failure_invalidation () =
+  let p = make_payroll () in
+  Sys_.install p.system
+    (Strategy.propagate ~delta:5.0
+       ~source:(Interface.family "Salary1" [ "n" ])
+       ~target:(Interface.family "Salary2" [ "n" ])
+       ());
+  let src = Item.make "Salary1" ~params:[ Value.Str "e1" ] in
+  let tgt = Item.make "Salary2" ~params:[ Value.Str "e1" ] in
+  let pair = { Guarantee.leader = src; follower = tgt } in
+  let g_nonmetric =
+    Sys_.declare_guarantee p.system ~sites:[ "sf"; "ny" ] (Guarantee.Follows pair)
+  in
+  let g_metric =
+    Sys_.declare_guarantee p.system ~sites:[ "sf"; "ny" ]
+      (Guarantee.Metric_follows (pair, 10.0))
+  in
+  (* Degrade the target database: writes now take 60 s extra, missing the
+     write interface's bound -> metric failure. *)
+  Cm_sim.Sim.schedule_at (Sys_.sim p.system) 5.0 (fun () ->
+      Health.set (Tr_rel.health p.tr_b) (Health.Degraded { extra_latency = 60.0 }));
+  update_salary p "e1" 500 ~at:10.0;
+  Sys_.run p.system ~until:200.0;
+  Alcotest.(check bool) "metric guarantee invalidated" false
+    (Sys_.guarantee_valid g_metric);
+  Alcotest.(check bool) "non-metric guarantee survives" true
+    (Sys_.guarantee_valid g_nonmetric);
+  (* The write did eventually happen: non-metric semantics intact. *)
+  Alcotest.check value "value arrived late" (Value.Int 500) (salary_in p.db_b "e1")
+
+let logical_failure_invalidates_all () =
+  let p = make_payroll () in
+  Sys_.install p.system
+    (Strategy.propagate ~delta:5.0
+       ~source:(Interface.family "Salary1" [ "n" ])
+       ~target:(Interface.family "Salary2" [ "n" ])
+       ());
+  let src = Item.make "Salary1" ~params:[ Value.Str "e1" ] in
+  let tgt = Item.make "Salary2" ~params:[ Value.Str "e1" ] in
+  let pair = { Guarantee.leader = src; follower = tgt } in
+  let g1 = Sys_.declare_guarantee p.system ~sites:[ "sf"; "ny" ] (Guarantee.Follows pair) in
+  let g4 =
+    Sys_.declare_guarantee p.system ~sites:[ "sf"; "ny" ]
+      (Guarantee.Metric_follows (pair, 10.0))
+  in
+  Cm_sim.Sim.schedule_at (Sys_.sim p.system) 5.0 (fun () ->
+      Health.set (Tr_rel.health p.tr_b) Health.Down);
+  update_salary p "e1" 500 ~at:10.0;
+  Sys_.run p.system ~until:100.0;
+  Alcotest.(check bool) "non-metric also invalidated" false (Sys_.guarantee_valid g1);
+  Alcotest.(check bool) "metric invalidated" false (Sys_.guarantee_valid g4);
+  (* Recovery + reset restores validity. *)
+  Health.set (Tr_rel.health p.tr_b) Health.Healthy;
+  Shell.broadcast_reset p.shell_b;
+  Sys_.run p.system ~until:110.0;
+  Alcotest.(check bool) "reset restores" true (Sys_.guarantee_valid g1)
+
+(* ---- demarcation ---- *)
+
+let demarcation_setup policy =
+  let locator item =
+    match item.Item.base with
+    | "Xbal" | "Xlim" | "PendX" -> "a"
+    | _ -> "b"
+  in
+  let system = Sys_.create ~seed:3 locator in
+  let shell_a = Sys_.add_shell system ~site:"a" in
+  let shell_b = Sys_.add_shell system ~site:"b" in
+  let db_a = Db.create () and db_b = Db.create () in
+  (match
+     Db.exec db_a
+       "CREATE TABLE acct (id TEXT PRIMARY KEY, bal INT NOT NULL, lim INT NOT NULL, CHECK (bal <= lim))"
+   with
+   | Ok _ -> ()
+   | Error e -> failwith (Db.error_to_string e));
+  (match Db.exec db_a "INSERT INTO acct VALUES ('x', 0, 50)" with
+   | Ok _ -> ()
+   | Error e -> failwith (Db.error_to_string e));
+  (match
+     Db.exec db_b
+       "CREATE TABLE acct (id TEXT PRIMARY KEY, bal INT NOT NULL, lim INT NOT NULL, CHECK (bal >= lim))"
+   with
+   | Ok _ -> ()
+   | Error e -> failwith (Db.error_to_string e));
+  (match Db.exec db_b "INSERT INTO acct VALUES ('y', 100, 50)" with
+   | Ok _ -> ()
+   | Error e -> failwith (Db.error_to_string e));
+  let binding base col =
+    {
+      Tr_rel.base;
+      params = [];
+      read_sql = Some (Printf.sprintf "SELECT %s FROM acct" col);
+      write_sql = Some (Printf.sprintf "UPDATE acct SET %s = $b" col);
+      delete_sql = None;
+      notify =
+        Some
+          {
+            Tr_rel.table = "acct";
+            column = col;
+            key_column = "id";
+            send = false;
+            filter = None;
+            filter_expr = None;
+          };
+      no_spontaneous = false;
+    periodic = None;
+    }
+  in
+  let tr_a =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_a ~site:"a"
+      ~emit:(Shell.emitter_for shell_a ~site:"a")
+      ~report:(fun k -> Shell.report_failure shell_a k)
+      [ binding "Xbal" "bal"; binding "Xlim" "lim" ]
+  in
+  let tr_b =
+    Tr_rel.create ~sim:(Sys_.sim system) ~db:db_b ~site:"b"
+      ~emit:(Shell.emitter_for shell_b ~site:"b")
+      ~report:(fun k -> Shell.report_failure shell_b k)
+      [ binding "Ybal" "bal"; binding "Ylim" "lim" ]
+  in
+  Sys_.register_translator system ~shell:shell_a (Tr_rel.cmi tr_a);
+  Sys_.register_translator system ~shell:shell_b (Tr_rel.cmi tr_b);
+  let x = { Cm_core.Demarcation.bal = "Xbal"; lim = "Xlim"; pend = "PendX" } in
+  let y = { Cm_core.Demarcation.bal = "Ybal"; lim = "Ylim"; pend = "PendY" } in
+  Sys_.install system (Cm_core.Demarcation.rules ~policy ~delta:10.0 ~x ~y ());
+  (system, shell_a, tr_a, tr_b, db_a, db_b, x, y)
+
+let bal_of db =
+  match Db.exec db "SELECT bal FROM acct" with
+  | Ok (Db.Rows { rows = [ [ v ] ]; _ }) -> Value.to_float v
+  | _ -> Alcotest.fail "bal lookup failed"
+
+let lim_of db =
+  match Db.exec db "SELECT lim FROM acct" with
+  | Ok (Db.Rows { rows = [ [ v ] ]; _ }) -> Value.to_float v
+  | _ -> Alcotest.fail "lim lookup failed"
+
+let demarcation_local_op_within_limit () =
+  let _system, _shell_a, tr_a, _tr_b, db_a, _db_b, _x, _y =
+    demarcation_setup Cm_core.Demarcation.Conservative
+  in
+  (* Within the limit: accepted locally, no CM involvement. *)
+  (match Tr_rel.exec_app tr_a "UPDATE acct SET bal = 40" with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail (Db.error_to_string e));
+  Alcotest.(check (float 1e-9)) "bal updated" 40.0 (bal_of db_a)
+
+let demarcation_local_op_beyond_limit_rejected () =
+  let _system, _shell_a, tr_a, _tr_b, db_a, _db_b, _x, _y =
+    demarcation_setup Cm_core.Demarcation.Conservative
+  in
+  (match Tr_rel.exec_app tr_a "UPDATE acct SET bal = 80" with
+   | Ok _ -> Alcotest.fail "write beyond limit must be rejected"
+   | Error (Db.Check_failed _) -> ()
+   | Error e -> Alcotest.fail (Db.error_to_string e));
+  Alcotest.(check (float 1e-9)) "bal unchanged" 0.0 (bal_of db_a)
+
+let demarcation_limit_change_roundtrip () =
+  let system, shell_a, tr_a, _tr_b, db_a, db_b, x, _y =
+    demarcation_setup Cm_core.Demarcation.Conservative
+  in
+  (* Ask to raise X's limit to 80 (Y = 100 so it can be granted). *)
+  Cm_sim.Sim.schedule_at (Sys_.sim system) 1.0 (fun () ->
+      Cm_core.Demarcation.request_increase_x
+        ~emit:(Shell.emitter_for shell_a ~site:"a")
+        ~x ~wanted:(Value.Int 80));
+  Sys_.run system ~until:50.0;
+  Alcotest.(check (float 1e-9)) "Ylim raised first" 80.0 (lim_of db_b);
+  Alcotest.(check (float 1e-9)) "Xlim raised" 80.0 (lim_of db_a);
+  (* Now the local write succeeds. *)
+  (match Tr_rel.exec_app tr_a "UPDATE acct SET bal = 80" with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail (Db.error_to_string e));
+  Alcotest.(check (float 1e-9)) "bal raised" 80.0 (bal_of db_a);
+  (* Constraint X <= Y holds throughout the trace. *)
+  let tl = Sys_.timeline system
+      ~initial:
+        [
+          (Item.make "Xbal", Value.Int 0);
+          (Item.make "Ybal", Value.Int 100);
+        ]
+  in
+  let g =
+    Guarantee.Always_leq { smaller = Item.make "Xbal"; larger = Item.make "Ybal" }
+  in
+  let r = Guarantee.check ~horizon:60.0 tl g in
+  Alcotest.(check bool)
+    ("X <= Y always: " ^ String.concat "; " r.Guarantee.counterexamples)
+    true r.Guarantee.holds
+
+let demarcation_eager_grants_more () =
+  let system, shell_a, _tr_a, _tr_b, db_a, db_b, x, _y =
+    demarcation_setup Cm_core.Demarcation.Eager
+  in
+  Cm_sim.Sim.schedule_at (Sys_.sim system) 1.0 (fun () ->
+      Cm_core.Demarcation.request_increase_x
+        ~emit:(Shell.emitter_for shell_a ~site:"a")
+        ~x ~wanted:(Value.Int 60));
+  Sys_.run system ~until:50.0;
+  (* Eager policy grants the full current slack: limits go to Y = 100. *)
+  Alcotest.(check (float 1e-9)) "Ylim at eager max" 100.0 (lim_of db_b);
+  Alcotest.(check (float 1e-9)) "Xlim at eager max" 100.0 (lim_of db_a)
+
+let demarcation_denied_when_no_slack () =
+  let system, shell_a, _tr_a, _tr_b, db_a, db_b, x, _y =
+    demarcation_setup Cm_core.Demarcation.Conservative
+  in
+  (* Y = 100: asking for 150 must be denied; limits unchanged. *)
+  Cm_sim.Sim.schedule_at (Sys_.sim system) 1.0 (fun () ->
+      Cm_core.Demarcation.request_increase_x
+        ~emit:(Shell.emitter_for shell_a ~site:"a")
+        ~x ~wanted:(Value.Int 150));
+  Sys_.run system ~until:50.0;
+  Alcotest.(check (float 1e-9)) "Ylim unchanged" 50.0 (lim_of db_b);
+  Alcotest.(check (float 1e-9)) "Xlim unchanged" 50.0 (lim_of db_a)
+
+let () =
+  Alcotest.run "cm_core"
+    [
+      ( "payroll (§4.2)",
+        [
+          Alcotest.test_case "propagation end to end" `Quick propagation_end_to_end;
+          Alcotest.test_case "guarantees (1)-(4) hold" `Quick propagation_guarantees_hold;
+          Alcotest.test_case "trace is a valid execution" `Quick
+            propagation_trace_is_valid_execution;
+          Alcotest.test_case "polling misses updates" `Quick polling_misses_updates;
+        ] );
+      ( "monitor (§6.3)",
+        [ Alcotest.test_case "flag/tb maintained" `Quick monitor_strategy_flag ] );
+      ( "failures (§5)",
+        [
+          Alcotest.test_case "metric failure" `Quick failure_invalidation;
+          Alcotest.test_case "logical failure + reset" `Quick
+            logical_failure_invalidates_all;
+        ] );
+      ( "demarcation (§6.1)",
+        [
+          Alcotest.test_case "local op within limit" `Quick
+            demarcation_local_op_within_limit;
+          Alcotest.test_case "local op beyond limit rejected" `Quick
+            demarcation_local_op_beyond_limit_rejected;
+          Alcotest.test_case "limit-change roundtrip" `Quick
+            demarcation_limit_change_roundtrip;
+          Alcotest.test_case "eager grants more" `Quick demarcation_eager_grants_more;
+          Alcotest.test_case "denied when no slack" `Quick
+            demarcation_denied_when_no_slack;
+        ] );
+    ]

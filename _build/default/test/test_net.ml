@@ -1,0 +1,109 @@
+(* Tests for the simulated network: FIFO delivery, latency, statistics. *)
+
+module Sim = Cm_sim.Sim
+module Net = Cm_net.Net
+
+let make ?latency () =
+  let sim = Sim.create ~seed:5 () in
+  let net = Net.create ~sim ?latency () in
+  (sim, net)
+
+let delivery () =
+  let sim, net = make ~latency:{ Net.base = 0.1; jitter = 0.0 } () in
+  let got = ref [] in
+  Net.register net ~site:"b" (fun msg -> got := (msg, Sim.now sim) :: !got);
+  Net.send net ~from_site:"a" ~to_site:"b" "hello";
+  Sim.run sim;
+  match !got with
+  | [ ("hello", t) ] -> Alcotest.(check (float 1e-9)) "latency applied" 0.1 t
+  | _ -> Alcotest.fail "message not delivered exactly once"
+
+let fifo_per_link () =
+  let sim, net = make ~latency:{ Net.base = 0.05; jitter = 0.2 } () in
+  let got = ref [] in
+  Net.register net ~site:"b" (fun msg -> got := msg :: !got);
+  for i = 1 to 50 do
+    Net.send net ~from_site:"a" ~to_site:"b" i
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "in order despite jitter" (List.init 50 (fun i -> i + 1))
+    (List.rev !got)
+
+let local_send_is_async () =
+  let sim, net = make () in
+  let got = ref false in
+  Net.register net ~site:"a" (fun () -> got := true);
+  Net.send net ~from_site:"a" ~to_site:"a" ();
+  Alcotest.(check bool) "not synchronous" false !got;
+  Sim.run sim;
+  Alcotest.(check bool) "delivered" true !got;
+  Alcotest.(check (float 1e-9)) "zero delay" 0.0 (Sim.now sim)
+
+let unknown_destination () =
+  let _, net = make () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Net.send net ~from_site:"a" ~to_site:"nowhere" ();
+       false
+     with Invalid_argument _ -> true)
+
+let duplicate_registration () =
+  let _, net = make () in
+  Net.register net ~site:"a" (fun () -> ());
+  Alcotest.(check bool) "raises" true
+    (try
+       Net.register net ~site:"a" (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let per_link_latency_override () =
+  let sim, net = make ~latency:{ Net.base = 0.1; jitter = 0.0 } () in
+  Net.set_latency net ~from_site:"a" ~to_site:"b" { Net.base = 2.0; jitter = 0.0 };
+  let at = ref 0.0 in
+  Net.register net ~site:"b" (fun () -> at := Sim.now sim);
+  Net.send net ~from_site:"a" ~to_site:"b" ();
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "override used" 2.0 !at
+
+let statistics () =
+  let sim, net = make () in
+  Net.register net ~site:"b" (fun () -> ());
+  Net.register net ~site:"c" (fun () -> ());
+  Net.send net ~from_site:"a" ~to_site:"b" ();
+  Net.send net ~from_site:"a" ~to_site:"b" ();
+  Net.send net ~from_site:"a" ~to_site:"c" ();
+  Sim.run sim;
+  Alcotest.(check int) "total" 3 (Net.messages_sent net);
+  Alcotest.(check int) "a->b" 2 (Net.messages_between net ~from_site:"a" ~to_site:"b");
+  Alcotest.(check int) "a->c" 1 (Net.messages_between net ~from_site:"a" ~to_site:"c");
+  Net.reset_counters net;
+  Alcotest.(check int) "reset" 0 (Net.messages_sent net)
+
+let deterministic_jitter () =
+  let run () =
+    let sim, net = make ~latency:{ Net.base = 0.05; jitter = 0.1 } () in
+    let times = ref [] in
+    Net.register net ~site:"b" (fun () -> times := Sim.now sim :: !times);
+    for _ = 1 to 10 do
+      Net.send net ~from_site:"a" ~to_site:"b" ()
+    done;
+    Sim.run sim;
+    !times
+  in
+  Alcotest.(check (list (float 1e-12))) "same seed, same delays" (run ()) (run ())
+
+let () =
+  Alcotest.run "cm_net"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "delivery" `Quick delivery;
+          Alcotest.test_case "fifo per link" `Quick fifo_per_link;
+          Alcotest.test_case "local send async" `Quick local_send_is_async;
+          Alcotest.test_case "unknown destination" `Quick unknown_destination;
+          Alcotest.test_case "duplicate registration" `Quick duplicate_registration;
+          Alcotest.test_case "per-link override" `Quick per_link_latency_override;
+          Alcotest.test_case "statistics" `Quick statistics;
+          Alcotest.test_case "deterministic jitter" `Quick deterministic_jitter;
+        ] );
+    ]

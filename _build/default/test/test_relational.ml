@@ -1,0 +1,459 @@
+(* Tests for the in-memory relational engine (the "Sybase" stand-in). *)
+
+open Cm_relational
+module V = Cm_rule.Value
+
+let value = Alcotest.testable V.pp V.equal
+
+let ok = function
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Database.error_to_string e)
+
+let expect_error pred what = function
+  | Ok _ -> Alcotest.fail ("expected error: " ^ what)
+  | Error e ->
+    if not (pred e) then
+      Alcotest.fail (what ^ ", got: " ^ Database.error_to_string e)
+
+let fresh () =
+  let db = Database.create () in
+  ignore
+    (ok
+       (Database.exec db
+          "CREATE TABLE emp (id TEXT PRIMARY KEY, salary INT NOT NULL, dept TEXT)"));
+  db
+
+let insert db id salary dept =
+  ignore
+    (ok
+       (Database.exec db
+          (Printf.sprintf "INSERT INTO emp VALUES ('%s', %d, '%s')" id salary dept)))
+
+let rows = function
+  | Database.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+(* ---- DDL / DML basics ---- *)
+
+let create_and_insert () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  Alcotest.(check (option int)) "row count" (Some 1) (Database.row_count db "emp");
+  Alcotest.(check (option (list string)))
+    "columns" (Some [ "id"; "salary"; "dept" ]) (Database.columns_of db "emp")
+
+let select_star () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  insert db "e2" 200 "eng";
+  let r = rows (ok (Database.exec db "SELECT * FROM emp")) in
+  Alcotest.(check int) "two rows" 2 (List.length r)
+
+let select_where () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  insert db "e2" 200 "eng";
+  insert db "e3" 300 "eng";
+  let r = rows (ok (Database.exec db "SELECT id FROM emp WHERE dept = 'eng'")) in
+  Alcotest.(check int) "filter" 2 (List.length r);
+  let r = rows (ok (Database.exec db "SELECT id FROM emp WHERE salary > 150 AND dept = 'eng'")) in
+  Alcotest.(check int) "conjunction" 2 (List.length r);
+  let r = rows (ok (Database.exec db "SELECT id FROM emp WHERE salary >= 300 OR dept = 'sales'")) in
+  Alcotest.(check int) "disjunction" 2 (List.length r)
+
+let select_order_by () =
+  let db = fresh () in
+  insert db "e1" 300 "a";
+  insert db "e2" 100 "b";
+  insert db "e3" 200 "c";
+  let r = rows (ok (Database.exec db "SELECT id FROM emp ORDER BY salary")) in
+  Alcotest.(check (list (list string)))
+    "ascending"
+    [ [ "\"e2\"" ]; [ "\"e3\"" ]; [ "\"e1\"" ] ]
+    (List.map (List.map V.to_string) r);
+  let r = rows (ok (Database.exec db "SELECT id FROM emp ORDER BY salary DESC")) in
+  Alcotest.(check string) "descending first" "\"e1\""
+    (V.to_string (List.hd (List.hd r)))
+
+let select_insertion_order () =
+  let db = fresh () in
+  insert db "z" 1 "a";
+  insert db "a" 2 "a";
+  let r = rows (ok (Database.exec db "SELECT id FROM emp")) in
+  Alcotest.(check string) "insertion order" "\"z\"" (V.to_string (List.hd (List.hd r)))
+
+let update_rows () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  insert db "e2" 200 "eng";
+  (match ok (Database.exec db "UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'") with
+   | Database.Affected n -> Alcotest.(check int) "one updated" 1 n
+   | _ -> Alcotest.fail "expected Affected");
+  let r = rows (ok (Database.exec db "SELECT salary FROM emp WHERE id = 'e2'")) in
+  Alcotest.check value "new salary" (V.Int 210) (List.hd (List.hd r))
+
+let delete_rows () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  insert db "e2" 200 "eng";
+  (match ok (Database.exec db "DELETE FROM emp WHERE id = 'e1'") with
+   | Database.Affected n -> Alcotest.(check int) "one deleted" 1 n
+   | _ -> Alcotest.fail "expected Affected");
+  Alcotest.(check (option int)) "remaining" (Some 1) (Database.row_count db "emp")
+
+let drop_table () =
+  let db = fresh () in
+  ignore (ok (Database.exec db "DROP TABLE emp"));
+  Alcotest.(check (option int)) "gone" None (Database.row_count db "emp")
+
+let params_substitution () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  let r =
+    rows
+      (ok
+         (Database.exec db "SELECT salary FROM emp WHERE id = $n"
+            ~params:[ ("n", V.Str "e1") ]))
+  in
+  Alcotest.check value "param read" (V.Int 100) (List.hd (List.hd r));
+  ignore
+    (ok
+       (Database.exec db "UPDATE emp SET salary = $b WHERE id = $n"
+          ~params:[ ("b", V.Int 555); ("n", V.Str "e1") ]));
+  let r = rows (ok (Database.exec db "SELECT salary FROM emp WHERE id = 'e1'")) in
+  Alcotest.check value "param write" (V.Int 555) (List.hd (List.hd r))
+
+(* ---- errors and constraints ---- *)
+
+let unknown_table () =
+  let db = Database.create () in
+  expect_error
+    (function Database.Unknown_table _ -> true | _ -> false)
+    "unknown table" (Database.exec db "SELECT * FROM nope")
+
+let unknown_column () =
+  let db = fresh () in
+  expect_error
+    (function Database.Unknown_column _ -> true | _ -> false)
+    "unknown column" (Database.exec db "SELECT nope FROM emp")
+
+let duplicate_key () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  expect_error
+    (function Database.Duplicate_key _ -> true | _ -> false)
+    "duplicate key"
+    (Database.exec db "INSERT INTO emp VALUES ('e1', 1, 'x')")
+
+let not_null () =
+  let db = fresh () in
+  expect_error
+    (function Database.Not_null_violated _ -> true | _ -> false)
+    "not null"
+    (Database.exec db "INSERT INTO emp (id, dept) VALUES ('e9', 'x')")
+
+let type_mismatch () =
+  let db = fresh () in
+  expect_error
+    (function Database.Type_mismatch _ -> true | _ -> false)
+    "type"
+    (Database.exec db "INSERT INTO emp VALUES ('e1', 'not a number', 'x')")
+
+let unbound_param () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  expect_error
+    (function Database.Unbound_param _ -> true | _ -> false)
+    "unbound param" (Database.exec db "SELECT * FROM emp WHERE id = $nope")
+
+let parse_error () =
+  let db = fresh () in
+  expect_error
+    (function Database.Parse_failed _ -> true | _ -> false)
+    "parse" (Database.exec db "SELEKT * FROM emp")
+
+let check_constraint_insert () =
+  let db = Database.create () in
+  ignore
+    (ok
+       (Database.exec db
+          "CREATE TABLE acct (id TEXT PRIMARY KEY, bal INT, lim INT, CHECK (bal <= lim))"));
+  ignore (ok (Database.exec db "INSERT INTO acct VALUES ('a', 10, 50)"));
+  expect_error
+    (function Database.Check_failed _ -> true | _ -> false)
+    "check on insert"
+    (Database.exec db "INSERT INTO acct VALUES ('b', 60, 50)")
+
+let check_constraint_update_atomic () =
+  (* A CHECK failure must leave the table untouched (statement atomicity):
+     this is the local constraint manager the Demarcation Protocol uses. *)
+  let db = Database.create () in
+  ignore
+    (ok
+       (Database.exec db
+          "CREATE TABLE acct (id TEXT PRIMARY KEY, bal INT, lim INT, CHECK (bal <= lim))"));
+  ignore (ok (Database.exec db "INSERT INTO acct VALUES ('a', 10, 50)"));
+  ignore (ok (Database.exec db "INSERT INTO acct VALUES ('b', 20, 50)"));
+  expect_error
+    (function Database.Check_failed _ -> true | _ -> false)
+    "check on update" (Database.exec db "UPDATE acct SET bal = bal + 45");
+  let r = rows (ok (Database.exec db "SELECT bal FROM acct ORDER BY id")) in
+  Alcotest.(check (list (list string))) "both rows unchanged"
+    [ [ "10" ]; [ "20" ] ]
+    (List.map (List.map V.to_string) r)
+
+let pk_update_reindexes () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  ignore (ok (Database.exec db "UPDATE emp SET id = 'e9' WHERE id = 'e1'"));
+  let r = rows (ok (Database.exec db "SELECT salary FROM emp WHERE id = 'e9'")) in
+  Alcotest.(check int) "found under new key" 1 (List.length r);
+  (* Old key is free again. *)
+  insert db "e1" 1 "x";
+  Alcotest.(check (option int)) "two rows" (Some 2) (Database.row_count db "emp")
+
+let null_semantics () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  ignore (ok (Database.exec db "INSERT INTO emp (id, salary) VALUES ('e2', 200)"));
+  let r = rows (ok (Database.exec db "SELECT id FROM emp WHERE dept = 'sales'")) in
+  Alcotest.(check int) "null not equal" 1 (List.length r);
+  let r = rows (ok (Database.exec db "SELECT id FROM emp WHERE dept IS NULL")) in
+  Alcotest.(check int) "is null" 1 (List.length r);
+  let r = rows (ok (Database.exec db "SELECT id FROM emp WHERE dept IS NOT NULL")) in
+  Alcotest.(check int) "is not null" 1 (List.length r)
+
+(* ---- aggregates ---- *)
+
+let agg_db () =
+  (* A schema with a nullable salary so NULL-handling is observable. *)
+  let db = Database.create () in
+  ignore
+    (ok (Database.exec db "CREATE TABLE emp (id TEXT PRIMARY KEY, salary INT, dept TEXT)"));
+  List.iter
+    (fun stmt -> ignore (ok (Database.exec db stmt)))
+    [
+      "INSERT INTO emp VALUES ('e1', 100, 'sales')";
+      "INSERT INTO emp VALUES ('e2', 200, 'eng')";
+      "INSERT INTO emp VALUES ('e3', 300, 'eng')";
+      "INSERT INTO emp (id, dept) VALUES ('e4', 'eng')";  (* NULL salary *)
+    ];
+  db
+
+let count_star () =
+  let db = agg_db () in
+  let r = rows (ok (Database.exec db "SELECT COUNT(*) FROM emp")) in
+  Alcotest.check value "count" (V.Int 4) (List.hd (List.hd r))
+
+let count_column_skips_null () =
+  let db = agg_db () in
+  let r = rows (ok (Database.exec db "SELECT COUNT(salary) FROM emp")) in
+  Alcotest.check value "null salary skipped" (V.Int 3) (List.hd (List.hd r));
+  let r = rows (ok (Database.exec db "SELECT COUNT(*) FROM emp WHERE salary > 150")) in
+  Alcotest.check value "count filtered" (V.Int 2) (List.hd (List.hd r))
+
+let sum_min_max_avg () =
+  let db = fresh () in
+  insert db "e1" 100 "a";
+  insert db "e2" 200 "a";
+  insert db "e3" 300 "b";
+  let one q = List.hd (List.hd (rows (ok (Database.exec db q)))) in
+  Alcotest.check value "sum" (V.Int 600) (one "SELECT SUM(salary) FROM emp");
+  Alcotest.check value "min" (V.Int 100) (one "SELECT MIN(salary) FROM emp");
+  Alcotest.check value "max" (V.Int 300) (one "SELECT MAX(salary) FROM emp");
+  Alcotest.check value "avg" (V.Float 200.0) (one "SELECT AVG(salary) FROM emp")
+
+let aggregates_on_empty () =
+  let db = fresh () in
+  let one q = List.hd (List.hd (rows (ok (Database.exec db q)))) in
+  Alcotest.check value "count empty" (V.Int 0) (one "SELECT COUNT(*) FROM emp");
+  Alcotest.check value "sum empty is null" V.Null (one "SELECT SUM(salary) FROM emp");
+  Alcotest.check value "min empty is null" V.Null (one "SELECT MIN(salary) FROM emp")
+
+let group_by_counts () =
+  let db = fresh () in
+  insert db "e1" 100 "sales";
+  insert db "e2" 200 "eng";
+  insert db "e3" 300 "eng";
+  let r =
+    rows (ok (Database.exec db "SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept"))
+  in
+  (* groups sorted by key: eng, sales *)
+  Alcotest.(check (list (list string))) "grouped"
+    [ [ "\"eng\""; "2"; "500" ]; [ "\"sales\""; "1"; "100" ] ]
+    (List.map (List.map V.to_string) r)
+
+let group_by_rejects_ungrouped_column () =
+  let db = agg_db () in
+  expect_error
+    (function Database.Parse_failed _ -> true | _ -> false)
+    "ungrouped column"
+    (Database.exec db "SELECT id, COUNT(*) FROM emp GROUP BY dept")
+
+let aggregate_parse_errors () =
+  let db = agg_db () in
+  expect_error
+    (function Database.Parse_failed _ -> true | _ -> false)
+    "SUM(*)" (Database.exec db "SELECT SUM(*) FROM emp");
+  expect_error
+    (function Database.Unknown_column _ -> true | _ -> false)
+    "unknown agg column" (Database.exec db "SELECT SUM(nope) FROM emp")
+
+let aggregate_roundtrip () =
+  let q = "SELECT dept, COUNT(*), MAX(salary) FROM emp WHERE (salary > 0) GROUP BY dept" in
+  let s1 = Sql_ast.stmt_to_string (Sql_parser.parse q) in
+  let s2 = Sql_ast.stmt_to_string (Sql_parser.parse s1) in
+  Alcotest.(check string) "stable" s1 s2
+
+(* ---- triggers ---- *)
+
+let observer_events () =
+  let db = fresh () in
+  let log = ref [] in
+  Database.on_change db (fun change ->
+      let tag =
+        match change with
+        | Database.Inserted _ -> "ins"
+        | Database.Updated _ -> "upd"
+        | Database.Deleted _ -> "del"
+      in
+      log := tag :: !log);
+  insert db "e1" 100 "sales";
+  ignore (ok (Database.exec db "UPDATE emp SET salary = 150 WHERE id = 'e1'"));
+  ignore (ok (Database.exec db "DELETE FROM emp WHERE id = 'e1'"));
+  Alcotest.(check (list string)) "event order" [ "ins"; "upd"; "del" ] (List.rev !log)
+
+let observer_sees_old_and_new () =
+  let db = fresh () in
+  let seen = ref None in
+  Database.on_change db (fun change ->
+      match change with
+      | Database.Updated { old_row; new_row; _ } ->
+        seen := Some (Row.get_or_null old_row "salary", Row.get_or_null new_row "salary")
+      | _ -> ());
+  insert db "e1" 100 "sales";
+  ignore (ok (Database.exec db "UPDATE emp SET salary = 150 WHERE id = 'e1'"));
+  match !seen with
+  | Some (o, n) ->
+    Alcotest.check value "old" (V.Int 100) o;
+    Alcotest.check value "new" (V.Int 150) n
+  | None -> Alcotest.fail "no update observed"
+
+let no_event_on_noop_update () =
+  let db = fresh () in
+  let count = ref 0 in
+  Database.on_change db (fun _ -> incr count);
+  insert db "e1" 100 "sales";
+  ignore (ok (Database.exec db "UPDATE emp SET salary = 100 WHERE id = 'e1'"));
+  Alcotest.(check int) "only the insert" 1 !count
+
+(* ---- property tests ---- *)
+
+let qcheck_insert_select =
+  QCheck.Test.make ~name:"every inserted row is selectable by pk" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 30) (pair (int_range 0 100000) small_int))
+    (fun entries ->
+      let db = fresh () in
+      let seen = Hashtbl.create 16 in
+      let expected = ref 0 in
+      List.iter
+        (fun (k, sal) ->
+          let id = "k" ^ string_of_int k in
+          if not (Hashtbl.mem seen id) then begin
+            Hashtbl.add seen id sal;
+            incr expected;
+            match
+              Database.exec db
+                (Printf.sprintf "INSERT INTO emp VALUES ('%s', %d, 'd')" id sal)
+            with
+            | Ok _ -> ()
+            | Error e -> failwith (Database.error_to_string e)
+          end)
+        entries;
+      Database.row_count db "emp" = Some !expected
+      && Hashtbl.fold
+           (fun id sal acc ->
+             acc
+             &&
+             match
+               Database.exec db "SELECT salary FROM emp WHERE id = $n"
+                 ~params:[ ("n", V.Str id) ]
+             with
+             | Ok (Database.Rows { rows = [ [ v ] ]; _ }) -> V.equal v (V.Int sal)
+             | _ -> false)
+           seen true)
+
+let qcheck_sql_roundtrip =
+  (* stmt -> string -> parse preserves the printed form. *)
+  let stmts =
+    [
+      "SELECT id, salary FROM emp WHERE (salary > 100) ORDER BY id";
+      "UPDATE emp SET salary = (salary + 1) WHERE (dept = 'x')";
+      "DELETE FROM emp WHERE (salary <= 0)";
+      "INSERT INTO emp VALUES ('a', 1, 'b')";
+      "CREATE TABLE t (a INT PRIMARY KEY, b TEXT NOT NULL, CHECK ((a > 0)))";
+    ]
+  in
+  QCheck.Test.make ~name:"stmt_to_string/parse roundtrip" ~count:List.(length stmts)
+    (QCheck.make (QCheck.Gen.oneofl stmts))
+    (fun src ->
+      let s1 = Sql_ast.stmt_to_string (Sql_parser.parse src) in
+      let s2 = Sql_ast.stmt_to_string (Sql_parser.parse s1) in
+      s1 = s2)
+
+let () =
+  Alcotest.run "cm_relational"
+    [
+      ( "dml",
+        [
+          Alcotest.test_case "create and insert" `Quick create_and_insert;
+          Alcotest.test_case "select star" `Quick select_star;
+          Alcotest.test_case "select where" `Quick select_where;
+          Alcotest.test_case "order by" `Quick select_order_by;
+          Alcotest.test_case "insertion order" `Quick select_insertion_order;
+          Alcotest.test_case "update" `Quick update_rows;
+          Alcotest.test_case "delete" `Quick delete_rows;
+          Alcotest.test_case "drop" `Quick drop_table;
+          Alcotest.test_case "params" `Quick params_substitution;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "unknown table" `Quick unknown_table;
+          Alcotest.test_case "unknown column" `Quick unknown_column;
+          Alcotest.test_case "duplicate key" `Quick duplicate_key;
+          Alcotest.test_case "not null" `Quick not_null;
+          Alcotest.test_case "type mismatch" `Quick type_mismatch;
+          Alcotest.test_case "unbound param" `Quick unbound_param;
+          Alcotest.test_case "parse error" `Quick parse_error;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "check on insert" `Quick check_constraint_insert;
+          Alcotest.test_case "check update atomic" `Quick check_constraint_update_atomic;
+          Alcotest.test_case "pk update reindexes" `Quick pk_update_reindexes;
+          Alcotest.test_case "null semantics" `Quick null_semantics;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "count star" `Quick count_star;
+          Alcotest.test_case "count column" `Quick count_column_skips_null;
+          Alcotest.test_case "sum/min/max/avg" `Quick sum_min_max_avg;
+          Alcotest.test_case "empty table" `Quick aggregates_on_empty;
+          Alcotest.test_case "group by" `Quick group_by_counts;
+          Alcotest.test_case "ungrouped column rejected" `Quick
+            group_by_rejects_ungrouped_column;
+          Alcotest.test_case "parse errors" `Quick aggregate_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick aggregate_roundtrip;
+        ] );
+      ( "triggers",
+        [
+          Alcotest.test_case "events" `Quick observer_events;
+          Alcotest.test_case "old and new rows" `Quick observer_sees_old_and_new;
+          Alcotest.test_case "no event on no-op" `Quick no_event_on_noop_update;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_insert_select;
+          QCheck_alcotest.to_alcotest qcheck_sql_roundtrip;
+        ] );
+    ]

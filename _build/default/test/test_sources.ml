@@ -1,0 +1,251 @@
+(* Tests for the heterogeneous Raw Information Sources. *)
+
+module V = Cm_rule.Value
+open Cm_sources
+
+let value = Alcotest.testable V.pp V.equal
+
+(* ---- kvfile ---- *)
+
+let kv_read_write () =
+  let fs = Kvfile.create () in
+  Alcotest.(check (option string)) "missing" None (Kvfile.read fs "a");
+  Kvfile.write fs "a" "hello";
+  Alcotest.(check (option string)) "read back" (Some "hello") (Kvfile.read fs "a");
+  Kvfile.write fs "a" "bye";
+  Alcotest.(check (option string)) "overwrite" (Some "bye") (Kvfile.read fs "a")
+
+let kv_remove_keys () =
+  let fs = Kvfile.create () in
+  Kvfile.write fs "b" "2";
+  Kvfile.write fs "a" "1";
+  Alcotest.(check (list string)) "sorted keys" [ "a"; "b" ] (Kvfile.keys fs);
+  Alcotest.(check bool) "removed" true (Kvfile.remove fs "a");
+  Alcotest.(check bool) "already gone" false (Kvfile.remove fs "a");
+  Alcotest.(check int) "size" 1 (Kvfile.size fs)
+
+let kv_down () =
+  let fs = Kvfile.create () in
+  Health.set (Kvfile.health fs) Health.Down;
+  Alcotest.check_raises "read raises" (Health.Unavailable "kvfile.read") (fun () ->
+      ignore (Kvfile.read fs "a"));
+  Health.set (Kvfile.health fs) Health.Healthy;
+  Kvfile.write fs "a" "1";
+  Alcotest.(check (option string)) "recovered" (Some "1") (Kvfile.read fs "a")
+
+(* ---- whois ---- *)
+
+let whois_query () =
+  let w = Whois.create () in
+  Whois.register w ~name:"ann" ~fields:[ ("phone", "555-1"); ("office", "B12") ];
+  Alcotest.(check (option (list (pair string string))))
+    "fields sorted"
+    (Some [ ("office", "B12"); ("phone", "555-1") ])
+    (Whois.query w "ann");
+  Alcotest.(check (option (list (pair string string)))) "unknown" None (Whois.query w "bob")
+
+let whois_update_and_dump () =
+  let w = Whois.create () in
+  Whois.register w ~name:"ann" ~fields:[ ("phone", "555-1") ];
+  Alcotest.(check bool) "update" true (Whois.update_field w ~name:"ann" ~field:"phone" ~value:"555-2");
+  Alcotest.(check bool) "update unknown" false
+    (Whois.update_field w ~name:"bob" ~field:"phone" ~value:"1");
+  Whois.register w ~name:"bob" ~fields:[];
+  Alcotest.(check int) "dump size" 2 (List.length (Whois.dump w));
+  Alcotest.(check bool) "unregister" true (Whois.unregister w ~name:"bob");
+  Alcotest.(check int) "size" 1 (Whois.size w)
+
+(* ---- bibdb ---- *)
+
+let paper key authors =
+  { Bibdb.key; title = "T:" ^ key; authors; year = 1996 }
+
+let bib_queries () =
+  let b = Bibdb.create () in
+  Bibdb.add b (paper "p1" [ "widom"; "chawathe" ]);
+  Bibdb.add b (paper "p2" [ "widom" ]);
+  Bibdb.add b (paper "p3" [ "garcia" ]);
+  Alcotest.(check int) "by author" 2 (List.length (Bibdb.by_author b "widom"));
+  Alcotest.(check (list string)) "keys" [ "p1"; "p2"; "p3" ] (Bibdb.all_keys b);
+  Alcotest.(check bool) "lookup" true (Bibdb.lookup b "p2" <> None);
+  Alcotest.(check bool) "withdraw" true (Bibdb.withdraw b "p2");
+  Alcotest.(check bool) "gone" true (Bibdb.lookup b "p2" = None);
+  Alcotest.(check int) "size" 2 (Bibdb.size b)
+
+(* ---- objstore ---- *)
+
+let obj_put_get () =
+  let s = Objstore.create () in
+  Objstore.put s ~cls:"person" ~id:"ann" [ ("phone", V.Int 5551) ];
+  Alcotest.(check (option value)) "get_attr" (Some (V.Int 5551))
+    (Objstore.get_attr s ~cls:"person" ~id:"ann" ~attr:"phone");
+  Alcotest.(check bool) "set" true
+    (Objstore.set_attr s ~cls:"person" ~id:"ann" ~attr:"phone" (V.Int 5552));
+  Alcotest.(check (option value)) "updated" (Some (V.Int 5552))
+    (Objstore.get_attr s ~cls:"person" ~id:"ann" ~attr:"phone");
+  Alcotest.(check bool) "set missing object" false
+    (Objstore.set_attr s ~cls:"person" ~id:"bob" ~attr:"phone" (V.Int 1));
+  Alcotest.(check (list string)) "ids" [ "ann" ] (Objstore.ids s ~cls:"person");
+  Alcotest.(check bool) "delete" true (Objstore.delete s ~cls:"person" ~id:"ann")
+
+let obj_subscription () =
+  let s = Objstore.create () in
+  Objstore.put s ~cls:"person" ~id:"ann" [ ("phone", V.Int 1) ];
+  let log = ref [] in
+  let _sub =
+    Objstore.subscribe s ~cls:"person" ~attr:"phone"
+      (fun ~id ~old_value ~new_value -> log := (id, old_value, new_value) :: !log)
+  in
+  ignore (Objstore.set_attr s ~cls:"person" ~id:"ann" ~attr:"phone" (V.Int 2));
+  ignore (Objstore.set_attr s ~cls:"person" ~id:"ann" ~attr:"other" (V.Int 9));
+  ignore (Objstore.set_attr s ~cls:"person" ~id:"ann" ~attr:"phone" (V.Int 2));
+  (* no-op *)
+  match !log with
+  | [ ("ann", o, n) ] ->
+    Alcotest.check value "old" (V.Int 1) o;
+    Alcotest.check value "new" (V.Int 2) n
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 notification, got %d" (List.length l))
+
+let obj_conditional_subscription () =
+  let s = Objstore.create () in
+  Objstore.put s ~cls:"acct" ~id:"a" [ ("bal", V.Float 100.0) ];
+  let fired = ref 0 in
+  let filter ~old_value ~new_value =
+    Float.abs (V.to_float new_value -. V.to_float old_value) > 0.1 *. V.to_float old_value
+  in
+  let _sub =
+    Objstore.subscribe s ~cls:"acct" ~attr:"bal" ~filter (fun ~id:_ ~old_value:_ ~new_value:_ ->
+        incr fired)
+  in
+  ignore (Objstore.set_attr s ~cls:"acct" ~id:"a" ~attr:"bal" (V.Float 105.0));
+  (* 5%: suppressed *)
+  ignore (Objstore.set_attr s ~cls:"acct" ~id:"a" ~attr:"bal" (V.Float 130.0));
+  (* ~24%: delivered *)
+  Alcotest.(check int) "only big change fired" 1 !fired;
+  Alcotest.(check int) "sent counter" 1 (Objstore.notifications_sent s);
+  Alcotest.(check int) "suppressed counter" 1 (Objstore.notifications_suppressed s)
+
+let obj_unsubscribe () =
+  let s = Objstore.create () in
+  Objstore.put s ~cls:"c" ~id:"i" [ ("a", V.Int 1) ];
+  let fired = ref 0 in
+  let sub =
+    Objstore.subscribe s ~cls:"c" ~attr:"a" (fun ~id:_ ~old_value:_ ~new_value:_ ->
+        incr fired)
+  in
+  ignore (Objstore.set_attr s ~cls:"c" ~id:"i" ~attr:"a" (V.Int 2));
+  Objstore.unsubscribe s sub;
+  ignore (Objstore.set_attr s ~cls:"c" ~id:"i" ~attr:"a" (V.Int 3));
+  Alcotest.(check int) "unsubscribed" 1 !fired
+
+let obj_silent_drop () =
+  (* §5: the undetectable failure mode — notifications stop, reads work. *)
+  let s = Objstore.create () in
+  Objstore.put s ~cls:"c" ~id:"i" [ ("a", V.Int 1) ];
+  let fired = ref 0 in
+  let _sub =
+    Objstore.subscribe s ~cls:"c" ~attr:"a" (fun ~id:_ ~old_value:_ ~new_value:_ ->
+        incr fired)
+  in
+  Health.set (Objstore.health s) Health.Silent_drop;
+  ignore (Objstore.set_attr s ~cls:"c" ~id:"i" ~attr:"a" (V.Int 2));
+  Alcotest.(check int) "dropped silently" 0 !fired;
+  Alcotest.(check (option value)) "write still applied" (Some (V.Int 2))
+    (Objstore.get_attr s ~cls:"c" ~id:"i" ~attr:"a")
+
+let whois_down () =
+  let w = Whois.create () in
+  Whois.register w ~name:"ann" ~fields:[];
+  Health.set (Whois.health w) Health.Down;
+  Alcotest.check_raises "query raises" (Health.Unavailable "whois.query") (fun () ->
+      ignore (Whois.query w "ann"));
+  Alcotest.check_raises "dump raises" (Health.Unavailable "whois.dump") (fun () ->
+      ignore (Whois.dump w))
+
+let bibdb_down () =
+  let b = Bibdb.create () in
+  Health.set (Bibdb.health b) Health.Down;
+  Alcotest.check_raises "lookup raises" (Health.Unavailable "bibdb.lookup") (fun () ->
+      ignore (Bibdb.lookup b "p1"))
+
+let obj_missing_object () =
+  let s = Objstore.create () in
+  Alcotest.(check (option value)) "get_attr" None
+    (Objstore.get_attr s ~cls:"c" ~id:"i" ~attr:"a");
+  Alcotest.(check bool) "get" true (Objstore.get s ~cls:"c" ~id:"i" = None);
+  Alcotest.(check bool) "delete missing" false (Objstore.delete s ~cls:"c" ~id:"i");
+  Alcotest.(check (list string)) "ids empty" [] (Objstore.ids s ~cls:"c")
+
+(* ---- health ---- *)
+
+let health_modes () =
+  let h = Health.create () in
+  Alcotest.(check bool) "healthy" true (Health.mode h = Health.Healthy);
+  Alcotest.(check (float 1e-9)) "no extra latency" 0.0 (Health.extra_latency h);
+  Health.set h (Health.Degraded { extra_latency = 2.5 });
+  Alcotest.(check (float 1e-9)) "degraded latency" 2.5 (Health.extra_latency h);
+  Alcotest.(check bool) "not dropping" false (Health.dropping_notifications h);
+  Health.set h Health.Silent_drop;
+  Alcotest.(check bool) "dropping" true (Health.dropping_notifications h);
+  Health.set h Health.Down;
+  Alcotest.check_raises "check raises" (Health.Unavailable "x") (fun () ->
+      Health.check h ~name:"x")
+
+let qcheck_kvfile_model =
+  (* Model-based: kvfile behaves like an association map. *)
+  QCheck.Test.make ~name:"kvfile matches a map model" ~count:100
+    QCheck.(
+      list
+        (pair (int_range 0 10)
+           (make
+              (Gen.oneof
+                 [ Gen.return None; Gen.map (fun s -> Some s) Gen.small_string ]))))
+    (fun ops ->
+      let fs = Kvfile.create () in
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (k, op) ->
+          let key = "k" ^ string_of_int k in
+          match op with
+          | Some data ->
+            Kvfile.write fs key data;
+            Hashtbl.replace model key data
+          | None ->
+            ignore (Kvfile.remove fs key);
+            Hashtbl.remove model key)
+        ops;
+      Hashtbl.fold (fun k v acc -> acc && Kvfile.read fs k = Some v) model true
+      && Kvfile.size fs = Hashtbl.length model)
+
+let () =
+  Alcotest.run "cm_sources"
+    [
+      ( "kvfile",
+        [
+          Alcotest.test_case "read write" `Quick kv_read_write;
+          Alcotest.test_case "remove keys" `Quick kv_remove_keys;
+          Alcotest.test_case "down" `Quick kv_down;
+          QCheck_alcotest.to_alcotest qcheck_kvfile_model;
+        ] );
+      ( "whois",
+        [
+          Alcotest.test_case "query" `Quick whois_query;
+          Alcotest.test_case "update and dump" `Quick whois_update_and_dump;
+          Alcotest.test_case "down" `Quick whois_down;
+        ] );
+      ( "bibdb",
+        [
+          Alcotest.test_case "queries" `Quick bib_queries;
+          Alcotest.test_case "down" `Quick bibdb_down;
+        ] );
+      ( "objstore",
+        [
+          Alcotest.test_case "put get" `Quick obj_put_get;
+          Alcotest.test_case "subscription" `Quick obj_subscription;
+          Alcotest.test_case "conditional subscription" `Quick obj_conditional_subscription;
+          Alcotest.test_case "unsubscribe" `Quick obj_unsubscribe;
+          Alcotest.test_case "silent drop" `Quick obj_silent_drop;
+          Alcotest.test_case "missing object" `Quick obj_missing_object;
+        ] );
+      ("health", [ Alcotest.test_case "modes" `Quick health_modes ]);
+    ]

@@ -1,0 +1,186 @@
+(* Tests for cm_util: PRNG determinism, heap ordering, stats, tables. *)
+
+let prng_deterministic () =
+  let a = Cm_util.Prng.create ~seed:7 in
+  let b = Cm_util.Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Cm_util.Prng.bits64 a) (Cm_util.Prng.bits64 b)
+  done
+
+let prng_seed_matters () =
+  let a = Cm_util.Prng.create ~seed:1 in
+  let b = Cm_util.Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Cm_util.Prng.bits64 a <> Cm_util.Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let prng_int_bounds () =
+  let g = Cm_util.Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Cm_util.Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let prng_float_bounds () =
+  let g = Cm_util.Prng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let v = Cm_util.Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let prng_split_independent () =
+  let g = Cm_util.Prng.create ~seed:5 in
+  let child = Cm_util.Prng.split g in
+  let a = Cm_util.Prng.bits64 child in
+  let b = Cm_util.Prng.bits64 g in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let prng_copy () =
+  let g = Cm_util.Prng.create ~seed:6 in
+  ignore (Cm_util.Prng.bits64 g);
+  let c = Cm_util.Prng.copy g in
+  Alcotest.(check int64) "copy continues identically" (Cm_util.Prng.bits64 g)
+    (Cm_util.Prng.bits64 c)
+
+let prng_exponential_positive () =
+  let g = Cm_util.Prng.create ~seed:8 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "positive" true (Cm_util.Prng.exponential g ~mean:3.0 > 0.0)
+  done
+
+let prng_invalid_args () =
+  let g = Cm_util.Prng.create ~seed:9 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Cm_util.Prng.int g 0));
+  Alcotest.check_raises "pick empty" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Cm_util.Prng.pick g [||]))
+
+let heap_sorts () =
+  let h = Cm_util.Heap.of_list ~leq:( <= ) [ 5; 3; 9; 1; 7; 3 ] in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 3; 3; 5; 7; 9 ]
+    (Cm_util.Heap.to_sorted_list h)
+
+let heap_empty () =
+  let h = Cm_util.Heap.create ~leq:( <= ) in
+  Alcotest.(check bool) "is_empty" true (Cm_util.Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Cm_util.Heap.pop h);
+  Alcotest.(check (option int)) "min empty" None (Cm_util.Heap.min h)
+
+let heap_min_then_pop () =
+  let h = Cm_util.Heap.of_list ~leq:( <= ) [ 4; 2 ] in
+  Alcotest.(check (option int)) "min" (Some 2) (Cm_util.Heap.min h);
+  Alcotest.(check int) "size unchanged by min" 2 (Cm_util.Heap.size h);
+  Alcotest.(check (option int)) "pop" (Some 2) (Cm_util.Heap.pop h);
+  Alcotest.(check int) "size after pop" 1 (Cm_util.Heap.size h)
+
+let heap_clear () =
+  let h = Cm_util.Heap.of_list ~leq:( <= ) [ 1; 2; 3 ] in
+  Cm_util.Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Cm_util.Heap.size h)
+
+let heap_qcheck =
+  QCheck.Test.make ~name:"heap drains any int list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Cm_util.Heap.of_list ~leq:( <= ) xs in
+      Cm_util.Heap.to_sorted_list h = List.sort compare xs)
+
+let heap_size_qcheck =
+  QCheck.Test.make ~name:"heap size tracks adds and pops" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Cm_util.Heap.create ~leq:( <= ) in
+      List.iter (Cm_util.Heap.add h) xs;
+      let n = List.length xs in
+      let popped = ref 0 in
+      while Cm_util.Heap.pop h <> None do
+        incr popped
+      done;
+      !popped = n && Cm_util.Heap.is_empty h)
+
+let stats_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Cm_util.Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Cm_util.Stats.mean [])
+
+let stats_stddev () =
+  Alcotest.(check (float 1e-9)) "constant" 0.0 (Cm_util.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check (float 1e-6)) "known" 2.0
+    (Cm_util.Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0; 10.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 5.0 (Cm_util.Stats.percentile 0.5 xs);
+  Alcotest.(check (float 1e-9)) "p100" 10.0 (Cm_util.Stats.percentile 1.0 xs);
+  Alcotest.(check (float 1e-9)) "p0-ish" 1.0 (Cm_util.Stats.percentile 0.01 xs)
+
+let stats_min_max () =
+  let lo, hi = Cm_util.Stats.min_max [ 3.0; -1.0; 2.0 ] in
+  Alcotest.(check (float 1e-9)) "min" (-1.0) lo;
+  Alcotest.(check (float 1e-9)) "max" 3.0 hi
+
+let stats_histogram () =
+  let h = Cm_util.Stats.histogram ~buckets:2 [ 0.0; 1.0; 9.0; 10.0 ] in
+  Alcotest.(check int) "bucket count" 2 (List.length h);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all points counted" 4 total
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let table_renders () =
+  let t = Cm_util.Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Cm_util.Table.add_row t [ "1"; "2" ];
+  Cm_util.Table.add_row t [ "333" ];
+  let s = Cm_util.Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 6 = "== T =");
+  Alcotest.(check bool) "contains row" true (contains s "333");
+  Alcotest.(check bool) "short row padded" true (contains s "333  ")
+
+let table_cells () =
+  Alcotest.(check string) "float" "1.50" (Cm_util.Table.cell_f 1.5);
+  Alcotest.(check string) "digits" "1.500" (Cm_util.Table.cell_f ~digits:3 1.5);
+  Alcotest.(check string) "pct" "12.5%" (Cm_util.Table.cell_pct 0.125);
+  Alcotest.(check string) "bool" "yes" (Cm_util.Table.cell_bool true)
+
+let () =
+  Alcotest.run "cm_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick prng_deterministic;
+          Alcotest.test_case "seed matters" `Quick prng_seed_matters;
+          Alcotest.test_case "int bounds" `Quick prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick prng_float_bounds;
+          Alcotest.test_case "split independent" `Quick prng_split_independent;
+          Alcotest.test_case "copy" `Quick prng_copy;
+          Alcotest.test_case "exponential positive" `Quick prng_exponential_positive;
+          Alcotest.test_case "invalid args" `Quick prng_invalid_args;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorts" `Quick heap_sorts;
+          Alcotest.test_case "empty" `Quick heap_empty;
+          Alcotest.test_case "min then pop" `Quick heap_min_then_pop;
+          Alcotest.test_case "clear" `Quick heap_clear;
+          QCheck_alcotest.to_alcotest heap_qcheck;
+          QCheck_alcotest.to_alcotest heap_size_qcheck;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick stats_mean;
+          Alcotest.test_case "stddev" `Quick stats_stddev;
+          Alcotest.test_case "percentile" `Quick stats_percentile;
+          Alcotest.test_case "min_max" `Quick stats_min_max;
+          Alcotest.test_case "histogram" `Quick stats_histogram;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick table_renders;
+          Alcotest.test_case "cells" `Quick table_cells;
+        ] );
+    ]

@@ -1,0 +1,375 @@
+(* Tests of the scenario builders: payroll, demarcation bank, banking day,
+   and the four-source Stanford federation. *)
+
+open Cm_rule
+module Sys_ = Cm_core.System
+module Guarantee = Cm_core.Guarantee
+module Strategy = Cm_core.Strategy
+open Cm_workload
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let holds name (r : Guarantee.report) =
+  Alcotest.(check bool)
+    (name ^ ": " ^ String.concat "; " r.Guarantee.counterexamples)
+    true r.Guarantee.holds
+
+(* ---- gen ---- *)
+
+let gen_poisson_counts () =
+  let sim = Cm_sim.Sim.create ~seed:1 () in
+  let rng = Cm_util.Prng.create ~seed:2 in
+  let count = ref 0 in
+  Gen.poisson sim ~rng ~mean_interarrival:1.0 ~until:1000.0 (fun () -> incr count);
+  Cm_sim.Sim.run sim;
+  (* Poisson with mean 1 over 1000 s: expect ~1000 events. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "count plausible (%d)" !count)
+    true
+    (!count > 800 && !count < 1200)
+
+let gen_fixed_counts () =
+  let sim = Cm_sim.Sim.create ~seed:1 () in
+  let count = ref 0 in
+  Gen.every_fixed sim ~period:10.0 ~until:100.0 (fun () -> incr count);
+  Cm_sim.Sim.run ~until:200.0 sim;
+  Alcotest.(check int) "10 ticks" 10 !count
+
+let gen_random_walk () =
+  let rng = Cm_util.Prng.create ~seed:3 in
+  for _ = 1 to 100 do
+    let next = Gen.random_walk rng ~current:100 ~step:5 in
+    Alcotest.(check bool) "moved within step" true
+      (next <> 100 && abs (next - 100) <= 5)
+  done
+
+(* ---- payroll ---- *)
+
+let payroll_propagation () =
+  let p = Payroll.create ~seed:5 ~employees:5 () in
+  Payroll.install_propagation p;
+  Payroll.random_updates p ~mean_interarrival:20.0 ~until:500.0;
+  Sys_.run p.Payroll.system ~until:600.0;
+  (* All salaries converged. *)
+  List.iter
+    (fun emp ->
+      Alcotest.check value ("converged " ^ emp)
+        (Payroll.salary_at p `A emp)
+        (Payroll.salary_at p `B emp))
+    p.Payroll.employees;
+  (* All four guarantees hold for every employee. *)
+  let tl = Sys_.timeline ~initial:p.Payroll.initial p.Payroll.system in
+  List.iter
+    (fun emp ->
+      List.iter
+        (fun g ->
+          holds
+            (emp ^ " " ^ Guarantee.name g)
+            (Guarantee.check ~horizon:600.0 ~ignore_after:500.0 tl g))
+        (Payroll.guarantees p ~emp))
+    p.Payroll.employees
+
+let payroll_validity () =
+  let p = Payroll.create ~seed:6 ~employees:3 () in
+  Payroll.install_propagation p;
+  Payroll.random_updates p ~mean_interarrival:30.0 ~until:300.0;
+  Sys_.run p.Payroll.system ~until:400.0;
+  Alcotest.(check (list string)) "valid execution" []
+    (List.map Validity.violation_to_string (Sys_.check_validity p.Payroll.system))
+
+let payroll_validity_many_seeds () =
+  (* Any seed must produce a valid execution: the engine's behaviour is
+     the semantics, whatever the interleaving. *)
+  List.iter
+    (fun seed ->
+      let p = Payroll.create ~seed ~employees:4 () in
+      Payroll.install_propagation p;
+      Payroll.random_updates p ~mean_interarrival:15.0 ~until:400.0;
+      Sys_.run p.Payroll.system ~until:500.0;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d valid" seed)
+        0
+        (List.length (Sys_.check_validity p.Payroll.system)))
+    [ 11; 22; 33; 44; 55; 66 ]
+
+let payroll_polling_validity () =
+  (* Polling traces are valid executions too: every P tick fires every
+     polling rule, reads respond with the sampled value, and the
+     forwarding chain keeps its provenance. *)
+  let p = Payroll.create ~seed:17 ~employees:2 ~mode:Payroll.Read_only () in
+  Payroll.install_polling ~period:60.0 p;
+  Payroll.random_updates p ~mean_interarrival:40.0 ~until:400.0;
+  Sys_.run p.Payroll.system ~until:500.0;
+  Alcotest.(check (list string)) "polling trace valid" []
+    (List.map Validity.violation_to_string
+       (Sys_.check_validity ~initial:p.Payroll.initial p.Payroll.system))
+
+let payroll_conditional_validity () =
+  (* Conditional notify: filtered spontaneous writes create no obligation
+     (the interface's LHS condition is false), delivered ones do. *)
+  let p = Payroll.create ~seed:18 ~employees:1 ~mode:(Payroll.Conditional 0.10) () in
+  Payroll.install_propagation p;
+  Payroll.schedule_update p ~at:10.0 ~emp:"e1" ~salary:1040;  (* filtered *)
+  Payroll.schedule_update p ~at:40.0 ~emp:"e1" ~salary:2000;  (* notified *)
+  Sys_.run p.Payroll.system ~until:200.0;
+  Alcotest.(check (list string)) "conditional trace valid" []
+    (List.map Validity.violation_to_string (Sys_.check_validity p.Payroll.system))
+
+let payroll_cached_strategy_behaviour () =
+  (* The Â§3.2 cache rule through the engine: forwarded once per distinct
+     value, and the trace remains valid. *)
+  let p = Payroll.create ~seed:19 ~employees:1 () in
+  Sys_.install p.Payroll.system
+    (Strategy.propagate_cached ~delta:5.0 ~source:Payroll.source_pattern
+       ~target:Payroll.target_pattern ~cache:"C1" ());
+  Payroll.schedule_update p ~at:10.0 ~emp:"e1" ~salary:5000;
+  Payroll.schedule_update p ~at:30.0 ~emp:"e1" ~salary:6000;
+  Sys_.run p.Payroll.system ~until:100.0;
+  Alcotest.check value "propagated" (Value.Int 6000) (Payroll.salary_at p `B "e1");
+  Alcotest.(check int) "two forwards" 2
+    (List.length (Trace.named (Sys_.trace p.Payroll.system) "WR"));
+  Alcotest.(check (list string)) "cached trace valid" []
+    (List.map Validity.violation_to_string (Sys_.check_validity p.Payroll.system))
+
+let bank_trace_validity () =
+  (* The demarcation rounds (custom events, binding guards, limit writes)
+     also form a valid execution. *)
+  let b = Bank.create ~seed:20 ~policy:Cm_core.Demarcation.Conservative () in
+  let sim = Sys_.sim b.Bank.system in
+  Cm_sim.Sim.schedule_at sim 1.0 (fun () -> ignore (Bank.try_set_x b 30));
+  Cm_sim.Sim.schedule_at sim 5.0 (fun () -> ignore (Bank.try_set_x b 80));
+  Cm_sim.Sim.schedule_at sim 50.0 (fun () -> ignore (Bank.try_set_x b 80));
+  Sys_.run b.Bank.system ~until:200.0;
+  Alcotest.(check (list string)) "demarcation trace valid" []
+    (List.map Validity.violation_to_string
+       (Sys_.check_validity ~initial:(Bank.initial b) b.Bank.system))
+
+let payroll_polling_leads_fails () =
+  let p = Payroll.create ~seed:7 ~employees:2 ~mode:Payroll.Read_only () in
+  Payroll.install_polling ~period:60.0 p;
+  (* Burst of updates inside one interval. *)
+  Payroll.schedule_update p ~at:70.0 ~emp:"e1" ~salary:1111;
+  Payroll.schedule_update p ~at:75.0 ~emp:"e1" ~salary:2222;
+  Payroll.schedule_update p ~at:80.0 ~emp:"e1" ~salary:3333;
+  Sys_.run p.Payroll.system ~until:500.0;
+  let tl = Sys_.timeline ~initial:p.Payroll.initial p.Payroll.system in
+  let pair =
+    {
+      Guarantee.leader = Payroll.source_item "e1";
+      follower = Payroll.target_item "e1";
+    }
+  in
+  let leads =
+    Guarantee.check ~horizon:500.0 ~ignore_after:400.0 tl (Guarantee.Leads pair)
+  in
+  Alcotest.(check bool) "leads fails" false leads.Guarantee.holds;
+  holds "follows" (Guarantee.check ~horizon:500.0 tl (Guarantee.Follows pair));
+  Alcotest.check value "last value arrived" (Value.Int 3333) (Payroll.salary_at p `B "e1")
+
+let payroll_conditional_notify_filters () =
+  let p = Payroll.create ~seed:8 ~employees:1 ~mode:(Payroll.Conditional 0.10) () in
+  Payroll.install_propagation p;
+  (* +5% change: filtered inside the source; +50%: notified. *)
+  Payroll.schedule_update p ~at:10.0 ~emp:"e1" ~salary:1050;
+  Sys_.run p.Payroll.system ~until:50.0;
+  Alcotest.check value "small change not propagated" (Value.Int 1000)
+    (Payroll.salary_at p `B "e1");
+  Payroll.schedule_update p ~at:60.0 ~emp:"e1" ~salary:1575;
+  Sys_.run p.Payroll.system ~until:120.0;
+  Alcotest.check value "large change propagated" (Value.Int 1575)
+    (Payroll.salary_at p `B "e1")
+
+(* ---- bank / demarcation ---- *)
+
+let bank_local_and_requested () =
+  let b = Bank.create ~seed:9 ~policy:Cm_core.Demarcation.Conservative () in
+  Alcotest.(check bool) "within limit applied" true (Bank.try_set_x b 30 = Bank.Applied);
+  Alcotest.(check bool) "beyond limit requested" true
+    (Bank.try_set_x b 90 = Bank.Requested);
+  (* After the limit-change round, the retry succeeds. *)
+  Sys_.run b.Bank.system ~until:60.0;
+  Alcotest.(check bool) "retry applied" true (Bank.try_set_x b 90 = Bank.Applied);
+  Alcotest.(check (float 1e-9)) "x" 90.0 (Bank.x_bal b);
+  (* Invariant held throughout. *)
+  let tl = Sys_.timeline ~initial:(Bank.initial b) b.Bank.system in
+  holds "X <= Y always" (Guarantee.check ~horizon:60.0 tl Bank.always_leq_guarantee)
+
+let bank_shrink_path () =
+  let b = Bank.create ~seed:10 ~policy:Cm_core.Demarcation.Conservative () in
+  (* Y = 100, lower limit 50: dropping to 40 needs A to lower X's limit. *)
+  Alcotest.(check bool) "requested" true (Bank.try_set_y b 40 = Bank.Requested);
+  Sys_.run b.Bank.system ~until:60.0;
+  (* X = 0 <= 40, so the grant goes through: Xlim = Ylim = 40. *)
+  Alcotest.(check (float 1e-9)) "Xlim lowered" 40.0 (Bank.x_lim b);
+  Alcotest.(check (float 1e-9)) "Ylim lowered" 40.0 (Bank.y_lim b);
+  Alcotest.(check bool) "retry applied" true (Bank.try_set_y b 40 = Bank.Applied);
+  let tl = Sys_.timeline ~initial:(Bank.initial b) b.Bank.system in
+  holds "X <= Y always" (Guarantee.check ~horizon:60.0 tl Bank.always_leq_guarantee)
+
+let bank_eager_vs_conservative_traffic () =
+  (* Under eager grants, a climb of X needs fewer limit-change rounds. *)
+  let climb policy =
+    let b = Bank.create ~seed:11 ~policy () in
+    let requests = ref 0 in
+    let sim = Sys_.sim b.Bank.system in
+    let rec climb_to v =
+      if v <= 95 then begin
+        (match Bank.try_set_x b v with
+         | Bank.Applied -> ()
+         | Bank.Requested -> incr requests);
+        (* Allow protocol rounds to finish, then continue. *)
+        Cm_sim.Sim.schedule sim ~delay:20.0 (fun () ->
+            (match Bank.try_set_x b v with Bank.Applied | Bank.Requested -> ());
+            climb_to (v + 10))
+      end
+    in
+    climb_to 10;
+    Sys_.run b.Bank.system ~until:2000.0;
+    !requests
+  in
+  let eager = climb Cm_core.Demarcation.Eager in
+  let conservative = climb Cm_core.Demarcation.Conservative in
+  Alcotest.(check bool)
+    (Printf.sprintf "eager (%d) <= conservative (%d)" eager conservative)
+    true (eager <= conservative);
+  Alcotest.(check bool) "eager needs exactly one round" true (eager = 1)
+
+let bank_stress_concurrent () =
+  (* Both sides issue random operations concurrently for a long run, with
+     blind retries; the invariant must hold at every instant and the
+     trace must remain a valid execution. *)
+  List.iter
+    (fun seed ->
+      let b = Bank.create ~seed ~policy:Cm_core.Demarcation.Eager () in
+      let sim = Sys_.sim b.Bank.system in
+      let rng = Cm_util.Prng.create ~seed:(seed * 13) in
+      for i = 1 to 120 do
+        let at = float_of_int i *. 7.0 in
+        Cm_sim.Sim.schedule_at sim at (fun () ->
+            if Cm_util.Prng.bool rng then
+              ignore (Bank.try_set_x b (Cm_util.Prng.int rng 120))
+            else ignore (Bank.try_set_y b (20 + Cm_util.Prng.int rng 120)));
+        (* blind retry a little later, also random *)
+        Cm_sim.Sim.schedule_at sim (at +. 3.0) (fun () ->
+            if Cm_util.Prng.bool rng then
+              ignore (Bank.try_set_x b (Cm_util.Prng.int rng 120)))
+      done;
+      Sys_.run b.Bank.system ~until:1000.0;
+      let tl = Sys_.timeline ~initial:(Bank.initial b) b.Bank.system in
+      let r = Guarantee.check ~horizon:1000.0 tl Bank.always_leq_guarantee in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: X <= Y always (%s)" seed
+           (String.concat "; " r.Guarantee.counterexamples))
+        true r.Guarantee.holds;
+      Alcotest.(check (float 1e-9)) "limits consistent" (Bank.x_lim b) (Bank.y_lim b))
+    [ 1; 2; 3; 4; 5 ]
+
+(* ---- banking day ---- *)
+
+let banking_day_periodic_guarantee () =
+  let b = Banking_day.create ~seed:12 ~accounts:3 () in
+  Banking_day.run_days b ~days:3 ~updates_per_day:20;
+  let tl = Sys_.timeline ~initial:b.Banking_day.initial b.Banking_day.system in
+  List.iter
+    (fun acct ->
+      holds ("periodic " ^ acct)
+        (Guarantee.check
+           ~horizon:(3.0 *. Banking_day.day)
+           tl (Banking_day.guarantee acct)))
+    b.Banking_day.accounts;
+  (* Balances agree at the end of the last night window. *)
+  List.iter
+    (fun acct ->
+      Alcotest.check value ("converged " ^ acct)
+        (Banking_day.balance_at b `Branch acct)
+        (Banking_day.balance_at b `Head_office acct))
+    b.Banking_day.accounts
+
+(* ---- stanford federation ---- *)
+
+let stanford_phone_chain () =
+  let s = Stanford.create ~seed:13 ~people:3 ~poll_period:60.0 () in
+  let sim = Sys_.sim s.Stanford.system in
+  (* An administrator changes p1's directory entry. *)
+  Cm_sim.Sim.schedule_at sim 10.0 (fun () ->
+      Stanford.admin_change_phone s ~person:"p1" ~phone:"555-9999");
+  Sys_.run s.Stanford.system ~until:400.0;
+  Alcotest.(check (option value)) "reached lookup" (Some (Value.Str "555-9999"))
+    (Stanford.phone_in_lookup s ~person:"p1");
+  Alcotest.(check (option value)) "reached groupdb" (Some (Value.Str "555-9999"))
+    (Stanford.phone_in_groupdb s ~person:"p1");
+  (* Only directory changes happened, so the whois -> lookup hop's
+     guarantees hold as well. *)
+  let tl = Sys_.timeline ~initial:s.Stanford.initial s.Stanford.system in
+  List.iter
+    (fun g -> holds (Guarantee.name g) (Guarantee.check ~horizon:400.0 tl g))
+    (Stanford.directory_guarantees s ~person:"p1")
+
+let stanford_lookup_to_groupdb () =
+  let s = Stanford.create ~seed:14 ~people:2 () in
+  let sim = Sys_.sim s.Stanford.system in
+  Cm_sim.Sim.schedule_at sim 10.0 (fun () ->
+      Stanford.app_change_phone s ~person:"p2" ~phone:"555-1234");
+  Sys_.run s.Stanford.system ~until:100.0;
+  Alcotest.(check (option value)) "propagated" (Some (Value.Str "555-1234"))
+    (Stanford.phone_in_groupdb s ~person:"p2");
+  (* Guarantees on the lookup -> groupdb hop. *)
+  let tl = Sys_.timeline ~initial:s.Stanford.initial s.Stanford.system in
+  List.iter
+    (fun g -> holds (Guarantee.name g) (Guarantee.check ~horizon:100.0 ~ignore_after:80.0 tl g))
+    (Stanford.phone_guarantees s ~person:"p2")
+
+let stanford_refint () =
+  let s = Stanford.create ~seed:15 ~people:2 () in
+  let sim = Sys_.sim s.Stanford.system in
+  Cm_sim.Sim.schedule_at sim 10.0 (fun () ->
+      Stanford.publish_paper s ~key:"icde96" ~title:"Constraint Toolkit"
+        ~authors:[ "chawathe"; "garcia-molina"; "widom" ]);
+  Cm_sim.Sim.schedule_at sim 200.0 (fun () -> Stanford.withdraw_paper s ~key:"icde96");
+  Sys_.run s.Stanford.system ~until:150.0;
+  Alcotest.(check bool) "paper mirrored" true (Stanford.paper_in_groupdb s ~key:"icde96");
+  Sys_.run s.Stanford.system ~until:400.0;
+  Alcotest.(check bool) "paper removed" false (Stanford.paper_in_groupdb s ~key:"icde96");
+  let tl = Sys_.timeline s.Stanford.system in
+  holds "refint bounded"
+    (Guarantee.check ~horizon:400.0 tl (Stanford.refint_guarantee ~key:"icde96" ~bound:60.0))
+
+let () =
+  Alcotest.run "cm_workload"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "poisson" `Quick gen_poisson_counts;
+          Alcotest.test_case "fixed" `Quick gen_fixed_counts;
+          Alcotest.test_case "random walk" `Quick gen_random_walk;
+        ] );
+      ( "payroll",
+        [
+          Alcotest.test_case "propagation + guarantees" `Quick payroll_propagation;
+          Alcotest.test_case "validity" `Quick payroll_validity;
+          Alcotest.test_case "validity across seeds" `Quick payroll_validity_many_seeds;
+          Alcotest.test_case "polling validity" `Quick payroll_polling_validity;
+          Alcotest.test_case "conditional validity" `Quick payroll_conditional_validity;
+          Alcotest.test_case "cached strategy" `Quick payroll_cached_strategy_behaviour;
+          Alcotest.test_case "polling misses" `Quick payroll_polling_leads_fails;
+          Alcotest.test_case "conditional notify" `Quick payroll_conditional_notify_filters;
+        ] );
+      ( "bank",
+        [
+          Alcotest.test_case "local + requested" `Quick bank_local_and_requested;
+          Alcotest.test_case "shrink path" `Quick bank_shrink_path;
+          Alcotest.test_case "eager vs conservative" `Quick
+            bank_eager_vs_conservative_traffic;
+          Alcotest.test_case "concurrent stress" `Quick bank_stress_concurrent;
+          Alcotest.test_case "trace validity" `Quick bank_trace_validity;
+        ] );
+      ( "banking day",
+        [ Alcotest.test_case "periodic guarantee" `Quick banking_day_periodic_guarantee ] );
+      ( "stanford",
+        [
+          Alcotest.test_case "whois -> lookup -> groupdb" `Quick stanford_phone_chain;
+          Alcotest.test_case "lookup -> groupdb guarantees" `Quick
+            stanford_lookup_to_groupdb;
+          Alcotest.test_case "referential integrity" `Quick stanford_refint;
+        ] );
+    ]
