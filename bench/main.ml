@@ -1073,6 +1073,75 @@ let exp_e12 () =
      example, without weakening guarantee (1).\n"
 
 (* ------------------------------------------------------------------ *)
+(* E13: retransmission overhead vs loss rate (§5, App. A.2 property 7) *)
+(* ------------------------------------------------------------------ *)
+
+let exp_e13 () =
+  let module Reliable = Cm_core.Reliable in
+  let run ?net_faults ?reliable () =
+    let p = Payroll.create ~seed:1300 ~employees:3 ?net_faults ?reliable () in
+    Payroll.install_propagation p;
+    Payroll.random_updates p ~mean_interarrival:20.0 ~until:500.0;
+    Sys_.run p.Payroll.system ~until:700.0;
+    p
+  in
+  let finals p =
+    List.map
+      (fun emp -> (Payroll.salary_at p `A emp, Payroll.salary_at p `B emp))
+      p.Payroll.employees
+  in
+  let clean = finals (run ()) in
+  let table =
+    Table.create
+      ~title:
+        "E13: reliable delivery over a lossy network — retransmission \
+         overhead vs loss rate (duplication fixed at 0.10, same seed \
+         throughout; 'final = clean' compares against the zero-fault run)"
+      ~columns:
+        [ "drop"; "raw msgs"; "data"; "retransmits"; "acks"; "dups suppressed";
+          "(1)"; "final = clean" ]
+  in
+  List.iter
+    (fun drop ->
+      let p =
+        run
+          ~net_faults:{ Net.drop_prob = drop; dup_prob = 0.1 }
+          ~reliable:Reliable.default_config ()
+      in
+      let s =
+        match Sys_.reliable p.Payroll.system with
+        | Some r -> Reliable.stats r
+        | None -> assert false
+      in
+      let g1 =
+        Sys_.check_guarantee ~initial:p.Payroll.initial p.Payroll.system
+          (Guarantee.Follows
+             {
+               Guarantee.leader = Payroll.source_item "e1";
+               follower = Payroll.target_item "e1";
+             })
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" drop;
+          string_of_int (Net.messages_sent (Sys_.net p.Payroll.system));
+          string_of_int s.Reliable.data_sent;
+          string_of_int s.Reliable.retransmits;
+          string_of_int s.Reliable.acks_sent;
+          string_of_int s.Reliable.dup_suppressed;
+          yes_no g1.Guarantee.holds;
+          yes_no (finals p = clean);
+        ])
+    [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5 ];
+  Table.print table;
+  print_endline
+    "Shape check: the application-level outcome is identical at every loss\n\
+     rate — same final stores as the zero-fault run, guarantee (1) intact —\n\
+     while the raw message count grows with the loss rate: the cost of\n\
+     re-earning Appendix A.2's property 7 is paid entirely in\n\
+     retransmissions and acks, never in correctness.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1088,6 +1157,7 @@ let experiments =
     ("e10", exp_e10);
     ("e11", exp_e11);
     ("e12", exp_e12);
+    ("e13", exp_e13);
   ]
 
 let () =
@@ -1103,7 +1173,7 @@ let () =
      match List.assoc_opt name experiments with
      | Some f -> f ()
      | None ->
-       Printf.eprintf "unknown experiment %s (e1..e10)\n" name;
+       Printf.eprintf "unknown experiment %s (e1..e13)\n" name;
        exit 1)
    | None ->
      List.iter

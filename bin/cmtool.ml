@@ -311,10 +311,138 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run the payroll scenario and check its guarantees")
     Term.(const demo_cmd_run $ seed $ minutes $ dump_trace)
 
+(* ---- faults ---- *)
+
+let faults_cmd_run seed drop dup minutes employees no_reliable heartbeat =
+  let module Payroll = Cm_workload.Payroll in
+  let module Sys_ = Cm_core.System in
+  let module Net = Cm_net.Net in
+  let module Reliable = Cm_core.Reliable in
+  let module Guarantee = Cm_core.Guarantee in
+  let horizon = float_of_int minutes *. 60.0 in
+  (* Stop injecting updates well before the horizon so retransmission
+     chains can drain and the final states are comparable. *)
+  let updates_until = Float.max 60.0 (horizon -. 120.0) in
+  let run ?net_faults ?reliable () =
+    let p = Payroll.create ~seed ~employees ?net_faults ?reliable () in
+    Payroll.install_propagation p;
+    Payroll.random_updates p ~mean_interarrival:30.0 ~until:updates_until;
+    Sys_.run p.Payroll.system ~until:horizon;
+    p
+  in
+  let finals p =
+    List.map
+      (fun emp ->
+        (emp, Payroll.salary_at p `A emp, Payroll.salary_at p `B emp))
+      p.Payroll.employees
+  in
+  let clean = run () in
+  let reliable =
+    if no_reliable then None
+    else Some { Reliable.default_config with heartbeat_period = heartbeat }
+  in
+  let faulty = run ~net_faults:{ Net.drop_prob = drop; dup_prob = dup } ?reliable () in
+  Printf.printf
+    "payroll scenario, seed %d, %d employee(s), %d simulated minute(s)\n\
+     every link: drop %.2f, duplicate %.2f; reliable layer: %s\n\n"
+    seed employees minutes drop dup
+    (if no_reliable then "OFF (ablation)" else "on");
+  let net = Sys_.net faulty.Payroll.system in
+  Printf.printf "network (faulty run):\n";
+  Printf.printf "  raw messages sent     %6d\n" (Net.messages_sent net);
+  Printf.printf "  lost to faults        %6d\n" (Net.drops_by net Net.Faulty);
+  Printf.printf "  duplicated in flight  %6d\n" (Net.messages_duplicated net);
+  (match Sys_.reliable faulty.Payroll.system with
+   | None -> Printf.printf "\nreliable layer disabled: no retransmission.\n"
+   | Some r ->
+     let s = Reliable.stats r in
+     Printf.printf "\nreliable delivery (faulty run):\n";
+     Printf.printf "  data envelopes        %6d\n" s.Reliable.data_sent;
+     Printf.printf "  retransmissions       %6d\n" s.Reliable.retransmits;
+     Printf.printf "  acks sent             %6d\n" s.Reliable.acks_sent;
+     Printf.printf "  delivered exactly-once%6d\n" s.Reliable.delivered;
+     Printf.printf "  duplicates suppressed %6d\n" s.Reliable.dup_suppressed;
+     Printf.printf "  reorderings repaired  %6d\n" s.Reliable.reordered;
+     Printf.printf "  envelopes abandoned   %6d\n" s.Reliable.give_ups);
+  Printf.printf "\nfinal salaries (clean A | clean B | faulty A | faulty B):\n";
+  List.iter2
+    (fun (emp, ca, cb) (_, fa, fb) ->
+      Printf.printf "  %-4s %8s %8s %8s %8s%s\n" emp
+        (Cm_rule.Value.to_string ca) (Cm_rule.Value.to_string cb)
+        (Cm_rule.Value.to_string fa) (Cm_rule.Value.to_string fb)
+        (if (ca, cb) = (fa, fb) then "" else "   <-- DIVERGED"))
+    (finals clean) (finals faulty);
+  let g1 =
+    Sys_.check_guarantee ~initial:faulty.Payroll.initial faulty.Payroll.system
+      (Guarantee.Follows
+         {
+           Guarantee.leader = Payroll.source_item "e1";
+           follower = Payroll.target_item "e1";
+         })
+  in
+  let checks =
+    [
+      ("final state identical to zero-fault run", finals clean = finals faulty);
+      ( "no envelope lost or abandoned",
+        match Sys_.reliable faulty.Payroll.system with
+        | None -> false
+        | Some r ->
+          let s = Reliable.stats r in
+          s.Reliable.give_ups = 0 && s.Reliable.delivered = s.Reliable.data_sent );
+      ( "faults actually exercised",
+        drop = 0.0
+        || Net.drops_by net Net.Faulty > 0
+           &&
+           match Sys_.reliable faulty.Payroll.system with
+           | None -> true
+           | Some r -> (Reliable.stats r).Reliable.retransmits > 0 );
+      ("guarantee (1) follows holds", g1.Guarantee.holds);
+    ]
+  in
+  Printf.printf "\nchecks:\n";
+  List.iter
+    (fun (name, ok) ->
+      Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAILED") name)
+    checks;
+  if List.for_all snd checks then 0 else 1
+
+let faults_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let drop =
+    Arg.(value & opt float 0.2
+         & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability on every link")
+  in
+  let dup =
+    Arg.(value & opt float 0.2
+         & info [ "dup" ] ~docv:"P"
+             ~doc:"Per-message duplication probability on every link")
+  in
+  let minutes = Arg.(value & opt int 20 & info [ "minutes" ] ~docv:"N") in
+  let employees = Arg.(value & opt int 5 & info [ "employees" ] ~docv:"N") in
+  let no_reliable =
+    Arg.(value & flag
+         & info [ "no-reliable" ]
+             ~doc:"Ablation: run the faulty network without the reliable-delivery \
+                   layer (expected to fail the checks)")
+  in
+  let heartbeat =
+    Arg.(value & opt float 0.0
+         & info [ "heartbeat" ] ~docv:"SECONDS"
+             ~doc:"Heartbeat period for the failure detector (0 disables)")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run the payroll scenario twice at the same seed — once on a clean \
+             network, once with loss and duplication on every link plus the \
+             reliable-delivery layer — and verify the final states are identical")
+    Term.(const faults_cmd_run $ seed $ drop $ dup $ minutes $ employees
+          $ no_reliable $ heartbeat)
+
 let () =
   let info =
     Cmd.info "cmtool" ~version:"1.0"
       ~doc:"Constraint management toolkit for heterogeneous information systems"
   in
   exit (Cmd.eval' (Cmd.group info
-       [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_trace_cmd; demo_cmd ]))
+       [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_trace_cmd; demo_cmd;
+         faults_cmd ]))

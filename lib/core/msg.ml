@@ -9,6 +9,10 @@ type t =
     }
   | Failure_notice of { origin_site : string; kind : failure_kind }
   | Reset_notice of { origin_site : string }
+  | Data of { from_site : string; seq : int; payload : t }
+  | Ack of { from_site : string; seq : int }
+  | Heartbeat of { origin_site : string; beat : int }
+  | Suspect_down of { origin_site : string; suspect_site : string }
 
 let env_to_list env = Cm_rule.Expr.Env.bindings env
 

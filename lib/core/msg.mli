@@ -5,7 +5,16 @@
     the shell of the RHS site as a {!Fire} envelope, where conditions are
     evaluated against local data and the RHS events are produced.
     Failure notices propagate between shells so that affected guarantees
-    can be marked invalid at every site (§5). *)
+    can be marked invalid at every site (§5).
+
+    The last four variants belong to the transport layer
+    ({!Cm_core.Reliable}), which re-earns the paper's reliable-network
+    assumption over a faulty {!Cm_net.Net}: application messages travel
+    wrapped in sequence-numbered {!Data} envelopes answered by {!Ack}s,
+    {!Heartbeat}s feed the per-site failure detector, and
+    {!Suspect_down} is what the detector delivers locally when a peer
+    stops responding — the §5 failure notice for a dead communication
+    endpoint, which would otherwise be a silent stall. *)
 
 type failure_kind = Metric | Logical
 
@@ -18,6 +27,15 @@ type t =
     }
   | Failure_notice of { origin_site : string; kind : failure_kind }
   | Reset_notice of { origin_site : string }
+  | Data of { from_site : string; seq : int; payload : t }
+      (** Reliable-delivery envelope: [seq] orders the [from_site] →
+          receiver link. *)
+  | Ack of { from_site : string; seq : int }
+      (** Acknowledges [Data { seq }] on the link towards [from_site]. *)
+  | Heartbeat of { origin_site : string; beat : int }
+  | Suspect_down of { origin_site : string; suspect_site : string }
+      (** Delivered locally by [origin_site]'s failure detector when
+          [suspect_site] has gone quiet. *)
 
 val env_to_list : Cm_rule.Expr.env -> (string * Cm_rule.Expr.binding) list
 val env_of_list : (string * Cm_rule.Expr.binding) list -> Cm_rule.Expr.env

@@ -1,0 +1,274 @@
+module Sim = Cm_sim.Sim
+module Net = Cm_net.Net
+
+type config = {
+  retry_timeout : float;
+  backoff : float;
+  max_timeout : float;
+  max_retries : int;
+  heartbeat_period : float;
+  suspect_after : float;
+}
+
+let default_config =
+  {
+    retry_timeout = 1.0;
+    backoff = 2.0;
+    max_timeout = 10.0;
+    max_retries = 10;
+    heartbeat_period = 0.0;
+    suspect_after = 0.0;
+  }
+
+type stats = {
+  data_sent : int;
+  retransmits : int;
+  acks_sent : int;
+  delivered : int;
+  dup_suppressed : int;
+  reordered : int;
+  heartbeats_sent : int;
+  give_ups : int;
+  suspects : int;
+  recoveries : int;
+}
+
+(* Per directed link: the sender side numbers and retains unacknowledged
+   envelopes; the receiver side tracks the next sequence it will deliver
+   and holds out-of-order arrivals. *)
+type link = {
+  mutable next_seq : int;
+  outstanding : (int, Msg.t) Hashtbl.t;
+  mutable expected : int;
+  held : (int, Msg.t) Hashtbl.t;
+}
+
+type endpoint = {
+  ep_site : string;
+  deliver : Msg.t -> unit;
+  last_heard : (string, float) Hashtbl.t;
+  suspected : (string, unit) Hashtbl.t;
+  mutable beat : int;
+}
+
+type t = {
+  sim : Sim.t;
+  net : Msg.t Net.t;
+  cfg : config;
+  endpoints : (string, endpoint) Hashtbl.t;
+  mutable sites : string list;  (* sorted, for deterministic iteration *)
+  links : (string * string, link) Hashtbl.t;
+  mutable suspect_hooks : (site:string -> suspect:string -> unit) list;
+  mutable recover_hooks : (site:string -> peer:string -> unit) list;
+  mutable data_sent : int;
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable delivered : int;
+  mutable dup_suppressed : int;
+  mutable reordered : int;
+  mutable heartbeats_sent : int;
+  mutable give_ups : int;
+  mutable suspects_count : int;
+  mutable recoveries : int;
+}
+
+let create ~sim ~net ?(config = default_config) () =
+  {
+    sim;
+    net;
+    cfg = config;
+    endpoints = Hashtbl.create 8;
+    sites = [];
+    links = Hashtbl.create 16;
+    suspect_hooks = [];
+    recover_hooks = [];
+    data_sent = 0;
+    retransmits = 0;
+    acks_sent = 0;
+    delivered = 0;
+    dup_suppressed = 0;
+    reordered = 0;
+    heartbeats_sent = 0;
+    give_ups = 0;
+    suspects_count = 0;
+    recoveries = 0;
+  }
+
+let config t = t.cfg
+
+let suspect_threshold t =
+  if t.cfg.suspect_after > 0.0 then t.cfg.suspect_after
+  else 3.0 *. t.cfg.heartbeat_period
+
+let link t ~from_site ~to_site =
+  let key = (from_site, to_site) in
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+    let l =
+      {
+        next_seq = 0;
+        outstanding = Hashtbl.create 8;
+        expected = 0;
+        held = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.replace t.links key l;
+    l
+
+let on_suspect t hook = t.suspect_hooks <- t.suspect_hooks @ [ hook ]
+let on_recover t hook = t.recover_hooks <- t.recover_hooks @ [ hook ]
+
+let suspect t ep peer =
+  if not (Hashtbl.mem ep.suspected peer) then begin
+    Hashtbl.replace ep.suspected peer ();
+    t.suspects_count <- t.suspects_count + 1;
+    List.iter (fun hook -> hook ~site:ep.ep_site ~suspect:peer) t.suspect_hooks;
+    ep.deliver (Msg.Suspect_down { origin_site = ep.ep_site; suspect_site = peer })
+  end
+
+(* Any frame from [peer] counts as a sign of life. *)
+let heard t ep peer =
+  Hashtbl.replace ep.last_heard peer (Sim.now t.sim);
+  if Hashtbl.mem ep.suspected peer then begin
+    Hashtbl.remove ep.suspected peer;
+    t.recoveries <- t.recoveries + 1;
+    List.iter (fun hook -> hook ~site:ep.ep_site ~peer) t.recover_hooks;
+    ep.deliver (Msg.Reset_notice { origin_site = peer })
+  end
+
+let rec transmit t ~from_site ~to_site l ~seq ~attempt ~timeout =
+  Net.send t.net ~from_site ~to_site
+    (Msg.Data
+       { from_site; seq; payload = Hashtbl.find l.outstanding seq });
+  Sim.schedule t.sim ~delay:timeout (fun () ->
+      if Hashtbl.mem l.outstanding seq then
+        if attempt >= t.cfg.max_retries then begin
+          Hashtbl.remove l.outstanding seq;
+          t.give_ups <- t.give_ups + 1;
+          match Hashtbl.find_opt t.endpoints from_site with
+          | Some ep -> suspect t ep to_site
+          | None -> ()
+        end
+        else begin
+          t.retransmits <- t.retransmits + 1;
+          transmit t ~from_site ~to_site l ~seq ~attempt:(attempt + 1)
+            ~timeout:(Float.min (timeout *. t.cfg.backoff) t.cfg.max_timeout)
+        end)
+
+let send t ~from_site ~to_site msg =
+  if String.equal from_site to_site then
+    (* The simulated network never loses local messages; skip the protocol
+       so self-sends stay zero-overhead and unsequenced. *)
+    Net.send t.net ~from_site ~to_site msg
+  else begin
+    let l = link t ~from_site ~to_site in
+    let seq = l.next_seq in
+    l.next_seq <- seq + 1;
+    Hashtbl.replace l.outstanding seq msg;
+    t.data_sent <- t.data_sent + 1;
+    transmit t ~from_site ~to_site l ~seq ~attempt:0 ~timeout:t.cfg.retry_timeout
+  end
+
+let receive t ep frame =
+  match frame with
+  | Msg.Data { from_site; seq; payload } ->
+    heard t ep from_site;
+    (* Always ack, even duplicates: the earlier ack may have been lost. *)
+    t.acks_sent <- t.acks_sent + 1;
+    Net.send t.net ~from_site:ep.ep_site ~to_site:from_site
+      (Msg.Ack { from_site = ep.ep_site; seq });
+    let l = link t ~from_site ~to_site:ep.ep_site in
+    if seq < l.expected || Hashtbl.mem l.held seq then
+      t.dup_suppressed <- t.dup_suppressed + 1
+    else if seq = l.expected then begin
+      t.delivered <- t.delivered + 1;
+      l.expected <- seq + 1;
+      ep.deliver payload;
+      let rec drain () =
+        match Hashtbl.find_opt l.held l.expected with
+        | None -> ()
+        | Some held_payload ->
+          Hashtbl.remove l.held l.expected;
+          t.delivered <- t.delivered + 1;
+          l.expected <- l.expected + 1;
+          ep.deliver held_payload;
+          drain ()
+      in
+      drain ()
+    end
+    else begin
+      t.reordered <- t.reordered + 1;
+      Hashtbl.replace l.held seq payload
+    end
+  | Msg.Ack { from_site = acker; seq } ->
+    heard t ep acker;
+    let l = link t ~from_site:ep.ep_site ~to_site:acker in
+    Hashtbl.remove l.outstanding seq
+  | Msg.Heartbeat { origin_site; beat = _ } -> heard t ep origin_site
+  | app_msg ->
+    (* Unwrapped application message: a local self-send or a sender that
+       bypassed the reliable layer. *)
+    ep.deliver app_msg
+
+let heartbeat_tick t ep =
+  let now = Sim.now t.sim in
+  let threshold = suspect_threshold t in
+  List.iter
+    (fun peer ->
+      if not (String.equal peer ep.ep_site) then begin
+        ep.beat <- ep.beat + 1;
+        t.heartbeats_sent <- t.heartbeats_sent + 1;
+        Net.send t.net ~from_site:ep.ep_site ~to_site:peer
+          (Msg.Heartbeat { origin_site = ep.ep_site; beat = ep.beat });
+        match Hashtbl.find_opt ep.last_heard peer with
+        | None ->
+          (* First sight of this peer: start its grace period now. *)
+          Hashtbl.replace ep.last_heard peer now
+        | Some last -> if now -. last > threshold then suspect t ep peer
+      end)
+    t.sites
+
+let register t ~site deliver =
+  if Hashtbl.mem t.endpoints site then
+    invalid_arg ("Reliable.register: site already registered: " ^ site);
+  let ep =
+    {
+      ep_site = site;
+      deliver;
+      last_heard = Hashtbl.create 8;
+      suspected = Hashtbl.create 4;
+      beat = 0;
+    }
+  in
+  Hashtbl.replace t.endpoints site ep;
+  t.sites <- List.sort compare (site :: t.sites);
+  Net.register t.net ~site (fun frame -> receive t ep frame);
+  if t.cfg.heartbeat_period > 0.0 then
+    Sim.every t.sim ~period:t.cfg.heartbeat_period
+      (fun () -> heartbeat_tick t ep)
+      ~cancel:(fun () -> false)
+
+let suspects t ~site =
+  match Hashtbl.find_opt t.endpoints site with
+  | None -> []
+  | Some ep ->
+    Hashtbl.fold (fun peer () acc -> peer :: acc) ep.suspected []
+    |> List.sort compare
+
+let stats t =
+  {
+    data_sent = t.data_sent;
+    retransmits = t.retransmits;
+    acks_sent = t.acks_sent;
+    delivered = t.delivered;
+    dup_suppressed = t.dup_suppressed;
+    reordered = t.reordered;
+    heartbeats_sent = t.heartbeats_sent;
+    give_ups = t.give_ups;
+    suspects = t.suspects_count;
+    recoveries = t.recoveries;
+  }
+
+let pending t =
+  Hashtbl.fold (fun _ l acc -> acc + Hashtbl.length l.outstanding) t.links 0

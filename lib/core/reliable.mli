@@ -1,0 +1,88 @@
+(** Reliable, in-order, exactly-once delivery over a faulty {!Cm_net.Net}.
+
+    The paper's guarantee proofs assume the network cannot lose,
+    duplicate, or reorder messages (§5 footnote 4, Appendix A.2 property
+    7).  {!Cm_net.Net} can now violate all three; this layer sits between
+    the network and the CM-Shells and re-earns the assumption
+    explicitly:
+
+    - every application message travels in a sequence-numbered
+      {!Msg.Data} envelope, acknowledged by the receiver with {!Msg.Ack};
+    - unacknowledged envelopes are retransmitted on a timeout that backs
+      off exponentially up to a cap, and abandoned (with the peer
+      suspected down) after [max_retries] attempts;
+    - the receiver suppresses duplicates and buffers out-of-order
+      arrivals, handing envelopes to the shell exactly once, in send
+      order per directed link;
+    - optionally, every endpoint emits periodic {!Msg.Heartbeat}s and
+      runs a threshold failure detector over them: a peer not heard from
+      for [suspect_after] seconds is suspected, which delivers a local
+      {!Msg.Suspect_down} — turning a silent network-level stall into
+      the paper's §5 failure notice so guarantees degrade instead of
+      lying.  Hearing from a suspected peer again delivers a local
+      {!Msg.Reset_notice} for it.
+
+    All timers run on the simulation clock and all state changes are
+    deterministic, so faulty runs remain reproducible from their seed.
+    Local sends (site to itself) bypass the protocol: the simulated
+    network never loses them. *)
+
+type t
+
+type config = {
+  retry_timeout : float;  (** initial retransmission timeout, seconds *)
+  backoff : float;  (** timeout multiplier per retry *)
+  max_timeout : float;  (** retransmission timeout cap *)
+  max_retries : int;  (** retransmissions before giving up and suspecting *)
+  heartbeat_period : float;  (** 0 disables heartbeats and the detector *)
+  suspect_after : float;
+      (** silence threshold before suspecting a peer; 0 means
+          [3 *. heartbeat_period] *)
+}
+
+val default_config : config
+(** 1 s initial timeout, ×2 backoff capped at 10 s, 10 retries,
+    heartbeats disabled. *)
+
+type stats = {
+  data_sent : int;  (** first transmissions of application envelopes *)
+  retransmits : int;
+  acks_sent : int;
+  delivered : int;  (** envelopes handed to a handler, exactly once each *)
+  dup_suppressed : int;  (** received again after delivery (or while buffered) *)
+  reordered : int;  (** arrived ahead of a gap and were buffered *)
+  heartbeats_sent : int;
+  give_ups : int;  (** envelopes abandoned after [max_retries] *)
+  suspects : int;
+  recoveries : int;
+}
+
+val create : sim:Cm_sim.Sim.t -> net:Msg.t Cm_net.Net.t -> ?config:config -> unit -> t
+
+val config : t -> config
+
+val register : t -> site:string -> (Msg.t -> unit) -> unit
+(** Install the application handler for a site; registers the site's
+    transport handler with the underlying network and, if heartbeats are
+    enabled, starts its heartbeat/detector timer.
+    @raise Invalid_argument if the site is already registered. *)
+
+val send : t -> from_site:string -> to_site:string -> Msg.t -> unit
+(** Queue a message for reliable delivery.  Delivery to the handler at
+    [to_site] happens exactly once, in per-link send order, as long as
+    the link's loss rate leaves any retransmission chain alive. *)
+
+val on_suspect : t -> (site:string -> suspect:string -> unit) -> unit
+(** Called when [site]'s detector (or retransmission give-up) starts
+    suspecting [suspect], in addition to the local {!Msg.Suspect_down}
+    delivery. *)
+
+val on_recover : t -> (site:string -> peer:string -> unit) -> unit
+
+val suspects : t -> site:string -> string list
+(** Peers currently suspected by [site]'s detector, sorted. *)
+
+val stats : t -> stats
+
+val pending : t -> int
+(** Envelopes sent but neither acknowledged nor abandoned. *)

@@ -5,6 +5,7 @@ open Cm_rule
 type t = {
   sim : Sim.t;
   net : Msg.t Net.t;
+  send_msg : from_site:string -> to_site:string -> Msg.t -> unit;
   trace : Trace.t;
   locator : Item.locator;
   site : string;
@@ -74,7 +75,7 @@ let rec occurred t (event : Event.t) =
               | None -> t.site  (* pure chaining rules execute locally *)
             in
             t.fires_sent <- t.fires_sent + 1;
-            Net.send t.net ~from_site:t.site ~to_site:(t.route rhs_site)
+            t.send_msg ~from_site:t.site ~to_site:(t.route rhs_site)
               (Msg.Fire
                  {
                    rule_id = rule.Rule.id;
@@ -158,12 +159,28 @@ and handle_msg t = function
     List.iter (fun f -> f ~origin:origin_site kind) t.failure_listeners
   | Msg.Reset_notice { origin_site } ->
     List.iter (fun f -> f ~origin:origin_site) t.reset_listeners
+  | Msg.Suspect_down { suspect_site; origin_site = _ } ->
+    (* The failure detector's verdict on a dead peer: a logical failure at
+       that site (§5) — its updates may be lost entirely, not just late. *)
+    List.iter (fun f -> f ~origin:suspect_site Msg.Logical) t.failure_listeners
+  | Msg.Data { payload; _ } ->
+    (* Transport envelope reaching the shell means the sender used the
+       reliable protocol while this site was registered raw; unwrap so the
+       application message is not lost (acks/ordering are unavailable). *)
+    handle_msg t payload
+  | Msg.Ack _ | Msg.Heartbeat _ -> ()
 
-let create ~sim ~net ~trace ~locator ~site =
+let create ~sim ~net ~reliable ~trace ~locator ~site =
+  let send_msg =
+    match reliable with
+    | Some r -> fun ~from_site ~to_site msg -> Reliable.send r ~from_site ~to_site msg
+    | None -> fun ~from_site ~to_site msg -> Net.send net ~from_site ~to_site msg
+  in
   let t =
     {
       sim;
       net;
+      send_msg;
       trace;
       locator;
       site;
@@ -183,7 +200,9 @@ let create ~sim ~net ~trace ~locator ~site =
       events_seen = 0;
     }
   in
-  Net.register net ~site (handle_msg t);
+  (match reliable with
+   | Some r -> Reliable.register r ~site (handle_msg t)
+   | None -> Net.register net ~site (handle_msg t));
   t
 
 let attach_translator t (tr : Cmi.t) =
@@ -239,7 +258,7 @@ let report_failure t kind =
   List.iter (fun f -> f ~origin:t.site kind) t.failure_listeners;
   List.iter
     (fun peer ->
-      Net.send t.net ~from_site:t.site ~to_site:peer
+      t.send_msg ~from_site:t.site ~to_site:peer
         (Msg.Failure_notice { origin_site = t.site; kind }))
     t.peer_sites
 
@@ -247,7 +266,7 @@ let broadcast_reset t =
   List.iter (fun f -> f ~origin:t.site) t.reset_listeners;
   List.iter
     (fun peer ->
-      Net.send t.net ~from_site:t.site ~to_site:peer
+      t.send_msg ~from_site:t.site ~to_site:peer
         (Msg.Reset_notice { origin_site = t.site }))
     t.peer_sites
 

@@ -27,11 +27,16 @@ type t
 val create :
   sim:Cm_sim.Sim.t ->
   net:Msg.t Cm_net.Net.t ->
+  reliable:Reliable.t option ->
   trace:Cm_rule.Trace.t ->
   locator:Cm_rule.Item.locator ->
   site:string ->
   t
-(** Registers the shell's network handler at [site]. *)
+(** Registers the shell's network handler at [site].  When [reliable] is
+    given, all shell traffic (rule firings, failure and reset notices)
+    goes through that reliable-delivery layer instead of the raw
+    network, and the layer's failure detector feeds the shell's failure
+    listeners via {!Msg.Suspect_down} / {!Msg.Reset_notice}. *)
 
 val site : t -> string
 val sim : t -> Cm_sim.Sim.t

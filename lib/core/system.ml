@@ -13,6 +13,7 @@ type guarantee_handle = guarantee_entry
 type t = {
   sim : Sim.t;
   net : Msg.t Net.t;
+  reliable : Reliable.t option;
   trace : Trace.t;
   locator : Item.locator;
   shells : (string, Shell.t) Hashtbl.t;  (* by primary site *)
@@ -22,12 +23,16 @@ type t = {
   mutable guarantees : guarantee_entry list;
 }
 
-let create ?(seed = 42) ?latency ?fifo locator =
+let create ?(seed = 42) ?latency ?fifo ?faults ?reliable locator =
   let sim = Sim.create ~seed () in
-  let net = Net.create ~sim ?latency ?fifo () in
+  let net = Net.create ~sim ?latency ?fifo ?faults () in
+  let reliable =
+    Option.map (fun config -> Reliable.create ~sim ~net ~config ()) reliable
+  in
   {
     sim;
     net;
+    reliable;
     trace = Trace.create ();
     locator;
     shells = Hashtbl.create 8;
@@ -39,6 +44,7 @@ let create ?(seed = 42) ?latency ?fifo locator =
 
 let sim t = t.sim
 let net t = t.net
+let reliable t = t.reliable
 let trace t = t.trace
 let locator t = t.locator
 
@@ -80,7 +86,8 @@ let add_shell t ~site =
   if Hashtbl.mem t.shells site then
     invalid_arg ("System.add_shell: duplicate site " ^ site);
   let shell =
-    Shell.create ~sim:t.sim ~net:t.net ~trace:t.trace ~locator:t.locator ~site
+    Shell.create ~sim:t.sim ~net:t.net ~reliable:t.reliable ~trace:t.trace
+      ~locator:t.locator ~site
   in
   Hashtbl.replace t.shells site shell;
   Hashtbl.replace t.site_to_shell site shell;

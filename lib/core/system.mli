@@ -15,12 +15,28 @@
 type t
 
 val create :
-  ?seed:int -> ?latency:Cm_net.Net.latency -> ?fifo:bool -> Cm_rule.Item.locator -> t
+  ?seed:int ->
+  ?latency:Cm_net.Net.latency ->
+  ?fifo:bool ->
+  ?faults:Cm_net.Net.faults ->
+  ?reliable:Reliable.config ->
+  Cm_rule.Item.locator ->
+  t
 (** [fifo:false] disables the network's in-order delivery — only for the
-    ablation experiment showing why Appendix A.2's property 7 matters. *)
+    ablation experiment showing why Appendix A.2's property 7 matters.
+    [faults] installs a default loss/duplication model on every network
+    link; [reliable] inserts a {!Reliable} delivery layer between the
+    network and every shell, restoring exactly-once in-order delivery on
+    top of the faults and (with heartbeats enabled) turning dead peers
+    into §5 failure notices that invalidate declared guarantees. *)
 
 val sim : t -> Cm_sim.Sim.t
 val net : t -> Msg.t Cm_net.Net.t
+
+val reliable : t -> Reliable.t option
+(** The reliable-delivery layer, when one was configured — source of
+    retransmission/ack counters for the message-cost experiments. *)
+
 val trace : t -> Cm_rule.Trace.t
 val locator : t -> Cm_rule.Item.locator
 

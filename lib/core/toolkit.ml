@@ -83,7 +83,7 @@ let kvfile_binding (item : Cmrid.item_decl) =
         writable = item.Cmrid.i_writable;
       }
 
-let build ?(seed = 42) ?net_latency config =
+let build ?(seed = 42) ?net_latency ?net_faults ?reliable config =
   let ( let* ) r f = Result.bind r f in
   let* () =
     (* duplicate item bases across sources are configuration errors *)
@@ -100,7 +100,9 @@ let build ?(seed = 42) ?net_latency config =
     else Error ("duplicate item bases: " ^ String.concat ", " dupes)
   in
   let locator = Cmrid.locator config in
-  let system = System.create ~seed ?latency:net_latency locator in
+  let system =
+    System.create ~seed ?latency:net_latency ?faults:net_faults ?reliable locator
+  in
   let shells =
     List.map (fun site -> (site, System.add_shell system ~site)) (Cmrid.sites config)
   in

@@ -19,9 +19,17 @@ type built = {
 }
 
 val build :
-  ?seed:int -> ?net_latency:Cm_net.Net.latency -> Cmrid.t -> (built, string) result
+  ?seed:int ->
+  ?net_latency:Cm_net.Net.latency ->
+  ?net_faults:Cm_net.Net.faults ->
+  ?reliable:Reliable.config ->
+  Cmrid.t ->
+  (built, string) result
 (** Fails on unknown sites in [location] lines, bad SQL in item
-    templates or [init] statements, and duplicate item bases. *)
+    templates or [init] statements, and duplicate item bases.
+    [net_faults] makes every inter-shell link lossy; [reliable] inserts
+    the {!Reliable} delivery layer so the built system keeps the paper's
+    delivery assumptions anyway (see {!System.create}). *)
 
 val interface_summary : built -> (string * string list) list
 (** For each item base, the interface kinds its translator reports —

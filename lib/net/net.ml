@@ -4,12 +4,21 @@ type latency = { base : float; jitter : float }
 
 let default_latency = { base = 0.05; jitter = 0.01 }
 
+type faults = { drop_prob : float; dup_prob : float }
+
+let no_faults = { drop_prob = 0.0; dup_prob = 0.0 }
+
+type drop_reason = Unroutable | Endpoint_down | Partitioned | Faulty
+
 type 'msg link = {
   mutable link_latency : latency;
   (* Time at which the most recently sent message on this link will be
      delivered; later sends are delivered no earlier (FIFO). *)
   mutable last_delivery : float;
   mutable count : int;
+  mutable link_faults : faults option;  (* None = follow the net default *)
+  mutable down_until : float;  (* partition window: drop while now < down_until *)
+  mutable dropped : int;
 }
 
 type 'msg t = {
@@ -19,10 +28,19 @@ type 'msg t = {
   rng : Cm_util.Prng.t;
   handlers : (string, 'msg -> unit) Hashtbl.t;
   links : (string * string, 'msg link) Hashtbl.t;
+  down_sites : (string, unit) Hashtbl.t;
+  mutable default_faults : faults;
   mutable sent : int;
+  mutable dropped : int;
+  mutable unroutable : int;
+  mutable endpoint_down : int;
+  mutable partitioned : int;
+  mutable faulty : int;
+  mutable duplicated : int;
+  mutable drop_hooks : (from_site:string -> to_site:string -> drop_reason -> unit) list;
 }
 
-let create ~sim ?(latency = default_latency) ?(fifo = true) () =
+let create ~sim ?(latency = default_latency) ?(fifo = true) ?(faults = no_faults) () =
   {
     sim;
     default = latency;
@@ -30,7 +48,16 @@ let create ~sim ?(latency = default_latency) ?(fifo = true) () =
     rng = Cm_util.Prng.split (Sim.rng sim);
     handlers = Hashtbl.create 8;
     links = Hashtbl.create 16;
+    down_sites = Hashtbl.create 4;
+    default_faults = faults;
     sent = 0;
+    dropped = 0;
+    unroutable = 0;
+    endpoint_down = 0;
+    partitioned = 0;
+    faulty = 0;
+    duplicated = 0;
+    drop_hooks = [];
   }
 
 let link t ~from_site ~to_site =
@@ -38,43 +65,109 @@ let link t ~from_site ~to_site =
   match Hashtbl.find_opt t.links key with
   | Some l -> l
   | None ->
-    let l = { link_latency = t.default; last_delivery = 0.0; count = 0 } in
+    let l =
+      {
+        link_latency = t.default;
+        last_delivery = 0.0;
+        count = 0;
+        link_faults = None;
+        down_until = 0.0;
+        dropped = 0;
+      }
+    in
     Hashtbl.replace t.links key l;
     l
 
 let set_latency t ~from_site ~to_site latency =
   (link t ~from_site ~to_site).link_latency <- latency
 
+let set_faults t ~from_site ~to_site faults =
+  (link t ~from_site ~to_site).link_faults <- Some faults
+
+let set_default_faults t faults = t.default_faults <- faults
+
+let partition t ~from_site ~to_site ~until =
+  let l = link t ~from_site ~to_site in
+  l.down_until <- Float.max l.down_until until
+
+let partition_pair t ~site_a ~site_b ~until =
+  partition t ~from_site:site_a ~to_site:site_b ~until;
+  partition t ~from_site:site_b ~to_site:site_a ~until
+
+let crash_site t ~site = Hashtbl.replace t.down_sites site ()
+let restart_site t ~site = Hashtbl.remove t.down_sites site
+let site_is_down t ~site = Hashtbl.mem t.down_sites site
+
 let register t ~site handler =
   if Hashtbl.mem t.handlers site then
     invalid_arg ("Net.register: site already registered: " ^ site);
   Hashtbl.replace t.handlers site handler
 
-let send t ~from_site ~to_site msg =
-  let handler =
-    match Hashtbl.find_opt t.handlers to_site with
-    | Some h -> h
-    | None -> invalid_arg ("Net.send: unknown destination site " ^ to_site)
-  in
+let on_drop t hook = t.drop_hooks <- t.drop_hooks @ [ hook ]
+
+let record_drop t ?link ~from_site ~to_site reason =
+  t.dropped <- t.dropped + 1;
+  (match reason with
+   | Unroutable -> t.unroutable <- t.unroutable + 1
+   | Endpoint_down -> t.endpoint_down <- t.endpoint_down + 1
+   | Partitioned -> t.partitioned <- t.partitioned + 1
+   | Faulty -> t.faulty <- t.faulty + 1);
+  (match link with
+   | Some (l : _ link) -> l.dropped <- l.dropped + 1
+   | None -> ());
+  List.iter (fun hook -> hook ~from_site ~to_site reason) t.drop_hooks
+
+(* A fault draw happens only when the matching probability is nonzero, so a
+   zero-fault network consumes exactly the PRNG stream it did before the
+   fault model existed — seeded runs stay byte-identical. *)
+let draw t prob = prob > 0.0 && Cm_util.Prng.float t.rng 1.0 < prob
+
+let deliver_copy t l ~from_site ~to_site handler msg =
   let now = Sim.now t.sim in
   let delay =
     if String.equal from_site to_site then 0.0
     else
-      let l = link t ~from_site ~to_site in
       l.link_latency.base
       +. (if l.link_latency.jitter > 0.0 then
             Cm_util.Prng.float t.rng l.link_latency.jitter
           else 0.0)
   in
-  let l = link t ~from_site ~to_site in
   (* FIFO: never deliver before a previously sent message on this link. *)
   let at =
     if t.fifo then Float.max (now +. delay) l.last_delivery else now +. delay
   in
   l.last_delivery <- Float.max at l.last_delivery;
-  l.count <- l.count + 1;
+  Sim.schedule_at t.sim at (fun () ->
+      (* In-flight messages arriving at a crashed endpoint are lost. *)
+      if Hashtbl.mem t.down_sites to_site then
+        record_drop t ~link:l ~from_site ~to_site Endpoint_down
+      else handler msg)
+
+let send t ~from_site ~to_site msg =
   t.sent <- t.sent + 1;
-  Sim.schedule_at t.sim at (fun () -> handler msg)
+  match Hashtbl.find_opt t.handlers to_site with
+  | None -> record_drop t ~from_site ~to_site Unroutable
+  | Some handler ->
+    let l = link t ~from_site ~to_site in
+    l.count <- l.count + 1;
+    if Hashtbl.mem t.down_sites from_site || Hashtbl.mem t.down_sites to_site then
+      record_drop t ~link:l ~from_site ~to_site Endpoint_down
+    else if Sim.now t.sim < l.down_until then
+      record_drop t ~link:l ~from_site ~to_site Partitioned
+    else begin
+      let local = String.equal from_site to_site in
+      let faults = Option.value l.link_faults ~default:t.default_faults in
+      (* Loss and duplication are drawn independently, in a fixed order, so
+         runs with the same seed make the same choices. *)
+      let lost = (not local) && draw t faults.drop_prob in
+      let duplicated = (not local) && draw t faults.dup_prob in
+      if lost then record_drop t ~link:l ~from_site ~to_site Faulty
+      else deliver_copy t l ~from_site ~to_site handler msg;
+      if duplicated then begin
+        t.duplicated <- t.duplicated + 1;
+        deliver_copy t l ~from_site ~to_site handler msg
+      end
+    end
 
 let messages_sent t = t.sent
 
@@ -83,6 +176,31 @@ let messages_between t ~from_site ~to_site =
   | Some l -> l.count
   | None -> 0
 
+let messages_dropped t = t.dropped
+
+let drops_by t = function
+  | Unroutable -> t.unroutable
+  | Endpoint_down -> t.endpoint_down
+  | Partitioned -> t.partitioned
+  | Faulty -> t.faulty
+
+let dropped_between t ~from_site ~to_site =
+  match Hashtbl.find_opt t.links (from_site, to_site) with
+  | Some l -> l.dropped
+  | None -> 0
+
+let messages_duplicated t = t.duplicated
+
 let reset_counters t =
   t.sent <- 0;
-  Hashtbl.iter (fun _ l -> l.count <- 0) t.links
+  t.dropped <- 0;
+  t.unroutable <- 0;
+  t.endpoint_down <- 0;
+  t.partitioned <- 0;
+  t.faulty <- 0;
+  t.duplicated <- 0;
+  Hashtbl.iter
+    (fun _ l ->
+      l.count <- 0;
+      l.dropped <- 0)
+    t.links

@@ -2,15 +2,25 @@
 
     The paper assumes a reliable network with in-order message delivery
     and in-order processing at each site (§5 footnote 4, Appendix A.2
-    property 7) — guarantee proofs depend on it.  This module provides
-    exactly that: per-ordered-pair FIFO channels over the simulation
-    clock, with configurable latency.  Jitter is sampled per message but
-    delivery order is still enforced (a delayed message holds back later
-    ones, as on a TCP stream).
+    property 7) — guarantee proofs depend on it.  By default this module
+    provides exactly that: per-ordered-pair FIFO channels over the
+    simulation clock, with configurable latency.  Jitter is sampled per
+    message but delivery order is still enforced (a delayed message holds
+    back later ones, as on a TCP stream).
+
+    The assumption can also be deliberately broken.  Each directed link
+    carries a {!faults} record (message loss and duplication
+    probabilities, both 0 by default) and can be partitioned for a time
+    window; a whole site's endpoint can crash and later restart.  All
+    fault draws come from the network's own deterministic PRNG stream, so
+    a faulty run is exactly reproducible from its seed, and a zero-fault
+    network draws nothing extra — seeded executions are byte-identical to
+    the pre-fault-model behaviour.  {!Cm_core.Reliable} re-earns the
+    paper's reliability assumption on top of a faulty network.
 
     Message payloads are a type parameter of the endpoint handlers; the
     CM layer sends rule-firing envelopes.  Per-link statistics feed the
-    message-cost experiments (E9, E10). *)
+    message-cost experiments (E9, E10, E13). *)
 
 type 'msg t
 
@@ -22,14 +32,61 @@ type latency = {
 val default_latency : latency
 (** 0.05 s base, 0.01 s jitter — a 1996 campus network. *)
 
-val create : sim:Cm_sim.Sim.t -> ?latency:latency -> ?fifo:bool -> unit -> 'msg t
+type faults = {
+  drop_prob : float;  (** probability a message is lost in transit *)
+  dup_prob : float;  (** probability a message is delivered twice *)
+}
+
+val no_faults : faults
+(** [{ drop_prob = 0.0; dup_prob = 0.0 }] — the paper's reliable network. *)
+
+type drop_reason =
+  | Unroutable  (** destination site never registered *)
+  | Endpoint_down  (** source or destination site crashed *)
+  | Partitioned  (** directed link inside a partition window *)
+  | Faulty  (** random loss from the link's [drop_prob] *)
+
+val create :
+  sim:Cm_sim.Sim.t ->
+  ?latency:latency ->
+  ?fifo:bool ->
+  ?faults:faults ->
+  unit ->
+  'msg t
 (** [fifo] (default [true]) enforces per-link in-order delivery.
     Setting it to [false] lets jitter reorder messages — deliberately
     violating the paper's in-order assumption (Appendix A.2, property 7)
-    for the ablation experiment that shows why the assumption matters. *)
+    for the ablation experiment that shows why the assumption matters.
+    [faults] (default {!no_faults}) is the initial default fault model
+    for every link. *)
 
 val set_latency : 'msg t -> from_site:string -> to_site:string -> latency -> unit
 (** Override the default for one directed link. *)
+
+val set_faults : 'msg t -> from_site:string -> to_site:string -> faults -> unit
+(** Override the fault model for one directed link.  Local links
+    (site to itself) never drop or duplicate regardless of settings. *)
+
+val set_default_faults : 'msg t -> faults -> unit
+(** Fault model for every link not individually overridden, including
+    links created later. *)
+
+val partition : 'msg t -> from_site:string -> to_site:string -> until:float -> unit
+(** Take the directed link down until absolute simulation time [until]:
+    messages sent while the window is open are dropped ([Partitioned]).
+    Messages already in flight still arrive. *)
+
+val partition_pair : 'msg t -> site_a:string -> site_b:string -> until:float -> unit
+(** Symmetric partition of both directions between two sites. *)
+
+val crash_site : 'msg t -> site:string -> unit
+(** Take a site's endpoint down: messages from or to it are dropped
+    ([Endpoint_down]), including in-flight messages that would arrive
+    while it is down.  The handler registration survives for {!restart_site}. *)
+
+val restart_site : 'msg t -> site:string -> unit
+
+val site_is_down : 'msg t -> site:string -> bool
 
 val register : 'msg t -> site:string -> ('msg -> unit) -> unit
 (** Install the receive handler for a site.  @raise Invalid_argument if
@@ -37,12 +94,26 @@ val register : 'msg t -> site:string -> ('msg -> unit) -> unit
 
 val send : 'msg t -> from_site:string -> to_site:string -> 'msg -> unit
 (** Deliver to the destination handler after the link latency, FIFO per
-    directed link.  Sending to the local site delivers with zero delay
-    but still asynchronously (on the next simulation step).
-    @raise Invalid_argument if the destination was never registered (the
-    paper assumes a reliable network; losing a message is a configuration
-    error, not a runtime condition). *)
+    directed link, subject to the link's fault model.  Sending to the
+    local site delivers with zero delay but still asynchronously (on the
+    next simulation step).  Sending to a site that was never registered
+    is recorded as an [Unroutable] drop — with crash/restart in play a
+    missing destination is a runtime condition, not a configuration
+    error, and must not abort the event loop. *)
+
+val on_drop :
+  'msg t -> (from_site:string -> to_site:string -> drop_reason -> unit) -> unit
+(** Hook invoked on every dropped message (any reason), after the drop
+    counters are updated. *)
 
 val messages_sent : 'msg t -> int
+(** Send attempts, including ones that were then dropped. *)
+
 val messages_between : 'msg t -> from_site:string -> to_site:string -> int
+
+val messages_dropped : 'msg t -> int
+val drops_by : 'msg t -> drop_reason -> int
+val dropped_between : 'msg t -> from_site:string -> to_site:string -> int
+val messages_duplicated : 'msg t -> int
+
 val reset_counters : 'msg t -> unit

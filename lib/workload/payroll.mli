@@ -35,11 +35,15 @@ val create :
   ?write_latency:float ->
   ?net_latency:Cm_net.Net.latency ->
   ?fifo:bool ->
+  ?net_faults:Cm_net.Net.faults ->
+  ?reliable:Cm_core.Reliable.config ->
   ?recoverable_source:bool ->
   unit ->
   t
 (** Defaults: 10 employees ("e1"…), [`Notify], 1 s notification latency
-    with a 5 s bound, 0.2 s writes. *)
+    with a 5 s bound, 0.2 s writes.  [net_faults]/[reliable] configure
+    the lossy network and the reliable-delivery layer (see
+    {!Cm_core.System.create}) for the failure-handling experiments. *)
 
 val source_item : string -> Cm_rule.Item.t
 (** salary1(emp). *)
