@@ -29,8 +29,28 @@ module Banking_day = Cm_workload.Banking_day
 module Stanford = Cm_workload.Stanford
 module Table = Cm_util.Table
 module Stats = Cm_util.Stats
+module Obs = Cm_core.Obs
 
 let yes_no b = Table.cell_bool b
+
+(* Registry snapshots collected while experiments run; written out as one
+   JSON array by --json FILE (CI uploads it as an artifact). *)
+let json_snapshots : (string * string) list ref = ref []
+
+let record_snapshot label obs =
+  json_snapshots := !json_snapshots @ [ (label, Obs.snapshot_to_json obs) ]
+
+let write_snapshots path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (label, json) ->
+      if i > 0 then output_string oc ",\n";
+      Printf.fprintf oc "{\"experiment\":\"%s\",\"snapshot\":%s}" label
+        (String.trim json))
+    !json_snapshots;
+  output_string oc "\n]\n";
+  close_out oc
 
 let check ?ignore_after ~horizon tl g = Guarantee.check ?ignore_after ~horizon tl g
 
@@ -39,7 +59,7 @@ let check ?ignore_after ~horizon tl g = Guarantee.check ?ignore_after ~horizon t
 (* ------------------------------------------------------------------ *)
 
 let exp_e1 () =
-  let p = Payroll.create ~seed:101 ~employees:20 () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 101) ~employees:20 () in
   Payroll.install_propagation p;
   Payroll.random_updates p ~mean_interarrival:10.0 ~until:3000.0;
   Sys_.run p.Payroll.system ~until:3600.0;
@@ -90,7 +110,9 @@ let exp_e2 () =
         (fun interarrival ->
           let p =
             Payroll.create
-              ~seed:(200 + int_of_float (period +. interarrival))
+              ~config:
+                (Sys_.Config.seeded
+                   (200 + int_of_float (period +. interarrival)))
               ~employees:1 ~mode:Payroll.Read_only ()
           in
           Payroll.install_polling ~period p;
@@ -158,9 +180,12 @@ let exp_e3 () =
         (fun net_base ->
           let p =
             Payroll.create
-              ~seed:(300 + int_of_float (notify_latency *. 10.0))
+              ~config:
+                Sys_.Config.(
+                  seeded (300 + int_of_float (notify_latency *. 10.0))
+                  |> with_latency
+                       { Net.base = net_base; jitter = net_base /. 5.0 })
               ~employees:3 ~notify_latency ~notify_delta:(notify_latency *. 2.0)
-              ~net_latency:{ Net.base = net_base; jitter = net_base /. 5.0 }
               ()
           in
           Payroll.install_propagation ~delta:(5.0 +. (2.0 *. net_base)) p;
@@ -256,7 +281,10 @@ let centralized_run ~seed ~ops =
   (Net.messages_sent net, !completed, Stats.mean !latencies, !violations)
 
 let demarcation_run ~seed ~policy ~ops =
-  let b = Bank.create ~seed ~policy () in
+  let obs = Obs.create () in
+  let b =
+    Bank.create ~config:Sys_.Config.(seeded seed |> with_obs obs) ~policy ()
+  in
   let sim = Sys_.sim b.Bank.system in
   let rng = Cm_util.Prng.split (Sim.rng sim) in
   let requested = ref 0 in
@@ -283,7 +311,7 @@ let demarcation_run ~seed ~policy ~ops =
   Sys_.run b.Bank.system ~until:(float_of_int ops *. 10.0 +. 100.0) ;
   let tl = Sys_.timeline ~initial:(Bank.initial b) b.Bank.system in
   let g = check ~horizon:(float_of_int ops *. 10.0 +. 100.0) tl Bank.always_leq_guarantee in
-  ( Net.messages_sent (Sys_.net b.Bank.system),
+  ( Obs.counter_total obs "net_sent",
     !completed,
     Stats.mean !latencies,
     !requested,
@@ -350,7 +378,7 @@ let exp_e5 () =
   in
   List.iter
     (fun (papers, interval) ->
-      let s = Stanford.create ~seed:(500 + papers) ~people:2 () in
+      let s = Stanford.create ~config:(Cm_core.System.Config.seeded (500 + papers)) ~people:2 () in
       let sim = Sys_.sim s.Stanford.system in
       let rng = Cm_util.Prng.split (Sim.rng sim) in
       let keys = List.init papers (fun i -> "paper" ^ string_of_int i) in
@@ -406,7 +434,7 @@ let monitor_run ~seed ~notify_latency ~moves =
     | "PlotPos" -> "plotter"
     | _ -> "console"
   in
-  let system = Sys_.create ~seed locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded seed) locator in
   let sh_field = Sys_.add_shell system ~site:"field" in
   let sh_plot = Sys_.add_shell system ~site:"plotter" in
   let sh_console = Sys_.add_shell system ~site:"console" in
@@ -537,7 +565,7 @@ let exp_e7 () =
   in
   let run mode =
     let p =
-      Payroll.create ~seed:700 ~employees:3
+      Payroll.create ~config:(Cm_core.System.Config.seeded 700) ~employees:3
         ~recoverable_source:(mode = `Crash_recover) ()
     in
     Payroll.install_propagation p;
@@ -617,7 +645,7 @@ let exp_e8 () =
       ~columns:[ "configuration"; "days"; "accounts"; "guarantee holds" ]
   in
   let run ~degrade =
-    let b = Banking_day.create ~seed:800 ~accounts:4 () in
+    let b = Banking_day.create ~config:(Cm_core.System.Config.seeded 800) ~accounts:4 () in
     if degrade then
       (* Head-office writes take an extra hour: propagation misses the
          17:15 window start and the periodic guarantee must fail. *)
@@ -654,7 +682,7 @@ let multi_pair_run ~pairs ~employees ~updates =
     let k = String.sub base 7 (String.length base - 7) in
     if String.length base > 6 && base.[6] = 'A' then "a" ^ k else "b" ^ k
   in
-  let system = Sys_.create ~seed:900 locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded 900) locator in
   let sim = Sys_.sim system in
   let trs = ref [] in
   for k = 1 to pairs do
@@ -768,7 +796,7 @@ let exp_e10 () =
       let mode =
         if threshold = 0.0 then Payroll.Notify else Payroll.Conditional threshold
       in
-      let p = Payroll.create ~seed:1000 ~employees:1 ~mode () in
+      let p = Payroll.create ~config:(Cm_core.System.Config.seeded 1000) ~employees:1 ~mode () in
       Payroll.install_propagation p;
       let sim = Sys_.sim p.Payroll.system in
       let rng = Cm_util.Prng.split (Sim.rng sim) in
@@ -847,14 +875,14 @@ let micro_benchmarks () =
   let tl = Timeline.of_trace trace in
   let pair = { Guarantee.leader = x; follower = y } in
   (* A 800-event engine-produced trace for the validity checker. *)
-  let vp = Payroll.create ~seed:2 ~employees:5 () in
+  let vp = Payroll.create ~config:(Cm_core.System.Config.seeded 2) ~employees:5 () in
   Payroll.install_propagation vp;
   Payroll.random_updates vp ~mean_interarrival:5.0 ~until:1000.0;
   Sys_.run vp.Payroll.system ~until:1100.0;
   let validity_rules = Sys_.all_rules vp.Payroll.system in
   let validity_trace = Sys_.trace vp.Payroll.system in
   let propagation_round () =
-    let p = Payroll.create ~seed:1 ~employees:2 () in
+    let p = Payroll.create ~config:(Cm_core.System.Config.seeded 1) ~employees:2 () in
     Payroll.install_propagation p;
     Payroll.schedule_update p ~at:1.0 ~emp:"e1" ~salary:123;
     Sys_.run p.Payroll.system ~until:20.0
@@ -933,9 +961,12 @@ let exp_e11 () =
   in
   let run ~fifo =
     let p =
-      Payroll.create ~seed:1100 ~employees:1 ~fifo
-        ~net_latency:{ Net.base = 0.3; jitter = 3.0 }
-        ()
+      Payroll.create
+        ~config:
+          Sys_.Config.(
+            seeded 1100 |> with_fifo fifo
+            |> with_latency { Net.base = 0.3; jitter = 3.0 })
+        ~employees:1 ()
     in
     Payroll.install_propagation ~delta:20.0 p;
     (* Rapid-fire updates so reordering has material to work with. *)
@@ -988,7 +1019,10 @@ let periodic_payroll ~seed ~cached ~changes =
   let locator item =
     match item.Item.base with "Src" -> "a" | _ -> "b"
   in
-  let system = Sys_.create ~seed locator in
+  let obs = Obs.create () in
+  let system =
+    Sys_.create ~config:Sys_.Config.(seeded seed |> with_obs obs) locator
+  in
   let shell_a = Sys_.add_shell system ~site:"a" in
   let shell_b = Sys_.add_shell system ~site:"b" in
   let db_a = Db.create () and db_b = Db.create () in
@@ -1042,7 +1076,7 @@ let periodic_payroll ~seed ~cached ~changes =
   let trace = Sys_.trace system in
   let notifications = List.length (Trace.named trace "N") in
   let write_requests = List.length (Trace.named trace "WR") in
-  let fire_messages = Net.messages_sent (Sys_.net system) in
+  let fire_messages = Obs.counter_total obs "net_sent" in
   let tl =
     Sys_.timeline system
       ~initial:[ (Item.make "Src", Value.Int 0); (Item.make "Tgt", Value.Int 0) ]
@@ -1078,8 +1112,8 @@ let exp_e12 () =
 
 let exp_e13 () =
   let module Reliable = Cm_core.Reliable in
-  let run ?net_faults ?reliable () =
-    let p = Payroll.create ~seed:1300 ~employees:3 ?net_faults ?reliable () in
+  let run config =
+    let p = Payroll.create ~config ~employees:3 () in
     Payroll.install_propagation p;
     Payroll.random_updates p ~mean_interarrival:20.0 ~until:500.0;
     Sys_.run p.Payroll.system ~until:700.0;
@@ -1090,7 +1124,7 @@ let exp_e13 () =
       (fun emp -> (Payroll.salary_at p `A emp, Payroll.salary_at p `B emp))
       p.Payroll.employees
   in
-  let clean = finals (run ()) in
+  let clean = finals (run (Sys_.Config.seeded 1300)) in
   let table =
     Table.create
       ~title:
@@ -1103,16 +1137,20 @@ let exp_e13 () =
   in
   List.iter
     (fun drop ->
+      (* All message counts below come from the Obs registry, not the raw
+         Net/Reliable counters — the registry is the single source the
+         `cmtool stats` command and EXPERIMENTS.md tables share. *)
+      let obs = Obs.create () in
       let p =
         run
-          ~net_faults:{ Net.drop_prob = drop; dup_prob = 0.1 }
-          ~reliable:Reliable.default_config ()
+          Sys_.Config.(
+            seeded 1300
+            |> with_faults { Net.drop_prob = drop; dup_prob = 0.1 }
+            |> with_reliable Reliable.default_config
+            |> with_obs obs)
       in
-      let s =
-        match Sys_.reliable p.Payroll.system with
-        | Some r -> Reliable.stats r
-        | None -> assert false
-      in
+      record_snapshot (Printf.sprintf "e13-drop-%.2f" drop) obs;
+      let c name = Obs.counter_total obs name in
       let g1 =
         Sys_.check_guarantee ~initial:p.Payroll.initial p.Payroll.system
           (Guarantee.Follows
@@ -1124,11 +1162,11 @@ let exp_e13 () =
       Table.add_row table
         [
           Printf.sprintf "%.2f" drop;
-          string_of_int (Net.messages_sent (Sys_.net p.Payroll.system));
-          string_of_int s.Reliable.data_sent;
-          string_of_int s.Reliable.retransmits;
-          string_of_int s.Reliable.acks_sent;
-          string_of_int s.Reliable.dup_suppressed;
+          string_of_int (c "net_sent");
+          string_of_int (c "reliable_data_sent");
+          string_of_int (c "reliable_retransmits");
+          string_of_int (c "reliable_acks_sent");
+          string_of_int (c "reliable_dup_suppressed");
           yes_no g1.Guarantee.holds;
           yes_no (finals p = clean);
         ])
@@ -1162,11 +1200,15 @@ let experiments =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let wanted =
-    match args with
-    | _ :: "--exp" :: name :: _ -> Some (String.lowercase_ascii name)
-    | _ -> None
+  let rec find_opt_arg flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> find_opt_arg flag rest
+    | [] -> None
   in
+  let wanted =
+    Option.map String.lowercase_ascii (find_opt_arg "--exp" args)
+  in
+  let json_out = find_opt_arg "--json" args in
   let micro = not (List.mem "--no-micro" args) in
   (match wanted with
    | Some name -> (
@@ -1182,4 +1224,10 @@ let () =
            (String.uppercase_ascii name);
          f ())
        experiments;
-     if micro then micro_benchmarks ())
+     if micro then micro_benchmarks ());
+  match json_out with
+  | Some path ->
+    write_snapshots path;
+    Printf.printf "wrote %d registry snapshots to %s\n"
+      (List.length !json_snapshots) path
+  | None -> ()

@@ -270,7 +270,7 @@ let demo_cmd_run seed minutes dump_trace =
   let module Payroll = Cm_workload.Payroll in
   let module Sys_ = Cm_core.System in
   let module Guarantee = Cm_core.Guarantee in
-  let p = Payroll.create ~seed ~employees:5 () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded seed) ~employees:5 () in
   Payroll.install_propagation p;
   let horizon = float_of_int minutes *. 60.0 in
   Payroll.random_updates p ~mean_interarrival:45.0 ~until:(horizon -. 60.0);
@@ -323,8 +323,8 @@ let faults_cmd_run seed drop dup minutes employees no_reliable heartbeat =
   (* Stop injecting updates well before the horizon so retransmission
      chains can drain and the final states are comparable. *)
   let updates_until = Float.max 60.0 (horizon -. 120.0) in
-  let run ?net_faults ?reliable () =
-    let p = Payroll.create ~seed ~employees ?net_faults ?reliable () in
+  let run config =
+    let p = Payroll.create ~config ~employees () in
     Payroll.install_propagation p;
     Payroll.random_updates p ~mean_interarrival:30.0 ~until:updates_until;
     Sys_.run p.Payroll.system ~until:horizon;
@@ -336,12 +336,19 @@ let faults_cmd_run seed drop dup minutes employees no_reliable heartbeat =
         (emp, Payroll.salary_at p `A emp, Payroll.salary_at p `B emp))
       p.Payroll.employees
   in
-  let clean = run () in
-  let reliable =
-    if no_reliable then None
-    else Some { Reliable.default_config with heartbeat_period = heartbeat }
+  let clean = run (Sys_.Config.seeded seed) in
+  let faulty_config =
+    let c =
+      Sys_.Config.(
+        seeded seed |> with_faults { Net.drop_prob = drop; dup_prob = dup })
+    in
+    if no_reliable then c
+    else
+      Sys_.Config.with_reliable
+        { Reliable.default_config with heartbeat_period = heartbeat }
+        c
   in
-  let faulty = run ~net_faults:{ Net.drop_prob = drop; dup_prob = dup } ?reliable () in
+  let faulty = run faulty_config in
   Printf.printf
     "payroll scenario, seed %d, %d employee(s), %d simulated minute(s)\n\
      every link: drop %.2f, duplicate %.2f; reliable layer: %s\n\n"
@@ -438,6 +445,94 @@ let faults_cmd =
     Term.(const faults_cmd_run $ seed $ drop $ dup $ minutes $ employees
           $ no_reliable $ heartbeat)
 
+(* ---- stats / spans ---- *)
+
+(* Shared runner for the observability exports: the E13 message-cost
+   scenario (payroll over a faulty network with the reliable layer),
+   instrumented with a registry.  Determinism contract: at a fixed seed
+   the exported JSON is byte-identical across runs — CI compares two
+   invocations, and the counters reconcile with EXPERIMENTS.md E13. *)
+let observed_payroll ~seed ~employees ~drop ~dup =
+  let module Payroll = Cm_workload.Payroll in
+  let module Sys_ = Cm_core.System in
+  let module Net = Cm_net.Net in
+  let module Reliable = Cm_core.Reliable in
+  let obs = Cm_core.Obs.create () in
+  let config =
+    Sys_.Config.(
+      seeded seed
+      |> with_faults { Net.drop_prob = drop; dup_prob = dup }
+      |> with_reliable Reliable.default_config
+      |> with_obs obs)
+  in
+  let p = Payroll.create ~config ~employees () in
+  Payroll.install_propagation p;
+  Payroll.random_updates p ~mean_interarrival:20.0 ~until:500.0;
+  Sys_.run p.Payroll.system ~until:700.0;
+  obs
+
+let emit ~out text =
+  match out with
+  | None -> print_string text; 0
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> output_string oc text);
+    Printf.printf "written to %s\n" path;
+    0
+
+let stats_cmd_run seed employees drop dup csv out =
+  let obs = observed_payroll ~seed ~employees ~drop ~dup in
+  emit ~out
+    (if csv then Cm_core.Obs.snapshot_to_csv obs
+     else Cm_core.Obs.snapshot_to_json obs)
+
+let spans_cmd_run seed employees drop dup csv out =
+  let obs = observed_payroll ~seed ~employees ~drop ~dup in
+  emit ~out
+    (if csv then Cm_core.Obs.spans_to_csv obs
+     else Cm_core.Obs.spans_to_json obs)
+
+let obs_args =
+  let seed =
+    Arg.(value & opt int 1300
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Simulation seed (default matches bench experiment E13)")
+  in
+  let employees = Arg.(value & opt int 3 & info [ "employees" ] ~docv:"N") in
+  let drop =
+    Arg.(value & opt float 0.1
+         & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability")
+  in
+  let dup =
+    Arg.(value & opt float 0.1
+         & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of JSON")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout")
+  in
+  (seed, employees, drop, dup, csv, out)
+
+let stats_cmd =
+  let seed, employees, drop, dup, csv, out = obs_args in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run the E13 payroll scenario with the observability registry on \
+             and export the metric snapshot (counters, gauges, latency \
+             series).  Deterministic: same seed, byte-identical output")
+    Term.(const stats_cmd_run $ seed $ employees $ drop $ dup $ csv $ out)
+
+let spans_cmd =
+  let seed, employees, drop, dup, csv, out = obs_args in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:"Run the E13 payroll scenario and export the rule-firing spans \
+             (fire -> retransmit* -> execute -> step*), parent/child ids \
+             included")
+    Term.(const spans_cmd_run $ seed $ employees $ drop $ dup $ csv $ out)
+
 let () =
   let info =
     Cmd.info "cmtool" ~version:"1.0"
@@ -445,4 +540,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
        [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_trace_cmd; demo_cmd;
-         faults_cmd ]))
+         faults_cmd; stats_cmd; spans_cmd ]))

@@ -26,7 +26,7 @@ let state_row b label =
   ]
 
 let () =
-  let b = Bank.create ~seed:7 ~policy:Cm_core.Demarcation.Conservative () in
+  let b = Bank.create ~config:(Cm_core.System.Config.seeded 7) ~policy:Cm_core.Demarcation.Conservative () in
   let sim = Sys_.sim b.Bank.system in
   let table =
     Table.create ~title:"X <= Y under the Demarcation Protocol (conservative grants)"
@@ -71,7 +71,7 @@ let () =
   (* Compare grant policies: climbing X in small steps. *)
   print_newline ();
   let climb policy name =
-    let b = Bank.create ~seed:8 ~policy () in
+    let b = Bank.create ~config:(Cm_core.System.Config.seeded 8) ~policy () in
     let sim = Sys_.sim b.Bank.system in
     let requests = ref 0 in
     List.iteri

@@ -30,7 +30,7 @@ let locator item =
 let kappa = 6.0
 
 let () =
-  let system = Sys_.create ~seed:99 locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded 99) locator in
   let sh_field = Sys_.add_shell system ~site:"field" in
   let sh_plot = Sys_.add_shell system ~site:"plotter" in
   let sh_console = Sys_.add_shell system ~site:"console" in

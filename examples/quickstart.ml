@@ -33,7 +33,7 @@ let show_guarantees ~title p ~horizon ~ignore_after =
 
 let () =
   print_endline "=== Scenario 1: notify interface at A (paper §4.2) ===\n";
-  let p = Payroll.create ~seed:2024 ~employees:5 () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 2024) ~employees:5 () in
   Payroll.install_propagation p;
   print_endline "Strategy rules installed:";
   List.iter
@@ -64,7 +64,7 @@ let () =
   Printf.printf "Appendix-A validity violations: %d\n\n" (List.length violations);
 
   print_endline "=== Scenario 2: A withdraws notify; polling every 60 s (§4.2.3) ===\n";
-  let p2 = Payroll.create ~seed:2025 ~employees:5 ~mode:Payroll.Read_only () in
+  let p2 = Payroll.create ~config:(Cm_core.System.Config.seeded 2025) ~employees:5 ~mode:Payroll.Read_only () in
   Payroll.install_polling ~period:60.0 p2;
   (* A burst of updates inside one polling interval. *)
   Payroll.schedule_update p2 ~at:70.0 ~emp:"e1" ~salary:7000;

@@ -14,7 +14,7 @@ module Stanford = Cm_workload.Stanford
 module Table = Cm_util.Table
 
 let () =
-  let s = Stanford.create ~seed:1996 ~people:4 ~poll_period:120.0 () in
+  let s = Stanford.create ~config:(Cm_core.System.Config.seeded 1996) ~people:4 ~poll_period:120.0 () in
   let sim = Sys_.sim s.Stanford.system in
 
   print_endline "Sources and the interfaces their translators report:\n";

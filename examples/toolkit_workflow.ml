@@ -58,7 +58,7 @@ let () =
     | Error m -> failwith m
   in
   let built =
-    match Toolkit.build ~seed:1996 config with Ok b -> b | Error m -> failwith m
+    match Toolkit.build ~config:(Cm_core.System.Config.seeded 1996) config with Ok b -> b | Error m -> failwith m
   in
   let system = built.Toolkit.system in
   print_endline "Interfaces discovered during initialization (§4.1):\n";

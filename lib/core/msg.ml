@@ -6,6 +6,7 @@ type t =
       env : (string * Cm_rule.Expr.binding) list;
       trigger_id : int;
       trigger_time : float;
+      span : int;
     }
   | Failure_notice of { origin_site : string; kind : failure_kind }
   | Reset_notice of { origin_site : string }

@@ -24,6 +24,12 @@ type t =
       env : (string * Cm_rule.Expr.binding) list;
       trigger_id : int;
       trigger_time : float;
+      span : int;
+          (** Id of the ["fire"] span opened at the LHS shell, or [0]
+              when observability is off.  The RHS shell parents its
+              ["execute"] span on it; the reliable layer parents
+              ["retransmit"] spans on it — one trace follows the
+              evaluation end-to-end across sites. *)
     }
   | Failure_notice of { origin_site : string; kind : failure_kind }
   | Reset_notice of { origin_site : string }

@@ -55,6 +55,7 @@ type t = {
   sim : Sim.t;
   net : Msg.t Net.t;
   cfg : config;
+  obs : Obs.t;
   endpoints : (string, endpoint) Hashtbl.t;
   mutable sites : string list;  (* sorted, for deterministic iteration *)
   links : (string * string, link) Hashtbl.t;
@@ -72,11 +73,12 @@ type t = {
   mutable recoveries : int;
 }
 
-let create ~sim ~net ?(config = default_config) () =
+let create ~sim ~net ?(config = default_config) ?(obs = Obs.noop) () =
   {
     sim;
     net;
     cfg = config;
+    obs;
     endpoints = Hashtbl.create 8;
     sites = [];
     links = Hashtbl.create 16;
@@ -123,6 +125,8 @@ let suspect t ep peer =
   if not (Hashtbl.mem ep.suspected peer) then begin
     Hashtbl.replace ep.suspected peer ();
     t.suspects_count <- t.suspects_count + 1;
+    Obs.incr t.obs "reliable_suspects"
+      ~labels:[ ("site", ep.ep_site); ("peer", peer) ];
     List.iter (fun hook -> hook ~site:ep.ep_site ~suspect:peer) t.suspect_hooks;
     ep.deliver (Msg.Suspect_down { origin_site = ep.ep_site; suspect_site = peer })
   end
@@ -133,6 +137,8 @@ let heard t ep peer =
   if Hashtbl.mem ep.suspected peer then begin
     Hashtbl.remove ep.suspected peer;
     t.recoveries <- t.recoveries + 1;
+    Obs.incr t.obs "reliable_recoveries"
+      ~labels:[ ("site", ep.ep_site); ("peer", peer) ];
     List.iter (fun hook -> hook ~site:ep.ep_site ~peer) t.recover_hooks;
     ep.deliver (Msg.Reset_notice { origin_site = peer })
   end
@@ -146,12 +152,29 @@ let rec transmit t ~from_site ~to_site l ~seq ~attempt ~timeout =
         if attempt >= t.cfg.max_retries then begin
           Hashtbl.remove l.outstanding seq;
           t.give_ups <- t.give_ups + 1;
+          Obs.incr t.obs "reliable_give_ups"
+            ~labels:[ ("from", from_site); ("to", to_site) ];
           match Hashtbl.find_opt t.endpoints from_site with
           | Some ep -> suspect t ep to_site
           | None -> ()
         end
         else begin
           t.retransmits <- t.retransmits + 1;
+          Obs.incr t.obs "reliable_retransmits"
+            ~labels:[ ("from", from_site); ("to", to_site) ];
+          (* Attach the retry to the firing's trace when the payload is a
+             Fire envelope carrying a span id. *)
+          (match Hashtbl.find l.outstanding seq with
+           | Msg.Fire { span; _ } when span > 0 ->
+             let now = Sim.now t.sim in
+             let id =
+               Obs.span t.obs ~parent:span ~name:"retransmit" ~at:now
+                 ~labels:
+                   [ ("from", from_site); ("to", to_site);
+                     ("attempt", string_of_int (attempt + 1)) ]
+             in
+             Obs.end_span t.obs ~id ~at:now
+           | _ -> ());
           transmit t ~from_site ~to_site l ~seq ~attempt:(attempt + 1)
             ~timeout:(Float.min (timeout *. t.cfg.backoff) t.cfg.max_timeout)
         end)
@@ -167,6 +190,8 @@ let send t ~from_site ~to_site msg =
     l.next_seq <- seq + 1;
     Hashtbl.replace l.outstanding seq msg;
     t.data_sent <- t.data_sent + 1;
+    Obs.incr t.obs "reliable_data_sent"
+      ~labels:[ ("from", from_site); ("to", to_site) ];
     transmit t ~from_site ~to_site l ~seq ~attempt:0 ~timeout:t.cfg.retry_timeout
   end
 
@@ -176,13 +201,20 @@ let receive t ep frame =
     heard t ep from_site;
     (* Always ack, even duplicates: the earlier ack may have been lost. *)
     t.acks_sent <- t.acks_sent + 1;
+    Obs.incr t.obs "reliable_acks_sent"
+      ~labels:[ ("from", ep.ep_site); ("to", from_site) ];
     Net.send t.net ~from_site:ep.ep_site ~to_site:from_site
       (Msg.Ack { from_site = ep.ep_site; seq });
     let l = link t ~from_site ~to_site:ep.ep_site in
-    if seq < l.expected || Hashtbl.mem l.held seq then
-      t.dup_suppressed <- t.dup_suppressed + 1
+    if seq < l.expected || Hashtbl.mem l.held seq then begin
+      t.dup_suppressed <- t.dup_suppressed + 1;
+      Obs.incr t.obs "reliable_dup_suppressed"
+        ~labels:[ ("from", from_site); ("to", ep.ep_site) ]
+    end
     else if seq = l.expected then begin
       t.delivered <- t.delivered + 1;
+      Obs.incr t.obs "reliable_delivered"
+        ~labels:[ ("from", from_site); ("to", ep.ep_site) ];
       l.expected <- seq + 1;
       ep.deliver payload;
       let rec drain () =
@@ -191,6 +223,8 @@ let receive t ep frame =
         | Some held_payload ->
           Hashtbl.remove l.held l.expected;
           t.delivered <- t.delivered + 1;
+          Obs.incr t.obs "reliable_delivered"
+            ~labels:[ ("from", from_site); ("to", ep.ep_site) ];
           l.expected <- l.expected + 1;
           ep.deliver held_payload;
           drain ()
@@ -199,6 +233,8 @@ let receive t ep frame =
     end
     else begin
       t.reordered <- t.reordered + 1;
+      Obs.incr t.obs "reliable_reordered"
+        ~labels:[ ("from", from_site); ("to", ep.ep_site) ];
       Hashtbl.replace l.held seq payload
     end
   | Msg.Ack { from_site = acker; seq } ->
@@ -219,6 +255,7 @@ let heartbeat_tick t ep =
       if not (String.equal peer ep.ep_site) then begin
         ep.beat <- ep.beat + 1;
         t.heartbeats_sent <- t.heartbeats_sent + 1;
+        Obs.incr t.obs "reliable_heartbeats_sent" ~labels:[ ("site", ep.ep_site) ];
         Net.send t.net ~from_site:ep.ep_site ~to_site:peer
           (Msg.Heartbeat { origin_site = ep.ep_site; beat = ep.beat });
         match Hashtbl.find_opt ep.last_heard peer with

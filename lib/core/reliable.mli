@@ -57,7 +57,17 @@ type stats = {
   recoveries : int;
 }
 
-val create : sim:Cm_sim.Sim.t -> net:Msg.t Cm_net.Net.t -> ?config:config -> unit -> t
+val create :
+  sim:Cm_sim.Sim.t ->
+  net:Msg.t Cm_net.Net.t ->
+  ?config:config ->
+  ?obs:Obs.t ->
+  unit ->
+  t
+(** [obs] (default {!Obs.noop}) receives [reliable_*] counters
+    (data_sent, retransmits, acks_sent, delivered, dup_suppressed,
+    reordered, heartbeats_sent, give_ups, suspects, recoveries) and
+    ["retransmit"] child spans for retried {!Msg.Fire} envelopes. *)
 
 val config : t -> config
 

@@ -2,12 +2,24 @@ module Sim = Cm_sim.Sim
 module Net = Cm_net.Net
 open Cm_rule
 
+(* Everything a shell shares with its siblings — built once by
+   System.create from its Config and handed to every add_shell. *)
+type ctx = {
+  ctx_sim : Sim.t;
+  ctx_net : Msg.t Net.t;
+  ctx_reliable : Reliable.t option;
+  ctx_trace : Trace.t;
+  ctx_locator : Item.locator;
+  ctx_obs : Obs.t;
+}
+
 type t = {
   sim : Sim.t;
   net : Msg.t Net.t;
   send_msg : from_site:string -> to_site:string -> Msg.t -> unit;
   trace : Trace.t;
   locator : Item.locator;
+  obs : Obs.t;
   site : string;
   store : Store.t;
   mutable translators : Cmi.t list;
@@ -29,6 +41,8 @@ let site t = t.site
 let sim t = t.sim
 let trace t = t.trace
 let translators t = t.translators
+
+let tags ?span t = Obs.log_tags ~site:t.site ~time:(Sim.now t.sim) ?span ()
 
 let set_route t route = t.route <- route
 let set_peer_sites t sites =
@@ -55,6 +69,8 @@ let eval_cond_safe t env cond =
 
 let rec occurred t (event : Event.t) =
   t.events_seen <- t.events_seen + 1;
+  Obs.incr t.obs "shell_events" ~labels:[ ("site", t.site) ];
+  Obs.gauge t.obs "sim_queue_depth" (float_of_int (Sim.pending t.sim));
   List.iter
     (fun (rule, lhs_site) ->
       let site_matches =
@@ -67,22 +83,39 @@ let rec occurred t (event : Event.t) =
         | None -> ()
         | Some env0 -> (
           match eval_cond_safe t env0 rule.Rule.lhs_cond with
-          | None -> ()
+          | None ->
+            Obs.incr t.obs "shell_guard_rejections"
+              ~labels:
+                [ ("site", t.site); ("rule", rule.Rule.id); ("side", "lhs") ]
           | Some env ->
             let rhs_site =
               match Rule.rhs_site rule t.locator with
               | Some s -> s
               | None -> t.site  (* pure chaining rules execute locally *)
             in
+            let to_site = t.route rhs_site in
             t.fires_sent <- t.fires_sent + 1;
-            t.send_msg ~from_site:t.site ~to_site:(t.route rhs_site)
+            Obs.incr t.obs "shell_fires_sent"
+              ~labels:[ ("site", t.site); ("rule", rule.Rule.id) ];
+            (* Root of the end-to-end trace for this constraint
+               evaluation; the id travels inside the envelope. *)
+            let span =
+              Obs.span t.obs ~name:"fire" ~at:event.time
+                ~labels:
+                  [ ("site", t.site); ("rule", rule.Rule.id);
+                    ("to", to_site);
+                    ("trigger", string_of_int event.id) ]
+            in
+            t.send_msg ~from_site:t.site ~to_site
               (Msg.Fire
                  {
                    rule_id = rule.Rule.id;
                    env = Msg.env_to_list env;
                    trigger_id = event.id;
                    trigger_time = event.time;
-                 })))
+                   span;
+                 });
+            Obs.end_span t.obs ~id:span ~at:(Sim.now t.sim)))
     t.lhs_rules;
   match Hashtbl.find_opt t.custom_handlers event.desc.Event.name with
   | Some handlers -> List.iter (fun h -> h event) !handlers
@@ -105,7 +138,8 @@ and dispatch t desc ~kind =
     | Some tr -> tr.request desc ~kind
     | None ->
       Logs.warn (fun m ->
-          m "shell %s: no translator owns %s; request dropped" t.site
+          m ~tags:(tags t) "shell %s: no translator owns %s; request dropped"
+            t.site
             (Event.desc_to_string desc)))
   | "W" -> (
     match Event.written_value desc with
@@ -115,46 +149,74 @@ and dispatch t desc ~kind =
       in
       if owned then
         Logs.warn (fun m ->
-            m "shell %s: W on database item %s must go through WR; dropped" t.site
+            m ~tags:(tags t)
+              "shell %s: W on database item %s must go through WR; dropped"
+              t.site
               (Item.to_string item))
       else begin
         Store.set t.store item v;
         ignore (emit_at t ~site:t.site desc ~kind)
       end
     | None ->
-      Logs.warn (fun m -> m "shell %s: malformed W event dropped" t.site))
+      Logs.warn (fun m ->
+          m ~tags:(tags t) "shell %s: malformed W event dropped" t.site))
   | _ ->
     (* Custom / chaining event: occurs at this shell's site. *)
     ignore (emit_at t ~site:t.site desc ~kind)
 
-and handle_fire t ~rule_id ~env ~trigger_id =
+and handle_fire t ~rule_id ~env ~trigger_id ~parent_span =
   match Hashtbl.find_opt t.rules_by_id rule_id with
   | None ->
-    Logs.err (fun m -> m "shell %s: Fire for unknown rule %s" t.site rule_id)
+    Logs.err (fun m ->
+        m ~tags:(tags t ?span:(if parent_span > 0 then Some parent_span else None))
+          "shell %s: Fire for unknown rule %s" t.site rule_id)
   | Some rule ->
     t.fires_executed <- t.fires_executed + 1;
+    Obs.incr t.obs "shell_fires_executed"
+      ~labels:[ ("site", t.site); ("rule", rule_id) ];
+    (* The RHS half of the trace: child of the LHS "fire" span that
+       travelled inside the envelope. *)
+    let exec_span =
+      Obs.span t.obs ~parent:parent_span ~name:"execute" ~at:(Sim.now t.sim)
+        ~labels:[ ("site", t.site); ("rule", rule_id) ]
+    in
     let kind = Event.Generated { rule_id; trigger = trigger_id } in
-    let rec steps env = function
+    let rec steps env i = function
       | [] -> ()
       | (step : Rule.step) :: rest -> (
         match eval_cond_safe t env step.guard with
-        | None -> steps env rest
+        | None ->
+          Obs.incr t.obs "shell_guard_rejections"
+            ~labels:[ ("site", t.site); ("rule", rule_id); ("side", "rhs") ];
+          steps env (i + 1) rest
         | Some env' -> (
           match Template.instantiate step.template env' with
           | desc ->
+            let step_span =
+              Obs.span t.obs ~parent:exec_span ~name:"step" ~at:(Sim.now t.sim)
+                ~labels:
+                  [ ("site", t.site); ("rule", rule_id);
+                    ("index", string_of_int i);
+                    ("event", desc.Event.name) ]
+            in
             dispatch t desc ~kind;
-            steps env' rest
+            Obs.end_span t.obs ~id:step_span ~at:(Sim.now t.sim);
+            steps env' (i + 1) rest
           | exception Expr.Eval_error message ->
             Logs.err (fun m ->
-                m "shell %s: rule %s step cannot instantiate: %s" t.site rule_id
+                m
+                  ~tags:
+                    (tags t ?span:(if exec_span > 0 then Some exec_span else None))
+                  "shell %s: rule %s step cannot instantiate: %s" t.site rule_id
                   message);
-            steps env' rest))
+            steps env' (i + 1) rest))
     in
-    steps (Msg.env_of_list env) (Rule.rhs_steps rule)
+    steps (Msg.env_of_list env) 0 (Rule.rhs_steps rule);
+    Obs.end_span t.obs ~id:exec_span ~at:(Sim.now t.sim)
 
 and handle_msg t = function
-  | Msg.Fire { rule_id; env; trigger_id; trigger_time = _ } ->
-    handle_fire t ~rule_id ~env ~trigger_id
+  | Msg.Fire { rule_id; env; trigger_id; trigger_time = _; span } ->
+    handle_fire t ~rule_id ~env ~trigger_id ~parent_span:span
   | Msg.Failure_notice { origin_site; kind } ->
     List.iter (fun f -> f ~origin:origin_site kind) t.failure_listeners
   | Msg.Reset_notice { origin_site } ->
@@ -170,7 +232,10 @@ and handle_msg t = function
     handle_msg t payload
   | Msg.Ack _ | Msg.Heartbeat _ -> ()
 
-let create ~sim ~net ~reliable ~trace ~locator ~site =
+let create ctx ~site =
+  let { ctx_sim = sim; ctx_net = net; ctx_reliable = reliable;
+        ctx_trace = trace; ctx_locator = locator; ctx_obs = obs } = ctx
+  in
   let send_msg =
     match reliable with
     | Some r -> fun ~from_site ~to_site msg -> Reliable.send r ~from_site ~to_site msg
@@ -183,6 +248,7 @@ let create ~sim ~net ~reliable ~trace ~locator ~site =
       send_msg;
       trace;
       locator;
+      obs;
       site;
       store = Store.create ();
       translators = [];

@@ -24,19 +24,26 @@
 
 type t
 
-val create :
-  sim:Cm_sim.Sim.t ->
-  net:Msg.t Cm_net.Net.t ->
-  reliable:Reliable.t option ->
-  trace:Cm_rule.Trace.t ->
-  locator:Cm_rule.Item.locator ->
-  site:string ->
-  t
-(** Registers the shell's network handler at [site].  When [reliable] is
-    given, all shell traffic (rule firings, failure and reset notices)
-    goes through that reliable-delivery layer instead of the raw
-    network, and the layer's failure detector feeds the shell's failure
-    listeners via {!Msg.Suspect_down} / {!Msg.Reset_notice}. *)
+type ctx = {
+  ctx_sim : Cm_sim.Sim.t;
+  ctx_net : Msg.t Cm_net.Net.t;
+  ctx_reliable : Reliable.t option;
+  ctx_trace : Cm_rule.Trace.t;
+  ctx_locator : Cm_rule.Item.locator;
+  ctx_obs : Obs.t;
+}
+(** The per-system context every shell shares: simulation clock,
+    network, optional reliable-delivery layer, global trace, item
+    locator, and observability registry.  {!System.create} builds it
+    once from its {!System.Config.t}. *)
+
+val create : ctx -> site:string -> t
+(** Registers the shell's network handler at [site].  When
+    [ctx.ctx_reliable] is given, all shell traffic (rule firings,
+    failure and reset notices) goes through that reliable-delivery layer
+    instead of the raw network, and the layer's failure detector feeds
+    the shell's failure listeners via {!Msg.Suspect_down} /
+    {!Msg.Reset_notice}. *)
 
 val site : t -> string
 val sim : t -> Cm_sim.Sim.t

@@ -2,6 +2,35 @@ module Sim = Cm_sim.Sim
 module Net = Cm_net.Net
 open Cm_rule
 
+module Config = struct
+  type t = {
+    seed : int;
+    latency : Net.latency option;
+    fifo : bool;
+    faults : Net.faults option;
+    reliable : Reliable.config option;
+    obs : Obs.t option;
+  }
+
+  let default =
+    {
+      seed = 42;
+      latency = None;
+      fifo = true;
+      faults = None;
+      reliable = None;
+      obs = None;
+    }
+
+  let seeded seed = { default with seed }
+  let with_seed seed t = { t with seed }
+  let with_latency latency t = { t with latency = Some latency }
+  let with_fifo fifo t = { t with fifo }
+  let with_faults faults t = { t with faults = Some faults }
+  let with_reliable reliable t = { t with reliable = Some reliable }
+  let with_obs obs t = { t with obs = Some obs }
+end
+
 type guarantee_entry = {
   guarantee : Guarantee.t;
   sites : string list;
@@ -16,6 +45,7 @@ type t = {
   reliable : Reliable.t option;
   trace : Trace.t;
   locator : Item.locator;
+  obs : Obs.t;
   shells : (string, Shell.t) Hashtbl.t;  (* by primary site *)
   site_to_shell : (string, Shell.t) Hashtbl.t;  (* any handled site *)
   mutable interface_rules : Rule.t list;
@@ -23,11 +53,36 @@ type t = {
   mutable guarantees : guarantee_entry list;
 }
 
-let create ?(seed = 42) ?latency ?fifo ?faults ?reliable locator =
-  let sim = Sim.create ~seed () in
-  let net = Net.create ~sim ?latency ?fifo ?faults () in
+let create ?(config = Config.default) locator =
+  let sim = Sim.create ~seed:config.Config.seed () in
+  let net =
+    Net.create ~sim ?latency:config.Config.latency ~fifo:config.Config.fifo
+      ?faults:config.Config.faults ()
+  in
+  let obs = Option.value config.Config.obs ~default:Obs.noop in
+  if Obs.enabled obs then begin
+    (* The network layer cannot depend on cm_core, so its neutral hooks
+       are wired into the registry here. None of these consume the
+       simulation PRNG. *)
+    Net.on_send net (fun ~from_site ~to_site ->
+        Obs.incr obs "net_sent" ~labels:[ ("from", from_site); ("to", to_site) ]);
+    Net.on_drop net (fun ~from_site ~to_site reason ->
+        Obs.incr obs "net_dropped"
+          ~labels:
+            [ ("from", from_site); ("to", to_site);
+              ("reason", Net.drop_reason_to_string reason) ]);
+    Net.on_duplicate net (fun ~from_site ~to_site ->
+        Obs.incr obs "net_duplicated"
+          ~labels:[ ("from", from_site); ("to", to_site) ]);
+    Net.on_deliver net (fun ~from_site ~to_site ~latency ->
+        Obs.observe obs "net_latency"
+          ~labels:[ ("from", from_site); ("to", to_site) ]
+          latency)
+  end;
   let reliable =
-    Option.map (fun config -> Reliable.create ~sim ~net ~config ()) reliable
+    Option.map
+      (fun rc -> Reliable.create ~sim ~net ~config:rc ~obs ())
+      config.Config.reliable
   in
   {
     sim;
@@ -35,6 +90,7 @@ let create ?(seed = 42) ?latency ?fifo ?faults ?reliable locator =
     reliable;
     trace = Trace.create ();
     locator;
+    obs;
     shells = Hashtbl.create 8;
     site_to_shell = Hashtbl.create 8;
     interface_rules = [];
@@ -47,6 +103,7 @@ let net t = t.net
 let reliable t = t.reliable
 let trace t = t.trace
 let locator t = t.locator
+let obs t = t.obs
 
 let refresh_routing t =
   let peers = Hashtbl.fold (fun site _ acc -> site :: acc) t.shells [] in
@@ -70,12 +127,24 @@ let note_failure t ~origin kind =
           | Msg.Logical -> true
           | Msg.Metric -> Guarantee.is_metric entry.guarantee
         in
-        if relevant && not (List.mem (origin, kind) entry.invalidated_by) then
-          entry.invalidated_by <- (origin, kind) :: entry.invalidated_by
+        if relevant && not (List.mem (origin, kind) entry.invalidated_by) then begin
+          entry.invalidated_by <- (origin, kind) :: entry.invalidated_by;
+          Obs.incr t.obs "system_guarantee_invalidations"
+            ~labels:
+              [ ("site", origin); ("kind", Msg.failure_kind_to_string kind) ];
+          Logs.warn (fun m ->
+              m
+                ~tags:(Obs.log_tags ~site:origin ~time:(Sim.now t.sim) ())
+                "guarantee %s invalidated by %s failure at %s"
+                (Guarantee.name entry.guarantee)
+                (Msg.failure_kind_to_string kind)
+                origin)
+        end
       end)
     t.guarantees
 
 let note_reset t ~origin =
+  Obs.incr t.obs "system_guarantee_resets" ~labels:[ ("site", origin) ];
   List.iter
     (fun entry ->
       entry.invalidated_by <-
@@ -86,8 +155,16 @@ let add_shell t ~site =
   if Hashtbl.mem t.shells site then
     invalid_arg ("System.add_shell: duplicate site " ^ site);
   let shell =
-    Shell.create ~sim:t.sim ~net:t.net ~reliable:t.reliable ~trace:t.trace
-      ~locator:t.locator ~site
+    Shell.create
+      {
+        Shell.ctx_sim = t.sim;
+        ctx_net = t.net;
+        ctx_reliable = t.reliable;
+        ctx_trace = t.trace;
+        ctx_locator = t.locator;
+        ctx_obs = t.obs;
+      }
+      ~site
   in
   Hashtbl.replace t.shells site shell;
   Hashtbl.replace t.site_to_shell site shell;
@@ -115,6 +192,8 @@ let period_of_rule rule =
   | _ -> None
 
 let install t (strategy : Strategy.t) =
+  Obs.incr t.obs "system_strategy_installs"
+    ~labels:[ ("strategy", strategy.Strategy.strategy_name) ];
   t.strategy_rules <- t.strategy_rules @ strategy.Strategy.rules;
   Hashtbl.iter (fun _ shell -> Shell.install_strategy shell strategy.Strategy.rules)
     t.shells;

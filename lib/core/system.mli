@@ -14,21 +14,51 @@
 
 type t
 
-val create :
-  ?seed:int ->
-  ?latency:Cm_net.Net.latency ->
-  ?fifo:bool ->
-  ?faults:Cm_net.Net.faults ->
-  ?reliable:Reliable.config ->
-  Cm_rule.Item.locator ->
-  t
-(** [fifo:false] disables the network's in-order delivery — only for the
-    ablation experiment showing why Appendix A.2's property 7 matters.
-    [faults] installs a default loss/duplication model on every network
-    link; [reliable] inserts a {!Reliable} delivery layer between the
-    network and every shell, restoring exactly-once in-order delivery on
-    top of the faults and (with heartbeats enabled) turning dead peers
-    into §5 failure notices that invalidate declared guarantees. *)
+(** All the knobs of a system run in one value.  [Config.default] is a
+    clean, reliable, FIFO network at seed 42; derive variations with the
+    with-style setters:
+
+    {[
+      System.Config.(default |> with_seed 7 |> with_faults lossy
+                             |> with_reliable Reliable.default_config
+                             |> with_obs (Obs.create ()))
+    ]} *)
+module Config : sig
+  type t = {
+    seed : int;  (** simulation PRNG seed *)
+    latency : Cm_net.Net.latency option;  (** [None] = network default *)
+    fifo : bool;
+        (** [false] disables in-order delivery — only for the ablation
+            experiment showing why Appendix A.2's property 7 matters *)
+    faults : Cm_net.Net.faults option;
+        (** default loss/duplication model for every network link *)
+    reliable : Reliable.config option;
+        (** insert a {!Reliable} delivery layer between the network and
+            every shell, restoring exactly-once in-order delivery on top
+            of the faults and (with heartbeats enabled) turning dead
+            peers into §5 failure notices *)
+    obs : Obs.t option;
+        (** observability registry; [None] = {!Obs.noop}, zero overhead *)
+  }
+
+  val default : t
+  val seeded : int -> t
+  (** [seeded n] is [default] at seed [n] — the most common override. *)
+
+  val with_seed : int -> t -> t
+  val with_latency : Cm_net.Net.latency -> t -> t
+  val with_fifo : bool -> t -> t
+  val with_faults : Cm_net.Net.faults -> t -> t
+  val with_reliable : Reliable.config -> t -> t
+  val with_obs : Obs.t -> t -> t
+end
+
+val create : ?config:Config.t -> Cm_rule.Item.locator -> t
+(** Build the simulated world described by [config] (default
+    {!Config.default}).  When [config.obs] is set, the network's
+    send/drop/duplicate/latency hooks, the reliable layer's counters,
+    every shell's match/fire/guard instruments, and the system's
+    guarantee bookkeeping all record into that registry. *)
 
 val sim : t -> Cm_sim.Sim.t
 val net : t -> Msg.t Cm_net.Net.t
@@ -36,6 +66,9 @@ val net : t -> Msg.t Cm_net.Net.t
 val reliable : t -> Reliable.t option
 (** The reliable-delivery layer, when one was configured — source of
     retransmission/ack counters for the message-cost experiments. *)
+
+val obs : t -> Obs.t
+(** The configured observability registry, or {!Obs.noop}. *)
 
 val trace : t -> Cm_rule.Trace.t
 val locator : t -> Cm_rule.Item.locator

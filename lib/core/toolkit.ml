@@ -83,14 +83,14 @@ let kvfile_binding (item : Cmrid.item_decl) =
         writable = item.Cmrid.i_writable;
       }
 
-let build ?(seed = 42) ?net_latency ?net_faults ?reliable config =
+let build ?(config = System.Config.default) cmrid =
   let ( let* ) r f = Result.bind r f in
   let* () =
     (* duplicate item bases across sources are configuration errors *)
     let bases =
       List.concat_map
         (fun s -> List.map (fun i -> i.Cmrid.i_base) s.Cmrid.s_items)
-        config.Cmrid.sources
+        cmrid.Cmrid.sources
     in
     let dupes =
       List.filter (fun b -> List.length (List.filter (String.equal b) bases) > 1) bases
@@ -99,12 +99,10 @@ let build ?(seed = 42) ?net_latency ?net_faults ?reliable config =
     if dupes = [] then Ok ()
     else Error ("duplicate item bases: " ^ String.concat ", " dupes)
   in
-  let locator = Cmrid.locator config in
-  let system =
-    System.create ~seed ?latency:net_latency ?faults:net_faults ?reliable locator
-  in
+  let locator = Cmrid.locator cmrid in
+  let system = System.create ~config locator in
   let shells =
-    List.map (fun site -> (site, System.add_shell system ~site)) (Cmrid.sites config)
+    List.map (fun site -> (site, System.add_shell system ~site)) (Cmrid.sites cmrid)
   in
   let shell_of site = List.assoc site shells in
   let build_source acc decl =
@@ -162,11 +160,11 @@ let build ?(seed = 42) ?net_latency ?net_faults ?reliable config =
       Ok (relational, (site, tr) :: kvfiles, databases, (site, fs) :: stores)
   in
   let* relational, kvfiles, databases, stores =
-    List.fold_left build_source (Ok ([], [], [], [])) config.Cmrid.sources
+    List.fold_left build_source (Ok ([], [], [], [])) cmrid.Cmrid.sources
   in
   (* Install the strategy specification declared in the configuration. *)
   let* () =
-    match config.Cmrid.rules with
+    match cmrid.Cmrid.rules with
     | [] -> Ok ()
     | lines -> (
       match Cm_rule.Parser.parse_rules (String.concat "\n" lines) with

@@ -18,18 +18,12 @@ type built = {
   stores : (string * Cm_sources.Kvfile.t) list;
 }
 
-val build :
-  ?seed:int ->
-  ?net_latency:Cm_net.Net.latency ->
-  ?net_faults:Cm_net.Net.faults ->
-  ?reliable:Reliable.config ->
-  Cmrid.t ->
-  (built, string) result
+val build : ?config:System.Config.t -> Cmrid.t -> (built, string) result
 (** Fails on unknown sites in [location] lines, bad SQL in item
-    templates or [init] statements, and duplicate item bases.
-    [net_faults] makes every inter-shell link lossy; [reliable] inserts
-    the {!Reliable} delivery layer so the built system keeps the paper's
-    delivery assumptions anyway (see {!System.create}). *)
+    templates or [init] statements, and duplicate item bases.  The
+    {!System.Config.t} (default {!System.Config.default}) carries the
+    seed, network latency/fault model, optional reliable-delivery layer,
+    and optional observability registry (see {!System.create}). *)
 
 val interface_summary : built -> (string * string list) list
 (** For each item base, the interface kinds its translator reports —

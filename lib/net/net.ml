@@ -10,6 +10,12 @@ let no_faults = { drop_prob = 0.0; dup_prob = 0.0 }
 
 type drop_reason = Unroutable | Endpoint_down | Partitioned | Faulty
 
+let drop_reason_to_string = function
+  | Unroutable -> "unroutable"
+  | Endpoint_down -> "endpoint_down"
+  | Partitioned -> "partitioned"
+  | Faulty -> "faulty"
+
 type 'msg link = {
   mutable link_latency : latency;
   (* Time at which the most recently sent message on this link will be
@@ -38,6 +44,10 @@ type 'msg t = {
   mutable faulty : int;
   mutable duplicated : int;
   mutable drop_hooks : (from_site:string -> to_site:string -> drop_reason -> unit) list;
+  mutable send_hooks : (from_site:string -> to_site:string -> unit) list;
+  mutable deliver_hooks :
+    (from_site:string -> to_site:string -> latency:float -> unit) list;
+  mutable duplicate_hooks : (from_site:string -> to_site:string -> unit) list;
 }
 
 let create ~sim ?(latency = default_latency) ?(fifo = true) ?(faults = no_faults) () =
@@ -58,6 +68,9 @@ let create ~sim ?(latency = default_latency) ?(fifo = true) ?(faults = no_faults
     faulty = 0;
     duplicated = 0;
     drop_hooks = [];
+    send_hooks = [];
+    deliver_hooks = [];
+    duplicate_hooks = [];
   }
 
 let link t ~from_site ~to_site =
@@ -104,6 +117,9 @@ let register t ~site handler =
   Hashtbl.replace t.handlers site handler
 
 let on_drop t hook = t.drop_hooks <- t.drop_hooks @ [ hook ]
+let on_send t hook = t.send_hooks <- t.send_hooks @ [ hook ]
+let on_deliver t hook = t.deliver_hooks <- t.deliver_hooks @ [ hook ]
+let on_duplicate t hook = t.duplicate_hooks <- t.duplicate_hooks @ [ hook ]
 
 let record_drop t ?link ~from_site ~to_site reason =
   t.dropped <- t.dropped + 1;
@@ -137,6 +153,7 @@ let deliver_copy t l ~from_site ~to_site handler msg =
     if t.fifo then Float.max (now +. delay) l.last_delivery else now +. delay
   in
   l.last_delivery <- Float.max at l.last_delivery;
+  List.iter (fun hook -> hook ~from_site ~to_site ~latency:(at -. now)) t.deliver_hooks;
   Sim.schedule_at t.sim at (fun () ->
       (* In-flight messages arriving at a crashed endpoint are lost. *)
       if Hashtbl.mem t.down_sites to_site then
@@ -145,6 +162,7 @@ let deliver_copy t l ~from_site ~to_site handler msg =
 
 let send t ~from_site ~to_site msg =
   t.sent <- t.sent + 1;
+  List.iter (fun hook -> hook ~from_site ~to_site) t.send_hooks;
   match Hashtbl.find_opt t.handlers to_site with
   | None -> record_drop t ~from_site ~to_site Unroutable
   | Some handler ->
@@ -165,6 +183,7 @@ let send t ~from_site ~to_site msg =
       else deliver_copy t l ~from_site ~to_site handler msg;
       if duplicated then begin
         t.duplicated <- t.duplicated + 1;
+        List.iter (fun hook -> hook ~from_site ~to_site) t.duplicate_hooks;
         deliver_copy t l ~from_site ~to_site handler msg
       end
     end

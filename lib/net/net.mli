@@ -46,6 +46,9 @@ type drop_reason =
   | Partitioned  (** directed link inside a partition window *)
   | Faulty  (** random loss from the link's [drop_prob] *)
 
+val drop_reason_to_string : drop_reason -> string
+(** Stable lowercase name, used as a metric label. *)
+
 val create :
   sim:Cm_sim.Sim.t ->
   ?latency:latency ->
@@ -105,6 +108,19 @@ val on_drop :
   'msg t -> (from_site:string -> to_site:string -> drop_reason -> unit) -> unit
 (** Hook invoked on every dropped message (any reason), after the drop
     counters are updated. *)
+
+val on_send : 'msg t -> (from_site:string -> to_site:string -> unit) -> unit
+(** Hook invoked on every send attempt, before routing. *)
+
+val on_deliver :
+  'msg t -> (from_site:string -> to_site:string -> latency:float -> unit) -> unit
+(** Hook invoked when a message copy is accepted onto a link, with the
+    effective latency it will experience (including FIFO hold-back).
+    The observability layer records per-link latency series from this.
+    Hooks must not consume the simulation PRNG. *)
+
+val on_duplicate : 'msg t -> (from_site:string -> to_site:string -> unit) -> unit
+(** Hook invoked when the fault model duplicates a message. *)
 
 val messages_sent : 'msg t -> int
 (** Send attempts, including ones that were then dropped. *)

@@ -15,14 +15,47 @@ let percentile p xs =
   | [] -> 0.0
   | sorted ->
     let n = List.length sorted in
-    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
-    let idx = max 0 (min (n - 1) idx) in
-    List.nth sorted idx
+    (* Nearest rank is ceil(p*n), except that the product must be treated
+       as exact when it is within float noise of an integer — otherwise
+       e.g. 0.95 *. 20. = 19.000000000000004 rounds up to rank 20, one
+       past the nearest-rank answer (and p = 1.0 on a one-element list
+       drifts past the only rank there is). *)
+    let exact = p *. float_of_int n in
+    let nearest = Float.round exact in
+    let rank =
+      if Float.abs (exact -. nearest) <= 1e-9 *. float_of_int n then
+        int_of_float nearest
+      else int_of_float (ceil exact)
+    in
+    let rank = max 1 (min n rank) in
+    List.nth sorted (rank - 1)
 
 let min_max = function
   | [] -> (0.0, 0.0)
   | x :: rest ->
     List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  p50 : float;
+  p95 : float;
+  min : float;
+  max : float;
+}
+
+let summary xs =
+  let lo, hi = min_max xs in
+  {
+    n = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    p50 = percentile 0.5 xs;
+    p95 = percentile 0.95 xs;
+    min = lo;
+    max = hi;
+  }
 
 let histogram ~buckets xs =
   if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";

@@ -13,6 +13,20 @@ val percentile : float -> float list -> float
 val min_max : float list -> float * float
 (** (min, max); (0., 0.) on the empty list. *)
 
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  p50 : float;
+  p95 : float;
+  min : float;
+  max : float;
+}
+
+val summary : float list -> summary
+(** One-shot numeric summary of a sample; all fields 0 on the empty
+    list.  Used by the observability layer to export recorded series. *)
+
 val histogram : buckets:int -> float list -> (float * float * int) list
 (** [histogram ~buckets xs] returns [(lo, hi, count)] triples covering
     the data range with equal-width buckets. *)

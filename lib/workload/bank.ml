@@ -47,11 +47,9 @@ let binding base col =
     periodic = None;
   }
 
-let create ?(seed = 42) ?(x_init = (0, 50)) ?(y_init = (100, 50)) ?net_latency
-    ?net_faults ?reliable ~policy () =
-  let system =
-    Sys_.create ~seed ?latency:net_latency ?faults:net_faults ?reliable locator
-  in
+let create ?(config = Sys_.Config.default) ?(x_init = (0, 50)) ?(y_init = (100, 50))
+    ~policy () =
+  let system = Sys_.create ~config locator in
   let shell_a = Sys_.add_shell system ~site:"branch_a" in
   let shell_b = Sys_.add_shell system ~site:"branch_b" in
   let db_a = Db.create () and db_b = Db.create () in

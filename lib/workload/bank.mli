@@ -21,18 +21,15 @@ type t = {
 }
 
 val create :
-  ?seed:int ->
+  ?config:Cm_core.System.Config.t ->
   ?x_init:int * int ->
   ?y_init:int * int ->
-  ?net_latency:Cm_net.Net.latency ->
-  ?net_faults:Cm_net.Net.faults ->
-  ?reliable:Cm_core.Reliable.config ->
   policy:Cm_core.Demarcation.policy ->
   unit ->
   t
 (** Defaults: X starts at (0, limit 50), Y at (100, limit 50).
-    [net_faults]/[reliable] make the inter-branch links lossy and insert
-    the reliable-delivery layer (see {!Cm_core.System.create}). *)
+    [config] carries the seed and the network/reliability/observability
+    setup (see {!Cm_core.System.create}). *)
 
 type outcome = Applied | Requested
 (** [Requested]: the local write was rejected by the limit and a

@@ -69,9 +69,9 @@ let eod_rules =
     {|eod_read: Eod(Bal1(n)) ->[60] RR(Bal1(n))
       eod_prop: R(Bal1(n), b) ->[300] WR(Bal2(n), b)|}
 
-let create ?(seed = 42) ?(accounts = 5) () =
+let create ?(config = Sys_.Config.default) ?(accounts = 5) () =
   let accounts = List.init accounts (fun i -> "a" ^ string_of_int (i + 1)) in
-  let system = Sys_.create ~seed locator in
+  let system = Sys_.create ~config locator in
   let shell_branch = Sys_.add_shell system ~site:"branch" in
   let shell_ho = Sys_.add_shell system ~site:"ho" in
   let db_branch = Db.create () and db_ho = Db.create () in

@@ -35,7 +35,7 @@ val window_start : float
 val window_end : float
 (** 8 h next day, as an offset > [day]. *)
 
-val create : ?seed:int -> ?accounts:int -> unit -> t
+val create : ?config:Cm_core.System.Config.t -> ?accounts:int -> unit -> t
 (** Installs the end-of-day strategy and schedules the daily sweep. *)
 
 val run_days : t -> days:int -> updates_per_day:int -> unit

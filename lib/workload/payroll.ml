@@ -102,14 +102,11 @@ let binding ~base ~mode =
     periodic = None;
   }
 
-let create ?(seed = 42) ?(employees = 10) ?(mode = Notify) ?(notify_latency = 1.0)
-    ?(notify_delta = 5.0) ?(write_latency = 0.2) ?net_latency ?fifo ?net_faults
-    ?reliable ?(recoverable_source = false) () =
+let create ?(config = Sys_.Config.default) ?(employees = 10) ?(mode = Notify)
+    ?(notify_latency = 1.0) ?(notify_delta = 5.0) ?(write_latency = 0.2)
+    ?(recoverable_source = false) () =
   let employees = List.init employees (fun i -> "e" ^ string_of_int (i + 1)) in
-  let system =
-    Sys_.create ~seed ?latency:net_latency ?fifo ?faults:net_faults ?reliable
-      locator
-  in
+  let system = Sys_.create ~config locator in
   let shell_a = Sys_.add_shell system ~site:site_a in
   let shell_b = Sys_.add_shell system ~site:site_b in
   let db_a = Db.create () and db_b = Db.create () in

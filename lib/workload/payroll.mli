@@ -27,23 +27,20 @@ val site_a : string
 val site_b : string
 
 val create :
-  ?seed:int ->
+  ?config:Cm_core.System.Config.t ->
   ?employees:int ->
   ?mode:source_mode ->
   ?notify_latency:float ->
   ?notify_delta:float ->
   ?write_latency:float ->
-  ?net_latency:Cm_net.Net.latency ->
-  ?fifo:bool ->
-  ?net_faults:Cm_net.Net.faults ->
-  ?reliable:Cm_core.Reliable.config ->
   ?recoverable_source:bool ->
   unit ->
   t
 (** Defaults: 10 employees ("e1"…), [`Notify], 1 s notification latency
-    with a 5 s bound, 0.2 s writes.  [net_faults]/[reliable] configure
-    the lossy network and the reliable-delivery layer (see
-    {!Cm_core.System.create}) for the failure-handling experiments. *)
+    with a 5 s bound, 0.2 s writes.  [config] (default
+    {!Cm_core.System.Config.default}) carries the seed, network model,
+    reliable-delivery layer, and observability registry (see
+    {!Cm_core.System.create}). *)
 
 val source_item : string -> Cm_rule.Item.t
 (** salary1(emp). *)

@@ -32,9 +32,9 @@ let must = function
 
 let initial_phone i = Printf.sprintf "555-%04d" (1000 + i)
 
-let create ?(seed = 42) ?(people = 4) ?(poll_period = 120.0) () =
+let create ?(config = Sys_.Config.default) ?(people = 4) ?(poll_period = 120.0) () =
   let people = List.init people (fun i -> "p" ^ string_of_int (i + 1)) in
-  let system = Sys_.create ~seed locator in
+  let system = Sys_.create ~config locator in
   let sh_whois = Sys_.add_shell system ~site:"whois" in
   let sh_lookup = Sys_.add_shell system ~site:"lookup" in
   let sh_group = Sys_.add_shell system ~site:"groupdb" in

@@ -31,7 +31,8 @@ type t = {
   initial : (Cm_rule.Item.t * Cm_rule.Value.t) list;
 }
 
-val create : ?seed:int -> ?people:int -> ?poll_period:float -> unit -> t
+val create :
+  ?config:Cm_core.System.Config.t -> ?people:int -> ?poll_period:float -> unit -> t
 (** Builds all four sources with consistent initial phone numbers and
     installs all three strategies.  Default 4 people, 120 s polling. *)
 

@@ -83,7 +83,7 @@ let payroll_binding ~base ~notify =
   }
 
 let make_payroll ?(notify = true) ?(seed = 7) () =
-  let system = Sys_.create ~seed locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded seed) locator in
   let shell_a = Sys_.add_shell system ~site:"sf" in
   let shell_b = Sys_.add_shell system ~site:"ny" in
   let db_a = Db.create () in
@@ -213,7 +213,7 @@ let monitor_strategy_flag () =
   let locator item =
     match item.Item.base with "Salary1" -> "sf" | "Salary2" -> "ny" | _ -> "app"
   in
-  let system = Sys_.create ~seed:11 locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded 11) locator in
   let shell_a = Sys_.add_shell system ~site:"sf" in
   let shell_b = Sys_.add_shell system ~site:"ny" in
   let shell_app = Sys_.add_shell system ~site:"app" in
@@ -349,7 +349,7 @@ let demarcation_setup policy =
     | "Xbal" | "Xlim" | "PendX" -> "a"
     | _ -> "b"
   in
-  let system = Sys_.create ~seed:3 locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded 3) locator in
   let shell_a = Sys_.add_shell system ~site:"a" in
   let shell_b = Sys_.add_shell system ~site:"b" in
   let db_a = Db.create () and db_b = Db.create () in

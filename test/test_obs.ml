@@ -1,0 +1,204 @@
+(* Observability layer: registry semantics, span tracing across a
+   two-site firing, snapshot determinism, and the no-op mode. *)
+
+module Obs = Cm_core.Obs
+module Sys_ = Cm_core.System
+module Net = Cm_net.Net
+module Reliable = Cm_core.Reliable
+module Payroll = Cm_workload.Payroll
+
+(* ---- registry ---- *)
+
+let label_merging () =
+  let t = Obs.create () in
+  Obs.incr t "hits" ~labels:[ ("site", "sf"); ("rule", "r1") ];
+  Obs.incr t "hits" ~labels:[ ("rule", "r1"); ("site", "sf") ];
+  Alcotest.(check int) "order-insensitive" 2
+    (Obs.counter_value t "hits" ~labels:[ ("site", "sf"); ("rule", "r1") ]);
+  Obs.incr t "hits" ~labels:[ ("site", "ny"); ("rule", "r1") ] ~by:3;
+  Alcotest.(check int) "distinct label set" 3
+    (Obs.counter_value t "hits" ~labels:[ ("rule", "r1"); ("site", "ny") ]);
+  Alcotest.(check int) "total sums label sets" 5 (Obs.counter_total t "hits");
+  Alcotest.(check int) "absent counter is 0" 0
+    (Obs.counter_value t "misses")
+
+let instruments () =
+  let t = Obs.create () in
+  Obs.gauge t "depth" 3.0;
+  Obs.gauge t "depth" 7.0;
+  Alcotest.(check (option (float 1e-9))) "gauge keeps latest" (Some 7.0)
+    (Obs.gauge_value t "depth");
+  List.iter (Obs.observe t "lat") [ 1.0; 3.0; 2.0 ];
+  Alcotest.(check (list (float 1e-9))) "series chronological" [ 1.0; 3.0; 2.0 ]
+    (Obs.series_values t "lat");
+  let rows = Obs.snapshot t in
+  Alcotest.(check int) "snapshot has both" 2 (List.length rows);
+  let names = List.map (fun r -> r.Obs.name) rows in
+  Alcotest.(check (list string)) "sorted by name" [ "depth"; "lat" ] names
+
+(* ---- spans across a two-site firing ---- *)
+
+(* Payroll over a lossy network with the reliable layer: the sf shell
+   opens "fire" roots, the span id rides the Fire envelope, retransmits
+   attach to it, and the ny shell adds "execute" -> "step" children. *)
+let traced_payroll ?(drop = 0.2) seed =
+  let obs = Obs.create () in
+  let config =
+    Sys_.Config.(
+      seeded seed
+      |> with_faults { Net.drop_prob = drop; dup_prob = 0.1 }
+      |> with_reliable Reliable.default_config
+      |> with_obs obs)
+  in
+  let p = Payroll.create ~config ~employees:3 () in
+  Payroll.install_propagation p;
+  Payroll.random_updates p ~mean_interarrival:20.0 ~until:300.0;
+  Sys_.run p.Payroll.system ~until:500.0;
+  (obs, p)
+
+let span_invariants () =
+  let obs, _ = traced_payroll 1300 in
+  let spans = Obs.spans obs in
+  Alcotest.(check bool) "spans recorded" true (List.length spans > 0);
+  let by_id id = List.find (fun s -> s.Obs.id = id) spans in
+  let seen = Hashtbl.create 64 in
+  List.iteri
+    (fun i s ->
+      Alcotest.(check int) "ids sequential from 1" (i + 1) s.Obs.id;
+      Hashtbl.add seen s.Obs.id ())
+    spans;
+  List.iter
+    (fun s ->
+      if s.Obs.parent <> 0 then begin
+        Alcotest.(check bool) "parent exists" true (Hashtbl.mem seen s.Obs.parent);
+        Alcotest.(check bool) "parent opened first" true (s.Obs.parent < s.Obs.id);
+        let p = by_id s.Obs.parent in
+        Alcotest.(check bool) "parent started no later" true
+          (p.Obs.started <= s.Obs.started);
+        match s.Obs.span_name with
+        | "execute" | "retransmit" ->
+          Alcotest.(check string) "child of a fire" "fire" p.Obs.span_name
+        | "step" ->
+          Alcotest.(check string) "step under execute" "execute" p.Obs.span_name
+        | other -> Alcotest.failf "unexpected child span %s" other
+      end
+      else
+        Alcotest.(check string) "only fires are roots" "fire" s.Obs.span_name)
+    spans;
+  let fires = List.filter (fun s -> s.Obs.span_name = "fire") spans in
+  let executes = List.filter (fun s -> s.Obs.span_name = "execute") spans in
+  Alcotest.(check bool) "some firings traced" true (List.length fires > 0);
+  Alcotest.(check int) "every fire executed exactly once (reliable net)"
+    (List.length fires) (List.length executes);
+  (* Cross-site: fire opens at sf, execute at ny. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string)) "fire at source site" (Some "sf")
+        (List.assoc_opt "site" s.Obs.span_labels))
+    fires;
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string)) "execute at target site" (Some "ny")
+        (List.assoc_opt "site" s.Obs.span_labels))
+    executes;
+  let retrans = List.filter (fun s -> s.Obs.span_name = "retransmit") spans in
+  Alcotest.(check bool) "lossy run has retransmit spans" true
+    (List.length retrans > 0)
+
+let counters_wired () =
+  let obs, _ = traced_payroll 1300 in
+  Alcotest.(check bool) "net sends counted" true
+    (Obs.counter_total obs "net_sent" > 0);
+  Alcotest.(check bool) "drops counted" true
+    (Obs.counter_total obs "net_dropped" > 0);
+  Alcotest.(check bool) "retransmits counted" true
+    (Obs.counter_total obs "reliable_retransmits" > 0);
+  Alcotest.(check bool) "shell events counted" true
+    (Obs.counter_total obs "shell_events" > 0);
+  Alcotest.(check int) "fires sent = fires executed"
+    (Obs.counter_total obs "shell_fires_sent")
+    (Obs.counter_total obs "shell_fires_executed");
+  Alcotest.(check bool) "latency series populated" true
+    (Obs.series_values obs "net_latency" ~labels:[ ("from", "sf"); ("to", "ny") ]
+     <> [])
+
+(* ---- determinism ---- *)
+
+let snapshot_determinism () =
+  let obs1, _ = traced_payroll 1300 in
+  let obs2, _ = traced_payroll 1300 in
+  Alcotest.(check string) "snapshot JSON byte-identical"
+    (Obs.snapshot_to_json obs1) (Obs.snapshot_to_json obs2);
+  Alcotest.(check string) "spans JSON byte-identical"
+    (Obs.spans_to_json obs1) (Obs.spans_to_json obs2);
+  Alcotest.(check string) "snapshot CSV byte-identical"
+    (Obs.snapshot_to_csv obs1) (Obs.snapshot_to_csv obs2);
+  let obs3, _ = traced_payroll 1301 in
+  Alcotest.(check bool) "different seed, different snapshot" true
+    (Obs.snapshot_to_json obs1 <> Obs.snapshot_to_json obs3)
+
+(* Observability must not perturb the simulation: the same seed with
+   and without a registry ends in the same application state. *)
+let observation_transparent () =
+  let finals p =
+    List.map
+      (fun emp -> (Payroll.salary_at p `A emp, Payroll.salary_at p `B emp))
+      p.Payroll.employees
+  in
+  let run config =
+    let p = Payroll.create ~config ~employees:3 () in
+    Payroll.install_propagation p;
+    Payroll.random_updates p ~mean_interarrival:20.0 ~until:300.0;
+    Sys_.run p.Payroll.system ~until:500.0;
+    p
+  in
+  let base =
+    Sys_.Config.(
+      seeded 1300
+      |> with_faults { Net.drop_prob = 0.2; dup_prob = 0.1 }
+      |> with_reliable Reliable.default_config)
+  in
+  let plain = run base in
+  let observed = run (Sys_.Config.with_obs (Obs.create ()) base) in
+  Alcotest.(check bool) "same final salaries" true
+    (finals plain = finals observed)
+
+(* ---- no-op mode ---- *)
+
+let noop_mode () =
+  Alcotest.(check bool) "noop disabled" false (Obs.enabled Obs.noop);
+  Alcotest.(check bool) "create enabled" true (Obs.enabled (Obs.create ()));
+  Obs.incr Obs.noop "x";
+  Obs.gauge Obs.noop "g" 1.0;
+  Obs.observe Obs.noop "s" 1.0;
+  Alcotest.(check int) "span id is the 0 sentinel" 0
+    (Obs.span Obs.noop ~name:"fire" ~at:0.0);
+  Obs.end_span Obs.noop ~id:0 ~at:1.0;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.snapshot Obs.noop));
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.spans Obs.noop));
+  (* Systems built without ?obs run on the shared noop registry. *)
+  let p = Payroll.create ~config:(Sys_.Config.seeded 5) ~employees:1 () in
+  Alcotest.(check bool) "default system is noop" false
+    (Obs.enabled (Sys_.obs p.Payroll.system))
+
+let () =
+  Alcotest.run "cm_obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "label merging" `Quick label_merging;
+          Alcotest.test_case "instruments" `Quick instruments;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "parent-child invariants" `Quick span_invariants;
+          Alcotest.test_case "counters wired" `Quick counters_wired;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "snapshot determinism" `Quick snapshot_determinism;
+          Alcotest.test_case "observation transparent" `Quick
+            observation_transparent;
+        ] );
+      ("noop", [ Alcotest.test_case "zero-overhead mode" `Quick noop_mode ]);
+    ]

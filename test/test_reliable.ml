@@ -22,9 +22,9 @@ let untag = function
   | _ -> Alcotest.fail "unexpected message shape"
 
 let make ?(seed = 7) ?(latency = { Net.base = 0.05; jitter = 0.01 }) ?(fifo = true)
-    ?faults ?(config = Reliable.default_config) () =
+    ?(faults = Net.no_faults) ?(config = Reliable.default_config) () =
   let sim = Sim.create ~seed () in
-  let net = Net.create ~sim ~latency ~fifo ?faults () in
+  let net = Net.create ~sim ~latency ~fifo ~faults () in
   let r = Reliable.create ~sim ~net ~config () in
   (sim, net, r)
 
@@ -169,8 +169,8 @@ let final_salaries p =
       (Payroll.salary_at p `A emp, Payroll.salary_at p `B emp))
     p.Payroll.employees
 
-let drive ~seed ?net_faults ?reliable () =
-  let p = Payroll.create ~seed ~employees:3 ?net_faults ?reliable () in
+let drive config =
+  let p = Payroll.create ~config ~employees:3 () in
   Payroll.install_propagation p;
   Payroll.random_updates p ~mean_interarrival:20.0 ~until:500.0;
   Sys_.run p.Payroll.system ~until:700.0;
@@ -180,11 +180,13 @@ let faulty_run_matches_clean_run () =
   (* The acceptance bar: 20 % loss + duplication on every link, and the
      scenario must end in exactly the state of the zero-fault run at the
      same seed, with nonzero, deterministic retransmit/ack counters. *)
-  let clean = drive ~seed:42 () in
+  let clean = drive (Sys_.Config.seeded 42) in
   let faulty () =
-    drive ~seed:42
-      ~net_faults:{ Net.drop_prob = 0.2; dup_prob = 0.2 }
-      ~reliable:Reliable.default_config ()
+    drive
+      Sys_.Config.(
+        seeded 42
+        |> with_faults { Net.drop_prob = 0.2; dup_prob = 0.2 }
+        |> with_reliable Reliable.default_config)
   in
   let f1 = faulty () and f2 = faulty () in
   Alcotest.(check bool) "final stores identical to zero-fault run" true
@@ -217,7 +219,7 @@ let silent_drop_is_silent () =
   (* §5's undetectable failure, end to end: a source whose notify
      interface silently drops must miss updates without raising and
      without producing any failure notice. *)
-  let p = Payroll.create ~seed:7 ~employees:1 () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 7) ~employees:1 () in
   Payroll.install_propagation p;
   let g =
     Sys_.declare_guarantee p.Payroll.system
@@ -256,7 +258,11 @@ let network_silence_is_detected () =
       suspect_after = 15.0;
     }
   in
-  let p = Payroll.create ~seed:7 ~employees:1 ~reliable () in
+  let p =
+    Payroll.create
+      ~config:Sys_.Config.(seeded 7 |> with_reliable reliable)
+      ~employees:1 ()
+  in
   Payroll.install_propagation p;
   let g =
     Sys_.declare_guarantee p.Payroll.system
@@ -286,8 +292,10 @@ let network_silence_is_detected () =
 let reliable_layer_is_transparent_when_network_is_clean () =
   (* With a zero-fault network the reliable layer must not change what
      the application computes — only add acks underneath. *)
-  let raw = drive ~seed:11 () in
-  let wrapped = drive ~seed:11 ~reliable:Reliable.default_config () in
+  let raw = drive (Sys_.Config.seeded 11) in
+  let wrapped =
+    drive Sys_.Config.(seeded 11 |> with_reliable Reliable.default_config)
+  in
   Alcotest.(check bool) "same final stores" true
     (final_salaries raw = final_salaries wrapped);
   Alcotest.(check int) "no retransmissions needed" 0

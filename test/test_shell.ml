@@ -24,7 +24,7 @@ let two_shells () =
   let locator item =
     match item.Item.base with "Xa" -> "a" | _ -> "b"
   in
-  let system = Sys_.create ~seed:5 locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded 5) locator in
   let sa = Sys_.add_shell system ~site:"a" in
   let sb = Sys_.add_shell system ~site:"b" in
   (system, sa, sb)
@@ -184,7 +184,7 @@ let foreign_site_served_by_shell () =
     | "Xa" -> "a"
     | _ -> "b"
   in
-  let system = Sys_.create ~seed:9 locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded 9) locator in
   let sa = Sys_.add_shell system ~site:"a" in
   let sb = Sys_.add_shell system ~site:"b" in
   (* A kvfile source living at site c, translated by a's shell. *)
@@ -213,7 +213,7 @@ let foreign_site_rhs_routed () =
   let locator item =
     match item.Item.base with "Xc" -> "c" | "Xa" -> "a" | _ -> "b"
   in
-  let system = Sys_.create ~seed:10 locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded 10) locator in
   let sa = Sys_.add_shell system ~site:"a" in
   let sb = Sys_.add_shell system ~site:"b" in
   ignore sb;

@@ -18,7 +18,7 @@ let pair =
   { Guarantee.leader = Item.make "Xa"; follower = Item.make "Xb" }
 
 let three_site_system () =
-  let system = Sys_.create ~seed:3 locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded 3) locator in
   let sa = Sys_.add_shell system ~site:"a" in
   let sb = Sys_.add_shell system ~site:"b" in
   (system, sa, sb)
@@ -138,7 +138,7 @@ let install_rejects_unplaceable_aux () =
      miss by building a separate system whose locator yields an unhandled
      site. *)
   ignore strategy;
-  let system2 = Sys_.create ~seed:4 (fun _ -> "ghost-site") in
+  let system2 = Sys_.create ~config:(Cm_core.System.Config.seeded 4) (fun _ -> "ghost-site") in
   let _ = system in
   Alcotest.(check bool) "raises" true
     (try

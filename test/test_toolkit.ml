@@ -226,7 +226,7 @@ let toolkit_build_and_run () =
   match Cmrid.parse sample_config with
   | Error m -> Alcotest.fail m
   | Ok config -> (
-    match Toolkit.build ~seed:21 config with
+    match Toolkit.build ~config:(Cm_core.System.Config.seeded 21) config with
     | Error m -> Alcotest.fail m
     | Ok built ->
       (* Interface discovery reflects the configuration. *)
@@ -270,7 +270,7 @@ let toolkit_config_rules_installed () =
   match Cmrid.parse config_text with
   | Error m -> Alcotest.fail m
   | Ok config -> (
-    match Toolkit.build ~seed:22 config with
+    match Toolkit.build ~config:(Cm_core.System.Config.seeded 22) config with
     | Error m -> Alcotest.fail m
     | Ok built ->
       Alcotest.(check int) "strategy installed" 1

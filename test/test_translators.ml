@@ -21,7 +21,7 @@ type world = {
 }
 
 let world ?(site = "s") ?(locator = fun _ -> "s") () =
-  let system = Sys_.create ~seed:7 locator in
+  let system = Sys_.create ~config:(Cm_core.System.Config.seeded 7) locator in
   let shell = Sys_.add_shell system ~site in
   let failures = ref [] in
   Shell.on_failure_notice shell (fun ~origin:_ kind -> failures := kind :: !failures);

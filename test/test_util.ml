@@ -113,7 +113,26 @@ let stats_percentile () =
   let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0; 10.0 ] in
   Alcotest.(check (float 1e-9)) "median" 5.0 (Cm_util.Stats.percentile 0.5 xs);
   Alcotest.(check (float 1e-9)) "p100" 10.0 (Cm_util.Stats.percentile 1.0 xs);
-  Alcotest.(check (float 1e-9)) "p0-ish" 1.0 (Cm_util.Stats.percentile 0.01 xs)
+  Alcotest.(check (float 1e-9)) "p0-ish" 1.0 (Cm_util.Stats.percentile 0.01 xs);
+  (* Nearest-rank edge cases: p = 1.0 on a singleton must not overrun,
+     and 0.95 * 20 = 19.000000000000004 must round to rank 19, not
+     ceil to 20. *)
+  Alcotest.(check (float 1e-9)) "p100 singleton" 7.0
+    (Cm_util.Stats.percentile 1.0 [ 7.0 ]);
+  let twenty = List.init 20 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p95 of 20 is rank 19" 19.0
+    (Cm_util.Stats.percentile 0.95 twenty)
+
+let stats_summary () =
+  let s = Cm_util.Stats.summary [ 4.0; 1.0; 3.0; 2.0; 5.0 ] in
+  Alcotest.(check int) "n" 5 s.Cm_util.Stats.n;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Cm_util.Stats.mean;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.Cm_util.Stats.p50;
+  Alcotest.(check (float 1e-9)) "p95" 5.0 s.Cm_util.Stats.p95;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Cm_util.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Cm_util.Stats.max;
+  let empty = Cm_util.Stats.summary [] in
+  Alcotest.(check int) "empty n" 0 empty.Cm_util.Stats.n
 
 let stats_min_max () =
   let lo, hi = Cm_util.Stats.min_max [ 3.0; -1.0; 2.0 ] in
@@ -175,6 +194,7 @@ let () =
           Alcotest.test_case "mean" `Quick stats_mean;
           Alcotest.test_case "stddev" `Quick stats_stddev;
           Alcotest.test_case "percentile" `Quick stats_percentile;
+          Alcotest.test_case "summary" `Quick stats_summary;
           Alcotest.test_case "min_max" `Quick stats_min_max;
           Alcotest.test_case "histogram" `Quick stats_histogram;
         ] );

@@ -46,7 +46,7 @@ let gen_random_walk () =
 (* ---- payroll ---- *)
 
 let payroll_propagation () =
-  let p = Payroll.create ~seed:5 ~employees:5 () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 5) ~employees:5 () in
   Payroll.install_propagation p;
   Payroll.random_updates p ~mean_interarrival:20.0 ~until:500.0;
   Sys_.run p.Payroll.system ~until:600.0;
@@ -70,7 +70,7 @@ let payroll_propagation () =
     p.Payroll.employees
 
 let payroll_validity () =
-  let p = Payroll.create ~seed:6 ~employees:3 () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 6) ~employees:3 () in
   Payroll.install_propagation p;
   Payroll.random_updates p ~mean_interarrival:30.0 ~until:300.0;
   Sys_.run p.Payroll.system ~until:400.0;
@@ -82,7 +82,7 @@ let payroll_validity_many_seeds () =
      the semantics, whatever the interleaving. *)
   List.iter
     (fun seed ->
-      let p = Payroll.create ~seed ~employees:4 () in
+      let p = Payroll.create ~config:(Cm_core.System.Config.seeded seed) ~employees:4 () in
       Payroll.install_propagation p;
       Payroll.random_updates p ~mean_interarrival:15.0 ~until:400.0;
       Sys_.run p.Payroll.system ~until:500.0;
@@ -96,7 +96,7 @@ let payroll_polling_validity () =
   (* Polling traces are valid executions too: every P tick fires every
      polling rule, reads respond with the sampled value, and the
      forwarding chain keeps its provenance. *)
-  let p = Payroll.create ~seed:17 ~employees:2 ~mode:Payroll.Read_only () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 17) ~employees:2 ~mode:Payroll.Read_only () in
   Payroll.install_polling ~period:60.0 p;
   Payroll.random_updates p ~mean_interarrival:40.0 ~until:400.0;
   Sys_.run p.Payroll.system ~until:500.0;
@@ -107,7 +107,7 @@ let payroll_polling_validity () =
 let payroll_conditional_validity () =
   (* Conditional notify: filtered spontaneous writes create no obligation
      (the interface's LHS condition is false), delivered ones do. *)
-  let p = Payroll.create ~seed:18 ~employees:1 ~mode:(Payroll.Conditional 0.10) () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 18) ~employees:1 ~mode:(Payroll.Conditional 0.10) () in
   Payroll.install_propagation p;
   Payroll.schedule_update p ~at:10.0 ~emp:"e1" ~salary:1040;  (* filtered *)
   Payroll.schedule_update p ~at:40.0 ~emp:"e1" ~salary:2000;  (* notified *)
@@ -118,7 +118,7 @@ let payroll_conditional_validity () =
 let payroll_cached_strategy_behaviour () =
   (* The Â§3.2 cache rule through the engine: forwarded once per distinct
      value, and the trace remains valid. *)
-  let p = Payroll.create ~seed:19 ~employees:1 () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 19) ~employees:1 () in
   Sys_.install p.Payroll.system
     (Strategy.propagate_cached ~delta:5.0 ~source:Payroll.source_pattern
        ~target:Payroll.target_pattern ~cache:"C1" ());
@@ -134,7 +134,7 @@ let payroll_cached_strategy_behaviour () =
 let bank_trace_validity () =
   (* The demarcation rounds (custom events, binding guards, limit writes)
      also form a valid execution. *)
-  let b = Bank.create ~seed:20 ~policy:Cm_core.Demarcation.Conservative () in
+  let b = Bank.create ~config:(Cm_core.System.Config.seeded 20) ~policy:Cm_core.Demarcation.Conservative () in
   let sim = Sys_.sim b.Bank.system in
   Cm_sim.Sim.schedule_at sim 1.0 (fun () -> ignore (Bank.try_set_x b 30));
   Cm_sim.Sim.schedule_at sim 5.0 (fun () -> ignore (Bank.try_set_x b 80));
@@ -145,7 +145,7 @@ let bank_trace_validity () =
        (Sys_.check_validity ~initial:(Bank.initial b) b.Bank.system))
 
 let payroll_polling_leads_fails () =
-  let p = Payroll.create ~seed:7 ~employees:2 ~mode:Payroll.Read_only () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 7) ~employees:2 ~mode:Payroll.Read_only () in
   Payroll.install_polling ~period:60.0 p;
   (* Burst of updates inside one interval. *)
   Payroll.schedule_update p ~at:70.0 ~emp:"e1" ~salary:1111;
@@ -167,7 +167,7 @@ let payroll_polling_leads_fails () =
   Alcotest.check value "last value arrived" (Value.Int 3333) (Payroll.salary_at p `B "e1")
 
 let payroll_conditional_notify_filters () =
-  let p = Payroll.create ~seed:8 ~employees:1 ~mode:(Payroll.Conditional 0.10) () in
+  let p = Payroll.create ~config:(Cm_core.System.Config.seeded 8) ~employees:1 ~mode:(Payroll.Conditional 0.10) () in
   Payroll.install_propagation p;
   (* +5% change: filtered inside the source; +50%: notified. *)
   Payroll.schedule_update p ~at:10.0 ~emp:"e1" ~salary:1050;
@@ -182,7 +182,7 @@ let payroll_conditional_notify_filters () =
 (* ---- bank / demarcation ---- *)
 
 let bank_local_and_requested () =
-  let b = Bank.create ~seed:9 ~policy:Cm_core.Demarcation.Conservative () in
+  let b = Bank.create ~config:(Cm_core.System.Config.seeded 9) ~policy:Cm_core.Demarcation.Conservative () in
   Alcotest.(check bool) "within limit applied" true (Bank.try_set_x b 30 = Bank.Applied);
   Alcotest.(check bool) "beyond limit requested" true
     (Bank.try_set_x b 90 = Bank.Requested);
@@ -195,7 +195,7 @@ let bank_local_and_requested () =
   holds "X <= Y always" (Guarantee.check ~horizon:60.0 tl Bank.always_leq_guarantee)
 
 let bank_shrink_path () =
-  let b = Bank.create ~seed:10 ~policy:Cm_core.Demarcation.Conservative () in
+  let b = Bank.create ~config:(Cm_core.System.Config.seeded 10) ~policy:Cm_core.Demarcation.Conservative () in
   (* Y = 100, lower limit 50: dropping to 40 needs A to lower X's limit. *)
   Alcotest.(check bool) "requested" true (Bank.try_set_y b 40 = Bank.Requested);
   Sys_.run b.Bank.system ~until:60.0;
@@ -209,7 +209,7 @@ let bank_shrink_path () =
 let bank_eager_vs_conservative_traffic () =
   (* Under eager grants, a climb of X needs fewer limit-change rounds. *)
   let climb policy =
-    let b = Bank.create ~seed:11 ~policy () in
+    let b = Bank.create ~config:(Cm_core.System.Config.seeded 11) ~policy () in
     let requests = ref 0 in
     let sim = Sys_.sim b.Bank.system in
     let rec climb_to v =
@@ -240,7 +240,7 @@ let bank_stress_concurrent () =
      trace must remain a valid execution. *)
   List.iter
     (fun seed ->
-      let b = Bank.create ~seed ~policy:Cm_core.Demarcation.Eager () in
+      let b = Bank.create ~config:(Cm_core.System.Config.seeded seed) ~policy:Cm_core.Demarcation.Eager () in
       let sim = Sys_.sim b.Bank.system in
       let rng = Cm_util.Prng.create ~seed:(seed * 13) in
       for i = 1 to 120 do
@@ -267,7 +267,7 @@ let bank_stress_concurrent () =
 (* ---- banking day ---- *)
 
 let banking_day_periodic_guarantee () =
-  let b = Banking_day.create ~seed:12 ~accounts:3 () in
+  let b = Banking_day.create ~config:(Cm_core.System.Config.seeded 12) ~accounts:3 () in
   Banking_day.run_days b ~days:3 ~updates_per_day:20;
   let tl = Sys_.timeline ~initial:b.Banking_day.initial b.Banking_day.system in
   List.iter
@@ -288,7 +288,7 @@ let banking_day_periodic_guarantee () =
 (* ---- stanford federation ---- *)
 
 let stanford_phone_chain () =
-  let s = Stanford.create ~seed:13 ~people:3 ~poll_period:60.0 () in
+  let s = Stanford.create ~config:(Cm_core.System.Config.seeded 13) ~people:3 ~poll_period:60.0 () in
   let sim = Sys_.sim s.Stanford.system in
   (* An administrator changes p1's directory entry. *)
   Cm_sim.Sim.schedule_at sim 10.0 (fun () ->
@@ -306,7 +306,7 @@ let stanford_phone_chain () =
     (Stanford.directory_guarantees s ~person:"p1")
 
 let stanford_lookup_to_groupdb () =
-  let s = Stanford.create ~seed:14 ~people:2 () in
+  let s = Stanford.create ~config:(Cm_core.System.Config.seeded 14) ~people:2 () in
   let sim = Sys_.sim s.Stanford.system in
   Cm_sim.Sim.schedule_at sim 10.0 (fun () ->
       Stanford.app_change_phone s ~person:"p2" ~phone:"555-1234");
@@ -320,7 +320,7 @@ let stanford_lookup_to_groupdb () =
     (Stanford.phone_guarantees s ~person:"p2")
 
 let stanford_refint () =
-  let s = Stanford.create ~seed:15 ~people:2 () in
+  let s = Stanford.create ~config:(Cm_core.System.Config.seeded 15) ~people:2 () in
   let sim = Sys_.sim s.Stanford.system in
   Cm_sim.Sim.schedule_at sim 10.0 (fun () ->
       Stanford.publish_paper s ~key:"icde96" ~title:"Constraint Toolkit"
