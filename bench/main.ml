@@ -564,10 +564,19 @@ let exp_e7 () =
         ]
   in
   let run mode =
-    let p =
-      Payroll.create ~config:(Cm_core.System.Config.seeded 700) ~employees:3
-        ~recoverable_source:(mode = `Crash_recover) ()
+    let config =
+      let base = Cm_core.System.Config.seeded 700 in
+      if mode = `Crash_recover then
+        (* The recovery row needs the reliable transport (so undelivered
+           firings are retransmitted) and a write-ahead journal (so the
+           restarted site remembers them, §5). *)
+        Cm_core.System.Config.(
+          base
+          |> with_reliable Cm_core.Reliable.default_config
+          |> with_durability Cm_core.Journal.Journal_with_checkpoint)
+      else base
     in
+    let p = Payroll.create ~config ~employees:3 () in
     Payroll.install_propagation p;
     let pair =
       {
@@ -598,12 +607,15 @@ let exp_e7 () =
     Payroll.schedule_update p ~at:60.0 ~emp:"e1" ~salary:7777;
     Payroll.schedule_update p ~at:80.0 ~emp:"e1" ~salary:8888;
     if mode = `Crash_recover then begin
-      (* The source crashes after the last update but before its
-         notification goes out; it has queued it and recovers later. *)
+      (* The source site crashes after the last update but before its
+         firing reaches the target.  The journal remembers the
+         undelivered notification; the §5 restart protocol replays it,
+         re-queues it under the new incarnation, and reports the crash
+         as a metric failure. *)
       Sim.schedule_at (Sys_.sim p.Payroll.system) 80.5 (fun () ->
-          Health.set (Tr_rel.health p.Payroll.tr_a) Health.Down);
+          Sys_.crash_site p.Payroll.system ~site:Payroll.site_a);
       Sim.schedule_at (Sys_.sim p.Payroll.system) 200.0 (fun () ->
-          Payroll.recover_source p)
+          Sys_.restart_site p.Payroll.system ~site:Payroll.site_a)
     end;
     Sys_.run p.Payroll.system ~until:300.0;
     let tl = Sys_.timeline ~initial:p.Payroll.initial p.Payroll.system in
@@ -625,7 +637,7 @@ let exp_e7 () =
       (`Degraded, "metric (writes +30 s)");
       (`Down, "logical (target down)");
       (`Silent, "silent notify loss");
-      (`Crash_recover, "crash with recovery queue");
+      (`Crash_recover, "crash + journal recovery");
     ];
   Table.print table;
   print_endline
@@ -1180,6 +1192,72 @@ let exp_e13 () =
      retransmissions and acks, never in correctness.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E14: crash recovery — journal overhead, §5's crash→metric mapping   *)
+(* ------------------------------------------------------------------ *)
+
+let exp_e14 () =
+  let module Journal = Cm_core.Journal in
+  let module Chaos = Cm_chaos.Chaos in
+  (* One schedule, three durability modes.  Crash windows of up to 120 s
+     deliberately outlast the reliable layer's ~85 s retransmission
+     chain: those are exactly the crashes a journal-free configuration
+     cannot ride out. *)
+  let spec durability =
+    {
+      Chaos.default_spec with
+      seed = 1400;
+      events = 300;
+      crashes = 8;
+      crash_min_len = 20.0;
+      crash_max_len = 120.0;
+      durability;
+    }
+  in
+  let table =
+    Table.create
+      ~title:
+        "E14: crash recovery under a randomized 8-crash payroll schedule \
+         (seed 1400, 300 events, crash windows 20-120 s, identical \
+         schedule throughout) — journal overhead vs what it buys"
+      ~columns:
+        [ "durability"; "appends"; "ckpts"; "replayed"; "requeued";
+          "give-ups"; "lost"; "dup"; "logical"; "metric"; "final = oracle" ]
+  in
+  List.iter
+    (fun (durability, label) ->
+      let r = Chaos.run (spec durability) in
+      Table.add_row table
+        [
+          label;
+          string_of_int r.Chaos.journal_appends;
+          string_of_int r.Chaos.journal_checkpoints;
+          string_of_int r.Chaos.replayed_records;
+          string_of_int r.Chaos.requeued;
+          string_of_int r.Chaos.give_ups;
+          string_of_int r.Chaos.lost_firings;
+          string_of_int r.Chaos.duplicate_firings;
+          string_of_int r.Chaos.logical_notices;
+          string_of_int r.Chaos.metric_notices;
+          yes_no r.Chaos.final_state_matches;
+        ])
+    [
+      (Journal.None, "none");
+      (Journal.Journal, "journal");
+      (Journal.Journal_with_checkpoint, "journal+ckpt");
+    ];
+  Table.print table;
+  print_endline
+    "Shape check: without a journal the >85 s crashes exhaust the\n\
+     retransmission chains and updates are lost for good — logical\n\
+     failures, diverged final state.  With one, every crash is re-queued\n\
+     on restart: zero lost or duplicated firings, the final state equals\n\
+     the fault-free oracle's, and crashes surface only as *metric*\n\
+     failure notices — the paper's \xc2\xa75 claim that \"crashes can be\n\
+     mapped to metric failures if the database can remember messages\n\
+     that need to be sent out upon recovery\".  Checkpoints trade a few\n\
+     extra appends for a shorter replay.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1196,6 +1274,7 @@ let experiments =
     ("e11", exp_e11);
     ("e12", exp_e12);
     ("e13", exp_e13);
+    ("e14", exp_e14);
   ]
 
 let () =
@@ -1215,7 +1294,7 @@ let () =
      match List.assoc_opt name experiments with
      | Some f -> f ()
      | None ->
-       Printf.eprintf "unknown experiment %s (e1..e13)\n" name;
+       Printf.eprintf "unknown experiment %s (e1..e14)\n" name;
        exit 1)
    | None ->
      List.iter

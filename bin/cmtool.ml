@@ -359,6 +359,8 @@ let faults_cmd_run seed drop dup minutes employees no_reliable heartbeat =
   Printf.printf "  raw messages sent     %6d\n" (Net.messages_sent net);
   Printf.printf "  lost to faults        %6d\n" (Net.drops_by net Net.Faulty);
   Printf.printf "  duplicated in flight  %6d\n" (Net.messages_duplicated net);
+  Printf.printf "  endpoint down (send)  %6d\n" (Net.endpoint_down_at_send net);
+  Printf.printf "  endpoint down (flight)%6d\n" (Net.endpoint_down_in_flight net);
   (match Sys_.reliable faulty.Payroll.system with
    | None -> Printf.printf "\nreliable layer disabled: no retransmission.\n"
    | Some r ->
@@ -444,6 +446,80 @@ let faults_cmd =
              reliable-delivery layer — and verify the final states are identical")
     Term.(const faults_cmd_run $ seed $ drop $ dup $ minutes $ employees
           $ no_reliable $ heartbeat)
+
+(* ---- chaos ---- *)
+
+let chaos_cmd_run seed events crashes crash_min crash_max workload durability =
+  let module Chaos = Cm_chaos.Chaos in
+  let chaos_workload =
+    match Chaos.workload_of_string workload with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "unknown workload %S (payroll|bank)\n" workload;
+      exit 2
+  in
+  let durability =
+    match Cm_core.Journal.durability_of_string durability with
+    | Some d -> d
+    | None ->
+      Printf.eprintf
+        "unknown durability %S (none|journal|journal+checkpoint)\n" durability;
+      exit 2
+  in
+  let report =
+    Chaos.run
+      {
+        Chaos.seed;
+        events;
+        crashes;
+        crash_min_len = crash_min;
+        crash_max_len = crash_max;
+        durability;
+        chaos_workload;
+      }
+  in
+  print_string (Chaos.report_to_string report);
+  if Chaos.passed report then 0 else 1
+
+let chaos_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let events =
+    Arg.(value & opt int 200
+         & info [ "events" ] ~docv:"N" ~doc:"Workload operations to inject")
+  in
+  let crashes =
+    Arg.(value & opt int 5
+         & info [ "crashes" ] ~docv:"N" ~doc:"Crash/restart cycles across the run")
+  in
+  let crash_min =
+    Arg.(value & opt float 10.0
+         & info [ "crash-min" ] ~docv:"SECONDS" ~doc:"Shortest crash window")
+  in
+  let crash_max =
+    Arg.(value & opt float 60.0
+         & info [ "crash-max" ] ~docv:"SECONDS"
+             ~doc:"Longest crash window; above ~75s even the reliable layer's \
+                   retransmission chain gives up and only a journal saves the \
+                   messages")
+  in
+  let workload =
+    Arg.(value & opt string "payroll"
+         & info [ "workload" ] ~docv:"NAME" ~doc:"payroll or bank")
+  in
+  let durability =
+    Arg.(value & opt string "journal+checkpoint"
+         & info [ "durability" ] ~docv:"MODE"
+             ~doc:"none, journal, or journal+checkpoint")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Derive a randomized crash/loss/partition schedule from the seed, \
+             run the workload under it and fault-free, and check that recovery \
+             turned every crash into a metric failure with nothing lost or \
+             duplicated.  Output is byte-identical for identical arguments; \
+             exits non-zero if any invariant fails")
+    Term.(const chaos_cmd_run $ seed $ events $ crashes $ crash_min $ crash_max
+          $ workload $ durability)
 
 (* ---- stats / spans ---- *)
 
@@ -540,4 +616,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
        [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_trace_cmd; demo_cmd;
-         faults_cmd; stats_cmd; spans_cmd ]))
+         faults_cmd; chaos_cmd; stats_cmd; spans_cmd ]))

@@ -1,0 +1,525 @@
+module Sim = Cm_sim.Sim
+module Sys_ = Cm_core.System
+module Shell = Cm_core.Shell
+module Net = Cm_net.Net
+module Reliable = Cm_core.Reliable
+module Journal = Cm_core.Journal
+module Recovery = Cm_core.Recovery
+module Msg = Cm_core.Msg
+module Guarantee = Cm_core.Guarantee
+module Prng = Cm_util.Prng
+module Pw = Cm_workload.Payroll
+module Bw = Cm_workload.Bank
+
+type workload = Payroll | Bank
+
+let workload_to_string = function Payroll -> "payroll" | Bank -> "bank"
+
+let workload_of_string s : workload option =
+  match String.lowercase_ascii s with
+  | "payroll" -> Some Payroll
+  | "bank" -> Some Bank
+  | _ -> None
+
+type spec = {
+  seed : int;
+  events : int;
+  crashes : int;
+  crash_min_len : float;
+  crash_max_len : float;
+  durability : Journal.durability;
+  chaos_workload : workload;
+}
+
+let default_spec =
+  {
+    seed = 42;
+    events = 200;
+    crashes = 5;
+    crash_min_len = 10.0;
+    crash_max_len = 60.0;
+    durability = Journal.Journal_with_checkpoint;
+    chaos_workload = Payroll;
+  }
+
+type fault =
+  | Crash of { site : string; at : float; restart_at : float }
+  | Loss_window of { at : float; until : float; drop : float; dup : float }
+  | Partition of { at : float; until : float }
+
+type invariant = { inv_name : string; ok : bool; detail : string }
+
+type report = {
+  spec : spec;
+  faults : fault list;
+  horizon : float;
+  oracle_fires : int;
+  chaos_fires : int;
+  lost_firings : int;
+  duplicate_firings : int;
+  logical_notices : int;
+  metric_notices : int;
+  transport_pending : int;
+  retransmits : int;
+  epoch_rejections : int;
+  requeued : int;
+  give_ups : int;
+  suspects : int;
+  recoveries : int;
+  endpoint_down_at_send : int;
+  endpoint_down_in_flight : int;
+  journal_appends : int;
+  journal_checkpoints : int;
+  replayed_records : int;
+  safety_violations : int;
+  final_state_matches : bool;
+  invariants : invariant list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Schedule derivation — a pure function of the spec                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One workload operation; values are drawn up front so the oracle and
+   the faulty run inject the exact same stream. *)
+type op = { op_at : float; op_slot : int; op_value : int }
+
+let sites = function
+  | Payroll -> [| Pw.site_a; Pw.site_b |]
+  | Bank -> [| "branch_a"; "branch_b" |]
+
+let employees = [| "e1"; "e2"; "e3"; "e4"; "e5" |]
+
+(* Master stream is split once per concern, in a fixed order, so the op
+   stream never shifts when the fault generator draws more or less. *)
+let streams spec =
+  let master = Prng.create ~seed:spec.seed in
+  let ops = Prng.split master in
+  let faults = Prng.split master in
+  (ops, faults)
+
+let derive_ops spec rng =
+  let t = ref 5.0 in
+  let ops =
+    List.init spec.events (fun _ ->
+        t := !t +. Prng.uniform_in rng ~lo:0.5 ~hi:2.5;
+        let op_slot, op_value =
+          match spec.chaos_workload with
+          | Payroll -> (Prng.int rng (Array.length employees), 1000 + Prng.int rng 9000)
+          | Bank ->
+            (* side 0 = X (constrained above), side 1 = Y (below). *)
+            let side = Prng.int rng 2 in
+            let v =
+              if side = 0 then Prng.int rng 100 else 20 + Prng.int rng 180
+            in
+            (side, v)
+        in
+        { op_at = !t; op_slot; op_value })
+  in
+  (ops, !t)
+
+let derive_faults spec rng ~inject_end ~sites =
+  let crashes =
+    if spec.crashes = 0 then []
+    else begin
+      (* One crash per equal slot of the injection span: windows cannot
+         overlap, so exactly one site is down at any time. *)
+      let slot = inject_end /. float_of_int spec.crashes in
+      List.init spec.crashes (fun i ->
+          let s = float_of_int i *. slot in
+          let dur =
+            Float.min
+              (Prng.uniform_in rng ~lo:spec.crash_min_len ~hi:spec.crash_max_len)
+              (0.8 *. slot)
+          in
+          let at = s +. Prng.uniform_in rng ~lo:0.0 ~hi:(slot -. dur) in
+          let site = Prng.pick rng sites in
+          Crash { site; at; restart_at = at +. dur })
+    end
+  in
+  let n_loss = 1 + (spec.events / 500) in
+  let loss =
+    let slot = inject_end /. float_of_int n_loss in
+    List.init n_loss (fun i ->
+        let s = float_of_int i *. slot in
+        let dur = Prng.uniform_in rng ~lo:10.0 ~hi:(Float.min 50.0 (0.8 *. slot)) in
+        let at = s +. Prng.uniform_in rng ~lo:0.0 ~hi:(slot -. dur) in
+        let drop = 0.05 +. Prng.float rng 0.1 in
+        let dup = Prng.float rng 0.05 in
+        Loss_window { at; until = at +. dur; drop; dup })
+  in
+  let n_part = 1 + (spec.events / 1000) in
+  let partitions =
+    let slot = inject_end /. float_of_int n_part in
+    List.init n_part (fun i ->
+        let s = float_of_int i *. slot in
+        let dur = Prng.uniform_in rng ~lo:5.0 ~hi:(Float.min 30.0 (0.5 *. slot)) in
+        let at = s +. Prng.uniform_in rng ~lo:0.0 ~hi:(slot -. dur) in
+        Partition { at; until = at +. dur })
+  in
+  let start = function
+    | Crash { at; _ } | Loss_window { at; _ } | Partition { at; _ } -> at
+  in
+  List.stable_sort (fun a b -> Float.compare (start a) (start b))
+    (crashes @ loss @ partitions)
+
+let schedule spec =
+  let ops_rng, fault_rng = streams spec in
+  let _, inject_end = derive_ops spec ops_rng in
+  derive_faults spec fault_rng ~inject_end ~sites:(sites spec.chaos_workload)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_config (spec : spec) =
+  Sys_.Config.(
+    seeded spec.seed
+    |> with_reliable Reliable.default_config
+    |> with_durability spec.durability)
+
+let fault_end = function
+  | Crash { restart_at; _ } -> restart_at
+  | Loss_window { until; _ } | Partition { until; _ } -> until
+
+(* Quiescence margin after the last injection: long enough for the full
+   retransmission chain (~75 s) plus recovery re-queues to drain. *)
+let drain = 300.0
+
+let horizon_of ~inject_end faults =
+  List.fold_left (fun acc f -> Float.max acc (fault_end f)) inject_end faults
+  +. drain
+
+(* The partition target depends on the workload's site names, so each
+   runner passes its own pair. *)
+let apply_faults system ~site_pair faults =
+  let sim = Sys_.sim system and net = Sys_.net system in
+  let sa, sb = site_pair in
+  List.iter
+    (fun f ->
+      match f with
+      | Crash { site; at; restart_at } ->
+        Sim.schedule_at sim at (fun () -> Sys_.crash_site system ~site);
+        Sim.schedule_at sim restart_at (fun () -> Sys_.restart_site system ~site)
+      | Loss_window { at; until; drop; dup } ->
+        Sim.schedule_at sim at (fun () ->
+            Net.set_default_faults net { Net.drop_prob = drop; dup_prob = dup });
+        Sim.schedule_at sim until (fun () -> Net.set_default_faults net Net.no_faults)
+      | Partition { at; until } ->
+        Sim.schedule_at sim at (fun () ->
+            Net.partition_pair net ~site_a:sa ~site_b:sb ~until))
+    faults
+
+type notice_tally = { mutable logical : int; mutable metric : int }
+
+let count_notices shells =
+  let tally = { logical = 0; metric = 0 } in
+  List.iter
+    (fun shell ->
+      Shell.on_failure_notice shell (fun ~origin:_ kind ->
+          match kind with
+          | Msg.Logical -> tally.logical <- tally.logical + 1
+          | Msg.Metric -> tally.metric <- tally.metric + 1))
+    shells;
+  tally
+
+type run_result = {
+  r_fires : int;
+  r_logical : int;
+  r_metric : int;
+  r_pending : int;
+  r_retransmits : int;
+  r_epoch_rejections : int;
+  r_requeued : int;
+  r_give_ups : int;
+  r_suspects : int;
+  r_recoveries : int;
+  r_ep_down_send : int;
+  r_ep_down_flight : int;
+  r_journal_appends : int;
+  r_journal_checkpoints : int;
+  r_replayed : int;
+  r_safety_violations : int;
+  r_final : (string * float) list;  (* canonical final state *)
+  r_follows_valid : bool;
+}
+
+let transport_stats system =
+  match Sys_.reliable system with
+  | None -> (0, 0, 0, 0, 0, 0, 0)
+  | Some r ->
+    let s = Reliable.stats r in
+    ( Reliable.pending r,
+      s.Reliable.retransmits,
+      s.Reliable.epoch_rejections,
+      s.Reliable.requeued,
+      s.Reliable.give_ups,
+      s.Reliable.suspects,
+      s.Reliable.recoveries )
+
+let journal_stats system site_list =
+  match Sys_.journals system with
+  | None -> (0, 0)
+  | Some reg ->
+    List.fold_left
+      (fun (appends, cps) site ->
+        let j = Journal.for_site reg ~site in
+        let s = Journal.stats j in
+        (appends + s.Journal.appends, cps + s.Journal.checkpoints))
+      (0, 0) site_list
+
+let recovery_replayed system =
+  match Sys_.recovery system with
+  | None -> 0
+  | Some r -> (Recovery.stats r).Recovery.replayed_records
+
+let run_payroll spec ~faulty =
+  let p = Pw.create ~config:(chaos_config spec) ~employees:(Array.length employees) () in
+  Pw.install_propagation p;
+  let tally = count_notices [ p.Pw.shell_a; p.Pw.shell_b ] in
+  let g_follows =
+    Sys_.declare_guarantee p.Pw.system ~sites:[ Pw.site_a; Pw.site_b ]
+      (Guarantee.Follows
+         { Guarantee.leader = Pw.source_item "e1"; follower = Pw.target_item "e1" })
+  in
+  let ops_rng, fault_rng = streams spec in
+  let ops, inject_end = derive_ops spec ops_rng in
+  let faults =
+    derive_faults spec fault_rng ~inject_end ~sites:(sites Payroll)
+  in
+  List.iter
+    (fun op ->
+      Pw.schedule_update p ~at:op.op_at ~emp:employees.(op.op_slot)
+        ~salary:op.op_value)
+    ops;
+  if faulty then
+    apply_faults p.Pw.system ~site_pair:(Pw.site_a, Pw.site_b) faults;
+  let horizon = horizon_of ~inject_end faults in
+  Sys_.run p.Pw.system ~until:horizon;
+  let pending, retransmits, epoch_rejections, requeued, give_ups, suspects, recoveries =
+    transport_stats p.Pw.system
+  in
+  let appends, checkpoints = journal_stats p.Pw.system [ Pw.site_a; Pw.site_b ] in
+  let final =
+    List.map
+      (fun emp -> (emp, Cm_rule.Value.to_float (Pw.salary_at p `B emp)))
+      (Array.to_list employees)
+  in
+  ( {
+      r_fires = Shell.fires_executed p.Pw.shell_a + Shell.fires_executed p.Pw.shell_b;
+      r_logical = tally.logical;
+      r_metric = tally.metric;
+      r_pending = pending;
+      r_retransmits = retransmits;
+      r_epoch_rejections = epoch_rejections;
+      r_requeued = requeued;
+      r_give_ups = give_ups;
+      r_suspects = suspects;
+      r_recoveries = recoveries;
+      r_ep_down_send = Net.endpoint_down_at_send (Sys_.net p.Pw.system);
+      r_ep_down_flight = Net.endpoint_down_in_flight (Sys_.net p.Pw.system);
+      r_journal_appends = appends;
+      r_journal_checkpoints = checkpoints;
+      r_replayed = recovery_replayed p.Pw.system;
+      r_safety_violations = 0;
+      r_final = final;
+      r_follows_valid = Sys_.guarantee_valid g_follows;
+    },
+    faults,
+    horizon )
+
+let run_bank spec ~faulty =
+  let b =
+    Bw.create ~config:(chaos_config spec) ~policy:Cm_core.Demarcation.Conservative ()
+  in
+  let tally = count_notices [ b.Bw.shell_a; b.Bw.shell_b ] in
+  let ops_rng, fault_rng = streams spec in
+  let ops, inject_end = derive_ops spec ops_rng in
+  let faults = derive_faults spec fault_rng ~inject_end ~sites:(sites Bank) in
+  let sim = Sys_.sim b.Bw.system in
+  List.iter
+    (fun op ->
+      Sim.schedule_at sim op.op_at (fun () ->
+          if op.op_slot = 0 then ignore (Bw.try_set_x b op.op_value)
+          else ignore (Bw.try_set_y b op.op_value)))
+    ops;
+  (* The X <= Y safety claim is sampled rather than event-checked: the
+     demarcation protocol must keep it true at every instant, crashes or
+     not, because limits only ever move in the safe direction first. *)
+  let violations = ref 0 in
+  Sim.every sim ~period:1.0
+    (fun () -> if Bw.x_bal b > Bw.y_bal b then incr violations)
+    ~cancel:(fun () -> false);
+  if faulty then
+    apply_faults b.Bw.system ~site_pair:("branch_a", "branch_b") faults;
+  let horizon = horizon_of ~inject_end faults in
+  Sys_.run b.Bw.system ~until:horizon;
+  let pending, retransmits, epoch_rejections, requeued, give_ups, suspects, recoveries =
+    transport_stats b.Bw.system
+  in
+  let appends, checkpoints =
+    journal_stats b.Bw.system [ "branch_a"; "branch_b" ]
+  in
+  ( {
+      r_fires = Shell.fires_executed b.Bw.shell_a + Shell.fires_executed b.Bw.shell_b;
+      r_logical = tally.logical;
+      r_metric = tally.metric;
+      r_pending = pending;
+      r_retransmits = retransmits;
+      r_epoch_rejections = epoch_rejections;
+      r_requeued = requeued;
+      r_give_ups = give_ups;
+      r_suspects = suspects;
+      r_recoveries = recoveries;
+      r_ep_down_send = Net.endpoint_down_at_send (Sys_.net b.Bw.system);
+      r_ep_down_flight = Net.endpoint_down_in_flight (Sys_.net b.Bw.system);
+      r_journal_appends = appends;
+      r_journal_checkpoints = checkpoints;
+      r_replayed = recovery_replayed b.Bw.system;
+      r_safety_violations = !violations;
+      r_final =
+        [ ("x_bal", Bw.x_bal b); ("y_bal", Bw.y_bal b);
+          ("x_lim", Bw.x_lim b); ("y_lim", Bw.y_lim b) ];
+      r_follows_valid = true;
+    },
+    faults,
+    horizon )
+
+(* ------------------------------------------------------------------ *)
+(* Invariants and report                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants spec ~oracle ~chaos =
+  let durable = spec.durability <> Journal.None in
+  let lost = max 0 (oracle.r_fires - chaos.r_fires) in
+  let dup = max 0 (chaos.r_fires - oracle.r_fires) in
+  let inv name ok detail = { inv_name = name; ok; detail } in
+  let common =
+    [
+      inv "transport-drained" (chaos.r_pending = 0)
+        (Printf.sprintf "%d unacknowledged envelopes after quiescence"
+           chaos.r_pending);
+      inv "crashes-are-metric-only" (chaos.r_logical = 0)
+        (Printf.sprintf "%d logical notices (want 0: a remembered crash is late, not lost)"
+           chaos.r_logical);
+      inv "metric-notice-on-crash"
+        (spec.crashes = 0 || chaos.r_metric > 0)
+        (Printf.sprintf "%d metric notices for %d crashes" chaos.r_metric
+           spec.crashes);
+    ]
+  in
+  let specific =
+    match spec.chaos_workload with
+    | Payroll ->
+      [
+        inv "no-lost-firings" (lost = 0)
+          (Printf.sprintf "oracle executed %d firings, chaos %d" oracle.r_fires
+             chaos.r_fires);
+        inv "no-duplicate-firings" (dup = 0)
+          (Printf.sprintf "chaos executed %d firings beyond the oracle's" dup);
+        inv "final-state-matches-oracle"
+          (chaos.r_final = oracle.r_final)
+          "target salaries after quiescence vs the fault-free run";
+        inv "follows-guarantee-survives"
+          ((not durable) || chaos.r_follows_valid)
+          "metric failures must not invalidate the plain Follows guarantee";
+      ]
+    | Bank ->
+      (* With crashes the sampled X <= Y count is reported, not asserted:
+         limit grants travel as absolute values, so a grant decided
+         before a crash and delivered (exactly once) after it can be
+         stale and cross the limits until the next redistribution — a
+         pre-existing property of the demarcation encoding, not of the
+         recovery layer.  On crash-free schedules delivery delay is
+         bounded by the retransmission chain and the window never
+         opens. *)
+      if spec.crashes = 0 then
+        [
+          inv "x-leq-y-always" (chaos.r_safety_violations = 0)
+            (Printf.sprintf "%d sampled instants violated X <= Y"
+               chaos.r_safety_violations);
+        ]
+      else []
+  in
+  (specific @ common, lost, dup)
+
+let run spec =
+  let (oracle, _, _), (chaos, faults, horizon) =
+    match spec.chaos_workload with
+    | Payroll -> (run_payroll spec ~faulty:false, run_payroll spec ~faulty:true)
+    | Bank -> (run_bank spec ~faulty:false, run_bank spec ~faulty:true)
+  in
+  let invariants, lost, dup = check_invariants spec ~oracle ~chaos in
+  {
+    spec;
+    faults;
+    horizon;
+    oracle_fires = oracle.r_fires;
+    chaos_fires = chaos.r_fires;
+    lost_firings = lost;
+    duplicate_firings = dup;
+    logical_notices = chaos.r_logical;
+    metric_notices = chaos.r_metric;
+    transport_pending = chaos.r_pending;
+    retransmits = chaos.r_retransmits;
+    epoch_rejections = chaos.r_epoch_rejections;
+    requeued = chaos.r_requeued;
+    give_ups = chaos.r_give_ups;
+    suspects = chaos.r_suspects;
+    recoveries = chaos.r_recoveries;
+    endpoint_down_at_send = chaos.r_ep_down_send;
+    endpoint_down_in_flight = chaos.r_ep_down_flight;
+    journal_appends = chaos.r_journal_appends;
+    journal_checkpoints = chaos.r_journal_checkpoints;
+    replayed_records = chaos.r_replayed;
+    safety_violations = chaos.r_safety_violations;
+    final_state_matches =
+      (match spec.chaos_workload with
+       | Payroll -> chaos.r_final = oracle.r_final
+       | Bank -> true);
+    invariants;
+  }
+
+let passed report = List.for_all (fun i -> i.ok) report.invariants
+
+let fault_to_string = function
+  | Crash { site; at; restart_at } ->
+    Printf.sprintf "crash %s @ %.2f -> restart @ %.2f" site at restart_at
+  | Loss_window { at; until; drop; dup } ->
+    Printf.sprintf "loss drop=%.3f dup=%.3f @ %.2f -> %.2f" drop dup at until
+  | Partition { at; until } ->
+    Printf.sprintf "partition @ %.2f -> %.2f" at until
+
+let report_to_string r =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "chaos report";
+  line "workload=%s seed=%d events=%d crashes=%d crash_len=[%.1f,%.1f] durability=%s"
+    (workload_to_string r.spec.chaos_workload)
+    r.spec.seed r.spec.events r.spec.crashes r.spec.crash_min_len
+    r.spec.crash_max_len
+    (Journal.durability_to_string r.spec.durability);
+  line "schedule:";
+  List.iter (fun f -> line "  %s" (fault_to_string f)) r.faults;
+  line "results (quiesced @ %.2f):" r.horizon;
+  line "  firings oracle=%d chaos=%d lost=%d duplicated=%d" r.oracle_fires
+    r.chaos_fires r.lost_firings r.duplicate_firings;
+  line "  notices logical=%d metric=%d" r.logical_notices r.metric_notices;
+  line "  transport pending=%d retransmits=%d epoch_rejections=%d requeued=%d"
+    r.transport_pending r.retransmits r.epoch_rejections r.requeued;
+  line "  transport give_ups=%d suspects=%d recoveries=%d" r.give_ups r.suspects
+    r.recoveries;
+  line "  endpoint_down at_send=%d in_flight=%d" r.endpoint_down_at_send
+    r.endpoint_down_in_flight;
+  line "  journal appends=%d checkpoints=%d replayed=%d" r.journal_appends
+    r.journal_checkpoints r.replayed_records;
+  (match r.spec.chaos_workload with
+   | Payroll -> line "  final state matches oracle: %b" r.final_state_matches
+   | Bank -> line "  safety violations: %d" r.safety_violations);
+  line "invariants:";
+  List.iter
+    (fun i ->
+      line "  %s %s — %s" (if i.ok then "ok  " else "FAIL") i.inv_name i.detail)
+    r.invariants;
+  line "verdict: %s" (if passed r then "PASS" else "FAIL");
+  Buffer.contents b

@@ -1,0 +1,108 @@
+(** Randomized crash/loss/partition schedules with invariant checking.
+
+    The recovery subsystem's claim (§5: "crashes can be mapped to metric
+    failures if the database can remember messages that need to be sent
+    out upon recovery") is easy to satisfy on a hand-picked scenario and
+    easy to break on an adversarial one.  This harness generates the
+    adversarial ones mechanically:
+
+    + from a seed, a {e schedule} of workload operations and fault
+      injections (site crashes with later restarts, loss/duplication
+      windows, partition windows) is derived — the schedule is a pure
+      function of the {!spec}, so a seed names a schedule forever;
+    + the same operations run twice: once on a clean network (the
+      {e oracle}) and once under the schedule's faults;
+    + after the faulty run quiesces, invariants are checked: nothing the
+      oracle did was lost or done twice, the transport drained, and —
+      under a durable configuration — every crash surfaced as a {e
+      metric} failure notice, never a logical one.
+
+    Both runs and the report are deterministic: running the same spec
+    twice yields byte-identical {!report_to_string} output, which CI
+    diffs literally.
+
+    Fault windows respect the protocol's tolerances by construction:
+    crash windows never overlap (one site down at a time) and loss /
+    partition windows are kept shorter than the retransmission chain, so
+    with [Journal_with_checkpoint] every invariant must hold.  Crash
+    {e durations} may exceed the give-up horizon — that is the point:
+    without a journal those crashes lose messages, with one they are
+    re-queued on restart. *)
+
+type workload = Payroll | Bank
+
+val workload_to_string : workload -> string
+val workload_of_string : string -> workload option
+
+type spec = {
+  seed : int;
+  events : int;  (** workload operations to inject *)
+  crashes : int;  (** crash/restart cycles across the run *)
+  crash_min_len : float;  (** shortest crash window, seconds *)
+  crash_max_len : float;
+      (** longest crash window — above the reliable layer's ~75 s
+          retransmission chain this separates journaled from
+          journal-free configurations *)
+  durability : Cm_core.Journal.durability;
+  chaos_workload : workload;
+}
+
+val default_spec : spec
+(** Seed 42, 200 events, 5 crashes of 10–60 s, payroll workload,
+    [Journal_with_checkpoint]. *)
+
+(** One fault injection, in absolute simulation time. *)
+type fault =
+  | Crash of { site : string; at : float; restart_at : float }
+  | Loss_window of { at : float; until : float; drop : float; dup : float }
+  | Partition of { at : float; until : float }
+
+type invariant = { inv_name : string; ok : bool; detail : string }
+
+type report = {
+  spec : spec;
+  faults : fault list;
+  horizon : float;  (** time the faulty run quiesced at *)
+  oracle_fires : int;  (** rule firings executed in the clean run *)
+  chaos_fires : int;
+  lost_firings : int;  (** oracle firings the faulty run never executed *)
+  duplicate_firings : int;  (** faulty-run executions beyond the oracle's *)
+  logical_notices : int;
+  metric_notices : int;
+  transport_pending : int;  (** unacknowledged envelopes after quiescence *)
+  retransmits : int;
+  epoch_rejections : int;
+  requeued : int;
+  give_ups : int;  (** retransmission chains exhausted (peer suspected) *)
+  suspects : int;
+  recoveries : int;
+  endpoint_down_at_send : int;
+  endpoint_down_in_flight : int;
+  journal_appends : int;
+  journal_checkpoints : int;
+  replayed_records : int;
+  safety_violations : int;
+      (** bank only: sampled instants where X ≤ Y did not hold.  Asserted
+          as an invariant only on crash-free schedules: limit grants are
+          absolute values, so one decided before a crash and delivered
+          (exactly once) after it can be stale and cross the limits
+          until the next redistribution — a demarcation-encoding
+          limitation the recovery layer reports but cannot repair. *)
+  final_state_matches : bool;
+      (** payroll only: target salaries equal the oracle's *)
+  invariants : invariant list;
+}
+
+val schedule : spec -> fault list
+(** The fault schedule alone — derived, not run.  [report.faults] of a
+    {!run} with the same spec is this exact list. *)
+
+val run : spec -> report
+(** Execute oracle and faulty runs and check invariants.  Pure in the
+    spec: no wall clock, no global state. *)
+
+val passed : report -> bool
+(** All invariants hold. *)
+
+val report_to_string : report -> string
+(** Canonical multi-line report, stable across runs of the same spec. *)

@@ -1,0 +1,225 @@
+(* Per-site write-ahead log backing crash recovery (ISSUE 3, paper §5).
+
+   The paper's crash-to-metric-failure claim rests on the database being
+   able to "remember" messages that need to be sent out upon recovery.
+   This module is that memory, made concrete in the ARIES tradition:
+   an append-only record stream per site (events received, firing
+   decisions, store writes, reliable-transport send/ack/deliver state,
+   incarnation changes) plus optional periodic checkpoints that bound
+   how much of the stream recovery has to replay.
+
+   The journal survives Net.crash_site by construction: it is owned by
+   the recovery manager, not by the site's volatile state, modelling a
+   log on stable storage.  Everything is deterministic — appends happen
+   in simulation order and serialization is canonical — so two replays
+   of the same run produce byte-identical logs. *)
+
+module Item = Cm_rule.Item
+module Value = Cm_rule.Value
+
+type durability = None | Journal | Journal_with_checkpoint
+
+let durability_to_string = function
+  | None -> "none"
+  | Journal -> "journal"
+  | Journal_with_checkpoint -> "journal+checkpoint"
+
+let durability_of_string s : durability option =
+  match s with
+  | "none" -> Some None
+  | "journal" -> Some Journal
+  | "journal+checkpoint" | "checkpoint" -> Some Journal_with_checkpoint
+  | _ -> None
+
+(* Receiver- and sender-side transport state for one peer, as frozen by
+   a checkpoint.  [unacked] and [delivered_mids] are in ascending order
+   so checkpoints serialize canonically. *)
+type link_state = {
+  peer : string;
+  next_mid : int;
+  unacked : (int * int * int * Msg.t) list;  (* mid, epoch, seq, payload *)
+  in_epoch : int;  (* epoch of the last inbound slot consumed from [peer] *)
+  in_expected : int;  (* next seq expected from [peer] within [in_epoch] *)
+  delivered_mids : int list;
+}
+
+type record =
+  | Event of { time : float; site : string; desc : string }
+  | Fire_sent of {
+      time : float;
+      rule_id : string;
+      to_site : string;
+      trigger_id : int;
+    }
+  | Store_write of { time : float; item : Item.t; value : Value.t }
+  | Outbound of {
+      time : float;
+      to_site : string;
+      mid : int;
+      epoch : int;
+      seq : int;
+      payload : Msg.t;
+    }
+  | Acked of { time : float; to_site : string; mid : int }
+  | Delivered of {
+      time : float;
+      from_site : string;
+      epoch : int;
+      seq : int;
+      mid : int;
+      applied : bool;  (* false: slot consumed but payload was a mid-dup *)
+    }
+  | Restarted of { time : float; incarnation : int }
+  | Checkpoint of {
+      time : float;
+      incarnation : int;
+      store : (Item.t * Value.t) list;  (* in item order *)
+      links : link_state list;  (* in peer order *)
+    }
+
+let record_kind = function
+  | Event _ -> "event"
+  | Fire_sent _ -> "fire_sent"
+  | Store_write _ -> "store_write"
+  | Outbound _ -> "outbound"
+  | Acked _ -> "acked"
+  | Delivered _ -> "delivered"
+  | Restarted _ -> "restarted"
+  | Checkpoint _ -> "checkpoint"
+
+let link_state_to_string l =
+  Printf.sprintf "%s next_mid=%d unacked=[%s] in=e%d/s%d mids=[%s]" l.peer
+    l.next_mid
+    (String.concat ";"
+       (List.map
+          (fun (mid, epoch, seq, payload) ->
+            Printf.sprintf "m%d:e%d:s%d:%s" mid epoch seq (Msg.summary payload))
+          l.unacked))
+    l.in_epoch l.in_expected
+    (String.concat ";" (List.map string_of_int l.delivered_mids))
+
+let record_to_string r =
+  match r with
+  | Event { time; site; desc } ->
+    Printf.sprintf "%.3f event %s %s" time site desc
+  | Fire_sent { time; rule_id; to_site; trigger_id } ->
+    Printf.sprintf "%.3f fire_sent %s -> %s trigger=%d" time rule_id to_site
+      trigger_id
+  | Store_write { time; item; value } ->
+    Printf.sprintf "%.3f store_write %s = %s" time (Item.to_string item)
+      (Value.to_string value)
+  | Outbound { time; to_site; mid; epoch; seq; payload } ->
+    Printf.sprintf "%.3f outbound -> %s m%d e%d s%d %s" time to_site mid epoch
+      seq (Msg.summary payload)
+  | Acked { time; to_site; mid } ->
+    Printf.sprintf "%.3f acked -> %s m%d" time to_site mid
+  | Delivered { time; from_site; epoch; seq; mid; applied } ->
+    Printf.sprintf "%.3f delivered <- %s e%d s%d m%d %s" time from_site epoch
+      seq mid
+      (if applied then "applied" else "dup")
+  | Restarted { time; incarnation } ->
+    Printf.sprintf "%.3f restarted incarnation=%d" time incarnation
+  | Checkpoint { time; incarnation; store; links } ->
+    Printf.sprintf "%.3f checkpoint incarnation=%d store={%s} links={%s}" time
+      incarnation
+      (String.concat ";"
+         (List.map
+            (fun (item, v) ->
+              Printf.sprintf "%s=%s" (Item.to_string item) (Value.to_string v))
+            store))
+      (String.concat "|" (List.map link_state_to_string links))
+
+type t = {
+  site : string;
+  obs : Obs.t;
+  mutable rev_records : record list;  (* newest first *)
+  mutable count : int;
+  mutable bytes : int;  (* serialized size, the journal-overhead metric *)
+  mutable checkpoints : int;
+  mutable incarnation : int;  (* count of Restarted records appended *)
+}
+
+type stats = {
+  appends : int;
+  bytes : int;
+  checkpoints : int;
+  incarnation : int;
+}
+
+let site t = t.site
+
+let append t r =
+  let size = String.length (record_to_string r) + 1 in
+  t.rev_records <- r :: t.rev_records;
+  t.count <- t.count + 1;
+  t.bytes <- t.bytes + size;
+  Obs.incr t.obs "journal_appends"
+    ~labels:[ ("site", t.site); ("kind", record_kind r) ];
+  match r with
+  | Restarted { incarnation; _ } -> t.incarnation <- incarnation
+  | Checkpoint _ ->
+    t.checkpoints <- t.checkpoints + 1;
+    Obs.observe t.obs "journal_checkpoint_bytes" ~labels:[ ("site", t.site) ]
+      (float_of_int size)
+  | _ -> ()
+
+let records t = List.rev t.rev_records
+let length t = t.count
+let incarnation (t : t) = t.incarnation
+
+let stats t =
+  {
+    appends = t.count;
+    bytes = t.bytes;
+    checkpoints = t.checkpoints;
+    incarnation = t.incarnation;
+  }
+
+(* Recovery reads the log as: the newest checkpoint (if any) plus every
+   record after it, oldest first.  Without checkpoints the whole stream
+   comes back. *)
+let replay_base t : record option * record list =
+  let rec split after rs : record option * record list =
+    match rs with
+    | [] -> (None, after)
+    | Checkpoint _ as c :: _ -> (Some c, after)
+    | r :: rest -> split (r :: after) rest
+  in
+  split [] t.rev_records
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (record_to_string r);
+      Buffer.add_char buf '\n')
+    (records t);
+  Buffer.contents buf
+
+(* -- registry: one journal per site, on shared stable storage -- *)
+
+type registry = { reg_obs : Obs.t; by_site : (string, t) Hashtbl.t }
+
+let create_registry ?(obs = Obs.noop) () = { reg_obs = obs; by_site = Hashtbl.create 8 }
+
+let for_site reg ~site =
+  match Hashtbl.find_opt reg.by_site site with
+  | Some j -> j
+  | None ->
+    let j =
+      {
+        site;
+        obs = reg.reg_obs;
+        rev_records = [];
+        count = 0;
+        bytes = 0;
+        checkpoints = 0;
+        incarnation = 0;
+      }
+    in
+    Hashtbl.replace reg.by_site site j;
+    j
+
+let sites reg =
+  Hashtbl.fold (fun site _ acc -> site :: acc) reg.by_site []
+  |> List.sort compare

@@ -10,8 +10,8 @@ type t =
     }
   | Failure_notice of { origin_site : string; kind : failure_kind }
   | Reset_notice of { origin_site : string }
-  | Data of { from_site : string; seq : int; payload : t }
-  | Ack of { from_site : string; seq : int }
+  | Data of { from_site : string; epoch : int; seq : int; mid : int; payload : t }
+  | Ack of { from_site : string; epoch : int; seq : int }
   | Heartbeat of { origin_site : string; beat : int }
   | Suspect_down of { origin_site : string; suspect_site : string }
 
@@ -23,3 +23,19 @@ let env_of_list entries =
     Cm_rule.Expr.empty_env entries
 
 let failure_kind_to_string = function Metric -> "metric" | Logical -> "logical"
+
+let rec summary = function
+  | Fire { rule_id; trigger_id; _ } ->
+    Printf.sprintf "Fire(%s#%d)" rule_id trigger_id
+  | Failure_notice { origin_site; kind } ->
+    Printf.sprintf "Failure(%s,%s)" origin_site (failure_kind_to_string kind)
+  | Reset_notice { origin_site } -> Printf.sprintf "Reset(%s)" origin_site
+  | Data { from_site; epoch; seq; mid; payload } ->
+    Printf.sprintf "Data(%s,e%d,s%d,m%d,%s)" from_site epoch seq mid
+      (summary payload)
+  | Ack { from_site; epoch; seq } ->
+    Printf.sprintf "Ack(%s,e%d,s%d)" from_site epoch seq
+  | Heartbeat { origin_site; beat } ->
+    Printf.sprintf "Heartbeat(%s,%d)" origin_site beat
+  | Suspect_down { origin_site; suspect_site } ->
+    Printf.sprintf "Suspect(%s,%s)" origin_site suspect_site

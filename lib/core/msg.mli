@@ -33,11 +33,17 @@ type t =
     }
   | Failure_notice of { origin_site : string; kind : failure_kind }
   | Reset_notice of { origin_site : string }
-  | Data of { from_site : string; seq : int; payload : t }
+  | Data of { from_site : string; epoch : int; seq : int; mid : int; payload : t }
       (** Reliable-delivery envelope: [seq] orders the [from_site] →
-          receiver link. *)
-  | Ack of { from_site : string; seq : int }
-      (** Acknowledges [Data { seq }] on the link towards [from_site]. *)
+          receiver link within [epoch], the sender's incarnation number
+          (0 until the site ever crash-restarts).  [mid] is a stable
+          per-link message id that survives re-sends across epochs, so
+          the receiver can deduplicate a message re-queued after a crash
+          even though it carries a fresh [(epoch, seq)]. *)
+  | Ack of { from_site : string; epoch : int; seq : int }
+      (** Acknowledges [Data { epoch; seq }] on the link towards
+          [from_site].  The epoch is echoed so an ack for a previous
+          incarnation's frame cannot discharge the re-sent copy. *)
   | Heartbeat of { origin_site : string; beat : int }
   | Suspect_down of { origin_site : string; suspect_site : string }
       (** Delivered locally by [origin_site]'s failure detector when
@@ -46,3 +52,7 @@ type t =
 val env_to_list : Cm_rule.Expr.env -> (string * Cm_rule.Expr.binding) list
 val env_of_list : (string * Cm_rule.Expr.binding) list -> Cm_rule.Expr.env
 val failure_kind_to_string : failure_kind -> string
+
+val summary : t -> string
+(** Compact single-line rendering, stable across runs — used by the
+    crash-recovery journal's deterministic serialization. *)

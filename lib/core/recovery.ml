@@ -1,0 +1,280 @@
+(* Crash-recovery manager: the protocol that makes Journal's memory
+   actionable (paper §5, ISSUE 3).
+
+   crash:    take the site's network endpoint down.  Volatile state is
+             not touched yet — a real crash does not get to run code.
+   restart:  bring the endpoint back, wipe the volatile state the crash
+             actually destroyed (shell store, reliable link state),
+             derive the durable state from the journal (checkpoint +
+             replay of everything after it), restore it, re-queue
+             journal-unacked outbound messages under a fresh epoch, and
+             report the crash as a *metric* failure — with the journal
+             the site's updates arrive late, never never.
+
+   The derived state is a pure function of the journal, which is also
+   how checkpoints are taken: a checkpoint is derive() frozen into a
+   record, so replay-from-checkpoint and replay-from-origin agree by
+   construction. *)
+
+module Sim = Cm_sim.Sim
+module Net = Cm_net.Net
+module Item = Cm_rule.Item
+
+type stats = {
+  crashes : int;
+  restarts : int;
+  replayed_records : int;
+  checkpoints : int;
+}
+
+type t = {
+  sim : Sim.t;
+  net : Msg.t Net.t;
+  reliable : Reliable.t option;
+  journals : Journal.registry;
+  obs : Obs.t;
+  mode : Journal.durability;
+  checkpoint_period : float;
+  shells : (string, Shell.t) Hashtbl.t;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable replayed : int;
+  mutable checkpoints_taken : int;
+}
+
+let default_checkpoint_period = 60.0
+
+let create ~sim ~net ?reliable ~journals ?(obs = Obs.noop)
+    ?(checkpoint_period = default_checkpoint_period) mode =
+  {
+    sim;
+    net;
+    reliable;
+    journals;
+    obs;
+    mode;
+    checkpoint_period;
+    shells = Hashtbl.create 8;
+    crashes = 0;
+    restarts = 0;
+    replayed = 0;
+    checkpoints_taken = 0;
+  }
+
+let mode t = t.mode
+let journals t = t.journals
+
+(* -- journal folding -- *)
+
+type out_state = {
+  mutable next_mid : int;
+  unacked : (int, int * int * Msg.t) Hashtbl.t;  (* mid -> epoch, seq, payload *)
+}
+
+type in_state = {
+  mutable in_epoch : int;
+  mutable in_expected : int;
+  delivered : (int, unit) Hashtbl.t;
+}
+
+type derived = {
+  d_incarnation : int;
+  d_store : (Item.t * Cm_rule.Value.t) list;  (* in item order *)
+  d_out : (string * out_state) list;  (* in peer order *)
+  d_in : (string * in_state) list;  (* in peer order *)
+  d_replayed : int;  (* records folded, checkpoint base included *)
+}
+
+let derive j =
+  let store = ref Item.Map.empty in
+  let outs : (string, out_state) Hashtbl.t = Hashtbl.create 4 in
+  let ins : (string, in_state) Hashtbl.t = Hashtbl.create 4 in
+  let incarnation = ref 0 in
+  let replayed = ref 0 in
+  let out_for peer =
+    match Hashtbl.find_opt outs peer with
+    | Some o -> o
+    | None ->
+      let o = { next_mid = 0; unacked = Hashtbl.create 8 } in
+      Hashtbl.replace outs peer o;
+      o
+  in
+  let in_for peer =
+    match Hashtbl.find_opt ins peer with
+    | Some i -> i
+    | None ->
+      let i = { in_epoch = 0; in_expected = 0; delivered = Hashtbl.create 16 } in
+      Hashtbl.replace ins peer i;
+      i
+  in
+  let fold r =
+    incr replayed;
+    match r with
+    | Journal.Store_write { item; value; _ } ->
+      store := Item.Map.add item value !store
+    | Journal.Outbound { to_site; mid; epoch; seq; payload; _ } ->
+      let o = out_for to_site in
+      o.next_mid <- max o.next_mid (mid + 1);
+      Hashtbl.replace o.unacked mid (epoch, seq, payload)
+    | Journal.Acked { to_site; mid; _ } ->
+      Hashtbl.remove (out_for to_site).unacked mid
+    | Journal.Delivered { from_site; epoch; seq; mid; applied = _; _ } ->
+      let i = in_for from_site in
+      i.in_epoch <- epoch;
+      i.in_expected <- seq + 1;
+      Hashtbl.replace i.delivered mid ()
+    | Journal.Restarted { incarnation = n; _ } ->
+      incarnation := max !incarnation n
+    | Journal.Checkpoint { incarnation = n; store = st; links; _ } ->
+      (* Checkpoint base: replace everything derived so far. *)
+      incarnation := max !incarnation n;
+      store := List.fold_left (fun m (it, v) -> Item.Map.add it v m) Item.Map.empty st;
+      Hashtbl.reset outs;
+      Hashtbl.reset ins;
+      List.iter
+        (fun (l : Journal.link_state) ->
+          let o = out_for l.Journal.peer in
+          o.next_mid <- l.Journal.next_mid;
+          List.iter
+            (fun (mid, epoch, seq, payload) ->
+              Hashtbl.replace o.unacked mid (epoch, seq, payload))
+            l.Journal.unacked;
+          let i = in_for l.Journal.peer in
+          i.in_epoch <- l.Journal.in_epoch;
+          i.in_expected <- l.Journal.in_expected;
+          List.iter (fun mid -> Hashtbl.replace i.delivered mid ())
+            l.Journal.delivered_mids)
+        links
+    | Journal.Event _ | Journal.Fire_sent _ -> ()
+  in
+  let base, rest = Journal.replay_base j in
+  Option.iter fold base;
+  List.iter fold rest;
+  let sorted_peers tbl =
+    Hashtbl.fold (fun peer s acc -> (peer, s) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    d_incarnation = !incarnation;
+    d_store = Item.Map.bindings !store;
+    d_out = sorted_peers outs;
+    d_in = sorted_peers ins;
+    d_replayed = !replayed;
+  }
+
+(* -- checkpoints -- *)
+
+let checkpoint_now t ~site =
+  let j = Journal.for_site t.journals ~site in
+  let d = derive j in
+  let links =
+    let peers =
+      List.sort_uniq String.compare (List.map fst d.d_out @ List.map fst d.d_in)
+    in
+    List.map
+      (fun peer ->
+        let next_mid, unacked =
+          match List.assoc_opt peer d.d_out with
+          | Some o ->
+            ( o.next_mid,
+              Hashtbl.fold (fun mid (e, s, p) acc -> (mid, e, s, p) :: acc)
+                o.unacked []
+              |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) )
+          | None -> (0, [])
+        in
+        let in_epoch, in_expected, delivered_mids =
+          match List.assoc_opt peer d.d_in with
+          | Some i ->
+            ( i.in_epoch,
+              i.in_expected,
+              Hashtbl.fold (fun mid () acc -> mid :: acc) i.delivered []
+              |> List.sort compare )
+          | None -> (0, 0, [])
+        in
+        { Journal.peer; next_mid; unacked; in_epoch; in_expected;
+          delivered_mids })
+      peers
+  in
+  Journal.append j
+    (Journal.Checkpoint
+       { time = Sim.now t.sim; incarnation = Journal.incarnation j;
+         store = d.d_store; links });
+  t.checkpoints_taken <- t.checkpoints_taken + 1;
+  Obs.incr t.obs "recovery_checkpoints" ~labels:[ ("site", site) ]
+
+let register_shell t shell =
+  let site = Shell.site shell in
+  Hashtbl.replace t.shells site shell;
+  match t.mode with
+  | Journal.Journal_with_checkpoint when t.checkpoint_period > 0.0 ->
+    Sim.every t.sim ~period:t.checkpoint_period
+      (fun () ->
+        (* A crashed site cannot write its own checkpoint. *)
+        if not (Net.site_is_down t.net ~site) then checkpoint_now t ~site)
+      ~cancel:(fun () -> false)
+  | _ -> ()
+
+(* -- crash / restart -- *)
+
+let crash t ~site =
+  Net.crash_site t.net ~site;
+  t.crashes <- t.crashes + 1;
+  Obs.incr t.obs "recovery_crashes" ~labels:[ ("site", site) ]
+
+let restart t ~site =
+  let j = Journal.for_site t.journals ~site in
+  let incarnation = Journal.incarnation j + 1 in
+  Net.restart_site t.net ~site;
+  Journal.append j (Journal.Restarted { time = Sim.now t.sim; incarnation });
+  (* The crash destroyed volatile state; model that before restoring. *)
+  (match Hashtbl.find_opt t.shells site with
+   | Some shell -> Shell.reset_volatile shell
+   | None -> ());
+  (match t.reliable with
+   | Some r -> Reliable.reset_endpoint r ~site
+   | None -> ());
+  (* Replay: checkpoint base plus everything after it. *)
+  let d = derive j in
+  t.replayed <- t.replayed + d.d_replayed;
+  Obs.incr t.obs "recovery_replayed_records" ~by:d.d_replayed
+    ~labels:[ ("site", site) ];
+  (match Hashtbl.find_opt t.shells site with
+   | Some shell ->
+     List.iter (fun (item, v) -> Shell.restore_aux shell item v) d.d_store
+   | None -> ());
+  (match t.reliable with
+   | Some r ->
+     List.iter
+       (fun (peer, (i : in_state)) ->
+         Reliable.restore_receiver_state r ~from_site:peer ~to_site:site
+           ~epoch:i.in_epoch ~expected:i.in_expected
+           ~delivered_mids:
+             (Hashtbl.fold (fun mid () acc -> mid :: acc) i.delivered []
+             |> List.sort compare))
+       d.d_in;
+     List.iter
+       (fun (peer, (o : out_state)) ->
+         (* New incarnation: sequence space restarts under the bumped
+            epoch, so retransmits from the previous life get rejected
+            instead of mis-deduplicated. *)
+         Reliable.restore_sender_state r ~from_site:site ~to_site:peer
+           ~epoch:incarnation ~next_mid:o.next_mid;
+         Reliable.requeue_unacked r ~from_site:site ~to_site:peer)
+       d.d_out
+   | None -> ());
+  t.restarts <- t.restarts + 1;
+  Obs.incr t.obs "recovery_restarts" ~labels:[ ("site", site) ];
+  (* §5: with the journal the crash maps to a metric failure — the
+     notice doubles as the sign of life that lets peers which gave up
+     on this site re-queue what they owe it. *)
+  match Hashtbl.find_opt t.shells site with
+  | Some shell -> Shell.report_failure shell Msg.Metric
+  | None -> ()
+
+let stats t =
+  {
+    crashes = t.crashes;
+    restarts = t.restarts;
+    replayed_records = t.replayed;
+    checkpoints = t.checkpoints_taken;
+  }

@@ -1,0 +1,81 @@
+(** Crash-recovery manager: replay, re-queue, re-handshake.
+
+    §5 of the paper: "crashes can be mapped to metric failures if the
+    database ... can 'remember' messages that need to be sent out upon
+    recovery."  {!Journal} is the memory; this module is the protocol
+    that uses it.  On {!restart}:
+
+    + the site's network endpoint comes back and a [Restarted] record
+      opens its next incarnation;
+    + the volatile state the crash destroyed is wiped explicitly (shell
+      store, reliable-transport link state) — recovery must not cheat by
+      reading surviving heap state;
+    + the journal is replayed — the newest checkpoint, then every record
+      after it — rebuilding the store, the receiver windows and
+      duplicate-suppression sets, and the set of unacknowledged outbound
+      messages;
+    + unacknowledged messages are re-queued under the new incarnation's
+      {e epoch} with fresh sequence numbers but their original stable
+      mids, so receivers deduplicate re-sends and reject the previous
+      life's retransmits;
+    + the crash is reported as a {e metric} failure notice — updates
+      arrive late, never never — which also serves as the sign of life
+      that makes peers re-queue what they gave up sending here.
+
+    Checkpoints ([Journal_with_checkpoint]) are taken on a periodic
+    simulation timer per registered shell and freeze the derived state
+    into the journal, bounding replay.  The derived state is a pure
+    function of the journal, so replay-from-checkpoint and
+    replay-from-origin agree by construction, and two replays of the
+    same run are byte-identical. *)
+
+type t
+
+val create :
+  sim:Cm_sim.Sim.t ->
+  net:Msg.t Cm_net.Net.t ->
+  ?reliable:Reliable.t ->
+  journals:Journal.registry ->
+  ?obs:Obs.t ->
+  ?checkpoint_period:float ->
+  Journal.durability ->
+  t
+(** [checkpoint_period] (default {!default_checkpoint_period}) only
+    matters under [Journal_with_checkpoint].  [obs] receives
+    [recovery_crashes], [recovery_restarts], [recovery_replayed_records]
+    and [recovery_checkpoints] counters. *)
+
+val default_checkpoint_period : float
+(** 60 simulated seconds. *)
+
+val mode : t -> Journal.durability
+val journals : t -> Journal.registry
+
+val register_shell : t -> Shell.t -> unit
+(** Makes the shell's volatile state recoverable and, under
+    [Journal_with_checkpoint], starts its periodic checkpoint timer
+    (skipped while the site is down). *)
+
+val crash : t -> site:string -> unit
+(** Take the site's endpoint down ({!Cm_net.Net.crash_site}).  Volatile
+    state is deliberately left in place until {!restart} wipes it — a
+    real crash does not get to run code. *)
+
+val restart : t -> site:string -> unit
+(** The recovery protocol described above.  Safe for sites without a
+    registered shell (transport-only endpoints): store restoration is
+    skipped, transport recovery still runs. *)
+
+val checkpoint_now : t -> site:string -> unit
+(** Freeze the journal-derived state into a [Checkpoint] record now —
+    the periodic timer uses this; tests use it to place checkpoints at
+    awkward instants (e.g. between the two halves of a firing). *)
+
+type stats = {
+  crashes : int;
+  restarts : int;
+  replayed_records : int;  (** records folded during restarts *)
+  checkpoints : int;
+}
+
+val stats : t -> stats

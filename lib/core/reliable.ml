@@ -31,16 +31,29 @@ type stats = {
   give_ups : int;
   suspects : int;
   recoveries : int;
+  epoch_rejections : int;
+  requeued : int;
 }
 
-(* Per directed link: the sender side numbers and retains unacknowledged
-   envelopes; the receiver side tracks the next sequence it will deliver
-   and holds out-of-order arrivals. *)
+(* Per directed link.  The sender half (the state at [from_site]) numbers
+   frames within its current epoch — bumped by crash recovery so a new
+   incarnation's sequence space is disjoint from the old one's — and
+   retains unacknowledged envelopes keyed by seq.  Message ids ([mid])
+   are stable across epochs: a message re-queued after a crash keeps its
+   mid even though it gets a fresh (epoch, seq), which is what lets the
+   receiver half deduplicate it.  The receiver half (the state at
+   [to_site]) tracks the epoch it is synchronized to, the next sequence
+   it will deliver within that epoch, out-of-order arrivals, and the set
+   of mids already handed to the application. *)
 type link = {
+  mutable epoch : int;
   mutable next_seq : int;
-  outstanding : (int, Msg.t) Hashtbl.t;
+  mutable next_mid : int;
+  outstanding : (int, int * int * Msg.t) Hashtbl.t;  (* seq -> epoch, mid, payload *)
+  mutable in_epoch : int;
   mutable expected : int;
-  held : (int, Msg.t) Hashtbl.t;
+  held : (int, int * Msg.t) Hashtbl.t;  (* seq -> mid, payload *)
+  delivered_mids : (int, unit) Hashtbl.t;
 }
 
 type endpoint = {
@@ -56,11 +69,12 @@ type t = {
   net : Msg.t Net.t;
   cfg : config;
   obs : Obs.t;
+  journals : Journal.registry option;
   endpoints : (string, endpoint) Hashtbl.t;
   mutable sites : string list;  (* sorted, for deterministic iteration *)
   links : (string * string, link) Hashtbl.t;
-  mutable suspect_hooks : (site:string -> suspect:string -> unit) list;
-  mutable recover_hooks : (site:string -> peer:string -> unit) list;
+  suspect_hooks : (site:string -> suspect:string -> unit) Queue.t;
+  recover_hooks : (site:string -> peer:string -> unit) Queue.t;
   mutable data_sent : int;
   mutable retransmits : int;
   mutable acks_sent : int;
@@ -71,19 +85,22 @@ type t = {
   mutable give_ups : int;
   mutable suspects_count : int;
   mutable recoveries : int;
+  mutable epoch_rejections : int;
+  mutable requeued : int;
 }
 
-let create ~sim ~net ?(config = default_config) ?(obs = Obs.noop) () =
+let create ~sim ~net ?(config = default_config) ?(obs = Obs.noop) ?journals () =
   {
     sim;
     net;
     cfg = config;
     obs;
+    journals;
     endpoints = Hashtbl.create 8;
     sites = [];
     links = Hashtbl.create 16;
-    suspect_hooks = [];
-    recover_hooks = [];
+    suspect_hooks = Queue.create ();
+    recover_hooks = Queue.create ();
     data_sent = 0;
     retransmits = 0;
     acks_sent = 0;
@@ -94,9 +111,16 @@ let create ~sim ~net ?(config = default_config) ?(obs = Obs.noop) () =
     give_ups = 0;
     suspects_count = 0;
     recoveries = 0;
+    epoch_rejections = 0;
+    requeued = 0;
   }
 
 let config t = t.cfg
+
+let journal_for t site =
+  match t.journals with
+  | Some reg -> Some (Journal.for_site reg ~site)
+  | None -> None
 
 let suspect_threshold t =
   if t.cfg.suspect_after > 0.0 then t.cfg.suspect_after
@@ -109,17 +133,24 @@ let link t ~from_site ~to_site =
   | None ->
     let l =
       {
+        epoch = 0;
         next_seq = 0;
+        next_mid = 0;
         outstanding = Hashtbl.create 8;
+        in_epoch = 0;
         expected = 0;
         held = Hashtbl.create 4;
+        delivered_mids = Hashtbl.create 16;
       }
     in
     Hashtbl.replace t.links key l;
     l
 
-let on_suspect t hook = t.suspect_hooks <- t.suspect_hooks @ [ hook ]
-let on_recover t hook = t.recover_hooks <- t.recover_hooks @ [ hook ]
+(* O(1) hook registration (hooks used to be appended to a list, which is
+   quadratic when registering in a loop); queues preserve registration
+   order on iteration. *)
+let on_suspect t hook = Queue.add hook t.suspect_hooks
+let on_recover t hook = Queue.add hook t.recover_hooks
 
 let suspect t ep peer =
   if not (Hashtbl.mem ep.suspected peer) then begin
@@ -127,11 +158,127 @@ let suspect t ep peer =
     t.suspects_count <- t.suspects_count + 1;
     Obs.incr t.obs "reliable_suspects"
       ~labels:[ ("site", ep.ep_site); ("peer", peer) ];
-    List.iter (fun hook -> hook ~site:ep.ep_site ~suspect:peer) t.suspect_hooks;
+    Queue.iter (fun hook -> hook ~site:ep.ep_site ~suspect:peer) t.suspect_hooks;
     ep.deliver (Msg.Suspect_down { origin_site = ep.ep_site; suspect_site = peer })
   end
 
-(* Any frame from [peer] counts as a sign of life. *)
+let rec transmit t ~from_site ~to_site l ~seq ~attempt ~timeout =
+  match Hashtbl.find_opt l.outstanding seq with
+  | None -> ()
+  | Some (epoch, mid, payload) ->
+    Net.send t.net ~from_site ~to_site
+      (Msg.Data { from_site; epoch; seq; mid; payload });
+    Sim.schedule t.sim ~delay:timeout (fun () ->
+        (* The entry may have been acknowledged, given up on, or replaced
+           by a later incarnation (recovery resets the sequence space, so
+           the same seq can name a different message under a new epoch);
+           this timer only owns the (epoch, seq) pair it transmitted. *)
+        match Hashtbl.find_opt l.outstanding seq with
+        | Some (e, _, _) when e = epoch ->
+          if attempt = t.cfg.max_retries then begin
+            (* Chain exhausted: raise the suspicion either way.  With a
+               journal the frame is durable, so abandoning it would only
+               manufacture loss — the chain keeps retrying at the capped
+               interval instead (a give-up can conclude *after* the
+               peer's restart already sent its last sign of life, so
+               waiting to hear the peer again is not enough).  Without a
+               journal there is nothing to re-queue from later; the
+               frame is dropped, which is the pre-recovery protocol. *)
+            let durable = Option.is_some (journal_for t from_site) in
+            if not durable then Hashtbl.remove l.outstanding seq;
+            t.give_ups <- t.give_ups + 1;
+            Obs.incr t.obs "reliable_give_ups"
+              ~labels:[ ("from", from_site); ("to", to_site) ];
+            (match Hashtbl.find_opt t.endpoints from_site with
+             | Some ep -> suspect t ep to_site
+             | None -> ());
+            if durable then
+              transmit t ~from_site ~to_site l ~seq ~attempt:(attempt + 1)
+                ~timeout:t.cfg.max_timeout
+          end
+          else if attempt > t.cfg.max_retries then
+            (* Post-give-up persistence (journal present): keep the frame
+               on the wire at the capped interval, without re-counting
+               retransmits or re-raising the suspicion. *)
+            transmit t ~from_site ~to_site l ~seq ~attempt:(attempt + 1)
+              ~timeout:t.cfg.max_timeout
+          else begin
+            t.retransmits <- t.retransmits + 1;
+            Obs.incr t.obs "reliable_retransmits"
+              ~labels:[ ("from", from_site); ("to", to_site) ];
+            (* Attach the retry to the firing's trace when the payload is a
+               Fire envelope carrying a span id. *)
+            (match payload with
+             | Msg.Fire { span; _ } when span > 0 ->
+               let now = Sim.now t.sim in
+               let id =
+                 Obs.span t.obs ~parent:span ~name:"retransmit" ~at:now
+                   ~labels:
+                     [ ("from", from_site); ("to", to_site);
+                       ("attempt", string_of_int (attempt + 1)) ]
+               in
+               Obs.end_span t.obs ~id ~at:now
+             | _ -> ());
+            transmit t ~from_site ~to_site l ~seq ~attempt:(attempt + 1)
+              ~timeout:(Float.min (timeout *. t.cfg.backoff) t.cfg.max_timeout)
+          end
+        | _ -> ())
+
+(* Put journal-unacked messages back on the wire.  Covers two cases:
+   after [from_site] itself restarted (its journal entries carry a
+   previous incarnation's epoch, so each message is re-sent with a fresh
+   sequence number under the current epoch, keeping its stable mid for
+   receiver-side deduplication), and after a give-up when the peer comes
+   back (the entry's epoch is current, so the original slot is simply
+   resumed — re-numbering it would leave a gap the receiver's reorder
+   buffer could never fill). *)
+let requeue_unacked t ~from_site ~to_site =
+  match journal_for t from_site with
+  | None -> ()
+  | Some j ->
+    let l = link t ~from_site ~to_site in
+    let unacked : (int, int * int * Msg.t) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        match r with
+        | Journal.Outbound { to_site = peer; mid; epoch; seq; payload; _ }
+          when String.equal peer to_site ->
+          Hashtbl.replace unacked mid (epoch, seq, payload)
+        | Journal.Acked { to_site = peer; mid; _ }
+          when String.equal peer to_site -> Hashtbl.remove unacked mid
+        | _ -> ())
+      (Journal.records j);
+    let in_flight_mids =
+      Hashtbl.fold (fun _ (e, m, _) acc -> if e = l.epoch then m :: acc else acc)
+        l.outstanding []
+    in
+    Hashtbl.fold (fun mid entry acc -> (mid, entry) :: acc) unacked []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)  (* original send order *)
+    |> List.iter (fun (mid, (epoch, seq, payload)) ->
+        if not (List.mem mid in_flight_mids) then begin
+          let seq' =
+            if epoch = l.epoch then seq
+            else begin
+              let s = l.next_seq in
+              l.next_seq <- s + 1;
+              Journal.append j
+                (Journal.Outbound
+                   { time = Sim.now t.sim; to_site; mid; epoch = l.epoch;
+                     seq = s; payload });
+              s
+            end
+          in
+          Hashtbl.replace l.outstanding seq' (l.epoch, mid, payload);
+          t.requeued <- t.requeued + 1;
+          Obs.incr t.obs "reliable_requeued"
+            ~labels:[ ("from", from_site); ("to", to_site) ];
+          transmit t ~from_site ~to_site l ~seq:seq' ~attempt:0
+            ~timeout:t.cfg.retry_timeout
+        end)
+
+(* Any frame from [peer] counts as a sign of life.  If we had given up
+   on messages towards a suspected peer, hearing it again re-queues the
+   journal-unacked ones. *)
 let heard t ep peer =
   Hashtbl.replace ep.last_heard peer (Sim.now t.sim);
   if Hashtbl.mem ep.suspected peer then begin
@@ -139,45 +286,10 @@ let heard t ep peer =
     t.recoveries <- t.recoveries + 1;
     Obs.incr t.obs "reliable_recoveries"
       ~labels:[ ("site", ep.ep_site); ("peer", peer) ];
-    List.iter (fun hook -> hook ~site:ep.ep_site ~peer) t.recover_hooks;
-    ep.deliver (Msg.Reset_notice { origin_site = peer })
+    Queue.iter (fun hook -> hook ~site:ep.ep_site ~peer) t.recover_hooks;
+    ep.deliver (Msg.Reset_notice { origin_site = peer });
+    requeue_unacked t ~from_site:ep.ep_site ~to_site:peer
   end
-
-let rec transmit t ~from_site ~to_site l ~seq ~attempt ~timeout =
-  Net.send t.net ~from_site ~to_site
-    (Msg.Data
-       { from_site; seq; payload = Hashtbl.find l.outstanding seq });
-  Sim.schedule t.sim ~delay:timeout (fun () ->
-      if Hashtbl.mem l.outstanding seq then
-        if attempt >= t.cfg.max_retries then begin
-          Hashtbl.remove l.outstanding seq;
-          t.give_ups <- t.give_ups + 1;
-          Obs.incr t.obs "reliable_give_ups"
-            ~labels:[ ("from", from_site); ("to", to_site) ];
-          match Hashtbl.find_opt t.endpoints from_site with
-          | Some ep -> suspect t ep to_site
-          | None -> ()
-        end
-        else begin
-          t.retransmits <- t.retransmits + 1;
-          Obs.incr t.obs "reliable_retransmits"
-            ~labels:[ ("from", from_site); ("to", to_site) ];
-          (* Attach the retry to the firing's trace when the payload is a
-             Fire envelope carrying a span id. *)
-          (match Hashtbl.find l.outstanding seq with
-           | Msg.Fire { span; _ } when span > 0 ->
-             let now = Sim.now t.sim in
-             let id =
-               Obs.span t.obs ~parent:span ~name:"retransmit" ~at:now
-                 ~labels:
-                   [ ("from", from_site); ("to", to_site);
-                     ("attempt", string_of_int (attempt + 1)) ]
-             in
-             Obs.end_span t.obs ~id ~at:now
-           | _ -> ());
-          transmit t ~from_site ~to_site l ~seq ~attempt:(attempt + 1)
-            ~timeout:(Float.min (timeout *. t.cfg.backoff) t.cfg.max_timeout)
-        end)
 
 let send t ~from_site ~to_site msg =
   if String.equal from_site to_site then
@@ -186,61 +298,151 @@ let send t ~from_site ~to_site msg =
     Net.send t.net ~from_site ~to_site msg
   else begin
     let l = link t ~from_site ~to_site in
+    let mid = l.next_mid in
+    l.next_mid <- mid + 1;
     let seq = l.next_seq in
     l.next_seq <- seq + 1;
-    Hashtbl.replace l.outstanding seq msg;
+    (match journal_for t from_site with
+     | Some j ->
+       (* Write-ahead: the message is remembered before it is on the wire. *)
+       Journal.append j
+         (Journal.Outbound
+            { time = Sim.now t.sim; to_site; mid; epoch = l.epoch; seq;
+              payload = msg })
+     | None -> ());
+    Hashtbl.replace l.outstanding seq (l.epoch, mid, msg);
     t.data_sent <- t.data_sent + 1;
     Obs.incr t.obs "reliable_data_sent"
       ~labels:[ ("from", from_site); ("to", to_site) ];
     transmit t ~from_site ~to_site l ~seq ~attempt:0 ~timeout:t.cfg.retry_timeout
   end
 
+(* Consume the in-order slot [seq]: advance the window, journal the
+   consumption, and hand the payload up unless its mid was already
+   delivered in a previous epoch (a crash-requeued duplicate). *)
+let consume_slot t ep l ~from_site ~epoch ~seq ~mid payload =
+  l.expected <- seq + 1;
+  let fresh = not (Hashtbl.mem l.delivered_mids mid) in
+  Hashtbl.replace l.delivered_mids mid ();
+  (match journal_for t ep.ep_site with
+   | Some j ->
+     Journal.append j
+       (Journal.Delivered
+          { time = Sim.now t.sim; from_site; epoch; seq; mid; applied = fresh })
+   | None -> ());
+  if fresh then begin
+    t.delivered <- t.delivered + 1;
+    Obs.incr t.obs "reliable_delivered"
+      ~labels:[ ("from", from_site); ("to", ep.ep_site) ];
+    ep.deliver payload
+  end
+  else begin
+    t.dup_suppressed <- t.dup_suppressed + 1;
+    Obs.incr t.obs "reliable_dup_suppressed"
+      ~labels:[ ("from", from_site); ("to", ep.ep_site) ]
+  end
+
 let receive t ep frame =
   match frame with
-  | Msg.Data { from_site; seq; payload } ->
+  | Msg.Data { from_site; epoch; seq; mid; payload } ->
     heard t ep from_site;
-    (* Always ack, even duplicates: the earlier ack may have been lost. *)
-    t.acks_sent <- t.acks_sent + 1;
-    Obs.incr t.obs "reliable_acks_sent"
-      ~labels:[ ("from", ep.ep_site); ("to", from_site) ];
-    Net.send t.net ~from_site:ep.ep_site ~to_site:from_site
-      (Msg.Ack { from_site = ep.ep_site; seq });
     let l = link t ~from_site ~to_site:ep.ep_site in
-    if seq < l.expected || Hashtbl.mem l.held seq then begin
-      t.dup_suppressed <- t.dup_suppressed + 1;
-      Obs.incr t.obs "reliable_dup_suppressed"
+    if epoch < l.in_epoch then begin
+      (* A retransmit from a previous life of [from_site].  Rejecting it
+         (and not acking) is what keeps old and new sequence spaces from
+         being mis-deduplicated against each other. *)
+      t.epoch_rejections <- t.epoch_rejections + 1;
+      Obs.incr t.obs "reliable_epoch_rejections"
         ~labels:[ ("from", from_site); ("to", ep.ep_site) ]
     end
-    else if seq = l.expected then begin
-      t.delivered <- t.delivered + 1;
-      Obs.incr t.obs "reliable_delivered"
-        ~labels:[ ("from", from_site); ("to", ep.ep_site) ];
-      l.expected <- seq + 1;
-      ep.deliver payload;
-      let rec drain () =
-        match Hashtbl.find_opt l.held l.expected with
-        | None -> ()
-        | Some held_payload ->
-          Hashtbl.remove l.held l.expected;
-          t.delivered <- t.delivered + 1;
-          Obs.incr t.obs "reliable_delivered"
-            ~labels:[ ("from", from_site); ("to", ep.ep_site) ];
-          l.expected <- l.expected + 1;
-          ep.deliver held_payload;
-          drain ()
-      in
-      drain ()
-    end
     else begin
-      t.reordered <- t.reordered + 1;
-      Obs.incr t.obs "reliable_reordered"
-        ~labels:[ ("from", from_site); ("to", ep.ep_site) ];
-      Hashtbl.replace l.held seq payload
+      if epoch > l.in_epoch then begin
+        (* The peer restarted: adopt its new incarnation.  Its sequence
+           space restarts at 0; buffered frames belong to the old life.
+           delivered_mids survives — it is the cross-incarnation
+           duplicate-suppression set. *)
+        l.in_epoch <- epoch;
+        l.expected <- 0;
+        Hashtbl.reset l.held
+      end;
+      let ack ~epoch ~seq =
+        t.acks_sent <- t.acks_sent + 1;
+        Obs.incr t.obs "reliable_acks_sent"
+          ~labels:[ ("from", ep.ep_site); ("to", from_site) ];
+        Net.send t.net ~from_site:ep.ep_site ~to_site:from_site
+          (Msg.Ack { from_site = ep.ep_site; epoch; seq })
+      in
+      let suppress () =
+        t.dup_suppressed <- t.dup_suppressed + 1;
+        Obs.incr t.obs "reliable_dup_suppressed"
+          ~labels:[ ("from", from_site); ("to", ep.ep_site) ]
+      in
+      let hold () =
+        t.reordered <- t.reordered + 1;
+        Obs.incr t.obs "reliable_reordered"
+          ~labels:[ ("from", from_site); ("to", ep.ep_site) ];
+        Hashtbl.replace l.held seq (mid, payload)
+      in
+      let consume_and_drain () =
+        consume_slot t ep l ~from_site ~epoch ~seq ~mid payload;
+        let rec drain ack_each =
+          match Hashtbl.find_opt l.held l.expected with
+          | None -> ()
+          | Some (held_mid, held_payload) ->
+            let held_seq = l.expected in
+            Hashtbl.remove l.held held_seq;
+            consume_slot t ep l ~from_site ~epoch:l.in_epoch ~seq:held_seq
+              ~mid:held_mid held_payload;
+            if ack_each then ack ~epoch:l.in_epoch ~seq:held_seq;
+            drain ack_each
+        in
+        drain
+      in
+      if not (Option.is_some (journal_for t ep.ep_site)) then begin
+        (* No journal: receiver state survives crashes (nothing is
+           wiped), so buffered frames may be acknowledged on arrival.
+           This branch is the pre-recovery protocol, byte for byte. *)
+        ack ~epoch ~seq;
+        if seq < l.expected || Hashtbl.mem l.held seq then suppress ()
+        else if seq = l.expected then (consume_and_drain ()) false
+        else hold ()
+      end
+      else if seq < l.expected then begin
+        (* Consumed in order earlier, so it is in the journal; the
+           previous ack may have been lost — ack again. *)
+        ack ~epoch ~seq;
+        suppress ()
+      end
+      else if Hashtbl.mem l.held seq then
+        (* Buffered but not consumed: held frames are volatile, and a
+           crash here would lose a frame the sender believed was safely
+           delivered.  The ack waits until in-order consumption journals
+           the frame; until then the sender's retransmissions land in
+           this branch. *)
+        suppress ()
+      else if seq = l.expected then begin
+        (* Write-ahead order: consume_slot journals the delivery before
+           the ack releases the sender's copy. *)
+        (consume_and_drain ()) true;
+        ack ~epoch ~seq
+      end
+      else hold ()
     end
-  | Msg.Ack { from_site = acker; seq } ->
+  | Msg.Ack { from_site = acker; epoch; seq } ->
     heard t ep acker;
     let l = link t ~from_site:ep.ep_site ~to_site:acker in
-    Hashtbl.remove l.outstanding seq
+    (match Hashtbl.find_opt l.outstanding seq with
+     | Some (e, mid, _) when e = epoch ->
+       Hashtbl.remove l.outstanding seq;
+       (match journal_for t ep.ep_site with
+        | Some j ->
+          Journal.append j
+            (Journal.Acked { time = Sim.now t.sim; to_site = acker; mid })
+        | None -> ())
+     | _ ->
+       (* Ack for a frame this incarnation no longer owns (already acked,
+          given up, or sent in a previous life) — ignore. *)
+       ())
   | Msg.Heartbeat { origin_site; beat = _ } -> heard t ep origin_site
   | app_msg ->
     (* Unwrapped application message: a local self-send or a sender that
@@ -286,6 +488,44 @@ let register t ~site deliver =
       (fun () -> heartbeat_tick t ep)
       ~cancel:(fun () -> false)
 
+(* -- crash-recovery hooks (driven by Cm_core.Recovery) -- *)
+
+let reset_endpoint t ~site =
+  (match Hashtbl.find_opt t.endpoints site with
+   | Some ep ->
+     Hashtbl.reset ep.last_heard;
+     Hashtbl.reset ep.suspected;
+     ep.beat <- 0
+   | None -> ());
+  Hashtbl.iter
+    (fun (from_site, to_site) l ->
+      if String.equal from_site site then begin
+        (* sender half lives at [site] *)
+        Hashtbl.reset l.outstanding;
+        l.next_seq <- 0
+      end;
+      if String.equal to_site site then begin
+        (* receiver half lives at [site] *)
+        Hashtbl.reset l.held;
+        l.in_epoch <- 0;
+        l.expected <- 0;
+        Hashtbl.reset l.delivered_mids
+      end)
+    t.links
+
+let restore_sender_state t ~from_site ~to_site ~epoch ~next_mid =
+  let l = link t ~from_site ~to_site in
+  l.epoch <- epoch;
+  l.next_seq <- 0;
+  l.next_mid <- next_mid
+
+let restore_receiver_state t ~from_site ~to_site ~epoch ~expected
+    ~delivered_mids =
+  let l = link t ~from_site ~to_site in
+  l.in_epoch <- epoch;
+  l.expected <- expected;
+  List.iter (fun mid -> Hashtbl.replace l.delivered_mids mid ()) delivered_mids
+
 let suspects t ~site =
   match Hashtbl.find_opt t.endpoints site with
   | None -> []
@@ -305,6 +545,8 @@ let stats t =
     give_ups = t.give_ups;
     suspects = t.suspects_count;
     recoveries = t.recoveries;
+    epoch_rejections = t.epoch_rejections;
+    requeued = t.requeued;
   }
 
 let pending t =

@@ -9,8 +9,10 @@
     - every application message travels in a sequence-numbered
       {!Msg.Data} envelope, acknowledged by the receiver with {!Msg.Ack};
     - unacknowledged envelopes are retransmitted on a timeout that backs
-      off exponentially up to a cap, and abandoned (with the peer
-      suspected down) after [max_retries] attempts;
+      off exponentially up to a cap; after [max_retries] attempts the
+      peer is suspected down and — without a journal — the envelope is
+      abandoned (with one, the durable envelope stays on the wire at the
+      capped interval: see below);
     - the receiver suppresses duplicates and buffers out-of-order
       arrivals, handing envelopes to the shell exactly once, in send
       order per directed link;
@@ -21,6 +23,28 @@
       the paper's §5 failure notice so guarantees degrade instead of
       lying.  Hearing from a suspected peer again delivers a local
       {!Msg.Reset_notice} for it.
+
+    {b Crash recovery.}  When a {!Journal} registry is attached, the
+    exactly-once property extends across site crashes:
+
+    - each directed link's sender numbers frames within an {e epoch}
+      (the sender's incarnation, bumped by {!Cm_core.Recovery} on
+      restart) and every message carries a stable per-link {e mid};
+    - sends, acks, and in-order deliveries are journaled
+      (write-ahead), so after a crash the unacknowledged set and the
+      receiver window can be rebuilt;
+    - the receiver rejects frames from epochs older than the one it is
+      synchronized to (counted as [epoch_rejections]) instead of letting
+      a previous life's retransmits collide with the new sequence space,
+      and suppresses re-queued messages whose mid it already delivered;
+    - a retransmission chain that exhausts [max_retries] raises the
+      suspicion but keeps the journaled frame on the wire at the capped
+      interval — a give-up may conclude {e after} a restarted peer's
+      last sign of life, so waiting to hear it again would strand the
+      frame;
+    - hearing again from a suspected peer additionally re-queues
+      journal-unacked messages towards it (covering frames whose timers
+      died with a previous incarnation).
 
     All timers run on the simulation clock and all state changes are
     deterministic, so faulty runs remain reproducible from their seed.
@@ -52,9 +76,15 @@ type stats = {
   dup_suppressed : int;  (** received again after delivery (or while buffered) *)
   reordered : int;  (** arrived ahead of a gap and were buffered *)
   heartbeats_sent : int;
-  give_ups : int;  (** envelopes abandoned after [max_retries] *)
+  give_ups : int;
+      (** retransmission chains that exhausted [max_retries]: the
+          envelope is abandoned without a journal, kept on the wire at
+          the capped interval with one *)
   suspects : int;
   recoveries : int;
+  epoch_rejections : int;
+      (** frames from a previous incarnation of the sender, rejected *)
+  requeued : int;  (** journal-unacked messages put back on the wire *)
 }
 
 val create :
@@ -62,12 +92,16 @@ val create :
   net:Msg.t Cm_net.Net.t ->
   ?config:config ->
   ?obs:Obs.t ->
+  ?journals:Journal.registry ->
   unit ->
   t
 (** [obs] (default {!Obs.noop}) receives [reliable_*] counters
     (data_sent, retransmits, acks_sent, delivered, dup_suppressed,
-    reordered, heartbeats_sent, give_ups, suspects, recoveries) and
-    ["retransmit"] child spans for retried {!Msg.Fire} envelopes. *)
+    reordered, heartbeats_sent, give_ups, suspects, recoveries,
+    epoch_rejections, requeued) and ["retransmit"] child spans for
+    retried {!Msg.Fire} envelopes.  [journals] (default: none) turns on
+    write-ahead logging of transport state, the prerequisite for crash
+    recovery. *)
 
 val config : t -> config
 
@@ -80,17 +114,56 @@ val register : t -> site:string -> (Msg.t -> unit) -> unit
 val send : t -> from_site:string -> to_site:string -> Msg.t -> unit
 (** Queue a message for reliable delivery.  Delivery to the handler at
     [to_site] happens exactly once, in per-link send order, as long as
-    the link's loss rate leaves any retransmission chain alive. *)
+    the link's loss rate leaves any retransmission chain alive — or,
+    with a journal attached, as long as the message is eventually
+    re-queued by recovery. *)
 
 val on_suspect : t -> (site:string -> suspect:string -> unit) -> unit
 (** Called when [site]'s detector (or retransmission give-up) starts
     suspecting [suspect], in addition to the local {!Msg.Suspect_down}
-    delivery. *)
+    delivery.  Registration is O(1). *)
 
 val on_recover : t -> (site:string -> peer:string -> unit) -> unit
+(** Registration is O(1) (used to be a quadratic list append). *)
 
 val suspects : t -> site:string -> string list
 (** Peers currently suspected by [site]'s detector, sorted. *)
+
+(** {2 Crash-recovery hooks}
+
+    Driven by {!Cm_core.Recovery}; not meant for application use. *)
+
+val reset_endpoint : t -> site:string -> unit
+(** Wipe [site]'s volatile transport state: its failure-detector memory,
+    the sender half of every link leaving it, and the receiver half of
+    every link entering it.  Models the loss of in-memory protocol state
+    at a crash; {!restore_sender_state} / {!restore_receiver_state}
+    rebuild what the journal remembers. *)
+
+val restore_sender_state :
+  t -> from_site:string -> to_site:string -> epoch:int -> next_mid:int -> unit
+(** Rebind the sender half of a link under a new incarnation: sequence
+    numbers restart at 0 in [epoch]; mids continue from [next_mid]. *)
+
+val restore_receiver_state :
+  t ->
+  from_site:string ->
+  to_site:string ->
+  epoch:int ->
+  expected:int ->
+  delivered_mids:int list ->
+  unit
+(** Rebuild the receiver half of a link from journaled deliveries: the
+    peer epoch it was synchronized to, the next expected sequence
+    number, and the cross-incarnation duplicate-suppression set. *)
+
+val requeue_unacked : t -> from_site:string -> to_site:string -> unit
+(** Re-send every journal-unacked message from [from_site] to [to_site]
+    that is not already in flight, in original send order.  Entries from
+    the current epoch resume their original sequence slot; entries from
+    a previous incarnation are re-sent under the current epoch with
+    fresh sequence numbers (and their stable mid).  No-op without a
+    journal. *)
 
 val stats : t -> stats
 

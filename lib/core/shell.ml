@@ -11,6 +11,7 @@ type ctx = {
   ctx_trace : Trace.t;
   ctx_locator : Item.locator;
   ctx_obs : Obs.t;
+  ctx_journals : Journal.registry option;
 }
 
 type t = {
@@ -22,6 +23,7 @@ type t = {
   obs : Obs.t;
   site : string;
   store : Store.t;
+  journal : Journal.t option;
   mutable translators : Cmi.t list;
   mutable handled_sites : string list;
   mutable route : string -> string;
@@ -65,6 +67,16 @@ let local_state t =
 let eval_cond_safe t env cond =
   try Expr.eval_cond (local_state t) env cond with Expr.Eval_error _ -> None
 
+(* Write-ahead: the store mutation is journaled before it is applied, so
+   recovery replays exactly the writes that happened. *)
+let journaled_store_set t item v =
+  (match t.journal with
+   | Some j ->
+     Journal.append j
+       (Journal.Store_write { time = Sim.now t.sim; item; value = v })
+   | None -> ());
+  Store.set t.store item v
+
 (* --- event intake: record, then match strategy rules --- *)
 
 let rec occurred t (event : Event.t) =
@@ -94,6 +106,15 @@ let rec occurred t (event : Event.t) =
               | None -> t.site  (* pure chaining rules execute locally *)
             in
             let to_site = t.route rhs_site in
+            (* The firing decision is journaled before the envelope is on
+               the wire: a crash between the two re-sends, never loses. *)
+            (match t.journal with
+             | Some j ->
+               Journal.append j
+                 (Journal.Fire_sent
+                    { time = event.time; rule_id = rule.Rule.id; to_site;
+                      trigger_id = event.id })
+             | None -> ());
             t.fires_sent <- t.fires_sent + 1;
             Obs.incr t.obs "shell_fires_sent"
               ~labels:[ ("site", t.site); ("rule", rule.Rule.id) ];
@@ -123,6 +144,12 @@ let rec occurred t (event : Event.t) =
 
 and emit_at t ~site desc ~kind =
   let event = Trace.record t.trace ~time:(Sim.now t.sim) ~site ~kind desc in
+  (match t.journal with
+   | Some j ->
+     Journal.append j
+       (Journal.Event
+          { time = event.Event.time; site; desc = Event.desc_to_string desc })
+   | None -> ());
   occurred t event;
   event
 
@@ -154,7 +181,7 @@ and dispatch t desc ~kind =
               t.site
               (Item.to_string item))
       else begin
-        Store.set t.store item v;
+        journaled_store_set t item v;
         ignore (emit_at t ~site:t.site desc ~kind)
       end
     | None ->
@@ -222,9 +249,13 @@ and handle_msg t = function
   | Msg.Reset_notice { origin_site } ->
     List.iter (fun f -> f ~origin:origin_site) t.reset_listeners
   | Msg.Suspect_down { suspect_site; origin_site = _ } ->
-    (* The failure detector's verdict on a dead peer: a logical failure at
-       that site (§5) — its updates may be lost entirely, not just late. *)
-    List.iter (fun f -> f ~origin:suspect_site Msg.Logical) t.failure_listeners
+    (* The failure detector's verdict on a dead peer.  Without durable
+       state this is a logical failure at that site (§5) — its updates
+       may be lost entirely, not just late.  With a journal the site can
+       "remember" what it owes on recovery, so the crash degrades to a
+       metric failure: updates arrive late, never never. *)
+    let kind = if Option.is_some t.journal then Msg.Metric else Msg.Logical in
+    List.iter (fun f -> f ~origin:suspect_site kind) t.failure_listeners
   | Msg.Data { payload; _ } ->
     (* Transport envelope reaching the shell means the sender used the
        reliable protocol while this site was registered raw; unwrap so the
@@ -234,7 +265,8 @@ and handle_msg t = function
 
 let create ctx ~site =
   let { ctx_sim = sim; ctx_net = net; ctx_reliable = reliable;
-        ctx_trace = trace; ctx_locator = locator; ctx_obs = obs } = ctx
+        ctx_trace = trace; ctx_locator = locator; ctx_obs = obs;
+        ctx_journals = journals } = ctx
   in
   let send_msg =
     match reliable with
@@ -251,6 +283,7 @@ let create ctx ~site =
       obs;
       site;
       store = Store.create ();
+      journal = Option.map (fun reg -> Journal.for_site reg ~site) journals;
       translators = [];
       handled_sites = [ site ];
       route = (fun s -> s);
@@ -309,7 +342,7 @@ let register_periodic t ?site ~period () =
 let read_aux t item = Store.get t.store item
 
 let write_aux t item v =
-  Store.set t.store item v;
+  journaled_store_set t item v;
   ignore (emit_at t ~site:t.site (Event.w item v) ~kind:Event.Spontaneous)
 
 let on_custom t name handler =
@@ -339,3 +372,14 @@ let broadcast_reset t =
 let fires_sent t = t.fires_sent
 let fires_executed t = t.fires_executed
 let events_seen t = t.events_seen
+
+(* -- crash-recovery hooks (driven by Cm_core.Recovery) -- *)
+
+let journal t = t.journal
+
+let reset_volatile t = Store.clear t.store
+
+let restore_aux t item v =
+  (* Replay path: re-apply a journaled write without re-emitting its
+     event (the trace already has it) and without re-journaling it. *)
+  Store.set t.store item v

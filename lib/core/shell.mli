@@ -31,10 +31,12 @@ type ctx = {
   ctx_trace : Cm_rule.Trace.t;
   ctx_locator : Cm_rule.Item.locator;
   ctx_obs : Obs.t;
+  ctx_journals : Journal.registry option;
 }
 (** The per-system context every shell shares: simulation clock,
     network, optional reliable-delivery layer, global trace, item
-    locator, and observability registry.  {!System.create} builds it
+    locator, observability registry, and (when the system is configured
+    durable) the per-site journal registry.  {!System.create} builds it
     once from its {!System.Config.t}. *)
 
 val create : ctx -> site:string -> t
@@ -112,3 +114,23 @@ val set_peer_sites : t -> string list -> unit
 val fires_sent : t -> int
 val fires_executed : t -> int
 val events_seen : t -> int
+
+(** {2 Crash-recovery hooks}
+
+    Driven by {!Recovery}; not meant for application use.  When the
+    shell has a journal, every event it records, every firing decision,
+    and every store write is journaled (write-ahead), and the failure
+    detector's {!Msg.Suspect_down} verdicts are reported as {e metric}
+    instead of logical failures — a journaled site's updates arrive
+    late, not never (§5). *)
+
+val journal : t -> Journal.t option
+
+val reset_volatile : t -> unit
+(** Wipe the private store, modelling the loss of volatile memory at a
+    crash.  Counters and trace survive: they are measurement, not
+    state. *)
+
+val restore_aux : t -> Cm_rule.Item.t -> Cm_rule.Value.t -> unit
+(** Replay a journaled store write without re-emitting its event or
+    re-journaling it. *)

@@ -9,3 +9,7 @@ let set t item v = t.data <- Cm_rule.Item.Map.add item v t.data
 let remove t item = t.data <- Cm_rule.Item.Map.remove item t.data
 
 let items t = List.map fst (Cm_rule.Item.Map.bindings t.data)
+
+let bindings t = Cm_rule.Item.Map.bindings t.data
+
+let clear t = t.data <- Cm_rule.Item.Map.empty

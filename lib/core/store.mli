@@ -13,3 +13,11 @@ val get : t -> Cm_rule.Item.t -> Cm_rule.Value.t option
 val set : t -> Cm_rule.Item.t -> Cm_rule.Value.t -> unit
 val remove : t -> Cm_rule.Item.t -> unit
 val items : t -> Cm_rule.Item.t list
+
+val bindings : t -> (Cm_rule.Item.t * Cm_rule.Value.t) list
+(** All items with their current values, in item order — the shell's
+    volatile state as captured by recovery checkpoints. *)
+
+val clear : t -> unit
+(** Drop everything.  Models the loss of volatile memory when a site
+    crashes; {!Cm_core.Recovery} rebuilds the contents from the journal. *)

@@ -10,6 +10,7 @@ module Config = struct
     faults : Net.faults option;
     reliable : Reliable.config option;
     obs : Obs.t option;
+    durability : Journal.durability;
   }
 
   let default =
@@ -20,6 +21,7 @@ module Config = struct
       faults = None;
       reliable = None;
       obs = None;
+      durability = Journal.None;
     }
 
   let seeded seed = { default with seed }
@@ -29,6 +31,7 @@ module Config = struct
   let with_faults faults t = { t with faults = Some faults }
   let with_reliable reliable t = { t with reliable = Some reliable }
   let with_obs obs t = { t with obs = Some obs }
+  let with_durability durability t = { t with durability }
 end
 
 type guarantee_entry = {
@@ -43,6 +46,8 @@ type t = {
   sim : Sim.t;
   net : Msg.t Net.t;
   reliable : Reliable.t option;
+  journals : Journal.registry option;
+  recovery : Recovery.t option;
   trace : Trace.t;
   locator : Item.locator;
   obs : Obs.t;
@@ -79,15 +84,30 @@ let create ?(config = Config.default) locator =
           ~labels:[ ("from", from_site); ("to", to_site) ]
           latency)
   end;
+  let journals =
+    match config.Config.durability with
+    | Journal.None -> None
+    | Journal.Journal | Journal.Journal_with_checkpoint ->
+      Some (Journal.create_registry ~obs ())
+  in
   let reliable =
     Option.map
-      (fun rc -> Reliable.create ~sim ~net ~config:rc ~obs ())
+      (fun rc -> Reliable.create ~sim ~net ~config:rc ~obs ?journals ())
       config.Config.reliable
+  in
+  let recovery =
+    Option.map
+      (fun reg ->
+        Recovery.create ~sim ~net ?reliable ~journals:reg ~obs
+          config.Config.durability)
+      journals
   in
   {
     sim;
     net;
     reliable;
+    journals;
+    recovery;
     trace = Trace.create ();
     locator;
     obs;
@@ -101,9 +121,28 @@ let create ?(config = Config.default) locator =
 let sim t = t.sim
 let net t = t.net
 let reliable t = t.reliable
+let recovery t = t.recovery
+let journals t = t.journals
+
+let journal t ~site =
+  Option.map (fun reg -> Journal.for_site reg ~site) t.journals
+
 let trace t = t.trace
 let locator t = t.locator
 let obs t = t.obs
+
+(* With a recovery manager, crash/restart go through the full §5
+   protocol; without one they degrade to the raw network operations —
+   the pre-durability behaviour. *)
+let crash_site t ~site =
+  match t.recovery with
+  | Some r -> Recovery.crash r ~site
+  | None -> Net.crash_site t.net ~site
+
+let restart_site t ~site =
+  match t.recovery with
+  | Some r -> Recovery.restart r ~site
+  | None -> Net.restart_site t.net ~site
 
 let refresh_routing t =
   let peers = Hashtbl.fold (fun site _ acc -> site :: acc) t.shells [] in
@@ -163,6 +202,7 @@ let add_shell t ~site =
         ctx_trace = t.trace;
         ctx_locator = t.locator;
         ctx_obs = t.obs;
+        ctx_journals = t.journals;
       }
       ~site
   in
@@ -170,6 +210,7 @@ let add_shell t ~site =
   Hashtbl.replace t.site_to_shell site shell;
   Shell.on_failure_notice shell (fun ~origin kind -> note_failure t ~origin kind);
   Shell.on_reset_notice shell (fun ~origin -> note_reset t ~origin);
+  Option.iter (fun r -> Recovery.register_shell r shell) t.recovery;
   refresh_routing t;
   shell
 

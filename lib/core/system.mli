@@ -39,6 +39,14 @@ module Config : sig
             peers into §5 failure notices *)
     obs : Obs.t option;
         (** observability registry; [None] = {!Obs.noop}, zero overhead *)
+    durability : Journal.durability;
+        (** what the system remembers across crashes
+            ({!Journal.durability.None} by default — byte-identical to
+            the pre-recovery behaviour).  [Journal] and
+            [Journal_with_checkpoint] give every site a write-ahead
+            {!Journal} and a {!Recovery} manager, and make the reliable
+            layer epoch-aware, so {!restart_site} replays, re-queues,
+            and reports the crash as a metric failure (§5). *)
   }
 
   val default : t
@@ -51,6 +59,7 @@ module Config : sig
   val with_faults : Cm_net.Net.faults -> t -> t
   val with_reliable : Reliable.config -> t -> t
   val with_obs : Obs.t -> t -> t
+  val with_durability : Journal.durability -> t -> t
 end
 
 val create : ?config:Config.t -> Cm_rule.Item.locator -> t
@@ -66,6 +75,26 @@ val net : t -> Msg.t Cm_net.Net.t
 val reliable : t -> Reliable.t option
 (** The reliable-delivery layer, when one was configured — source of
     retransmission/ack counters for the message-cost experiments. *)
+
+val recovery : t -> Recovery.t option
+(** The crash-recovery manager, when [config.durability] is not
+    {!Journal.durability.None}. *)
+
+val journals : t -> Journal.registry option
+
+val journal : t -> site:string -> Journal.t option
+(** The site's write-ahead journal under a durable configuration. *)
+
+val crash_site : t -> site:string -> unit
+(** Crash a site.  With a recovery manager this goes through
+    {!Recovery.crash}; without one it is the raw
+    {!Cm_net.Net.crash_site}. *)
+
+val restart_site : t -> site:string -> unit
+(** Restart a site.  With a recovery manager this runs the full §5
+    protocol (replay, re-queue, epoch bump, metric failure notice);
+    without one the endpoint silently comes back with whatever stale
+    in-memory state it had. *)
 
 val obs : t -> Obs.t
 (** The configured observability registry, or {!Obs.noop}. *)

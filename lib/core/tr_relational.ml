@@ -49,8 +49,6 @@ type t = {
   bindings : (string, compiled) Hashtbl.t;  (* by base *)
   existence : existence_spec list;
   health : Health.t;
-  recoverable : bool;
-  mutable pending : (unit -> unit) list;  (* queued notifications, in order *)
   mutable self_write : bool;
 }
 
@@ -154,7 +152,15 @@ let perform_write t item v stmt ~provenance =
       Logs.warn (fun m ->
           m "translator %s: write to %s rejected: %s" t.site (Item.to_string item)
             (Db.error_to_string e));
-      t.report Msg.Logical
+      (* A CHECK rejection of a CMS-generated write means the local guard
+         held against a decision computed from a stale view (e.g. a limit
+         grant queued across a peer's crash).  The constraint is intact
+         and the managing rules will re-derive a fresh decision, so the
+         write is late, not wrong: a metric failure.  Anything else
+         (missing table, type error) is a logical one. *)
+      (match e with
+       | Db.Check_failed _ -> t.report Msg.Metric
+       | _ -> t.report Msg.Logical)
   end
 
 let perform_delete t item stmt ~provenance =
@@ -169,7 +175,9 @@ let perform_delete t item stmt ~provenance =
       Logs.warn (fun m ->
           m "translator %s: delete of %s rejected: %s" t.site (Item.to_string item)
             (Db.error_to_string e));
-      t.report Msg.Logical
+      (match e with
+       | Db.Check_failed _ -> t.report Msg.Metric
+       | _ -> t.report Msg.Logical)
   end
 
 let request t desc ~kind =
@@ -272,22 +280,9 @@ let on_db_change t change =
                       trigger = ws.Event.id;
                     }
                 in
-                let due = Sim.now t.sim in
                 delayed_op t ~latency:t.latencies.notify ~bound:t.deltas.notify
                   ~perform:(fun () ->
-                    if Health.mode t.health = Health.Down then
-                      if t.recoverable then
-                        (* §5: a crash becomes a metric failure when the
-                           source can remember undelivered messages. *)
-                        t.pending <-
-                          t.pending
-                          @ [
-                              (fun () ->
-                                ignore (t.emit (Event.n item new_value) ~kind:provenance);
-                                if Sim.now t.sim -. due > t.deltas.notify then
-                                  t.report Msg.Metric);
-                            ]
-                      else t.report Msg.Logical
+                    if Health.mode t.health = Health.Down then t.report Msg.Logical
                     else ignore (t.emit (Event.n item new_value) ~kind:provenance))
               end)
             (watched_change t ~table ~column ~old_row ~new_row))
@@ -312,7 +307,7 @@ let on_db_change t change =
         t.existence
 
 let create ~sim ~db ~site ~emit ~report ?(latencies = default_latencies) ?deltas
-    ?(existence = []) ?(recoverable = false) bindings =
+    ?(existence = []) bindings =
   let deltas =
     match deltas with
     | Some d -> d
@@ -349,8 +344,6 @@ let create ~sim ~db ~site ~emit ~report ?(latencies = default_latencies) ?deltas
       bindings = table;
       existence;
       health = Health.create ();
-      recoverable;
-      pending = [];
       self_write = false;
     }
   in
@@ -403,9 +396,3 @@ let cmi t =
 let exec_app t ?params src =
   Health.check t.health ~name:"relational";
   Db.exec t.db ?params src
-
-let recover t =
-  Health.set t.health Health.Healthy;
-  let flush = t.pending in
-  t.pending <- [];
-  List.iter (fun deliver -> deliver ()) flush

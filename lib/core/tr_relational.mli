@@ -75,26 +75,22 @@ val create :
   ?latencies:latencies ->
   ?deltas:deltas ->
   ?existence:existence_spec list ->
-  ?recoverable:bool ->
   item_binding list ->
   t
 (** Declares the needed triggers on [db] (observers) immediately.
 
-    [recoverable] (default false) models §5's basic recovery facility:
-    while the source is [Down], notifications that come due are queued
-    instead of lost, and {!recover} delivers them — turning a crash into
-    a {e metric} failure (late but eventual delivery) rather than a
-    logical one. *)
+    A [Down] source loses the notifications that come due while it is
+    out and reports a {e logical} failure.  §5's "remember messages that
+    need to be sent out upon recovery" facility is no longer a
+    translator-local queue: it is the write-ahead {!Journal} plus the
+    {!Recovery} restart protocol, configured system-wide through
+    {!System.Config.durability}. *)
 
 val cmi : t -> Cmi.t
 val health : t -> Cm_sources.Health.t
 val interface_rules : t -> Cm_rule.Rule.t list
 (** The generated interface statements, with stable ids
     ["<site>/<base>/<kind>"]. *)
-
-val recover : t -> unit
-(** Bring a [Down] source back to [Healthy] and deliver the queued
-    notifications, in order.  Late deliveries report a metric failure. *)
 
 val exec_app :
   t -> ?params:(string * Cm_rule.Value.t) list -> string ->

@@ -40,14 +40,18 @@ type 'msg t = {
   mutable dropped : int;
   mutable unroutable : int;
   mutable endpoint_down : int;
+  (* Endpoint_down split: dropped at send time (an endpoint was already
+     down when the message was handed to the network) vs. in flight (the
+     destination crashed while the message was on the wire). *)
+  mutable endpoint_down_in_flight : int;
   mutable partitioned : int;
   mutable faulty : int;
   mutable duplicated : int;
-  mutable drop_hooks : (from_site:string -> to_site:string -> drop_reason -> unit) list;
-  mutable send_hooks : (from_site:string -> to_site:string -> unit) list;
-  mutable deliver_hooks :
-    (from_site:string -> to_site:string -> latency:float -> unit) list;
-  mutable duplicate_hooks : (from_site:string -> to_site:string -> unit) list;
+  drop_hooks : (from_site:string -> to_site:string -> drop_reason -> unit) Queue.t;
+  send_hooks : (from_site:string -> to_site:string -> unit) Queue.t;
+  deliver_hooks :
+    (from_site:string -> to_site:string -> latency:float -> unit) Queue.t;
+  duplicate_hooks : (from_site:string -> to_site:string -> unit) Queue.t;
 }
 
 let create ~sim ?(latency = default_latency) ?(fifo = true) ?(faults = no_faults) () =
@@ -64,13 +68,14 @@ let create ~sim ?(latency = default_latency) ?(fifo = true) ?(faults = no_faults
     dropped = 0;
     unroutable = 0;
     endpoint_down = 0;
+    endpoint_down_in_flight = 0;
     partitioned = 0;
     faulty = 0;
     duplicated = 0;
-    drop_hooks = [];
-    send_hooks = [];
-    deliver_hooks = [];
-    duplicate_hooks = [];
+    drop_hooks = Queue.create ();
+    send_hooks = Queue.create ();
+    deliver_hooks = Queue.create ();
+    duplicate_hooks = Queue.create ();
   }
 
 let link t ~from_site ~to_site =
@@ -116,22 +121,27 @@ let register t ~site handler =
     invalid_arg ("Net.register: site already registered: " ^ site);
   Hashtbl.replace t.handlers site handler
 
-let on_drop t hook = t.drop_hooks <- t.drop_hooks @ [ hook ]
-let on_send t hook = t.send_hooks <- t.send_hooks @ [ hook ]
-let on_deliver t hook = t.deliver_hooks <- t.deliver_hooks @ [ hook ]
-let on_duplicate t hook = t.duplicate_hooks <- t.duplicate_hooks @ [ hook ]
+(* Hook registration is O(1) (hooks used to be appended to a list, which
+   is quadratic when registering in a loop); queues preserve registration
+   order on iteration. *)
+let on_drop t hook = Queue.add hook t.drop_hooks
+let on_send t hook = Queue.add hook t.send_hooks
+let on_deliver t hook = Queue.add hook t.deliver_hooks
+let on_duplicate t hook = Queue.add hook t.duplicate_hooks
 
-let record_drop t ?link ~from_site ~to_site reason =
+let record_drop t ?link ?(in_flight = false) ~from_site ~to_site reason =
   t.dropped <- t.dropped + 1;
   (match reason with
    | Unroutable -> t.unroutable <- t.unroutable + 1
-   | Endpoint_down -> t.endpoint_down <- t.endpoint_down + 1
+   | Endpoint_down ->
+     t.endpoint_down <- t.endpoint_down + 1;
+     if in_flight then t.endpoint_down_in_flight <- t.endpoint_down_in_flight + 1
    | Partitioned -> t.partitioned <- t.partitioned + 1
    | Faulty -> t.faulty <- t.faulty + 1);
   (match link with
    | Some (l : _ link) -> l.dropped <- l.dropped + 1
    | None -> ());
-  List.iter (fun hook -> hook ~from_site ~to_site reason) t.drop_hooks
+  Queue.iter (fun hook -> hook ~from_site ~to_site reason) t.drop_hooks
 
 (* A fault draw happens only when the matching probability is nonzero, so a
    zero-fault network consumes exactly the PRNG stream it did before the
@@ -153,16 +163,16 @@ let deliver_copy t l ~from_site ~to_site handler msg =
     if t.fifo then Float.max (now +. delay) l.last_delivery else now +. delay
   in
   l.last_delivery <- Float.max at l.last_delivery;
-  List.iter (fun hook -> hook ~from_site ~to_site ~latency:(at -. now)) t.deliver_hooks;
+  Queue.iter (fun hook -> hook ~from_site ~to_site ~latency:(at -. now)) t.deliver_hooks;
   Sim.schedule_at t.sim at (fun () ->
       (* In-flight messages arriving at a crashed endpoint are lost. *)
       if Hashtbl.mem t.down_sites to_site then
-        record_drop t ~link:l ~from_site ~to_site Endpoint_down
+        record_drop t ~link:l ~in_flight:true ~from_site ~to_site Endpoint_down
       else handler msg)
 
 let send t ~from_site ~to_site msg =
   t.sent <- t.sent + 1;
-  List.iter (fun hook -> hook ~from_site ~to_site) t.send_hooks;
+  Queue.iter (fun hook -> hook ~from_site ~to_site) t.send_hooks;
   match Hashtbl.find_opt t.handlers to_site with
   | None -> record_drop t ~from_site ~to_site Unroutable
   | Some handler ->
@@ -183,7 +193,7 @@ let send t ~from_site ~to_site msg =
       else deliver_copy t l ~from_site ~to_site handler msg;
       if duplicated then begin
         t.duplicated <- t.duplicated + 1;
-        List.iter (fun hook -> hook ~from_site ~to_site) t.duplicate_hooks;
+        Queue.iter (fun hook -> hook ~from_site ~to_site) t.duplicate_hooks;
         deliver_copy t l ~from_site ~to_site handler msg
       end
     end
@@ -203,6 +213,9 @@ let drops_by t = function
   | Partitioned -> t.partitioned
   | Faulty -> t.faulty
 
+let endpoint_down_in_flight t = t.endpoint_down_in_flight
+let endpoint_down_at_send t = t.endpoint_down - t.endpoint_down_in_flight
+
 let dropped_between t ~from_site ~to_site =
   match Hashtbl.find_opt t.links (from_site, to_site) with
   | Some l -> l.dropped
@@ -215,6 +228,7 @@ let reset_counters t =
   t.dropped <- 0;
   t.unroutable <- 0;
   t.endpoint_down <- 0;
+  t.endpoint_down_in_flight <- 0;
   t.partitioned <- 0;
   t.faulty <- 0;
   t.duplicated <- 0;

@@ -107,7 +107,8 @@ val send : 'msg t -> from_site:string -> to_site:string -> 'msg -> unit
 val on_drop :
   'msg t -> (from_site:string -> to_site:string -> drop_reason -> unit) -> unit
 (** Hook invoked on every dropped message (any reason), after the drop
-    counters are updated. *)
+    counters are updated.  Hook registration (all four kinds) is O(1)
+    and hooks run in registration order. *)
 
 val on_send : 'msg t -> (from_site:string -> to_site:string -> unit) -> unit
 (** Hook invoked on every send attempt, before routing. *)
@@ -129,6 +130,19 @@ val messages_between : 'msg t -> from_site:string -> to_site:string -> int
 
 val messages_dropped : 'msg t -> int
 val drops_by : 'msg t -> drop_reason -> int
+
+val endpoint_down_at_send : 'msg t -> int
+(** [Endpoint_down] drops where an endpoint was already down when the
+    message was handed to the network. *)
+
+val endpoint_down_in_flight : 'msg t -> int
+(** [Endpoint_down] drops where the destination crashed while the
+    message was on the wire — it was accepted onto the link and lost at
+    delivery time.  [endpoint_down_at_send + endpoint_down_in_flight =
+    drops_by Endpoint_down]; chaos debugging needs the two apart because
+    only the in-flight case represents state the sender believed was
+    safely en route. *)
+
 val dropped_between : 'msg t -> from_site:string -> to_site:string -> int
 val messages_duplicated : 'msg t -> int
 

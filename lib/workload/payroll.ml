@@ -103,8 +103,7 @@ let binding ~base ~mode =
   }
 
 let create ?(config = Sys_.Config.default) ?(employees = 10) ?(mode = Notify)
-    ?(notify_latency = 1.0) ?(notify_delta = 5.0) ?(write_latency = 0.2)
-    ?(recoverable_source = false) () =
+    ?(notify_latency = 1.0) ?(notify_delta = 5.0) ?(write_latency = 0.2) () =
   let employees = List.init employees (fun i -> "e" ^ string_of_int (i + 1)) in
   let system = Sys_.create ~config locator in
   let shell_a = Sys_.add_shell system ~site:site_a in
@@ -122,7 +121,7 @@ let create ?(config = Sys_.Config.default) ?(employees = 10) ?(mode = Notify)
     Tr_rel.create ~sim:(Sys_.sim system) ~db:db_a ~site:site_a
       ~emit:(Shell.emitter_for shell_a ~site:site_a)
       ~report:(fun k -> Shell.report_failure shell_a k)
-      ~latencies:(latencies notify_latency) ~deltas ~recoverable:recoverable_source
+      ~latencies:(latencies notify_latency) ~deltas
       [ binding ~base:"Salary1" ~mode ]
   in
   let tr_b =
@@ -188,5 +187,3 @@ let salary_at t side emp =
 let guarantees ?(kappa = 10.0) _t ~emp =
   Cm_core.Guarantee.for_copy_constraint ~source:(source_item emp)
     ~target:(target_item emp) ~kappa
-
-let recover_source t = Tr_rel.recover t.tr_a

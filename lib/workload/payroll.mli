@@ -33,14 +33,13 @@ val create :
   ?notify_latency:float ->
   ?notify_delta:float ->
   ?write_latency:float ->
-  ?recoverable_source:bool ->
   unit ->
   t
 (** Defaults: 10 employees ("e1"…), [`Notify], 1 s notification latency
     with a 5 s bound, 0.2 s writes.  [config] (default
     {!Cm_core.System.Config.default}) carries the seed, network model,
-    reliable-delivery layer, and observability registry (see
-    {!Cm_core.System.create}). *)
+    reliable-delivery layer, durability mode, and observability registry
+    (see {!Cm_core.System.create}). *)
 
 val source_item : string -> Cm_rule.Item.t
 (** salary1(emp). *)
@@ -70,10 +69,6 @@ val random_updates :
 (** Poisson stream of salary changes across random employees. *)
 
 val salary_at : t -> [ `A | `B ] -> string -> Cm_rule.Value.t
-
-val recover_source : t -> unit
-(** Bring a crashed (recoverable) source back up, flushing its queued
-    notifications (§5). *)
 
 val guarantees : ?kappa:float -> t -> emp:string -> Cm_core.Guarantee.t list
 (** The four §3.3.1 guarantees for one employee's copy constraint. *)

@@ -416,48 +416,6 @@ let rel_no_spontaneous_interface () =
   Alcotest.(check bool) "no-spontaneous-write reported" true
     (List.mem Cm_core.Interface.No_spontaneous_write kinds)
 
-let rel_recoverable_crash_queues_notifications () =
-  (* §5: with basic recovery facilities, a crash is only a metric
-     failure — queued notifications are delivered on recovery. *)
-  let w = world () in
-  let db = Cm_relational.Database.create () in
-  ignore (Cm_relational.Database.exec db "CREATE TABLE t (id TEXT PRIMARY KEY, v INT)");
-  ignore (Cm_relational.Database.exec db "INSERT INTO t VALUES ('k', 0)");
-  let tr =
-    Cm_core.Tr_relational.create ~sim:(Sys_.sim w.system) ~db ~site:"s"
-      ~emit:(Shell.emitter_for w.shell ~site:"s")
-      ~report:(fun k -> Shell.report_failure w.shell k)
-      ~recoverable:true
-      [
-        {
-          Cm_core.Tr_relational.base = "V";
-          params = [];
-          read_sql = Some "SELECT v FROM t WHERE id = 'k'";
-          write_sql = None;
-          delete_sql = None;
-          notify =
-            Some
-              { Cm_core.Tr_relational.table = "t"; column = "v"; key_column = "id";
-                send = true; filter = None; filter_expr = None };
-          no_spontaneous = false;
-          periodic = None;
-        };
-      ]
-  in
-  (* Update at t=0; notification due at t=1; crash at t=0.5. *)
-  ignore (Cm_core.Tr_relational.exec_app tr "UPDATE t SET v = 7 WHERE id = 'k'");
-  Sim.schedule_at (Sys_.sim w.system) 0.5 (fun () ->
-      Health.set (Cm_core.Tr_relational.health tr) Health.Down);
-  run w ~until:50.0;
-  Alcotest.(check int) "notification held back" 0 (List.length (named w "N"));
-  Alcotest.(check int) "no logical failure" 0
-    (List.length (List.filter (( = ) Msg.Logical) !(w.failures)));
-  Cm_core.Tr_relational.recover tr;
-  run w ~until:60.0;
-  Alcotest.(check int) "delivered on recovery" 1 (List.length (named w "N"));
-  Alcotest.(check bool) "late delivery is a metric failure" true
-    (List.mem Msg.Metric !(w.failures))
-
 let rel_no_spontaneous_violation_detected () =
   (* If the source promised Ws -> FALSE but an application writes anyway,
      the validity checker flags the prohibited event. *)
@@ -521,7 +479,5 @@ let () =
             rel_no_spontaneous_interface;
           Alcotest.test_case "no-spontaneous violation" `Quick
             rel_no_spontaneous_violation_detected;
-          Alcotest.test_case "recoverable crash" `Quick
-            rel_recoverable_crash_queues_notifications;
         ] );
     ]
