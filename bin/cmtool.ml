@@ -10,15 +10,46 @@
 open Cmdliner
 module Interface = Cm_core.Interface
 module Suggest = Cm_core.Suggest
+module Analysis = Cm_analysis.Analysis
 
 let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* Static preflight over a built-in workload's rule set: refuse to run a
+   scenario whose specifications the checker rejects (gate with
+   --no-check).  Warnings never block, and are kept off the output so
+   byte-compared runs stay stable. *)
+let preflight ~label ~no_check workload =
+  no_check
+  ||
+  let interfaces, strategy, locator = Cm_chaos.Chaos.static_rules workload in
+  let findings = Analysis.check_rules ~file:label ~interfaces ~strategy ~locator () in
+  let errors, _, _ = Analysis.summary findings in
+  if errors = 0 then true
+  else begin
+    List.iter
+      (fun (f : Analysis.finding) ->
+        if f.Analysis.severity = Analysis.Error then
+          Printf.eprintf "%s\n" (Analysis.finding_to_string f))
+      findings;
+    Printf.eprintf
+      "%s: static check found %d error(s) in the workload's rules; \
+       pass --no-check to run anyway\n"
+      label errors;
+    false
+  end
+
+let no_check_arg =
+  Arg.(
+    value & flag
+    & info [ "no-check" ]
+        ~doc:"Skip the static rule check that normally gates this command")
 
 (* ---- parse ---- *)
 
 let parse_cmd_run file =
   match Cm_rule.Parser.parse_rules (read_file file) with
-  | exception Cm_rule.Parser.Parse_error { pos; message } ->
-    Printf.eprintf "%s: parse error near token %d: %s\n" file pos message;
+  | exception Cm_rule.Parser.Parse_error { line; message; _ } ->
+    Printf.eprintf "%s:%d: parse error: %s\n" file line message;
     1
   | exception Sys_error m ->
     Printf.eprintf "%s\n" m;
@@ -125,8 +156,8 @@ let derive_cmd_run interfaces_file strategy_file source target =
     ( Cm_rule.Parser.parse_rules (read_file interfaces_file),
       Cm_rule.Parser.parse_rules (read_file strategy_file) )
   with
-  | exception Cm_rule.Parser.Parse_error { pos; message } ->
-    Printf.eprintf "parse error near token %d: %s\n" pos message;
+  | exception Cm_rule.Parser.Parse_error { line; message; _ } ->
+    Printf.eprintf "parse error on line %d: %s\n" line message;
     1
   | exception Sys_error m ->
     Printf.eprintf "%s\n" m;
@@ -162,8 +193,11 @@ let derive_cmd =
 
 let config_cmd_run file =
   match Cm_core.Cmrid.parse_file file with
-  | Error m ->
-    Printf.eprintf "%s: %s\n" file m;
+  | Error errors ->
+    List.iter
+      (fun (e : Cm_core.Cmrid.error) ->
+        Printf.eprintf "%s:%d: %s\n" file e.Cm_core.Cmrid.e_line e.Cm_core.Cmrid.e_msg)
+      errors;
     1
   | Ok config -> (
     match Cm_core.Toolkit.build config with
@@ -189,6 +223,44 @@ let config_cmd =
     (Cmd.info "config" ~doc:"Validate a CM-RID configuration file")
     Term.(const config_cmd_run $ file)
 
+(* ---- check ---- *)
+
+let check_cmd_run file rule_files json deny_warnings =
+  match (read_file file, List.map (fun f -> (f, read_file f)) rule_files) with
+  | exception Sys_error m ->
+    Printf.eprintf "%s\n" m;
+    1
+  | text, rule_files ->
+    let findings = Analysis.check_config ~rule_files ~file text in
+    if json then print_endline (Analysis.to_json ~checked:file findings)
+    else print_endline (Analysis.to_text findings);
+    Analysis.exit_code ~deny_warnings findings
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG") in
+  let rule_files =
+    Arg.(
+      value & pos_right 0 file []
+      & info [] ~docv:"RULES"
+          ~doc:"Additional rule files; interface statements extend the \
+                declared interfaces, the rest is strategy")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON") in
+  let deny_warnings =
+    Arg.(
+      value & flag
+      & info [ "deny-warnings" ] ~doc:"Exit non-zero on warnings, not just errors")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze a CM-RID configuration plus optional rule files: \
+          resolution, interface capabilities (§3.1.1), write/write and \
+          trigger/write conflicts, rule-firing cycles (Appendix A), guarantee \
+          feasibility via the Derive prover (§3.3.1), and hygiene.  Exits \
+          non-zero on errors, and on warnings with --deny-warnings")
+    Term.(const check_cmd_run $ file $ rule_files $ json $ deny_warnings)
+
 (* ---- check-trace ---- *)
 
 let item_of_string s =
@@ -212,8 +284,8 @@ let check_trace_cmd_run trace_file rules_file source target kappa =
     1
   | Ok trace -> (
     match Cm_rule.Parser.parse_rules (read_file rules_file) with
-    | exception Cm_rule.Parser.Parse_error { pos; message } ->
-      Printf.eprintf "%s: parse error near token %d: %s\n" rules_file pos message;
+    | exception Cm_rule.Parser.Parse_error { line; message; _ } ->
+      Printf.eprintf "%s:%d: parse error: %s\n" rules_file line message;
       1
     | rules ->
       (* Without a configured locator, site restrictions cannot apply;
@@ -266,7 +338,7 @@ let check_trace_cmd =
 
 (* ---- demo ---- *)
 
-let demo_cmd_run seed minutes dump_trace =
+let run_demo seed minutes dump_trace =
   let module Payroll = Cm_workload.Payroll in
   let module Sys_ = Cm_core.System in
   let module Guarantee = Cm_core.Guarantee in
@@ -301,6 +373,10 @@ let demo_cmd_run seed minutes dump_trace =
    | None -> ());
   0
 
+let demo_cmd_run seed minutes dump_trace no_check =
+  if not (preflight ~label:"payroll" ~no_check Cm_chaos.Chaos.Payroll) then 1
+  else run_demo seed minutes dump_trace
+
 let demo_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
   let minutes = Arg.(value & opt int 20 & info [ "minutes" ] ~docv:"N") in
@@ -309,11 +385,11 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the payroll scenario and check its guarantees")
-    Term.(const demo_cmd_run $ seed $ minutes $ dump_trace)
+    Term.(const demo_cmd_run $ seed $ minutes $ dump_trace $ no_check_arg)
 
 (* ---- faults ---- *)
 
-let faults_cmd_run seed drop dup minutes employees no_reliable heartbeat =
+let run_faults seed drop dup minutes employees no_reliable heartbeat =
   let module Payroll = Cm_workload.Payroll in
   let module Sys_ = Cm_core.System in
   let module Net = Cm_net.Net in
@@ -415,6 +491,10 @@ let faults_cmd_run seed drop dup minutes employees no_reliable heartbeat =
     checks;
   if List.for_all snd checks then 0 else 1
 
+let faults_cmd_run seed drop dup minutes employees no_reliable heartbeat no_check =
+  if not (preflight ~label:"payroll" ~no_check Cm_chaos.Chaos.Payroll) then 1
+  else run_faults seed drop dup minutes employees no_reliable heartbeat
+
 let faults_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
   let drop =
@@ -445,11 +525,12 @@ let faults_cmd =
              network, once with loss and duplication on every link plus the \
              reliable-delivery layer — and verify the final states are identical")
     Term.(const faults_cmd_run $ seed $ drop $ dup $ minutes $ employees
-          $ no_reliable $ heartbeat)
+          $ no_reliable $ heartbeat $ no_check_arg)
 
 (* ---- chaos ---- *)
 
-let chaos_cmd_run seed events crashes crash_min crash_max workload durability =
+let chaos_cmd_run seed events crashes crash_min crash_max workload durability
+    no_check =
   let module Chaos = Cm_chaos.Chaos in
   let chaos_workload =
     match Chaos.workload_of_string workload with
@@ -466,20 +547,23 @@ let chaos_cmd_run seed events crashes crash_min crash_max workload durability =
         "unknown durability %S (none|journal|journal+checkpoint)\n" durability;
       exit 2
   in
-  let report =
-    Chaos.run
-      {
-        Chaos.seed;
-        events;
-        crashes;
-        crash_min_len = crash_min;
-        crash_max_len = crash_max;
-        durability;
-        chaos_workload;
-      }
-  in
-  print_string (Chaos.report_to_string report);
-  if Chaos.passed report then 0 else 1
+  if not (preflight ~label:workload ~no_check chaos_workload) then 1
+  else begin
+    let report =
+      Chaos.run
+        {
+          Chaos.seed;
+          events;
+          crashes;
+          crash_min_len = crash_min;
+          crash_max_len = crash_max;
+          durability;
+          chaos_workload;
+        }
+    in
+    print_string (Chaos.report_to_string report);
+    if Chaos.passed report then 0 else 1
+  end
 
 let chaos_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
@@ -519,7 +603,7 @@ let chaos_cmd =
              duplicated.  Output is byte-identical for identical arguments; \
              exits non-zero if any invariant fails")
     Term.(const chaos_cmd_run $ seed $ events $ crashes $ crash_min $ crash_max
-          $ workload $ durability)
+          $ workload $ durability $ no_check_arg)
 
 (* ---- stats / spans ---- *)
 
@@ -615,5 +699,5 @@ let () =
       ~doc:"Constraint management toolkit for heterogeneous information systems"
   in
   exit (Cmd.eval' (Cmd.group info
-       [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_trace_cmd; demo_cmd;
-         faults_cmd; chaos_cmd; stats_cmd; spans_cmd ]))
+       [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_cmd;
+         check_trace_cmd; demo_cmd; faults_cmd; chaos_cmd; stats_cmd; spans_cmd ]))

@@ -14,7 +14,6 @@
 
 open Cm_rule
 module Sys_ = Cm_core.System
-module Shell = Cm_core.Shell
 module Suggest = Cm_core.Suggest
 module Interface = Cm_core.Interface
 module Guarantee = Cm_core.Guarantee
@@ -55,7 +54,7 @@ let () =
   let config =
     match Cm_core.Cmrid.parse config_text with
     | Ok c -> c
-    | Error m -> failwith m
+    | Error es -> failwith (Cm_core.Cmrid.errors_to_string es)
   in
   let built =
     match Toolkit.build ~config:(Cm_core.System.Config.seeded 1996) config with Ok b -> b | Error m -> failwith m

@@ -97,6 +97,13 @@ val schedule : spec -> fault list
 (** The fault schedule alone — derived, not run.  [report.faults] of a
     {!run} with the same spec is this exact list. *)
 
+val static_rules :
+  workload ->
+  Cm_rule.Rule.t list * Cm_rule.Rule.t list * Cm_rule.Item.locator
+(** (interface rules, strategy rules, locator) of a fault-free instance
+    of the workload — what [cmtool] feeds {!Cm_analysis.Analysis} as a
+    preflight check before running chaos. *)
+
 val run : spec -> report
 (** Execute oracle and faulty runs and check invariants.  Pure in the
     spec: no wall clock, no global state. *)

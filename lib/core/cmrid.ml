@@ -16,6 +16,7 @@ type item_decl = {
   i_no_spontaneous : bool;
   i_key_template : string option;
   i_writable : bool;
+  i_line : int;
 }
 
 type kind = Relational | Kvfile
@@ -29,13 +30,27 @@ type source_decl = {
   s_init : string list;
   s_latencies : (op * float) list;
   s_deltas : (op * float) list;
+  s_line : int;
 }
+
+type location_decl = { l_base : string; l_site : string; l_line : int }
+
+type rule_decl = { r_text : string; r_line : int }
+
+type constraint_decl = { c_source : string; c_target : string; c_line : int }
 
 type t = {
   sources : source_decl list;
-  locations : (string * string) list;
-  rules : string list;
+  locations : location_decl list;
+  rules : rule_decl list;
+  constraints : constraint_decl list;
 }
+
+type error = { e_line : int; e_msg : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.e_line e.e_msg
+
+let errors_to_string errors = String.concat "\n" (List.map error_to_string errors)
 
 let split_words line =
   String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
@@ -64,7 +79,7 @@ let op_of_string = function
   | "delete" -> Some Delete_op
   | _ -> None
 
-let empty_item base params =
+let empty_item base params line =
   {
     i_base = base;
     i_params = params;
@@ -75,12 +90,14 @@ let empty_item base params =
     i_no_spontaneous = false;
     i_key_template = None;
     i_writable = false;
+    i_line = line;
   }
 
 type state = {
   mutable sources : source_decl list;  (* reversed *)
-  mutable locations : (string * string) list;
-  mutable rule_lines : string list;  (* reversed *)
+  mutable locations : location_decl list;  (* reversed *)
+  mutable rule_lines : rule_decl list;  (* reversed *)
+  mutable constraint_lines : constraint_decl list;  (* reversed *)
   mutable cur_source : source_decl option;
   mutable cur_item : item_decl option;
 }
@@ -135,123 +152,137 @@ let parse_notify words =
     | _ -> Error ("notify target must be table.column: " ^ target))
   | _ -> Error "notify declaration needs: table.column key <column>"
 
-let parse src_text =
+let parse_partial src_text =
   let st =
-    { sources = []; locations = []; rule_lines = []; cur_source = None; cur_item = None }
+    { sources = []; locations = []; rule_lines = []; constraint_lines = [];
+      cur_source = None; cur_item = None }
   in
-  let error = ref None in
-  let fail lineno msg = if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno msg) in
+  let errors = ref [] in
+  (* Accumulate every problem instead of stopping at the first: `cmtool
+     check` reports them all in one run. *)
+  let fail lineno msg = errors := { e_line = lineno; e_msg = msg } :: !errors in
   let lines = String.split_on_char '\n' src_text in
   List.iteri
     (fun idx raw ->
       let lineno = idx + 1 in
-      if !error = None then begin
-        let line =
-          match String.index_opt raw '#' with
-          | Some i -> String.sub raw 0 i
-          | None -> raw
-        in
-        let line = String.trim line in
-        if line <> "" then
-          match split_words line with
-          | "source" :: site :: kind :: [] -> (
-            flush_source st;
-            match kind with
-            | "relational" ->
-              st.cur_source <-
-                Some
-                  { s_site = site; s_kind = Relational; s_items = []; s_init = [];
-                    s_latencies = []; s_deltas = [] }
-            | "kvfile" ->
-              st.cur_source <-
-                Some
-                  { s_site = site; s_kind = Kvfile; s_items = []; s_init = [];
-                    s_latencies = []; s_deltas = [] }
-            | other -> fail lineno ("unknown source kind: " ^ other))
-          | "location" :: base :: site :: [] ->
-            st.locations <- (base, site) :: st.locations
-          | "rule" :: _ -> st.rule_lines <- rest_after line 1 :: st.rule_lines
-          | "init" :: _ -> (
-            match st.cur_source with
-            | Some src -> st.cur_source <- Some { src with s_init = src.s_init @ [ rest_after line 1 ] }
-            | None -> fail lineno "init outside a source block")
-          | "item" :: head :: [] -> (
-            match st.cur_source with
-            | None -> fail lineno "item outside a source block"
-            | Some _ -> (
-              flush_item st;
-              match parse_item_head head with
-              | Ok (base, params) -> st.cur_item <- Some (empty_item base params)
-              | Error m -> fail lineno m))
-          | ("read" | "write" | "delete") :: _ -> (
-            let sql = rest_after line 1 in
-            match st.cur_item with
-            | None -> fail lineno "SQL template outside an item block"
-            | Some item ->
-              let item =
-                match List.hd (split_words line) with
-                | "read" -> { item with i_read = Some sql }
-                | "write" -> { item with i_write = Some sql }
-                | _ -> { item with i_delete = Some sql }
-              in
-              st.cur_item <- Some item)
-          | "notify" :: rest -> (
-            match st.cur_item with
-            | None -> fail lineno "notify outside an item block"
-            | Some item -> (
-              match parse_notify rest with
-              | Ok n -> st.cur_item <- Some { item with i_notify = Some n }
-              | Error m -> fail lineno m))
-          | [ "no_spontaneous" ] -> (
-            match st.cur_item with
-            | None -> fail lineno "no_spontaneous outside an item block"
-            | Some item -> st.cur_item <- Some { item with i_no_spontaneous = true })
-          | "key" :: _ -> (
-            match st.cur_item with
-            | None -> fail lineno "key outside an item block"
-            | Some item -> st.cur_item <- Some { item with i_key_template = Some (rest_after line 1) })
-          | [ "writable" ] -> (
-            match st.cur_item with
-            | None -> fail lineno "writable outside an item block"
-            | Some item -> st.cur_item <- Some { item with i_writable = true })
-          | [ ("latency" | "delta") as what; op_name; v ] -> (
-            match st.cur_source, op_of_string op_name, float_of_string_opt v with
-            | None, _, _ -> fail lineno (what ^ " outside a source block")
-            | _, None, _ -> fail lineno ("unknown operation: " ^ op_name)
-            | _, _, None -> fail lineno ("bad number: " ^ v)
-            | Some src, Some op, Some f ->
-              flush_item st;
-              let src = match st.cur_source with Some s -> s | None -> src in
-              st.cur_source <-
-                Some
-                  (if what = "latency" then { src with s_latencies = src.s_latencies @ [ (op, f) ] }
-                   else { src with s_deltas = src.s_deltas @ [ (op, f) ] }))
-          | word :: _ -> fail lineno ("unrecognized directive: " ^ word)
-          | [] -> ()
-      end)
+      let line =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let line = String.trim line in
+      if line <> "" then
+        match split_words line with
+        | "source" :: site :: kind :: [] -> (
+          flush_source st;
+          match kind with
+          | "relational" ->
+            st.cur_source <-
+              Some
+                { s_site = site; s_kind = Relational; s_items = []; s_init = [];
+                  s_latencies = []; s_deltas = []; s_line = lineno }
+          | "kvfile" ->
+            st.cur_source <-
+              Some
+                { s_site = site; s_kind = Kvfile; s_items = []; s_init = [];
+                  s_latencies = []; s_deltas = []; s_line = lineno }
+          | other -> fail lineno ("unknown source kind: " ^ other))
+        | "location" :: base :: site :: [] ->
+          st.locations <-
+            { l_base = base; l_site = site; l_line = lineno } :: st.locations
+        | "rule" :: _ ->
+          st.rule_lines <-
+            { r_text = rest_after line 1; r_line = lineno } :: st.rule_lines
+        | "constraint" :: rest -> (
+          match rest with
+          | [ "copy"; source; target ] ->
+            st.constraint_lines <-
+              { c_source = source; c_target = target; c_line = lineno }
+              :: st.constraint_lines
+          | _ -> fail lineno "constraint declaration needs: copy <source> <target>")
+        | "init" :: _ -> (
+          match st.cur_source with
+          | Some src -> st.cur_source <- Some { src with s_init = src.s_init @ [ rest_after line 1 ] }
+          | None -> fail lineno "init outside a source block")
+        | "item" :: head :: [] -> (
+          match st.cur_source with
+          | None -> fail lineno "item outside a source block"
+          | Some _ -> (
+            flush_item st;
+            match parse_item_head head with
+            | Ok (base, params) -> st.cur_item <- Some (empty_item base params lineno)
+            | Error m -> fail lineno m))
+        | ("read" | "write" | "delete") :: _ -> (
+          let sql = rest_after line 1 in
+          match st.cur_item with
+          | None -> fail lineno "SQL template outside an item block"
+          | Some item ->
+            let item =
+              match List.hd (split_words line) with
+              | "read" -> { item with i_read = Some sql }
+              | "write" -> { item with i_write = Some sql }
+              | _ -> { item with i_delete = Some sql }
+            in
+            st.cur_item <- Some item)
+        | "notify" :: rest -> (
+          match st.cur_item with
+          | None -> fail lineno "notify outside an item block"
+          | Some item -> (
+            match parse_notify rest with
+            | Ok n -> st.cur_item <- Some { item with i_notify = Some n }
+            | Error m -> fail lineno m))
+        | [ "no_spontaneous" ] -> (
+          match st.cur_item with
+          | None -> fail lineno "no_spontaneous outside an item block"
+          | Some item -> st.cur_item <- Some { item with i_no_spontaneous = true })
+        | "key" :: _ -> (
+          match st.cur_item with
+          | None -> fail lineno "key outside an item block"
+          | Some item -> st.cur_item <- Some { item with i_key_template = Some (rest_after line 1) })
+        | [ "writable" ] -> (
+          match st.cur_item with
+          | None -> fail lineno "writable outside an item block"
+          | Some item -> st.cur_item <- Some { item with i_writable = true })
+        | [ ("latency" | "delta") as what; op_name; v ] -> (
+          match st.cur_source, op_of_string op_name, float_of_string_opt v with
+          | None, _, _ -> fail lineno (what ^ " outside a source block")
+          | _, None, _ -> fail lineno ("unknown operation: " ^ op_name)
+          | _, _, None -> fail lineno ("bad number: " ^ v)
+          | Some src, Some op, Some f ->
+            flush_item st;
+            let src = match st.cur_source with Some s -> s | None -> src in
+            st.cur_source <-
+              Some
+                (if what = "latency" then { src with s_latencies = src.s_latencies @ [ (op, f) ] }
+                 else { src with s_deltas = src.s_deltas @ [ (op, f) ] }))
+        | word :: _ -> fail lineno ("unrecognized directive: " ^ word)
+        | [] -> ())
     lines;
   flush_source st;
-  match !error with
-  | Some m -> Error m
-  | None ->
-    Ok
-      {
-        sources = List.rev st.sources;
-        locations = List.rev st.locations;
-        rules = List.rev st.rule_lines;
-      }
+  ( {
+      sources = List.rev st.sources;
+      locations = List.rev st.locations;
+      rules = List.rev st.rule_lines;
+      constraints = List.rev st.constraint_lines;
+    },
+    List.rev !errors )
+
+let parse src_text =
+  match parse_partial src_text with
+  | t, [] -> Ok t
+  | _, errors -> Error errors
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | contents -> parse contents
-  | exception Sys_error m -> Error m
+  | exception Sys_error m -> Error [ { e_line = 0; e_msg = m } ]
 
 let locator ?(default = "unknown") (t : t) =
   let table = Hashtbl.create 16 in
   List.iter
     (fun src -> List.iter (fun item -> Hashtbl.replace table item.i_base src.s_site) src.s_items)
     t.sources;
-  List.iter (fun (base, site) -> Hashtbl.replace table base site) t.locations;
+  List.iter (fun l -> Hashtbl.replace table l.l_base l.l_site) t.locations;
   fun item ->
     match Hashtbl.find_opt table item.Cm_rule.Item.base with
     | Some site -> site
@@ -259,5 +290,5 @@ let locator ?(default = "unknown") (t : t) =
 
 let sites (t : t) =
   let from_sources = List.map (fun s -> s.s_site) t.sources in
-  let from_locations = List.map snd t.locations in
+  let from_locations = List.map (fun l -> l.l_site) t.locations in
   List.sort_uniq compare (from_sources @ from_locations)

@@ -22,6 +22,7 @@
         writable
 
     location Flag app
+    constraint copy Salary1 Salary2
     v}
 
     [notify] may end with [threshold 0.1] for a conditional-notify
@@ -30,7 +31,15 @@
     CM-auxiliary item bases at sites; items declared under a source are
     located there automatically.  Top-level [rule <text>] lines hold the
     strategy specification (one rule each, in the rule language of
-    {!Cm_rule.Parser}); {!Toolkit.build} installs them. *)
+    {!Cm_rule.Parser}); {!Toolkit.build} installs them.  Top-level
+    [constraint copy <source> <target>] lines declare the inter-site
+    constraints the configuration promises to maintain — they are not
+    executed, but {!Cm_analysis.Analysis} drives the {!Derive} prover
+    over each one to report configurations that silently promise
+    nothing.
+
+    Every declaration carries the 1-based line it starts on so static
+    diagnostics can point back into the file. *)
 
 type notify_decl = {
   n_table : string;
@@ -50,6 +59,7 @@ type item_decl = {
   i_no_spontaneous : bool;
   i_key_template : string option;  (** kvfile sources *)
   i_writable : bool;  (** kvfile sources *)
+  i_line : int;  (** line of the [item] head *)
 }
 
 type kind = Relational | Kvfile
@@ -63,20 +73,44 @@ type source_decl = {
   s_init : string list;  (** statements run at build time (relational) *)
   s_latencies : (op * float) list;
   s_deltas : (op * float) list;
+  s_line : int;  (** line of the [source] head *)
 }
+
+type location_decl = { l_base : string; l_site : string; l_line : int }
+
+type rule_decl = { r_text : string; r_line : int }
+
+type constraint_decl = { c_source : string; c_target : string; c_line : int }
+(** [constraint copy <source> <target>]: maintain [c_target] as a copy
+    of [c_source] (§3.3.1). *)
 
 type t = {
   sources : source_decl list;
-  locations : (string * string) list;
-  rules : string list;
+  locations : location_decl list;
+  rules : rule_decl list;
       (** top-level [rule <text>] lines: the strategy specification, in
           the rule language, installed by {!Toolkit.build} *)
+  constraints : constraint_decl list;
+      (** declared inter-site constraints, checked statically by
+          [cmtool check] *)
 }
 
-val parse : string -> (t, string) result
-(** Errors carry a 1-based line number. *)
+type error = { e_line : int; e_msg : string }
+(** One parse problem; [e_line] is 1-based (0 for file-level errors). *)
 
-val parse_file : string -> (t, string) result
+val error_to_string : error -> string
+val errors_to_string : error list -> string
+
+val parse : string -> (t, error list) result
+(** Parses the whole file, accumulating {e every} error rather than
+    stopping at the first, so one run reports all problems. *)
+
+val parse_partial : string -> t * error list
+(** Like {!parse} but also returns the declarations that did parse when
+    there are errors — static analysis diagnoses broken configurations
+    as far as possible. *)
+
+val parse_file : string -> (t, error list) result
 
 val locator : ?default:string -> t -> Cm_rule.Item.locator
 (** Item base → site, from source item declarations and [location]

@@ -166,7 +166,8 @@ let build ?(config = System.Config.default) cmrid =
   let* () =
     match cmrid.Cmrid.rules with
     | [] -> Ok ()
-    | lines -> (
+    | decls -> (
+      let lines = List.map (fun (d : Cmrid.rule_decl) -> d.Cmrid.r_text) decls in
       match Cm_rule.Parser.parse_rules (String.concat "\n" lines) with
       | exception Cm_rule.Parser.Parse_error { message; _ } ->
         Error ("strategy rules: " ^ message)

@@ -26,10 +26,10 @@ type token =
   | GE
   | EOF
 
-exception Lex_error of { pos : int; message : string }
+exception Lex_error of { pos : int; line : int; message : string }
 
-let error pos fmt =
-  Printf.ksprintf (fun message -> raise (Lex_error { pos; message })) fmt
+let error pos line fmt =
+  Printf.ksprintf (fun message -> raise (Lex_error { pos; line; message })) fmt
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -37,15 +37,19 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize src =
+let tokenize_located src =
   let n = String.length src in
   let tokens = ref [] in
-  let emit t = tokens := t :: !tokens in
+  let line = ref 1 in
+  let emit t = tokens := (t, !line) :: !tokens in
   let i = ref 0 in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
   while !i < n do
     let c = src.[!i] in
-    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
+      if c = '\n' then incr line;
+      incr i
+    end
     else if c = '#' then begin
       while !i < n && src.[!i] <> '\n' do incr i done
     end
@@ -67,7 +71,7 @@ let tokenize src =
         is_float := true;
         incr i;
         if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
-        if !i >= n || not (is_digit src.[!i]) then error !i "malformed exponent";
+        if !i >= n || not (is_digit src.[!i]) then error !i !line "malformed exponent";
         while !i < n && is_digit src.[!i] do incr i done
       end;
       let text = String.sub src start (!i - start) in
@@ -79,6 +83,7 @@ let tokenize src =
     end
     else if c = '"' then begin
       let buf = Buffer.create 16 in
+      let start_line = !line in
       incr i;
       let closed = ref false in
       while (not !closed) && !i < n do
@@ -93,11 +98,12 @@ let tokenize src =
            | other -> Buffer.add_char buf other);
           i := !i + 2
         | other ->
+          if other = '\n' then incr line;
           Buffer.add_char buf other;
           incr i
       done;
-      if not !closed then error !i "unterminated string literal";
-      emit (STRING (Buffer.contents buf))
+      if not !closed then error !i start_line "unterminated string literal";
+      tokens := (STRING (Buffer.contents buf), start_line) :: !tokens
     end
     else begin
       let two = match peek 1 with Some c2 -> Some (c, c2) | None -> None in
@@ -141,12 +147,14 @@ let tokenize src =
          | '=' -> emit EQ
          | '<' -> emit LT
          | '>' -> emit GT
-         | other -> error !i "unexpected character %c" other);
+         | other -> error !i !line "unexpected character %c" other);
         incr i
     end
   done;
   emit EOF;
   Array.of_list (List.rev !tokens)
+
+let tokenize src = Array.map fst (tokenize_located src)
 
 let token_to_string = function
   | IDENT s -> s

@@ -35,9 +35,15 @@ type token =
   | GE
   | EOF
 
-exception Lex_error of { pos : int; message : string }
+exception Lex_error of { pos : int; line : int; message : string }
+(** [pos] is a character offset into the input; [line] is 1-based. *)
 
 val tokenize : string -> token array
 (** The result always ends with [EOF]. @raise Lex_error on bad input. *)
+
+val tokenize_located : string -> (token * int) array
+(** Like {!tokenize}, pairing each token with the 1-based source line it
+    starts on (the final [EOF] carries the last line).  Used to surface
+    [file:line] locations in rule-file diagnostics. *)
 
 val token_to_string : token -> string

@@ -1,9 +1,15 @@
-exception Parse_error of { pos : int; message : string }
+exception Parse_error of { pos : int; line : int; message : string }
 
-type stream = { tokens : Lexer.token array; mutable pos : int }
+type stream = { tokens : Lexer.token array; lines : int array; mutable pos : int }
+
+let line_at st =
+  if Array.length st.lines = 0 then 1
+  else st.lines.(min st.pos (Array.length st.lines - 1))
 
 let error st fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { pos = st.pos; message })) fmt
+  Printf.ksprintf
+    (fun message -> raise (Parse_error { pos = st.pos; line = line_at st; message }))
+    fmt
 
 let peek st = st.tokens.(st.pos)
 
@@ -308,11 +314,12 @@ let parse_one_rule st =
   with Invalid_argument message -> error st "%s" message
 
 let with_stream src f =
-  let tokens =
-    try Lexer.tokenize src
-    with Lexer.Lex_error { pos; message } -> raise (Parse_error { pos; message })
+  let located =
+    try Lexer.tokenize_located src
+    with Lexer.Lex_error { pos; line; message } ->
+      raise (Parse_error { pos; line; message })
   in
-  f { tokens; pos = 0 }
+  f { tokens = Array.map fst located; lines = Array.map snd located; pos = 0 }
 
 let parse_rules src =
   with_stream src (fun st ->
@@ -320,6 +327,34 @@ let parse_rules src =
         if peek st = Lexer.EOF then List.rev acc else loop (parse_one_rule st :: acc)
       in
       loop [])
+
+let parse_rules_located src =
+  with_stream src (fun st ->
+      let rec loop acc =
+        if peek st = Lexer.EOF then List.rev acc
+        else
+          let line = line_at st in
+          let rule = parse_one_rule st in
+          loop ((rule, line) :: acc)
+      in
+      loop [])
+
+let parse_program src =
+  match
+    with_stream src (fun st ->
+        let rec loop acc =
+          if peek st = Lexer.EOF then (List.rev acc, None)
+          else
+            let line = line_at st in
+            match parse_one_rule st with
+            | rule -> loop ((rule, line) :: acc)
+            | exception Parse_error { line; message; _ } ->
+              (List.rev acc, Some (line, message))
+        in
+        loop [])
+  with
+  | result -> result
+  | exception Parse_error { line; message; _ } -> ([], Some (line, message))
 
 let finish st parsed what =
   if peek st = Lexer.EOF then parsed

@@ -26,11 +26,22 @@
     are data items; [true], [false] and [null] are constants; [E(Item)]
     is the existence predicate.  [#] comments run to end of line. *)
 
-exception Parse_error of { pos : int; message : string }
-(** [pos] is a token index into the token stream (0-based). *)
+exception Parse_error of { pos : int; line : int; message : string }
+(** [pos] is a token index into the token stream (0-based); [line] is the
+    1-based source line of the offending token. *)
 
 val parse_rules : string -> Rule.t list
 (** Parse a whole rule file.  @raise Parse_error *)
+
+val parse_rules_located : string -> (Rule.t * int) list
+(** Like {!parse_rules}, pairing each rule with the 1-based source line
+    its first token starts on — the anchor for [file:line] diagnostics.
+    @raise Parse_error *)
+
+val parse_program : string -> (Rule.t * int) list * (int * string) option
+(** Best-effort variant for diagnostics: the rules successfully parsed
+    before the first syntax error, plus that error's (line, message) if
+    one occurred.  Never raises. *)
 
 val parse_rule : string -> Rule.t
 (** Parse exactly one rule.  @raise Parse_error if input remains. *)

@@ -7,7 +7,6 @@ module Suggest = Cm_core.Suggest
 module Cmrid = Cm_core.Cmrid
 module Toolkit = Cm_core.Toolkit
 module Sys_ = Cm_core.System
-module Shell = Cm_core.Shell
 module Guarantee = Cm_core.Guarantee
 module C = Cm_core.Constraint_def
 
@@ -191,7 +190,7 @@ location Flag app
 
 let cmrid_parse () =
   match Cmrid.parse sample_config with
-  | Error m -> Alcotest.fail m
+  | Error es -> Alcotest.fail (Cmrid.errors_to_string es)
   | Ok config ->
     Alcotest.(check int) "three sources" 3 (List.length config.Cmrid.sources);
     Alcotest.(check (list string)) "sites" [ "app"; "files"; "ny"; "sf" ]
@@ -224,7 +223,7 @@ let cmrid_errors () =
 
 let toolkit_build_and_run () =
   match Cmrid.parse sample_config with
-  | Error m -> Alcotest.fail m
+  | Error es -> Alcotest.fail (Cmrid.errors_to_string es)
   | Ok config -> (
     match Toolkit.build ~config:(Cm_core.System.Config.seeded 21) config with
     | Error m -> Alcotest.fail m
@@ -268,7 +267,7 @@ let toolkit_config_rules_installed () =
     sample_config ^ "\nrule prop: N(Salary1(n), b) ->[5] WR(Salary2(n), b)\n"
   in
   match Cmrid.parse config_text with
-  | Error m -> Alcotest.fail m
+  | Error es -> Alcotest.fail (Cmrid.errors_to_string es)
   | Ok config -> (
     match Toolkit.build ~config:(Cm_core.System.Config.seeded 22) config with
     | Error m -> Alcotest.fail m
@@ -309,7 +308,7 @@ source b relational
 |}
   in
   match Cmrid.parse config with
-  | Error m -> Alcotest.fail m
+  | Error es -> Alcotest.fail (Cmrid.errors_to_string es)
   | Ok config -> (
     match Toolkit.build config with
     | Error m ->

@@ -3,8 +3,6 @@
    kind. *)
 
 open Cm_rule
-module Sim = Cm_sim.Sim
-module Net = Cm_net.Net
 module Sys_ = Cm_core.System
 module Shell = Cm_core.Shell
 module Cmi = Cm_core.Cmi
