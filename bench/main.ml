@@ -10,7 +10,8 @@
 
    Usage:  dune exec bench/main.exe                 (all experiments + micro)
            dune exec bench/main.exe -- --exp e4     (one experiment)
-           dune exec bench/main.exe -- --no-micro   (skip Bechamel)        *)
+           dune exec bench/main.exe -- --no-micro   (skip Bechamel)
+           dune exec bench/main.exe -- --smoke      (reduced E15 sweep)    *)
 
 open Cm_rule
 module Sim = Cm_sim.Sim
@@ -1258,6 +1259,170 @@ let exp_e14 () =
      extra appends for a shorter replay.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E15: rule/event discrimination index — indexed vs naive dispatch    *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by --smoke: a reduced sweep sized for CI. *)
+let e15_smoke = ref false
+
+(* One measured run: [sites] shells, [constraints] rules per shell (all
+   sharing the descriptor name "Upd", so only the discrimination
+   index's base bucketing separates them), [events] update events
+   spread round-robin over sites at [rate] events per simulated second.
+   Each event matches exactly one rule, whose RHS chains a site-free
+   "Done" event that matches nothing — so the naive dispatcher pays two
+   full scans per update (the hit and the chained miss) exactly as the
+   pre-index shell did, while the indexed dispatcher touches one
+   single-entry bucket and two empty ones. *)
+let e15_run ~dispatch ~sites ~constraints ~events ~rate =
+  let site_of s = "s" ^ string_of_int s in
+  let base_of s k = Printf.sprintf "X%d_%d" s k in
+  let locator item =
+    let base = item.Item.base in
+    match String.index_opt base '_' with
+    | Some i -> "s" ^ String.sub base 1 (i - 1)
+    | None -> site_of 0
+  in
+  let config = Sys_.Config.(seeded 1500 |> with_dispatch dispatch) in
+  let system = Sys_.create ~config locator in
+  let sim = Sys_.sim system in
+  let shells =
+    Array.init sites (fun s -> Sys_.add_shell system ~site:(site_of s))
+  in
+  let done_step =
+    {
+      Rule.guard = Expr.Const (Value.Bool true);
+      template = Template.make "Done" [ Expr.Var "v" ];
+    }
+  in
+  (* Rules are distributed by LHS site (§4.1): each shell receives only
+     the [constraints] rules it is responsible for triggering. *)
+  Array.iteri
+    (fun s shell ->
+      let rules =
+        List.init constraints (fun k ->
+            Rule.make
+              ~id:(Printf.sprintf "r%d_%d" s k)
+              ~lhs:(Template.make "Upd" [ Expr.Item (base_of s k, []); Expr.Var "v" ])
+              (Rule.Steps [ done_step ]))
+      in
+      Shell.install_strategy shell rules)
+    shells;
+  let emitters =
+    Array.init sites (fun s -> Shell.emitter_for shells.(s) ~site:(site_of s))
+  in
+  let interval = 1.0 /. rate in
+  (* A self-rescheduling driver, not [events] pre-queued closures: the
+     sim heap stays shallow, so the measurement is dominated by dispatch
+     cost rather than by priority-queue depth. *)
+  let i = ref 0 in
+  let rec drive () =
+    if !i < events then begin
+      let s = !i mod sites in
+      let k = !i / sites mod constraints in
+      let item = Item.make (base_of s k) in
+      let desc =
+        { Event.name = "Upd"; args = [ Event.Ai item; Event.Av (Value.Int !i) ] }
+      in
+      incr i;
+      ignore (emitters.(s) desc ~kind:Event.Spontaneous);
+      Sim.schedule sim ~delay:interval drive
+    end
+  in
+  Sim.schedule_at sim 0.0 drive;
+  let t0 = Sys.time () in
+  let g0 = Gc.quick_stat () in
+  Sys_.run system ~until:(float_of_int events *. interval +. 100.0);
+  let g1 = Gc.quick_stat () in
+  let elapsed = Sys.time () -. t0 in
+  let trace_events = Trace.length (Sys_.trace system) in
+  let alloc_words =
+    g1.Gc.minor_words -. g0.Gc.minor_words
+    +. (g1.Gc.major_words -. g0.Gc.major_words)
+  in
+  let throughput =
+    if elapsed > 0.0 then float_of_int trace_events /. elapsed else infinity
+  in
+  ( trace_events,
+    throughput,
+    alloc_words /. float_of_int (max 1 events),
+    Shell.rule_index_stats shells.(0) )
+
+let exp_e15 () =
+  let table =
+    Table.create
+      ~title:
+        "E15: rule/event discrimination index — event throughput, indexed vs \
+         retained naive matcher"
+      ~columns:
+        [ "sites"; "rules/site"; "rate"; "events"; "trace events";
+          "naive ev/s"; "indexed ev/s"; "speedup"; "alloc w/ev (idx)";
+          "buckets (s0)" ]
+  in
+  let events = if !e15_smoke then 4_000 else 30_000 in
+  let sweep =
+    if !e15_smoke then [ (4, 16, 100.0); (32, 256, 100.0) ]
+    else
+      [ (4, 16, 100.0); (8, 64, 100.0); (16, 128, 100.0); (16, 128, 1000.0);
+        (32, 256, 100.0) ]
+  in
+  let obs = Obs.create () in
+  let largest_speedup = ref 0.0 in
+  List.iter
+    (fun (sites, constraints, rate) ->
+      let n_events, naive_tput, _, _ =
+        e15_run ~dispatch:Shell.Naive ~sites ~constraints ~events ~rate
+      in
+      let n_events', indexed_tput, alloc_per_event, (buckets, largest_bucket) =
+        e15_run ~dispatch:Shell.Indexed ~sites ~constraints ~events ~rate
+      in
+      (* Differential sanity at benchmark scale: both dispatchers must
+         generate the exact same number of trace events. *)
+      if n_events <> n_events' then
+        failwith
+          (Printf.sprintf "E15: naive produced %d events, indexed %d" n_events
+             n_events');
+      let speedup = indexed_tput /. naive_tput in
+      if sites >= 32 && constraints >= 256 then largest_speedup := speedup;
+      let labels =
+        [ ("sites", string_of_int sites);
+          ("constraints", string_of_int constraints);
+          ("rate", Printf.sprintf "%.0f" rate) ]
+      in
+      Obs.gauge obs "e15_events_per_sec" ~labels:(("dispatch", "naive") :: labels)
+        naive_tput;
+      Obs.gauge obs "e15_events_per_sec"
+        ~labels:(("dispatch", "indexed") :: labels)
+        indexed_tput;
+      Obs.gauge obs "e15_speedup" ~labels speedup;
+      Obs.gauge obs "e15_alloc_words_per_event" ~labels alloc_per_event;
+      Obs.gauge obs "e15_index_buckets" ~labels (float_of_int buckets);
+      Obs.gauge obs "e15_index_largest_bucket" ~labels
+        (float_of_int largest_bucket);
+      Table.add_row table
+        [
+          string_of_int sites;
+          string_of_int constraints;
+          Printf.sprintf "%.0f" rate;
+          string_of_int events;
+          string_of_int n_events;
+          Printf.sprintf "%.0f" naive_tput;
+          Printf.sprintf "%.0f" indexed_tput;
+          Printf.sprintf "%.1fx" speedup;
+          Printf.sprintf "%.0f" alloc_per_event;
+          Printf.sprintf "%d (max %d)" buckets largest_bucket;
+        ])
+    sweep;
+  record_snapshot "e15" obs;
+  Table.print table;
+  Printf.printf
+    "Shape check: indexed dispatch >= 5x naive at 32 sites x 256 rules/site: %s\n\
+     (matching stays byte-identical: the differential suite and the golden\n\
+     traces hold both dispatchers to the same firings in the same order)\n"
+    (if !largest_speedup >= 5.0 then "yes"
+     else Printf.sprintf "NO (%.1fx)" !largest_speedup)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1275,6 +1440,7 @@ let experiments =
     ("e12", exp_e12);
     ("e13", exp_e13);
     ("e14", exp_e14);
+    ("e15", exp_e15);
   ]
 
 let () =
@@ -1289,12 +1455,13 @@ let () =
   in
   let json_out = find_opt_arg "--json" args in
   let micro = not (List.mem "--no-micro" args) in
+  e15_smoke := List.mem "--smoke" args;
   (match wanted with
    | Some name -> (
      match List.assoc_opt name experiments with
      | Some f -> f ()
      | None ->
-       Printf.eprintf "unknown experiment %s (e1..e14)\n" name;
+       Printf.eprintf "unknown experiment %s (e1..e15)\n" name;
        exit 1)
    | None ->
      List.iter

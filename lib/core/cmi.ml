@@ -6,6 +6,7 @@ type t = {
   site : string;
   name : string;
   owns : string -> bool;
+  bases : string list;
   interface_rules : unit -> Cm_rule.Rule.t list;
   current_value : Cm_rule.Item.t -> Cm_rule.Value.t option;
   request : Cm_rule.Event.desc -> kind:Cm_rule.Event.kind -> unit;

@@ -20,6 +20,11 @@ type t = {
   name : string;  (** translator kind, for diagnostics: "relational", … *)
   owns : string -> bool;
       (** which item base names this translator is responsible for *)
+  bases : string list;
+      (** the base names [owns] accepts, enumerated — the shell indexes
+          these at attachment time so per-read owner lookup is a hash
+          probe, not a translator-list scan.  Must satisfy
+          [owns b = List.mem b bases] for every base the shell can see. *)
   interface_rules : unit -> Cm_rule.Rule.t list;
       (** the interface statements this source honours, queried by the
           toolkit during initialization (§4.1) *)

@@ -2,6 +2,11 @@ module Sim = Cm_sim.Sim
 module Net = Cm_net.Net
 open Cm_rule
 
+(* Rule matching strategy for Shell.occurred: the discrimination index
+   is the production path; the naive linear scan is retained as the
+   oracle for the differential test harness and the E15 benchmark. *)
+type dispatch = Indexed | Naive
+
 (* Everything a shell shares with its siblings — built once by
    System.create from its Config and handed to every add_shell. *)
 type ctx = {
@@ -12,6 +17,7 @@ type ctx = {
   ctx_locator : Item.locator;
   ctx_obs : Obs.t;
   ctx_journals : Journal.registry option;
+  ctx_dispatch : dispatch;
 }
 
 type t = {
@@ -22,18 +28,24 @@ type t = {
   locator : Item.locator;
   obs : Obs.t;
   site : string;
+  dispatch_mode : dispatch;
   store : Store.t;
   journal : Journal.t option;
   mutable translators : Cmi.t list;
-  mutable handled_sites : string list;
+  translator_by_base : (string, Cmi.t) Hashtbl.t;
+      (* first-attached owner per base — replaces the per-read
+         List.find_opt scan over [translators] *)
+  handled_sites : (string, unit) Hashtbl.t;
   mutable route : string -> string;
   rules_by_id : (string, Rule.t) Hashtbl.t;
-  mutable lhs_rules : (Rule.t * string option) list;  (* rule, lhs site *)
-  mutable periodics : (string * float) list;
+  lhs_rules : Rule.t Rule_index.t;
+      (* rules whose LHS site this shell handles, discriminated by
+         (LHS site, descriptor name, arg0 base) *)
+  periodics : (string * float, unit) Hashtbl.t;
   custom_handlers : (string, (Event.t -> unit) list ref) Hashtbl.t;
   mutable failure_listeners : (origin:string -> Msg.failure_kind -> unit) list;
   mutable reset_listeners : (origin:string -> unit) list;
-  mutable peer_sites : string list;
+  mutable peer_sites : string list;  (* sorted: deterministic broadcasts *)
   mutable fires_sent : int;
   mutable fires_executed : int;
   mutable events_seen : int;
@@ -47,8 +59,11 @@ let translators t = t.translators
 let tags ?span t = Obs.log_tags ~site:t.site ~time:(Sim.now t.sim) ?span ()
 
 let set_route t route = t.route <- route
+
 let set_peer_sites t sites =
-  t.peer_sites <- List.filter (fun s -> not (String.equal s t.site)) sites
+  t.peer_sites <-
+    List.sort_uniq String.compare
+      (List.filter (fun s -> not (String.equal s t.site)) sites)
 
 let local_state t =
   Expr.state_of_fun (fun item ->
@@ -57,11 +72,8 @@ let local_state t =
          data such as the monitor's Tb (§6.3). *)
       if String.equal item.Item.base "Clock" then Some (Value.Float (Sim.now t.sim))
       else
-        let owner =
-          List.find_opt (fun (tr : Cmi.t) -> tr.owns item.Item.base) t.translators
-        in
-        match owner with
-        | Some tr -> tr.current_value item
+        match Hashtbl.find_opt t.translator_by_base item.Item.base with
+        | Some tr -> tr.Cmi.current_value item
         | None -> Store.get t.store item)
 
 let eval_cond_safe t env cond =
@@ -79,26 +91,40 @@ let journaled_store_set t item v =
 
 (* --- event intake: record, then match strategy rules --- *)
 
+(* Candidate rules for an event, already site-filtered.  Indexed pulls
+   only the discrimination buckets the event can touch; Naive is the
+   pre-index linear scan over every installed rule, retained as the
+   oracle (both return registration order, so firing order is
+   identical). *)
+let candidate_rules t (event : Event.t) =
+  match t.dispatch_mode with
+  | Indexed ->
+    Rule_index.select t.lhs_rules ~local_site:t.site ~event_site:event.site
+      ~desc:event.desc
+  | Naive ->
+    Rule_index.select_naive t.lhs_rules ~local_site:t.site
+      ~event_site:event.site
+
 let rec occurred t (event : Event.t) =
   t.events_seen <- t.events_seen + 1;
-  Obs.incr t.obs "shell_events" ~labels:[ ("site", t.site) ];
-  Obs.gauge t.obs "sim_queue_depth" (float_of_int (Sim.pending t.sim));
+  (* Obs arguments (label lists, stringified ids, the queue walk behind
+     the gauge) are built eagerly at the call site even when the
+     registry is the noop one — keep them off the disabled hot path. *)
+  if Obs.enabled t.obs then begin
+    Obs.incr t.obs "shell_events" ~labels:[ ("site", t.site) ];
+    Obs.gauge t.obs "sim_queue_depth" (float_of_int (Sim.pending t.sim))
+  end;
   List.iter
-    (fun (rule, lhs_site) ->
-      let site_matches =
-        match lhs_site with
-        | Some s -> String.equal s event.site
-        | None -> String.equal event.site t.site
-      in
-      if site_matches then
-        match Template.matches rule.Rule.lhs event.desc ~seed:Expr.empty_env with
-        | None -> ()
-        | Some env0 -> (
+    (fun rule ->
+      match Template.matches rule.Rule.lhs event.desc ~seed:Expr.empty_env with
+      | None -> ()
+      | Some env0 -> (
           match eval_cond_safe t env0 rule.Rule.lhs_cond with
           | None ->
-            Obs.incr t.obs "shell_guard_rejections"
-              ~labels:
-                [ ("site", t.site); ("rule", rule.Rule.id); ("side", "lhs") ]
+            if Obs.enabled t.obs then
+              Obs.incr t.obs "shell_guard_rejections"
+                ~labels:
+                  [ ("site", t.site); ("rule", rule.Rule.id); ("side", "lhs") ]
           | Some env ->
             let rhs_site =
               match Rule.rhs_site rule t.locator with
@@ -116,16 +142,19 @@ let rec occurred t (event : Event.t) =
                       trigger_id = event.id })
              | None -> ());
             t.fires_sent <- t.fires_sent + 1;
-            Obs.incr t.obs "shell_fires_sent"
-              ~labels:[ ("site", t.site); ("rule", rule.Rule.id) ];
             (* Root of the end-to-end trace for this constraint
                evaluation; the id travels inside the envelope. *)
             let span =
-              Obs.span t.obs ~name:"fire" ~at:event.time
-                ~labels:
-                  [ ("site", t.site); ("rule", rule.Rule.id);
-                    ("to", to_site);
-                    ("trigger", string_of_int event.id) ]
+              if not (Obs.enabled t.obs) then 0
+              else begin
+                Obs.incr t.obs "shell_fires_sent"
+                  ~labels:[ ("site", t.site); ("rule", rule.Rule.id) ];
+                Obs.span t.obs ~name:"fire" ~at:event.time
+                  ~labels:
+                    [ ("site", t.site); ("rule", rule.Rule.id);
+                      ("to", to_site);
+                      ("trigger", string_of_int event.id) ]
+              end
             in
             t.send_msg ~from_site:t.site ~to_site
               (Msg.Fire
@@ -136,8 +165,9 @@ let rec occurred t (event : Event.t) =
                    trigger_time = event.time;
                    span;
                  });
-            Obs.end_span t.obs ~id:span ~at:(Sim.now t.sim)))
-    t.lhs_rules;
+            if Obs.enabled t.obs then
+              Obs.end_span t.obs ~id:span ~at:(Sim.now t.sim)))
+    (candidate_rules t event);
   match Hashtbl.find_opt t.custom_handlers event.desc.Event.name with
   | Some handlers -> List.iter (fun h -> h event) !handlers
   | None -> ()
@@ -161,8 +191,8 @@ and dispatch t desc ~kind =
       | Some item -> item.Item.base
       | None -> ""
     in
-    match List.find_opt (fun (tr : Cmi.t) -> tr.owns base) t.translators with
-    | Some tr -> tr.request desc ~kind
+    match Hashtbl.find_opt t.translator_by_base base with
+    | Some tr -> tr.Cmi.request desc ~kind
     | None ->
       Logs.warn (fun m ->
           m ~tags:(tags t) "shell %s: no translator owns %s; request dropped"
@@ -171,9 +201,7 @@ and dispatch t desc ~kind =
   | "W" -> (
     match Event.written_value desc with
     | Some (item, v) ->
-      let owned =
-        List.exists (fun (tr : Cmi.t) -> tr.owns item.Item.base) t.translators
-      in
+      let owned = Hashtbl.mem t.translator_by_base item.Item.base in
       if owned then
         Logs.warn (fun m ->
             m ~tags:(tags t)
@@ -199,13 +227,16 @@ and handle_fire t ~rule_id ~env ~trigger_id ~parent_span =
           "shell %s: Fire for unknown rule %s" t.site rule_id)
   | Some rule ->
     t.fires_executed <- t.fires_executed + 1;
-    Obs.incr t.obs "shell_fires_executed"
-      ~labels:[ ("site", t.site); ("rule", rule_id) ];
     (* The RHS half of the trace: child of the LHS "fire" span that
        travelled inside the envelope. *)
     let exec_span =
-      Obs.span t.obs ~parent:parent_span ~name:"execute" ~at:(Sim.now t.sim)
-        ~labels:[ ("site", t.site); ("rule", rule_id) ]
+      if not (Obs.enabled t.obs) then 0
+      else begin
+        Obs.incr t.obs "shell_fires_executed"
+          ~labels:[ ("site", t.site); ("rule", rule_id) ];
+        Obs.span t.obs ~parent:parent_span ~name:"execute" ~at:(Sim.now t.sim)
+          ~labels:[ ("site", t.site); ("rule", rule_id) ]
+      end
     in
     let kind = Event.Generated { rule_id; trigger = trigger_id } in
     let rec steps env i = function
@@ -213,21 +244,25 @@ and handle_fire t ~rule_id ~env ~trigger_id ~parent_span =
       | (step : Rule.step) :: rest -> (
         match eval_cond_safe t env step.guard with
         | None ->
-          Obs.incr t.obs "shell_guard_rejections"
-            ~labels:[ ("site", t.site); ("rule", rule_id); ("side", "rhs") ];
+          if Obs.enabled t.obs then
+            Obs.incr t.obs "shell_guard_rejections"
+              ~labels:[ ("site", t.site); ("rule", rule_id); ("side", "rhs") ];
           steps env (i + 1) rest
         | Some env' -> (
           match Template.instantiate step.template env' with
           | desc ->
             let step_span =
-              Obs.span t.obs ~parent:exec_span ~name:"step" ~at:(Sim.now t.sim)
-                ~labels:
-                  [ ("site", t.site); ("rule", rule_id);
-                    ("index", string_of_int i);
-                    ("event", desc.Event.name) ]
+              if not (Obs.enabled t.obs) then 0
+              else
+                Obs.span t.obs ~parent:exec_span ~name:"step" ~at:(Sim.now t.sim)
+                  ~labels:
+                    [ ("site", t.site); ("rule", rule_id);
+                      ("index", string_of_int i);
+                      ("event", desc.Event.name) ]
             in
             dispatch t desc ~kind;
-            Obs.end_span t.obs ~id:step_span ~at:(Sim.now t.sim);
+            if Obs.enabled t.obs then
+              Obs.end_span t.obs ~id:step_span ~at:(Sim.now t.sim);
             steps env' (i + 1) rest
           | exception Expr.Eval_error message ->
             Logs.err (fun m ->
@@ -239,7 +274,8 @@ and handle_fire t ~rule_id ~env ~trigger_id ~parent_span =
             steps env' (i + 1) rest))
     in
     steps (Msg.env_of_list env) 0 (Rule.rhs_steps rule);
-    Obs.end_span t.obs ~id:exec_span ~at:(Sim.now t.sim)
+    if Obs.enabled t.obs then
+      Obs.end_span t.obs ~id:exec_span ~at:(Sim.now t.sim)
 
 and handle_msg t = function
   | Msg.Fire { rule_id; env; trigger_id; trigger_time = _; span } ->
@@ -266,7 +302,7 @@ and handle_msg t = function
 let create ctx ~site =
   let { ctx_sim = sim; ctx_net = net; ctx_reliable = reliable;
         ctx_trace = trace; ctx_locator = locator; ctx_obs = obs;
-        ctx_journals = journals } = ctx
+        ctx_journals = journals; ctx_dispatch = dispatch_mode } = ctx
   in
   let send_msg =
     match reliable with
@@ -282,14 +318,16 @@ let create ctx ~site =
       locator;
       obs;
       site;
+      dispatch_mode;
       store = Store.create ();
       journal = Option.map (fun reg -> Journal.for_site reg ~site) journals;
       translators = [];
-      handled_sites = [ site ];
+      translator_by_base = Hashtbl.create 16;
+      handled_sites = Hashtbl.create 4;
       route = (fun s -> s);
       rules_by_id = Hashtbl.create 16;
-      lhs_rules = [];
-      periodics = [];
+      lhs_rules = Rule_index.create ();
+      periodics = Hashtbl.create 4;
       custom_handlers = Hashtbl.create 8;
       failure_listeners = [];
       reset_listeners = [];
@@ -299,6 +337,7 @@ let create ctx ~site =
       events_seen = 0;
     }
   in
+  Hashtbl.replace t.handled_sites site ();
   (match reliable with
    | Some r -> Reliable.register r ~site (handle_msg t)
    | None -> Net.register net ~site (handle_msg t));
@@ -306,8 +345,14 @@ let create ctx ~site =
 
 let attach_translator t (tr : Cmi.t) =
   t.translators <- t.translators @ [ tr ];
-  if not (List.mem tr.site t.handled_sites) then
-    t.handled_sites <- t.handled_sites @ [ tr.site ]
+  (* First-attached translator wins per base, matching the List.find_opt
+     over attachment order this index replaces. *)
+  List.iter
+    (fun base ->
+      if not (Hashtbl.mem t.translator_by_base base) then
+        Hashtbl.replace t.translator_by_base base tr)
+    tr.bases;
+  Hashtbl.replace t.handled_sites tr.site ()
 
 let emitter_for t ~site : Cmi.emit = fun desc ~kind -> emit_at t ~site desc ~kind
 
@@ -320,10 +365,11 @@ let install_strategy t rules =
       let lhs_site = Rule.lhs_site rule t.locator in
       let handled =
         match lhs_site with
-        | Some s -> List.mem s t.handled_sites
+        | Some s -> Hashtbl.mem t.handled_sites s
         | None -> true
       in
-      if handled then t.lhs_rules <- t.lhs_rules @ [ (rule, lhs_site) ])
+      if handled then
+        Rule_index.add t.lhs_rules ~lhs:rule.Rule.lhs ~site:lhs_site rule)
     rules
 
 let installed_rules t =
@@ -332,8 +378,8 @@ let installed_rules t =
 
 let register_periodic t ?site ~period () =
   let site = Option.value site ~default:t.site in
-  if not (List.mem (site, period) t.periodics) then begin
-    t.periodics <- (site, period) :: t.periodics;
+  if not (Hashtbl.mem t.periodics (site, period)) then begin
+    Hashtbl.replace t.periodics (site, period) ();
     Sim.every t.sim ~period
       (fun () -> ignore (emit_at t ~site (Event.p period) ~kind:Event.Spontaneous))
       ~cancel:(fun () -> false)
@@ -372,6 +418,7 @@ let broadcast_reset t =
 let fires_sent t = t.fires_sent
 let fires_executed t = t.fires_executed
 let events_seen t = t.events_seen
+let rule_index_stats t = Rule_index.bucket_stats t.lhs_rules
 
 (* -- crash-recovery hooks (driven by Cm_core.Recovery) -- *)
 

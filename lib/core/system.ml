@@ -11,6 +11,7 @@ module Config = struct
     reliable : Reliable.config option;
     obs : Obs.t option;
     durability : Journal.durability;
+    dispatch : Shell.dispatch;
   }
 
   let default =
@@ -22,6 +23,7 @@ module Config = struct
       reliable = None;
       obs = None;
       durability = Journal.None;
+      dispatch = Shell.Indexed;
     }
 
   let seeded seed = { default with seed }
@@ -32,12 +34,14 @@ module Config = struct
   let with_reliable reliable t = { t with reliable = Some reliable }
   let with_obs obs t = { t with obs = Some obs }
   let with_durability durability t = { t with durability }
+  let with_dispatch dispatch t = { t with dispatch }
 end
 
 type guarantee_entry = {
   guarantee : Guarantee.t;
-  sites : string list;
-  mutable invalidated_by : (string * Msg.failure_kind) list;
+  invalidated_by : (string * Msg.failure_kind, unit) Hashtbl.t;
+      (* declared-site membership lives in [guarantees_by_site] buckets,
+         so a failure probe never scans sites the entry doesn't mention *)
 }
 
 type guarantee_handle = guarantee_entry
@@ -53,9 +57,12 @@ type t = {
   obs : Obs.t;
   shells : (string, Shell.t) Hashtbl.t;  (* by primary site *)
   site_to_shell : (string, Shell.t) Hashtbl.t;  (* any handled site *)
+  dispatch : Shell.dispatch;
   mutable interface_rules : Rule.t list;
   mutable strategy_rules : Rule.t list;
-  mutable guarantees : guarantee_entry list;
+  guarantees_by_site : (string, guarantee_entry list ref) Hashtbl.t;
+      (* declaration-ordered bucket per declared site, so a failure at a
+         site touches only the guarantees that mention it *)
 }
 
 let create ?(config = Config.default) locator =
@@ -113,9 +120,10 @@ let create ?(config = Config.default) locator =
     obs;
     shells = Hashtbl.create 8;
     site_to_shell = Hashtbl.create 8;
+    dispatch = config.Config.dispatch;
     interface_rules = [];
     strategy_rules = [];
-    guarantees = [];
+    guarantees_by_site = Hashtbl.create 8;
   }
 
 let sim t = t.sim
@@ -157,38 +165,46 @@ let refresh_routing t =
       Shell.set_route shell route)
     t.shells
 
+let guarantees_at t site =
+  match Hashtbl.find_opt t.guarantees_by_site site with
+  | Some bucket -> !bucket
+  | None -> []
+
 let note_failure t ~origin kind =
+  (* Only the guarantees declared over [origin] can be affected; the
+     per-site bucket preserves declaration order, so the invalidation
+     log and counters fire in the same order the full scan produced. *)
   List.iter
     (fun entry ->
-      if List.mem origin entry.sites then begin
-        let relevant =
-          match kind with
-          | Msg.Logical -> true
-          | Msg.Metric -> Guarantee.is_metric entry.guarantee
-        in
-        if relevant && not (List.mem (origin, kind) entry.invalidated_by) then begin
-          entry.invalidated_by <- (origin, kind) :: entry.invalidated_by;
-          Obs.incr t.obs "system_guarantee_invalidations"
-            ~labels:
-              [ ("site", origin); ("kind", Msg.failure_kind_to_string kind) ];
-          Logs.warn (fun m ->
-              m
-                ~tags:(Obs.log_tags ~site:origin ~time:(Sim.now t.sim) ())
-                "guarantee %s invalidated by %s failure at %s"
-                (Guarantee.name entry.guarantee)
-                (Msg.failure_kind_to_string kind)
-                origin)
-        end
+      let relevant =
+        match kind with
+        | Msg.Logical -> true
+        | Msg.Metric -> Guarantee.is_metric entry.guarantee
+      in
+      if relevant && not (Hashtbl.mem entry.invalidated_by (origin, kind))
+      then begin
+        Hashtbl.replace entry.invalidated_by (origin, kind) ();
+        Obs.incr t.obs "system_guarantee_invalidations"
+          ~labels:[ ("site", origin); ("kind", Msg.failure_kind_to_string kind) ];
+        Logs.warn (fun m ->
+            m
+              ~tags:(Obs.log_tags ~site:origin ~time:(Sim.now t.sim) ())
+              "guarantee %s invalidated by %s failure at %s"
+              (Guarantee.name entry.guarantee)
+              (Msg.failure_kind_to_string kind)
+              origin)
       end)
-    t.guarantees
+    (guarantees_at t origin)
 
 let note_reset t ~origin =
   Obs.incr t.obs "system_guarantee_resets" ~labels:[ ("site", origin) ];
+  (* An entry can only hold [origin] in invalidated_by if it declared
+     [origin] among its sites, so clearing its bucket suffices. *)
   List.iter
     (fun entry ->
-      entry.invalidated_by <-
-        List.filter (fun (site, _) -> not (String.equal site origin)) entry.invalidated_by)
-    t.guarantees
+      Hashtbl.remove entry.invalidated_by (origin, Msg.Logical);
+      Hashtbl.remove entry.invalidated_by (origin, Msg.Metric))
+    (guarantees_at t origin)
 
 let add_shell t ~site =
   if Hashtbl.mem t.shells site then
@@ -203,6 +219,7 @@ let add_shell t ~site =
         ctx_locator = t.locator;
         ctx_obs = t.obs;
         ctx_journals = t.journals;
+        ctx_dispatch = t.dispatch;
       }
       ~site
   in
@@ -269,13 +286,27 @@ let strategy_rules t = t.strategy_rules
 let all_rules t = t.interface_rules @ t.strategy_rules
 
 let declare_guarantee t ~sites guarantee =
-  let entry = { guarantee; sites; invalidated_by = [] } in
-  t.guarantees <- t.guarantees @ [ entry ];
+  let site_set = Hashtbl.create (max 1 (List.length sites)) in
+  List.iter (fun s -> Hashtbl.replace site_set s ()) sites;
+  let entry = { guarantee; invalidated_by = Hashtbl.create 4 } in
+  (* Bucket under each distinct declared site, appended in declaration
+     order (iterate the deduplicated set, not the raw list, so a site
+     repeated in [sites] buckets the entry once). *)
+  Hashtbl.iter
+    (fun site () ->
+      match Hashtbl.find_opt t.guarantees_by_site site with
+      | Some bucket -> bucket := !bucket @ [ entry ]
+      | None -> Hashtbl.replace t.guarantees_by_site site (ref [ entry ]))
+    site_set;
   entry
 
-let guarantee_valid entry = entry.invalidated_by = []
+let guarantee_valid entry = Hashtbl.length entry.invalidated_by = 0
 let guarantee_of entry = entry.guarantee
-let invalidations entry = entry.invalidated_by
+
+let invalidations entry =
+  (* Sorted keys: the hashtable's iteration order must not leak. *)
+  Hashtbl.fold (fun inv () acc -> inv :: acc) entry.invalidated_by []
+  |> List.sort compare
 
 let run t ~until = Sim.run ~until t.sim
 

@@ -47,6 +47,13 @@ module Config : sig
             {!Journal} and a {!Recovery} manager, and make the reliable
             layer epoch-aware, so {!restart_site} replays, re-queues,
             and reports the crash as a metric failure (§5). *)
+    dispatch : Shell.dispatch;
+        (** rule matching strategy for every shell:
+            {!Shell.dispatch.Indexed} (default) dispatches events through
+            the {!Cm_rule.Rule_index} discrimination buckets;
+            {!Shell.dispatch.Naive} retains the pre-index linear scan —
+            the oracle the E15 benchmark and the differential tests
+            compare against.  Both produce byte-identical traces. *)
   }
 
   val default : t
@@ -60,6 +67,7 @@ module Config : sig
   val with_reliable : Reliable.config -> t -> t
   val with_obs : Obs.t -> t -> t
   val with_durability : Journal.durability -> t -> t
+  val with_dispatch : Shell.dispatch -> t -> t
 end
 
 val create : ?config:Config.t -> Cm_rule.Item.locator -> t

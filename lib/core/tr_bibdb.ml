@@ -63,6 +63,7 @@ let cmi t =
     Cmi.site = t.site;
     name = "bibdb";
     owns = String.equal t.base;
+    bases = [ t.base ];
     interface_rules = (fun () -> interface_rules t);
     current_value = current_value t;
     request = request t;

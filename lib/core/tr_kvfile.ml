@@ -169,6 +169,9 @@ let cmi t =
     Cmi.site = t.site;
     name = "kvfile";
     owns = Hashtbl.mem t.bindings;
+    bases =
+      List.sort String.compare
+        (Hashtbl.fold (fun base _ acc -> base :: acc) t.bindings []);
     interface_rules = (fun () -> interface_rules t);
     current_value = current_value t;
     request = request t;

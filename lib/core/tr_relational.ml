@@ -388,6 +388,12 @@ let cmi t =
       (fun base ->
         Hashtbl.mem t.bindings base
         || List.exists (fun s -> String.equal s.ex_base base) t.existence);
+    bases =
+      List.sort_uniq String.compare
+        (Hashtbl.fold
+           (fun base _ acc -> base :: acc)
+           t.bindings
+           (List.map (fun s -> s.ex_base) t.existence));
     interface_rules = (fun () -> interface_rules t);
     current_value = current_value t;
     request = request t;

@@ -1,0 +1,107 @@
+(* Entries carry a global registration sequence number so that a select
+   over several buckets (site-specific and local/chaining, base-specific
+   and base-free) can reproduce the exact interleaving a linear scan over
+   the registration list would produce.  Buckets are kept newest-first
+   (cheap prepend); select merges them by descending seq and accumulates,
+   yielding ascending (registration) order. *)
+
+type 'a entry = { seq : int; site : Item.site option; payload : 'a }
+
+(* Discrimination on the first template argument: [Expr.Item (b, _)] at
+   position 0 matches only events whose first argument is an item with
+   base [b] (see Template.match_arg), so such templates go in the
+   [Some b] bucket.  Any other first argument (or no arguments) leaves
+   the template a candidate for every event with its name. *)
+let arg0_base (tpl : Template.t) =
+  match tpl.Template.args with
+  | Expr.Item (base, _) :: _ -> Some base
+  | _ -> None
+
+let event_arg0_base (desc : Event.desc) =
+  match desc.Event.args with
+  | Event.Ai item :: _ -> Some item.Item.base
+  | _ -> None
+
+type 'a t = {
+  mutable next_seq : int;
+  mutable rev_all : 'a entry list;  (* every entry, newest first *)
+  sited : (Item.site * string * string option, 'a entry list) Hashtbl.t;
+      (* (LHS site, descriptor name, arg0 base) -> entries, newest first *)
+  local : (string * string option, 'a entry list) Hashtbl.t;
+      (* (descriptor name, arg0 base) -> site-free (chaining) entries *)
+}
+
+let create () =
+  {
+    next_seq = 0;
+    rev_all = [];
+    sited = Hashtbl.create 64;
+    local = Hashtbl.create 8;
+  }
+
+let push table key entry =
+  let prior = Option.value (Hashtbl.find_opt table key) ~default:[] in
+  Hashtbl.replace table key (entry :: prior)
+
+let add t ~lhs ~site payload =
+  let entry = { seq = t.next_seq; site; payload } in
+  t.next_seq <- t.next_seq + 1;
+  t.rev_all <- entry :: t.rev_all;
+  let name = lhs.Template.name in
+  let base = arg0_base lhs in
+  match site with
+  | Some s -> push t.sited (s, name, base) entry
+  | None -> push t.local (name, base) entry
+
+(* Merge two newest-first entry lists, newest first.  Candidate buckets
+   are small, so the non-tail recursion is fine. *)
+let rec merge2 a b =
+  match a, b with
+  | [], rest | rest, [] -> rest
+  | x :: xs, y :: ys ->
+    if x.seq > y.seq then x :: merge2 xs b else y :: merge2 a ys
+
+let bucket table key = Option.value (Hashtbl.find_opt table key) ~default:[]
+
+let select t ~local_site ~event_site ~(desc : Event.desc) =
+  let name = desc.Event.name in
+  let base = event_arg0_base desc in
+  let sited_free = bucket t.sited (event_site, name, None) in
+  let sited_based =
+    match base with
+    | Some _ -> bucket t.sited (event_site, name, base)
+    | None -> []
+  in
+  let is_local = String.equal event_site local_site in
+  let local_free = if is_local then bucket t.local (name, None) else [] in
+  let local_based =
+    match base with
+    | Some _ when is_local -> bucket t.local (name, base)
+    | _ -> []
+  in
+  let merged =
+    merge2 (merge2 sited_free sited_based) (merge2 local_free local_based)
+  in
+  (* Descending-seq entries folded with prepend: ascending payloads. *)
+  List.fold_left (fun acc e -> e.payload :: acc) [] merged
+
+let select_naive t ~local_site ~event_site =
+  List.fold_left
+    (fun acc entry ->
+      let site_matches =
+        match entry.site with
+        | Some s -> String.equal s event_site
+        | None -> String.equal event_site local_site
+      in
+      if site_matches then entry.payload :: acc else acc)
+    [] t.rev_all
+
+let length t = t.next_seq
+
+let bucket_stats t =
+  let fold table (buckets, largest) =
+    Hashtbl.fold
+      (fun _ entries (b, l) -> (b + 1, max l (List.length entries)))
+      table (buckets, largest)
+  in
+  fold t.sited (fold t.local (0, 0))

@@ -1,6 +1,11 @@
 type time = float
 
-type entry = { at : time; seq : int; action : unit -> unit }
+(* [live] lets {!pending} exclude queue entries that are already known
+   to be no-ops: a cancelled periodic's next tick stays in the heap
+   until its time comes, but it is not pending work. *)
+type entry = { at : time; seq : int; live : unit -> bool; action : unit -> unit }
+
+let always_live () = true
 
 type t = {
   mutable clock : time;
@@ -26,10 +31,12 @@ let create ?(seed = 42) () =
 let now t = t.clock
 let rng t = t.rng
 
-let schedule_at t at action =
+let enqueue t at ~live action =
   let at = if at < t.clock then t.clock else at in
   t.seq <- t.seq + 1;
-  Cm_util.Heap.add t.queue { at; seq = t.seq; action }
+  Cm_util.Heap.add t.queue { at; seq = t.seq; live; action }
+
+let schedule_at t at action = enqueue t at ~live:always_live action
 
 let schedule t ~delay action =
   let delay = if delay < 0.0 then 0.0 else delay in
@@ -38,13 +45,14 @@ let schedule t ~delay action =
 let every t ?start ~period action ~cancel =
   if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
   let first = match start with Some s -> s | None -> t.clock +. period in
+  let live () = not (cancel ()) in
   let rec tick () =
     if not (cancel ()) then begin
       action ();
-      schedule t ~delay:period tick
+      enqueue t (t.clock +. period) ~live tick
     end
   in
-  schedule_at t first tick
+  enqueue t first ~live tick
 
 let step t =
   match Cm_util.Heap.pop t.queue with
@@ -76,5 +84,6 @@ let run ?until t =
     | _ -> ()
   with Stop -> ()
 
-let pending t = Cm_util.Heap.size t.queue
+let pending t =
+  Cm_util.Heap.fold (fun n e -> if e.live () then n + 1 else n) 0 t.queue
 let events_processed t = t.processed

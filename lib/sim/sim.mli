@@ -50,8 +50,10 @@ val step : t -> bool
 (** Process exactly one queued event.  [false] if the queue was empty. *)
 
 val pending : t -> int
-(** Number of queued events (cancelled periodic re-arms included until they
-    fire). *)
+(** Number of queued events that will still do work: a periodic re-arm
+    whose [cancel] already returns [true] sits in the queue until its
+    time comes but is {e not} counted.  O(queue) — a diagnostic, not a
+    hot-path call. *)
 
 val events_processed : t -> int
 (** Total callbacks executed so far — used by throughput benchmarks. *)

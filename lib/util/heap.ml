@@ -41,6 +41,13 @@ let clear t =
   t.root <- Leaf;
   t.size <- 0
 
+let fold f acc t =
+  let rec go acc = function
+    | Leaf -> acc
+    | Node { value; left; right; _ } -> go (go (f acc value) left) right
+  in
+  go acc t.root
+
 let of_list ~leq xs =
   let t = create ~leq in
   List.iter (add t) xs;

@@ -29,3 +29,7 @@ val of_list : leq:('a -> 'a -> bool) -> 'a list -> 'a t
 
 val to_sorted_list : 'a t -> 'a list
 (** Drains the heap.  The heap is empty afterwards. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over every element without disturbing the heap.  Traversal
+    order is unspecified — use only order-insensitive accumulators. *)

@@ -1,0 +1,112 @@
+(* Golden-trace regression tests for the rule/event discrimination index.
+
+   The indexed dispatch path in Shell.occurred must be observationally
+   identical to the naive linear scan it replaced: same rules selected,
+   same firing order, same generated events, same everything.  These
+   tests pin that down end-to-end by running three representative
+   workloads (the E1 propagation run, the E4 demarcation run, and the
+   E13 lossy-network run) at fixed seeds and comparing the MD5 digest of
+   their full Trace_io dump against digests recorded at the commit just
+   before the index was introduced.
+
+   If a change to rule dispatch, translator lookup, or shell bookkeeping
+   reorders so much as one event, the digest moves and the test names
+   the workload that diverged.  To re-record after an *intentional*
+   semantic change: GOLDEN_PRINT=1 dune exec test/test_golden_traces.exe *)
+
+open Cm_rule
+module Sim = Cm_sim.Sim
+module Net = Cm_net.Net
+module Sys_ = Cm_core.System
+module Reliable = Cm_core.Reliable
+module Payroll = Cm_workload.Payroll
+module Bank = Cm_workload.Bank
+
+let digest_of_trace trace =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Trace_io.event_to_line e);
+      Buffer.add_char buf '\n')
+    (Trace.events trace);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* E1: notify+write propagation, 20 employees, Poisson updates. *)
+let e1_trace () =
+  let p = Payroll.create ~config:(Sys_.Config.seeded 101) ~employees:20 () in
+  Payroll.install_propagation p;
+  Payroll.random_updates p ~mean_interarrival:10.0 ~until:3000.0;
+  Sys_.run p.Payroll.system ~until:3600.0;
+  Sys_.trace p.Payroll.system
+
+(* E4: demarcation protocol, 200 random X updates, conservative policy. *)
+let e4_trace () =
+  let b =
+    Bank.create ~config:(Sys_.Config.seeded 42)
+      ~policy:Cm_core.Demarcation.Conservative ()
+  in
+  let sim = Sys_.sim b.Bank.system in
+  let rng = Cm_util.Prng.split (Sim.rng sim) in
+  let ops = 200 in
+  for i = 1 to ops do
+    Sim.schedule_at sim (float_of_int i *. 10.0) (fun () ->
+        let v = Cm_util.Prng.int rng 100 in
+        match Bank.try_set_x b v with
+        | Bank.Applied -> ()
+        | Bank.Requested ->
+          Sim.schedule sim ~delay:5.0 (fun () -> ignore (Bank.try_set_x b v)))
+  done;
+  Sys_.run b.Bank.system ~until:(float_of_int ops *. 10.0 +. 100.0);
+  Sys_.trace b.Bank.system
+
+(* E13: propagation over a lossy network behind the reliable layer. *)
+let e13_trace () =
+  let p =
+    Payroll.create
+      ~config:
+        Sys_.Config.(
+          seeded 1300
+          |> with_faults { Net.drop_prob = 0.2; dup_prob = 0.1 }
+          |> with_reliable Reliable.default_config)
+      ~employees:3 ()
+  in
+  Payroll.install_propagation p;
+  Payroll.random_updates p ~mean_interarrival:20.0 ~until:500.0;
+  Sys_.run p.Payroll.system ~until:700.0;
+  Sys_.trace p.Payroll.system
+
+let goldens =
+  [
+    ("e1-propagation", e1_trace);
+    ("e4-demarcation", e4_trace);
+    ("e13-lossy-reliable", e13_trace);
+  ]
+
+(* Digests recorded on the pre-index dispatch path (commit b3e2a08). *)
+let expected = function
+  | "e1-propagation" -> "2f775ff9655ece706b10c6c48fbc1dcb"
+  | "e4-demarcation" -> "42ab225224d9340d38cb80ef6c0b0fbd"
+  | "e13-lossy-reliable" -> "d4e49c4049e9940d6eb614e74a6f9538"
+  | name -> Alcotest.fail ("no golden digest recorded for " ^ name)
+
+let check_golden name trace () =
+  Alcotest.(check string)
+    (name ^ " trace digest unchanged since pre-index recording")
+    (expected name)
+    (digest_of_trace (trace ()))
+
+let () =
+  if Sys.getenv_opt "GOLDEN_PRINT" <> None then begin
+    List.iter
+      (fun (name, trace) ->
+        Printf.printf "%s %s\n%!" name (digest_of_trace (trace ())))
+      goldens;
+    exit 0
+  end;
+  Alcotest.run "golden_traces"
+    [
+      ( "byte-identical traces",
+        List.map
+          (fun (name, trace) -> Alcotest.test_case name `Quick (check_golden name trace))
+          goldens );
+    ]

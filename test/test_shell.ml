@@ -234,6 +234,82 @@ let foreign_site_rhs_routed () =
   Alcotest.(check (option string)) "written at c" (Some "5")
     (Cm_sources.Kvfile.read fs "xc")
 
+(* ---- dispatch edge cases (indexed vs naive) ---- *)
+
+let chaining_rule_fires_only_locally () =
+  (* A rule mentioning no item on either side has no LHS site: it is
+     installed everywhere and must trigger only on events at the
+     shell's own site — not on events the shell records for a site it
+     merely serves. *)
+  let system, sa, sb = two_shells () in
+  Sys_.install system (strategy_of "r1: Tick(v) ->[5] Tock(v)");
+  let tocks_a = ref 0 and tocks_b = ref 0 in
+  Shell.on_custom sa "Tock" (fun _ -> incr tocks_a);
+  Shell.on_custom sb "Tock" (fun _ -> incr tocks_b);
+  emit_at sa ~site:"a" (custom "Tick" [ av (Value.Int 1) ]);
+  Sys_.run system ~until:10.0;
+  Alcotest.(check int) "fires at the recording shell" 1 !tocks_a;
+  Alcotest.(check int) "not at the peer shell" 0 !tocks_b;
+  (* Same event name recorded at shell a for site b: site filter must
+     reject it on both dispatch paths. *)
+  emit_at sa ~site:"b" (custom "Tick" [ av (Value.Int 2) ]);
+  Sys_.run system ~until:20.0;
+  Alcotest.(check int) "foreign-site event skips the chaining rule" 1 !tocks_a
+
+let periodic_reinstall_idempotent () =
+  (* Two strategies carrying P rules with the same (site, period): the
+     second install must not start a second tick stream, but both rules
+     must fire on every tick of the shared stream. *)
+  let system, _sa, _sb = two_shells () in
+  Sys_.install system (strategy_of "p1: P(10) ->[1] Saw(Xa)");
+  Sys_.install system (strategy_of "p2: P(10) ->[1] Saw2(Xa)");
+  Sys_.run system ~until:38.0;
+  Alcotest.(check int) "one tick stream" 3
+    (List.length (Trace.named (Sys_.trace system) "P"));
+  Alcotest.(check int) "first rule fires each tick" 3
+    (List.length (Trace.named (Sys_.trace system) "Saw"));
+  Alcotest.(check int) "second rule fires each tick" 3
+    (List.length (Trace.named (Sys_.trace system) "Saw2"))
+
+let custom_handlers_coexist_with_rules () =
+  (* on_custom hooks and indexed rule dispatch observe the same event:
+     neither short-circuits the other. *)
+  let system, sa, sb = two_shells () in
+  Sys_.install system (strategy_of "r1: Ping(Xa, v) ->[5] W(Cache, v)");
+  let seen = ref 0 in
+  Shell.on_custom sa "Ping" (fun e ->
+      Alcotest.(check string) "handler sees the event" "Ping" e.Event.desc.Event.name;
+      incr seen);
+  emit_at sa ~site:"a" (custom "Ping" [ ai "Xa"; av (Value.Int 9) ]);
+  Sys_.run system ~until:10.0;
+  Alcotest.(check int) "handler ran once" 1 !seen;
+  Alcotest.(check (option value)) "rule fired too" (Some (Value.Int 9))
+    (Shell.read_aux sb (Item.make "Cache"))
+
+let naive_dispatch_equivalent () =
+  (* The retained naive matcher is a drop-in: the same workload under
+     Config.with_dispatch Naive ends in the same state. *)
+  let run dispatch =
+    let locator item = match item.Item.base with "Xa" -> "a" | _ -> "b" in
+    let config =
+      Cm_core.System.Config.(seeded 5 |> with_dispatch dispatch)
+    in
+    let system = Sys_.create ~config locator in
+    let sa = Sys_.add_shell system ~site:"a" in
+    let sb = Sys_.add_shell system ~site:"b" in
+    Sys_.install system
+      (strategy_of
+         {|r1: Ping(Xa, v) ->[5] Pong(Xa, v)
+           r2: Pong(Xa, v) ->[5] W(Cache, v)|});
+    emit_at sa ~site:"a" (custom "Ping" [ ai "Xa"; av (Value.Int 4) ]);
+    Sys_.run system ~until:20.0;
+    (Shell.read_aux sb (Item.make "Cache"), Trace.length (Sys_.trace system))
+  in
+  let indexed = run Shell.Indexed in
+  let naive = run Shell.Naive in
+  Alcotest.(check (pair (option value) int))
+    "indexed and naive runs end identically" naive indexed
+
 let () =
   Alcotest.run "cm_shell"
     [
@@ -251,6 +327,17 @@ let () =
         [
           Alcotest.test_case "deduplicated" `Quick periodic_deduplicated;
           Alcotest.test_case "distinct periods" `Quick periodic_distinct_periods;
+          Alcotest.test_case "re-install idempotent" `Quick
+            periodic_reinstall_idempotent;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "chaining rule local only" `Quick
+            chaining_rule_fires_only_locally;
+          Alcotest.test_case "custom handlers coexist" `Quick
+            custom_handlers_coexist_with_rules;
+          Alcotest.test_case "naive dispatch equivalent" `Quick
+            naive_dispatch_equivalent;
         ] );
       ("store", [ Alcotest.test_case "aux write" `Quick aux_write_records_event ]);
       ( "failures",

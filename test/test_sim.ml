@@ -121,6 +121,23 @@ let counters () =
   Alcotest.(check int) "processed" 2 (Sim.events_processed sim);
   Alcotest.(check int) "none pending" 0 (Sim.pending sim)
 
+let pending_ignores_cancelled_periodics () =
+  (* A periodic timer always has its next re-arm sitting in the queue.
+     Once its cancel predicate flips, that queued tick is dead weight and
+     [pending] must not report it. *)
+  let sim = Sim.create () in
+  let stop = ref false in
+  let ticks = ref 0 in
+  Sim.every sim ~period:10.0 (fun () -> incr ticks) ~cancel:(fun () -> !stop);
+  Alcotest.(check int) "live re-arm counted" 1 (Sim.pending sim);
+  Sim.schedule sim ~delay:15.0 (fun () -> stop := true);
+  Sim.run ~until:16.0 sim;
+  (* The tick scheduled for t=20 is still queued, but cancelled. *)
+  Alcotest.(check int) "cancelled re-arm not counted" 0 (Sim.pending sim);
+  Sim.run sim;
+  (* Draining pops the dead entry without running its action. *)
+  Alcotest.(check int) "dead tick never runs" 1 !ticks
+
 let rng_determinism () =
   let run_once () =
     let sim = Sim.create ~seed:11 () in
@@ -161,6 +178,8 @@ let () =
           Alcotest.test_case "every with start" `Quick every_with_start;
           Alcotest.test_case "step" `Quick step_one_at_a_time;
           Alcotest.test_case "counters" `Quick counters;
+          Alcotest.test_case "pending ignores cancelled periodics" `Quick
+            pending_ignores_cancelled_periodics;
           Alcotest.test_case "rng determinism" `Quick rng_determinism;
           Alcotest.test_case "schedule_at past clamped" `Quick schedule_at_past_clamped;
         ] );

@@ -80,6 +80,19 @@ let heap_clear () =
   Cm_util.Heap.clear h;
   Alcotest.(check int) "cleared" 0 (Cm_util.Heap.size h)
 
+let heap_fold () =
+  let h = Cm_util.Heap.of_list ~leq:( <= ) [ 5; 3; 9; 1 ] in
+  (* Order is unspecified; fold must visit every element exactly once
+     and leave the heap intact. *)
+  Alcotest.(check int) "sum over all elements" 18
+    (Cm_util.Heap.fold ( + ) 0 h);
+  Alcotest.(check int) "count matches size" (Cm_util.Heap.size h)
+    (Cm_util.Heap.fold (fun n _ -> n + 1) 0 h);
+  Alcotest.(check (list int)) "heap untouched by fold" [ 1; 3; 5; 9 ]
+    (Cm_util.Heap.to_sorted_list h);
+  let empty = Cm_util.Heap.create ~leq:( <= ) in
+  Alcotest.(check int) "fold over empty" 0 (Cm_util.Heap.fold ( + ) 0 empty)
+
 let heap_qcheck =
   QCheck.Test.make ~name:"heap drains any int list sorted" ~count:200
     QCheck.(list int)
@@ -186,6 +199,7 @@ let () =
           Alcotest.test_case "empty" `Quick heap_empty;
           Alcotest.test_case "min then pop" `Quick heap_min_then_pop;
           Alcotest.test_case "clear" `Quick heap_clear;
+          Alcotest.test_case "fold" `Quick heap_fold;
           QCheck_alcotest.to_alcotest heap_qcheck;
           QCheck_alcotest.to_alcotest heap_size_qcheck;
         ] );
