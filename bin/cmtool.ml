@@ -261,6 +261,226 @@ let check_cmd =
           non-zero on errors, and on warnings with --deny-warnings")
     Term.(const check_cmd_run $ file $ rule_files $ json $ deny_warnings)
 
+(* ---- evolve ---- *)
+
+(* Base item an interface statement serves: the LHS item if there is one,
+   else the first RHS item (periodic-notify rules have a P(...) LHS). *)
+let iface_base (r : Cm_rule.Rule.t) =
+  match Cm_rule.Template.item_base r.Cm_rule.Rule.lhs with
+  | Some b -> Some b
+  | None ->
+    List.find_map
+      (fun (s : Cm_rule.Rule.step) ->
+        Cm_rule.Template.item_base s.Cm_rule.Rule.template)
+      (Cm_rule.Rule.rhs_steps r)
+
+let iface_key r =
+  match Interface.classify r with
+  | None -> None
+  | Some kind -> Option.map (fun b -> (kind, b)) (iface_base r)
+
+let parse_rule_file file =
+  match Cm_rule.Parser.parse_rules (read_file file) with
+  | exception Cm_rule.Parser.Parse_error { line; message; _ } ->
+    Printf.eprintf "%s:%d: parse error: %s\n" file line message;
+    Error 1
+  | exception Sys_error m ->
+    Printf.eprintf "%s\n" m;
+    Error 1
+  | rules -> Ok rules
+
+let evolve_cmd_run config_file proposed_file rule_files json deny_warnings
+    dry_run =
+  match Cm_core.Cmrid.parse_file config_file with
+  | Error errors ->
+    List.iter
+      (fun (e : Cm_core.Cmrid.error) ->
+        Printf.eprintf "%s:%d: %s\n" config_file e.Cm_core.Cmrid.e_line
+          e.Cm_core.Cmrid.e_msg)
+      errors;
+    1
+  | Ok config -> (
+    match Cm_core.Toolkit.build config with
+    | Error m ->
+      Printf.eprintf "%s: %s\n" config_file m;
+      1
+    | Ok built -> (
+      let system = built.Cm_core.Toolkit.system in
+      let extra =
+        List.fold_left
+          (fun acc f ->
+            match acc, parse_rule_file f with
+            | Error c, _ | _, Error c -> Error c
+            | Ok rs, Ok more -> Ok (rs @ more))
+          (Ok []) rule_files
+      in
+      match extra, parse_rule_file proposed_file with
+      | Error c, _ | _, Error c -> c
+      | Ok extra_rules, Ok proposed_rules ->
+        let is_iface r = Interface.classify r <> None in
+        (* Current epoch: interfaces synthesized from the configuration,
+           extended by interface statements in the extra rule files —
+           except statements restating a capability the translators
+           already declared, which are the same interface, not a second
+           channel (mirrors cmtool check's merge). *)
+        let synth = Cm_core.System.interface_rules system in
+        let synth_keys = List.filter_map iface_key synth in
+        let extra_ifaces, extra_strategy = List.partition is_iface extra_rules in
+        let extra_ifaces =
+          List.filter
+            (fun r ->
+              match iface_key r with
+              | Some k -> not (List.mem k synth_keys)
+              | None -> true)
+            extra_ifaces
+        in
+        let interfaces_before = synth @ extra_ifaces in
+        let strategy_before =
+          Cm_core.System.strategy_rules system @ extra_strategy
+        in
+        (* Proposed epoch: its interface statements, when present,
+           REPLACE the current set — an interface change (§4.2.3) means
+           capabilities disappear, not accumulate.  A proposal with no
+           interface statements changes only the strategy. *)
+        let prop_ifaces, strategy_after =
+          List.partition is_iface proposed_rules
+        in
+        let interfaces_after =
+          if prop_ifaces = [] then interfaces_before else prop_ifaces
+        in
+        (* Preflight the proposed epoch exactly as `cmtool check` would
+           check a running system's rules: capabilities against the
+           proposed interfaces, conflicts, cycles. *)
+        let findings =
+          Analysis.check_rules ~file:proposed_file
+            ~interfaces:interfaces_after ~strategy:strategy_after
+            ~locator:(Cm_core.System.locator system) ()
+        in
+        let preflight_code = Analysis.exit_code ~deny_warnings findings in
+        if preflight_code <> 0 then begin
+          if json then
+            print_endline (Analysis.to_json ~checked:proposed_file findings)
+          else begin
+            print_endline (Analysis.to_text findings);
+            Printf.printf
+              "proposed epoch rejected by preflight; not comparing guarantees\n"
+          end;
+          preflight_code
+        end
+        else begin
+          let constraints =
+            List.map
+              (fun (c : Cm_core.Cmrid.constraint_decl) ->
+                (c.Cm_core.Cmrid.c_source, c.Cm_core.Cmrid.c_target))
+              config.Cm_core.Cmrid.constraints
+          in
+          let survivals =
+            Cm_core.Evolution.compare_programs ~interfaces_before
+              ~interfaces_after ~strategy_before ~strategy_after ~constraints
+          in
+          if json then
+            print_endline (Cm_core.Evolution.survivals_to_json survivals)
+          else begin
+            Printf.printf "proposed epoch %s: %d interface statement(s), %d strategy rule(s)\n"
+              proposed_file (List.length prop_ifaces)
+              (List.length strategy_after);
+            Printf.printf "preflight: %s\n\n"
+              (match Analysis.summary findings with
+              | 0, 0, 0 -> "no findings"
+              | e, w, i -> Printf.sprintf "%d error(s), %d warning(s), %d info(s)" e w i);
+            if constraints = [] then
+              Printf.printf "no copy constraints declared; nothing to compare\n"
+            else print_string (Cm_core.Evolution.survivals_to_text survivals)
+          end;
+          if dry_run then 0
+          else begin
+            (* Live rollout on a freshly built instance of the
+               configuration: cut over mid-run, let the old epoch drain,
+               retire it once the transport is quiescent. *)
+            let sim = Cm_core.System.sim system in
+            let evo =
+              Cm_core.Evolution.create ~constraints
+                ~interfaces:interfaces_before system
+            in
+            let strategy =
+              { Cm_core.Strategy.strategy_name = "proposed";
+                description = "proposed epoch from " ^ proposed_file;
+                rules = strategy_after;
+                aux_init = [] }
+            in
+            let cutover_at = 10.0 in
+            Cm_sim.Sim.schedule_at sim cutover_at (fun () ->
+                match Cm_core.Evolution.evolve ~quiesce:true evo strategy with
+                | Ok _ -> ()
+                | Error m -> failwith ("evolve: " ^ m));
+            Cm_core.System.run system ~until:60.0;
+            if not json then begin
+              Printf.printf "\nlive rollout (simulated):\n";
+              List.iter
+                (fun (tr : Cm_core.Evolution.transition) ->
+                  Printf.printf "  t=%.2f  cutover epoch %d -> %d (%s)\n"
+                    tr.Cm_core.Evolution.tr_at tr.Cm_core.Evolution.tr_from
+                    tr.Cm_core.Evolution.tr_to
+                    tr.Cm_core.Evolution.tr_strategy)
+                (Cm_core.Evolution.transitions evo);
+              Printf.printf
+                "  current epoch %d; retirements %d; draining [%s]; \
+                 stale-epoch rejections %d\n"
+                (Cm_core.Evolution.current_epoch evo)
+                (Cm_core.Evolution.retirements evo)
+                (String.concat ", "
+                   (List.map string_of_int (Cm_core.Evolution.draining evo)))
+                (Cm_core.Evolution.stale_rejections evo)
+            end;
+            0
+          end
+        end))
+
+let evolve_cmd =
+  let config_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
+  in
+  let proposed_file =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"PROPOSED"
+          ~doc:"Rule file for the proposed epoch; its interface statements \
+                (if any) replace the current interfaces, the rest is the \
+                new strategy")
+  in
+  let rule_files =
+    Arg.(
+      value & pos_right 1 file []
+      & info [] ~docv:"RULES"
+          ~doc:"Rule files describing the currently installed epoch, as in \
+                $(b,cmtool check)")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the survival report as JSON") in
+  let deny_warnings =
+    Arg.(
+      value & flag
+      & info [ "deny-warnings" ]
+          ~doc:"Fail the preflight on warnings, not just errors")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Static analysis only: preflight + guarantee-survival \
+                comparison, no simulated rollout")
+  in
+  Cmd.v
+    (Cmd.info "evolve"
+       ~doc:
+         "Propose a new rule epoch for a CM-RID configuration: preflight it \
+          through the static checker, report which \194\1673.3 guarantees of each \
+          declared copy constraint are kept, upgraded, or lost across the \
+          cutover, and (without --dry-run) perform the drain-and-cutover on \
+          a simulated instance of the configuration")
+    Term.(
+      const evolve_cmd_run $ config_file $ proposed_file $ rule_files $ json
+      $ deny_warnings $ dry_run)
+
 (* ---- check-trace ---- *)
 
 let item_of_string s =
@@ -530,7 +750,7 @@ let faults_cmd =
 (* ---- chaos ---- *)
 
 let chaos_cmd_run seed events crashes crash_min crash_max workload durability
-    no_check =
+    churn no_check =
   let module Chaos = Cm_chaos.Chaos in
   let chaos_workload =
     match Chaos.workload_of_string workload with
@@ -539,6 +759,10 @@ let chaos_cmd_run seed events crashes crash_min crash_max workload durability
       Printf.eprintf "unknown workload %S (payroll|bank)\n" workload;
       exit 2
   in
+  if churn > 0 && chaos_workload <> Chaos.Payroll then begin
+    Printf.eprintf "--churn is only defined for the payroll workload\n";
+    exit 2
+  end;
   let durability =
     match Cm_core.Journal.durability_of_string durability with
     | Some d -> d
@@ -559,6 +783,7 @@ let chaos_cmd_run seed events crashes crash_min crash_max workload durability
           crash_max_len = crash_max;
           durability;
           chaos_workload;
+          churn;
         }
     in
     print_string (Chaos.report_to_string report);
@@ -595,6 +820,16 @@ let chaos_cmd =
          & info [ "durability" ] ~docv:"MODE"
              ~doc:"none, journal, or journal+checkpoint")
   in
+  let churn =
+    Arg.(value & opt int 0
+         & info [ "churn" ] ~docv:"N"
+             ~doc:"Live rule-program replacements (Evolution cutovers) to \
+                   interleave with the faults — payroll only.  Each cutover \
+                   swaps the propagation strategy for a different variant and \
+                   the harness additionally checks that every epoch drains and \
+                   retires cleanly and that guarantees proved under all epochs \
+                   hold on the observed timeline")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Derive a randomized crash/loss/partition schedule from the seed, \
@@ -603,7 +838,7 @@ let chaos_cmd =
              duplicated.  Output is byte-identical for identical arguments; \
              exits non-zero if any invariant fails")
     Term.(const chaos_cmd_run $ seed $ events $ crashes $ crash_min $ crash_max
-          $ workload $ durability $ no_check_arg)
+          $ workload $ durability $ churn $ no_check_arg)
 
 (* ---- stats / spans ---- *)
 
@@ -699,5 +934,5 @@ let () =
       ~doc:"Constraint management toolkit for heterogeneous information systems"
   in
   exit (Cmd.eval' (Cmd.group info
-       [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_cmd;
+       [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_cmd; evolve_cmd;
          check_trace_cmd; demo_cmd; faults_cmd; chaos_cmd; stats_cmd; spans_cmd ]))

@@ -7,6 +7,8 @@ module Journal = Cm_core.Journal
 module Recovery = Cm_core.Recovery
 module Msg = Cm_core.Msg
 module Guarantee = Cm_core.Guarantee
+module Evolution = Cm_core.Evolution
+module Strategy = Cm_core.Strategy
 module Prng = Cm_util.Prng
 module Pw = Cm_workload.Payroll
 module Bw = Cm_workload.Bank
@@ -29,6 +31,7 @@ type spec = {
   crash_max_len : float;
   durability : Journal.durability;
   chaos_workload : workload;
+  churn : int;
 }
 
 let default_spec =
@@ -40,6 +43,7 @@ let default_spec =
     crash_max_len = 60.0;
     durability = Journal.Journal_with_checkpoint;
     chaos_workload = Payroll;
+    churn = 0;
   }
 
 type fault =
@@ -47,11 +51,17 @@ type fault =
   | Loss_window of { at : float; until : float; drop : float; dup : float }
   | Partition of { at : float; until : float }
 
+(* One live rule-program replacement (Evolution cutover), in absolute
+   simulation time.  Injected into the oracle and the faulty run alike:
+   churn is part of the workload being compared, not a fault. *)
+type churn_event = { ch_at : float; ch_variant : string }
+
 type invariant = { inv_name : string; ok : bool; detail : string }
 
 type report = {
   spec : spec;
   faults : fault list;
+  churns : churn_event list;
   horizon : float;
   oracle_fires : int;
   chaos_fires : int;
@@ -72,6 +82,11 @@ type report = {
   journal_checkpoints : int;
   replayed_records : int;
   safety_violations : int;
+  cutovers : int;
+  epoch_retirements : int;
+  stale_epoch_rejections : int;
+  both_epoch_guarantees : string list;
+  both_epoch_violations : string list;
   final_state_matches : bool;
   invariants : invariant list;
 }
@@ -91,12 +106,15 @@ let sites = function
 let employees = [| "e1"; "e2"; "e3"; "e4"; "e5" |]
 
 (* Master stream is split once per concern, in a fixed order, so the op
-   stream never shifts when the fault generator draws more or less. *)
+   stream never shifts when the fault generator draws more or less.  The
+   churn stream splits last for the same reason: a spec with churn = 0
+   derives the exact ops and faults it did before churn existed. *)
 let streams spec =
   let master = Prng.create ~seed:spec.seed in
   let ops = Prng.split master in
   let faults = Prng.split master in
-  (ops, faults)
+  let churn = Prng.split master in
+  (ops, faults, churn)
 
 let derive_ops spec rng =
   let t = ref 5.0 in
@@ -163,10 +181,46 @@ let derive_faults spec rng ~inject_end ~sites =
   List.stable_sort (fun a b -> Float.compare (start a) (start b))
     (crashes @ loss @ partitions)
 
+(* The three strategy variants churned between; the base program is
+   "propagate", and each draw picks a variant different from the one
+   currently active, so every churn event is a real program change. *)
+let churn_variants = [| "propagate"; "propagate-cached"; "poll" |]
+
+let derive_churn spec rng ~inject_end =
+  match spec.chaos_workload with
+  | Bank -> []  (* churn is defined over the payroll copy constraint *)
+  | Payroll ->
+    if spec.churn = 0 then []
+    else begin
+      (* Times first, then variants, so neither draw shifts the other. *)
+      let times =
+        List.init spec.churn (fun _ ->
+            Prng.uniform_in rng ~lo:(0.15 *. inject_end) ~hi:(0.95 *. inject_end))
+        |> List.sort Float.compare
+      in
+      let prev = ref "propagate" in
+      List.map
+        (fun at ->
+          let others =
+            Array.to_list churn_variants
+            |> List.filter (fun v -> not (String.equal v !prev))
+            |> Array.of_list
+          in
+          let v = others.(Prng.int rng (Array.length others)) in
+          prev := v;
+          { ch_at = at; ch_variant = v })
+        times
+    end
+
 let schedule spec =
-  let ops_rng, fault_rng = streams spec in
+  let ops_rng, fault_rng, _ = streams spec in
   let _, inject_end = derive_ops spec ops_rng in
   derive_faults spec fault_rng ~inject_end ~sites:(sites spec.chaos_workload)
+
+let churn_schedule spec =
+  let ops_rng, _, churn_rng = streams spec in
+  let _, inject_end = derive_ops spec ops_rng in
+  derive_churn spec churn_rng ~inject_end
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -240,6 +294,11 @@ type run_result = {
   r_journal_checkpoints : int;
   r_replayed : int;
   r_safety_violations : int;
+  r_cutovers : int;
+  r_epoch_retirements : int;
+  r_stale_rejections : int;
+  r_both_kept : string list;
+  r_both_violations : string list;
   r_final : (string * float) list;  (* canonical final state *)
   r_follows_valid : bool;
 }
@@ -273,6 +332,55 @@ let recovery_replayed system =
   | None -> 0
   | Some r -> (Recovery.stats r).Recovery.replayed_records
 
+(* Build the i-th churned strategy.  Prefixes carry the epoch index so
+   every epoch's rule ids are distinct in journals and traces; the cache
+   of a cached epoch is likewise per-epoch (its aux_init re-initializes
+   it at cutover anyway). *)
+let churn_strategy i variant =
+  let pfx = Printf.sprintf "churn%d" (i + 1) in
+  match variant with
+  | "propagate" ->
+    Strategy.propagate ~prefix:pfx ~delta:5.0 ~source:Pw.source_pattern
+      ~target:Pw.target_pattern ()
+  | "propagate-cached" ->
+    Strategy.propagate_cached ~prefix:pfx ~delta:5.0 ~source:Pw.source_pattern
+      ~target:Pw.target_pattern
+      ~cache:(Printf.sprintf "SalCache%d" (i + 1))
+      ()
+  | "poll" ->
+    (* Read requests must name concrete items (cf. Payroll.install_polling). *)
+    Strategy.combine
+      (List.map
+         (fun emp ->
+           let concrete base =
+             Cm_rule.Expr.Item (base, [ Cm_rule.Expr.Const (Cm_rule.Value.Str emp) ])
+           in
+           Strategy.poll
+             ~prefix:(pfx ^ "_" ^ emp)
+             ~period:20.0 ~delta:5.0 ~source:(concrete "Salary1")
+             ~target:(concrete "Salary2") ())
+         (Array.to_list employees))
+  | v -> invalid_arg ("Chaos.churn_strategy: unknown variant " ^ v)
+
+let guarantee_of_name name emp =
+  let pair =
+    { Guarantee.leader = Pw.source_item emp; follower = Pw.target_item emp }
+  in
+  match name with
+  | "(1) follows" -> Some (Guarantee.Follows pair)
+  | "(2) leads" -> Some (Guarantee.Leads pair)
+  | "(3) strictly-follows" -> Some (Guarantee.Strictly_follows pair)
+  | _ -> None  (* metric guarantees are excused under faults (§5) *)
+
+(* Guarantees claimed Kept by BOTH epochs of EVERY transition — i.e.
+   proved under every rule program that was ever active in the run.
+   These must hold on the observed timeline despite churn and faults. *)
+let both_epoch_kept transitions =
+  match List.map Evolution.kept_names transitions with
+  | [] -> []
+  | first :: rest ->
+    List.filter (fun n -> List.for_all (fun s -> List.mem n s) rest) first
+
 let run_payroll spec ~faulty =
   let p = Pw.create ~config:(chaos_config spec) ~employees:(Array.length employees) () in
   Pw.install_propagation p;
@@ -282,11 +390,12 @@ let run_payroll spec ~faulty =
       (Guarantee.Follows
          { Guarantee.leader = Pw.source_item "e1"; follower = Pw.target_item "e1" })
   in
-  let ops_rng, fault_rng = streams spec in
+  let ops_rng, fault_rng, churn_rng = streams spec in
   let ops, inject_end = derive_ops spec ops_rng in
   let faults =
     derive_faults spec fault_rng ~inject_end ~sites:(sites Payroll)
   in
+  let churns = derive_churn spec churn_rng ~inject_end in
   List.iter
     (fun op ->
       Pw.schedule_update p ~at:op.op_at ~emp:employees.(op.op_slot)
@@ -295,7 +404,68 @@ let run_payroll spec ~faulty =
   if faulty then
     apply_faults p.Pw.system ~site_pair:(Pw.site_a, Pw.site_b) faults;
   let horizon = horizon_of ~inject_end faults in
+  (* The payroll bindings never declare a no-spontaneous-write interface
+     on the target, but in this harness it is true by construction: the
+     op stream only updates site A.  Without the declaration the prover
+     (correctly, conservatively) refuses every follows-style guarantee
+     and the both-epoch invariant would be vacuous. *)
+  let evo =
+    Evolution.create
+      ~constraints:[ ("Salary1", "Salary2") ]
+      ~interfaces:
+        (Sys_.interface_rules p.Pw.system
+        @ [ Cm_core.Interface.no_spontaneous_write Pw.target_pattern ])
+      p.Pw.system
+  in
+  let sim = Sys_.sim p.Pw.system in
+  List.iteri
+    (fun i ce ->
+      Sim.schedule_at sim ce.ch_at (fun () ->
+          match Evolution.evolve ~quiesce:false evo (churn_strategy i ce.ch_variant) with
+          | Ok _ -> ()
+          | Error e -> failwith ("Chaos: churn cutover failed: " ^ e)))
+    churns;
+  (* Retire every drained epoch at a fixed time well past the last fault
+     window plus the full retransmission-and-requeue chain, so the oracle
+     and the faulty run retire at the same instant and neither still has
+     old-epoch envelopes on the wire (stale rejection under adversarial
+     timing is exercised by the unit tests, not here — a rejection on one
+     side only would masquerade as message loss). *)
+  if churns <> [] then
+    Sim.schedule_at sim (horizon -. (drain /. 2.0)) (fun () ->
+        List.iter
+          (fun epoch ->
+            match Evolution.retire evo ~epoch with
+            | Ok () -> ()
+            | Error e -> failwith ("Chaos: churn retire failed: " ^ e))
+          (Evolution.draining evo));
   Sys_.run p.Pw.system ~until:horizon;
+  let transitions = Evolution.transitions evo in
+  let both_kept =
+    List.filter
+      (fun n -> Option.is_some (guarantee_of_name n "e1"))
+      (both_epoch_kept transitions)
+  in
+  let both_violations =
+    List.concat_map
+      (fun name ->
+        List.filter_map
+          (fun emp ->
+            match guarantee_of_name name emp with
+            | None -> None
+            | Some g ->
+              let rep =
+                Sys_.check_guarantee ~initial:p.Pw.initial
+                  ~ignore_after:inject_end p.Pw.system g
+              in
+              if rep.Guarantee.holds then None
+              else
+                Some
+                  (Printf.sprintf "%s[%s]: %s" name emp
+                     (String.concat "; " rep.Guarantee.counterexamples)))
+          (Array.to_list employees))
+      both_kept
+  in
   let pending, retransmits, epoch_rejections, requeued, give_ups, suspects, recoveries =
     transport_stats p.Pw.system
   in
@@ -322,10 +492,16 @@ let run_payroll spec ~faulty =
       r_journal_checkpoints = checkpoints;
       r_replayed = recovery_replayed p.Pw.system;
       r_safety_violations = 0;
+      r_cutovers = List.length transitions;
+      r_epoch_retirements = Evolution.retirements evo;
+      r_stale_rejections = Evolution.stale_rejections evo;
+      r_both_kept = both_kept;
+      r_both_violations = both_violations;
       r_final = final;
       r_follows_valid = Sys_.guarantee_valid g_follows;
     },
     faults,
+    churns,
     horizon )
 
 let run_bank spec ~faulty =
@@ -333,7 +509,7 @@ let run_bank spec ~faulty =
     Bw.create ~config:(chaos_config spec) ~policy:Cm_core.Demarcation.Conservative ()
   in
   let tally = count_notices [ b.Bw.shell_a; b.Bw.shell_b ] in
-  let ops_rng, fault_rng = streams spec in
+  let ops_rng, fault_rng, _ = streams spec in
   let ops, inject_end = derive_ops spec ops_rng in
   let faults = derive_faults spec fault_rng ~inject_end ~sites:(sites Bank) in
   let sim = Sys_.sim b.Bw.system in
@@ -377,23 +553,61 @@ let run_bank spec ~faulty =
       r_journal_checkpoints = checkpoints;
       r_replayed = recovery_replayed b.Bw.system;
       r_safety_violations = !violations;
+      r_cutovers = 0;
+      r_epoch_retirements = 0;
+      r_stale_rejections = 0;
+      r_both_kept = [];
+      r_both_violations = [];
       r_final =
         [ ("x_bal", Bw.x_bal b); ("y_bal", Bw.y_bal b);
           ("x_lim", Bw.x_lim b); ("y_lim", Bw.y_lim b) ];
       r_follows_valid = true;
     },
     faults,
+    [],
     horizon )
 
 (* ------------------------------------------------------------------ *)
 (* Invariants and report                                               *)
 (* ------------------------------------------------------------------ *)
 
-let check_invariants spec ~oracle ~chaos =
+let check_invariants spec ~churns ~oracle ~chaos =
   let durable = spec.durability <> Journal.None in
   let lost = max 0 (oracle.r_fires - chaos.r_fires) in
   let dup = max 0 (chaos.r_fires - oracle.r_fires) in
   let inv name ok detail = { inv_name = name; ok; detail } in
+  (* Under a poll epoch, firings are timer-driven self-sends at the
+     polling site, and a crashed endpoint drops self-sends without
+     journaling them (there is no reliable protocol on the loopback
+     path).  So a crash of the source site overlapping a poll epoch's
+     dispatch window eats that window's samples (§4.2.3 — sampling
+     misses what happens while it is not looking), and if the epoch
+     churns away before the site restarts, no later tick retakes them.
+     Exactly those schedules are excused from firing-count and bytewise
+     final-state equality with the oracle; the both-epoch-guarantee and
+     follows checks still hold them to "stale, never wrong".  Every
+     other fault keeps the full obligations: cross-site fires are
+     journaled and requeued, so crashes elsewhere must lose nothing. *)
+  let poll_crash_overlap =
+    let ops_rng, _, _ = streams spec in
+    let _, inject_end = derive_ops spec ops_rng in
+    let faults = schedule spec in
+    let horizon = horizon_of ~inject_end faults in
+    let rec poll_windows = function
+      | [] -> []
+      | c :: rest ->
+        let stop = match rest with c2 :: _ -> c2.ch_at | [] -> horizon in
+        (if String.equal c.ch_variant "poll" then [ (c.ch_at, stop) ] else [])
+        @ poll_windows rest
+    in
+    let windows = poll_windows churns in
+    List.exists
+      (function
+        | Crash { site; at; restart_at } when String.equal site Pw.site_a ->
+          List.exists (fun (lo, hi) -> at < hi && restart_at > lo) windows
+        | _ -> false)
+      faults
+  in
   let common =
     [
       inv "transport-drained" (chaos.r_pending = 0)
@@ -412,18 +626,52 @@ let check_invariants spec ~oracle ~chaos =
     match spec.chaos_workload with
     | Payroll ->
       [
-        inv "no-lost-firings" (lost = 0)
-          (Printf.sprintf "oracle executed %d firings, chaos %d" oracle.r_fires
-             chaos.r_fires);
+        inv "no-lost-firings"
+          (lost = 0 || poll_crash_overlap)
+          (if poll_crash_overlap then
+             Printf.sprintf
+               "oracle executed %d firings, chaos %d (source crash overlapped \
+                a poll epoch: ticks are unjournaled self-sends; deferred to \
+                guarantee checks)"
+               oracle.r_fires chaos.r_fires
+           else
+             Printf.sprintf "oracle executed %d firings, chaos %d" oracle.r_fires
+               chaos.r_fires);
         inv "no-duplicate-firings" (dup = 0)
           (Printf.sprintf "chaos executed %d firings beyond the oracle's" dup);
         inv "final-state-matches-oracle"
-          (chaos.r_final = oracle.r_final)
-          "target salaries after quiescence vs the fault-free run";
+          (chaos.r_final = oracle.r_final || poll_crash_overlap)
+          (if poll_crash_overlap && chaos.r_final <> oracle.r_final then
+             "diverged, excused: a source crash overlapping a poll epoch \
+              loses samples no later tick retakes (stale, never wrong — \
+              the follows check below still binds)"
+           else "target salaries after quiescence vs the fault-free run");
         inv "follows-guarantee-survives"
           ((not durable) || chaos.r_follows_valid)
           "metric failures must not invalidate the plain Follows guarantee";
       ]
+      @
+      if spec.churn = 0 then []
+      else
+        [
+          inv "epochs-drained-and-retired"
+            (chaos.r_epoch_retirements = chaos.r_cutovers
+            && chaos.r_stale_rejections = 0)
+            (Printf.sprintf
+               "%d cutovers, %d retirements, %d stale-epoch rejections (want 0: \
+                retirement waits out the drain here)"
+               chaos.r_cutovers chaos.r_epoch_retirements
+               chaos.r_stale_rejections);
+          inv "both-epoch-guarantees-hold"
+            (chaos.r_both_violations = [])
+            (Printf.sprintf
+               "guarantees kept by every epoch {%s}: %d violations%s"
+               (String.concat ", " chaos.r_both_kept)
+               (List.length chaos.r_both_violations)
+               (match chaos.r_both_violations with
+               | [] -> ""
+               | v :: _ -> " — " ^ v));
+        ]
     | Bank ->
       (* With crashes the sampled X <= Y count is reported, not asserted:
          limit grants travel as absolute values, so a grant decided
@@ -460,15 +708,16 @@ let static_rules w =
   (Sys_.interface_rules system, Sys_.strategy_rules system, Sys_.locator system)
 
 let run spec =
-  let (oracle, _, _), (chaos, faults, horizon) =
+  let (oracle, _, _, _), (chaos, faults, churns, horizon) =
     match spec.chaos_workload with
     | Payroll -> (run_payroll spec ~faulty:false, run_payroll spec ~faulty:true)
     | Bank -> (run_bank spec ~faulty:false, run_bank spec ~faulty:true)
   in
-  let invariants, lost, dup = check_invariants spec ~oracle ~chaos in
+  let invariants, lost, dup = check_invariants spec ~churns ~oracle ~chaos in
   {
     spec;
     faults;
+    churns;
     horizon;
     oracle_fires = oracle.r_fires;
     chaos_fires = chaos.r_fires;
@@ -489,6 +738,11 @@ let run spec =
     journal_checkpoints = chaos.r_journal_checkpoints;
     replayed_records = chaos.r_replayed;
     safety_violations = chaos.r_safety_violations;
+    cutovers = chaos.r_cutovers;
+    epoch_retirements = chaos.r_epoch_retirements;
+    stale_epoch_rejections = chaos.r_stale_rejections;
+    both_epoch_guarantees = chaos.r_both_kept;
+    both_epoch_violations = chaos.r_both_violations;
     final_state_matches =
       (match spec.chaos_workload with
        | Payroll -> chaos.r_final = oracle.r_final
@@ -510,13 +764,21 @@ let report_to_string r =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "chaos report";
-  line "workload=%s seed=%d events=%d crashes=%d crash_len=[%.1f,%.1f] durability=%s"
+  line
+    "workload=%s seed=%d events=%d crashes=%d crash_len=[%.1f,%.1f] durability=%s churn=%d"
     (workload_to_string r.spec.chaos_workload)
     r.spec.seed r.spec.events r.spec.crashes r.spec.crash_min_len
     r.spec.crash_max_len
-    (Journal.durability_to_string r.spec.durability);
+    (Journal.durability_to_string r.spec.durability)
+    r.spec.churn;
   line "schedule:";
   List.iter (fun f -> line "  %s" (fault_to_string f)) r.faults;
+  if r.churns <> [] then begin
+    line "rule churn:";
+    List.iter
+      (fun c -> line "  cutover to %s @ %.2f" c.ch_variant c.ch_at)
+      r.churns
+  end;
   line "results (quiesced @ %.2f):" r.horizon;
   line "  firings oracle=%d chaos=%d lost=%d duplicated=%d" r.oracle_fires
     r.chaos_fires r.lost_firings r.duplicate_firings;
@@ -529,6 +791,14 @@ let report_to_string r =
     r.endpoint_down_in_flight;
   line "  journal appends=%d checkpoints=%d replayed=%d" r.journal_appends
     r.journal_checkpoints r.replayed_records;
+  if r.spec.churn > 0 then begin
+    line "  evolution cutovers=%d retirements=%d stale_rejections=%d" r.cutovers
+      r.epoch_retirements r.stale_epoch_rejections;
+    line "  both-epoch guarantees: %s"
+      (match r.both_epoch_guarantees with
+      | [] -> "(none claimed by every epoch)"
+      | names -> String.concat ", " names)
+  end;
   (match r.spec.chaos_workload with
    | Payroll -> line "  final state matches oracle: %b" r.final_state_matches
    | Bank -> line "  safety violations: %d" r.safety_violations);

@@ -45,11 +45,22 @@ type spec = {
           journal-free configurations *)
   durability : Cm_core.Journal.durability;
   chaos_workload : workload;
+  churn : int;
+      (** live rule-program replacements ({!Cm_core.Evolution} cutovers)
+          interleaved with the faults.  Payroll only; each cutover swaps
+          the whole propagation strategy for a different variant
+          (propagate / propagate-cached / poll).  Churn happens in the
+          oracle run too — it is workload, not fault — so the
+          lost/duplicate-firing comparison still bites.  Adds two
+          invariants: every churned-out epoch drains and retires with
+          zero stale rejections, and every guarantee the {!Derive}
+          prover claims for {e all} epochs of the run holds on the
+          faulty run's observed timeline. *)
 }
 
 val default_spec : spec
 (** Seed 42, 200 events, 5 crashes of 10–60 s, payroll workload,
-    [Journal_with_checkpoint]. *)
+    [Journal_with_checkpoint], no churn. *)
 
 (** One fault injection, in absolute simulation time. *)
 type fault =
@@ -57,11 +68,16 @@ type fault =
   | Loss_window of { at : float; until : float; drop : float; dup : float }
   | Partition of { at : float; until : float }
 
+(** One scheduled rule-program replacement (derived like faults, applied
+    to oracle and faulty run alike). *)
+type churn_event = { ch_at : float; ch_variant : string }
+
 type invariant = { inv_name : string; ok : bool; detail : string }
 
 type report = {
   spec : spec;
   faults : fault list;
+  churns : churn_event list;
   horizon : float;  (** time the faulty run quiesced at *)
   oracle_fires : int;  (** rule firings executed in the clean run *)
   chaos_fires : int;
@@ -88,6 +104,16 @@ type report = {
           (exactly once) after it can be stale and cross the limits
           until the next redistribution — a demarcation-encoding
           limitation the recovery layer reports but cannot repair. *)
+  cutovers : int;  (** epoch cutovers performed in the faulty run *)
+  epoch_retirements : int;
+  stale_epoch_rejections : int;
+      (** firings rejected at a shell for arriving after their epoch
+          retired — scheduled retirement waits out the drain, so this is
+          0 on a passing run *)
+  both_epoch_guarantees : string list;
+      (** guarantee names the prover claims under {e every} epoch of the
+          run — the set held against the observed timeline *)
+  both_epoch_violations : string list;
   final_state_matches : bool;
       (** payroll only: target salaries equal the oracle's *)
   invariants : invariant list;
@@ -96,6 +122,9 @@ type report = {
 val schedule : spec -> fault list
 (** The fault schedule alone — derived, not run.  [report.faults] of a
     {!run} with the same spec is this exact list. *)
+
+val churn_schedule : spec -> churn_event list
+(** The churn schedule alone — pure in the spec, like {!schedule}. *)
 
 val static_rules :
   workload ->

@@ -39,8 +39,13 @@ let channel_event = function
     (* periodic notify delivers N events; polling delivers R events *)
     if String.length via >= 4 && String.sub via 0 4 = "poll" then "R" else "N"
 
+(* Worst-case observation bound.  A sampled channel (periodic notify,
+   read+polling) can sit on a fresh value for a whole period before the
+   next sample observes it, so the period is part of the bound — the
+   "plus the sampling period" half of the §3.3.1 κ. *)
 let channel_delta = function
-  | Complete { delta; _ } | Filtered { delta; _ } | Sampled { delta; _ } -> delta
+  | Complete { delta; _ } | Filtered { delta; _ } -> delta
+  | Sampled { period; delta; _ } -> period +. delta
 
 let channel_describe = function
   | Complete { via; delta } ->

@@ -1,0 +1,357 @@
+(* Runtime rule evolution (ISSUE 6): versioned rule epochs with
+   drain-and-cutover semantics over a *running* system.
+
+   §4.2.3 of the paper treats an interface change as an offline
+   reconfiguration — stop the world, rewrite the rules, restart.  This
+   module replaces that with a per-site state machine mirroring the
+   reliable layer's incarnation-epoch framing: a proposed program is
+   staged (journaled) at every shell, a cutover atomically switches new
+   dispatch to it while firings already on the wire keep executing under
+   the program that produced them (the old epoch "drains"), and
+   retirement ends the drain — stale envelopes are rejected and counted
+   from then on, never silently dropped and never re-interpreted under
+   the new rules.
+
+   On cutover the Derive prover re-runs over both epochs' programs and
+   classifies each §3.3 guarantee of each declared copy constraint as
+   kept / upgraded / lost{reason} — the formal residue of the paper's
+   "which guarantees survive the change" question, surfaced through Obs
+   and `cmtool evolve`. *)
+
+module Sim = Cm_sim.Sim
+open Cm_rule
+
+(* -- guarantee survival across one transition -- *)
+
+type survival = Kept | Upgraded | Lost of string | Never of string
+
+type guarantee_survival = {
+  gs_name : string;  (* Guarantee.name vocabulary: "(1) follows", ... *)
+  gs_before : Derive.verdict;
+  gs_after : Derive.verdict;
+  gs_survival : survival;
+}
+
+type constraint_survival = {
+  cs_source : string;
+  cs_target : string;
+  cs_guarantees : guarantee_survival list;  (* the four §3.3.1 forms *)
+}
+
+type transition = {
+  tr_from : int;
+  tr_to : int;
+  tr_at : float;
+  tr_strategy : string;
+  tr_survivals : constraint_survival list;
+}
+
+let classify before after =
+  match before, after with
+  | Derive.Proved _, Derive.Proved _ -> Kept
+  | Derive.Unprovable _, Derive.Proved _ -> Upgraded
+  | Derive.Proved _, Derive.Unprovable reason -> Lost reason
+  | Derive.Unprovable _, Derive.Unprovable reason -> Never reason
+
+let survival_status = function
+  | Kept -> "kept"
+  | Upgraded -> "upgraded"
+  | Lost _ -> "lost"
+  | Never _ -> "never"
+
+let survival_to_string = function
+  | Kept -> "kept"
+  | Upgraded -> "upgraded"
+  | Lost reason -> Printf.sprintf "lost{%s}" reason
+  | Never reason -> Printf.sprintf "never{%s}" reason
+
+let compare_programs ~interfaces_before ~interfaces_after ~strategy_before
+    ~strategy_after ~constraints =
+  List.map
+    (fun (source_base, target_base) ->
+      let source = Interface.family source_base [ "n" ] in
+      let target = Interface.family target_base [ "n" ] in
+      let before =
+        Derive.copy_guarantees ~interfaces:interfaces_before
+          ~strategy:strategy_before ~source ~target
+      in
+      let after =
+        Derive.copy_guarantees ~interfaces:interfaces_after
+          ~strategy:strategy_after ~source ~target
+      in
+      let pick name b a =
+        { gs_name = name; gs_before = b; gs_after = a; gs_survival = classify b a }
+      in
+      {
+        cs_source = source_base;
+        cs_target = target_base;
+        cs_guarantees =
+          [
+            pick "(1) follows" before.Derive.follows after.Derive.follows;
+            pick "(2) leads" before.Derive.leads after.Derive.leads;
+            pick "(3) strictly-follows" before.Derive.strictly_follows
+              after.Derive.strictly_follows;
+            pick "(4) metric-follows" before.Derive.metric_follows
+              after.Derive.metric_follows;
+          ];
+      })
+    constraints
+
+let kept_names tr =
+  List.concat_map
+    (fun cs ->
+      List.filter_map
+        (fun g -> match g.gs_survival with Kept -> Some g.gs_name | _ -> None)
+        cs.cs_guarantees)
+    tr.tr_survivals
+
+(* -- rendering (shared by cmtool evolve and the pinned goldens) -- *)
+
+let verdict_short = function
+  | Derive.Proved { kappa = Some k; _ } -> Printf.sprintf "proved (kappa = %g)" k
+  | Derive.Proved _ -> "proved"
+  | Derive.Unprovable _ -> "unprovable"
+
+let survivals_to_text css =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun cs ->
+      Buffer.add_string buf
+        (Printf.sprintf "guarantee survival: %s copies %s\n" cs.cs_target
+           cs.cs_source);
+      List.iter
+        (fun g ->
+          let after =
+            match g.gs_survival with
+            | Lost reason | Never reason -> "unprovable: " ^ reason
+            | Kept | Upgraded -> verdict_short g.gs_after
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-20s %-9s %s -> %s\n" g.gs_name
+               (survival_status g.gs_survival)
+               (verdict_short g.gs_before) after))
+        cs.cs_guarantees)
+    css;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let verdict_json_fields prefix = function
+  | Derive.Proved { kappa; _ } ->
+    Printf.sprintf "\"%s\": \"proved\"" prefix
+    ^
+    (match kappa with
+    | Some k -> Printf.sprintf ", \"%s_kappa\": %g" prefix k
+    | None -> "")
+  | Derive.Unprovable reason ->
+    Printf.sprintf "\"%s\": \"unprovable\", \"%s_reason\": \"%s\"" prefix prefix
+      (json_escape reason)
+
+let survivals_to_json css =
+  let guarantee g =
+    Printf.sprintf "      { \"name\": \"%s\", \"status\": \"%s\", %s, %s }"
+      (json_escape g.gs_name)
+      (survival_status g.gs_survival)
+      (verdict_json_fields "before" g.gs_before)
+      (verdict_json_fields "after" g.gs_after)
+  in
+  let constraint_ cs =
+    Printf.sprintf
+      "  { \"source\": \"%s\", \"target\": \"%s\",\n    \"guarantees\": [\n%s\n    ] }"
+      (json_escape cs.cs_source) (json_escape cs.cs_target)
+      (String.concat ",\n" (List.map guarantee cs.cs_guarantees))
+  in
+  Printf.sprintf "{ \"constraints\": [\n%s\n] }\n"
+    (String.concat ",\n" (List.map constraint_ css))
+
+(* -- the runtime manager -- *)
+
+type t = {
+  system : System.t;
+  constraints : (string * string) list;
+  interfaces : Rule.t list;
+  mutable current_epoch : int;
+  mutable current_rules : Rule.t list;
+  mutable next_epoch : int;
+  mutable proposed : (int * Strategy.t) option;
+  mutable draining : int list;  (* ascending *)
+  mutable rev_transitions : transition list;  (* newest first *)
+  mutable retirements : int;
+}
+
+let create ?(constraints = []) ?interfaces system =
+  let interfaces =
+    match interfaces with
+    | Some ifs -> ifs
+    | None -> System.interface_rules system
+  in
+  {
+    system;
+    constraints;
+    interfaces;
+    current_epoch = 0;
+    current_rules = System.strategy_rules system;
+    next_epoch = 1;
+    proposed = None;
+    draining = [];
+    rev_transitions = [];
+    retirements = 0;
+  }
+
+let current_epoch t = t.current_epoch
+let current_rules t = t.current_rules
+let draining t = t.draining
+let transitions t = List.rev t.rev_transitions
+let constraints t = t.constraints
+
+let stale_rejections t =
+  List.fold_left
+    (fun acc (_, shell) -> acc + Shell.stale_epoch_rejections shell)
+    0 (System.shells t.system)
+
+let duplicate_rule_id rules =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if Hashtbl.mem seen r.Rule.id then Some r.Rule.id
+        else begin
+          Hashtbl.replace seen r.Rule.id ();
+          None
+        end)
+    None rules
+
+let propose t (strategy : Strategy.t) =
+  match t.proposed with
+  | Some (n, _) -> Error (Printf.sprintf "epoch %d is already proposed" n)
+  | None -> (
+    match duplicate_rule_id strategy.Strategy.rules with
+    | Some id -> Error ("duplicate rule id in proposed program: " ^ id)
+    | None ->
+      let epoch = t.next_epoch in
+      t.next_epoch <- epoch + 1;
+      List.iter
+        (fun (_, shell) -> Shell.propose_epoch shell ~epoch strategy.Strategy.rules)
+        (System.shells t.system);
+      t.proposed <- Some (epoch, strategy);
+      let obs = System.obs t.system in
+      if Obs.enabled obs then
+        Obs.incr obs "evolution_proposals"
+          ~labels:[ ("strategy", strategy.Strategy.strategy_name) ];
+      Ok epoch)
+
+let cutover t =
+  match t.proposed with
+  | None -> Error "no epoch is proposed"
+  | Some (epoch, strategy) ->
+    let old_epoch = t.current_epoch and old_rules = t.current_rules in
+    let at = Sim.now (System.sim t.system) in
+    List.iter
+      (fun (_, shell) -> Shell.cutover_epoch shell ~epoch)
+      (System.shells t.system);
+    (* The incoming strategy starts from its own auxiliary state: a
+       stale cache inherited across epochs could wrongly skip a forward
+       (an actual leads violation), so aux items are re-initialized. *)
+    System.apply_aux_init t.system strategy.Strategy.aux_init;
+    System.register_strategy_periodics t.system strategy.Strategy.rules;
+    let survivals =
+      compare_programs ~interfaces_before:t.interfaces
+        ~interfaces_after:t.interfaces ~strategy_before:old_rules
+        ~strategy_after:strategy.Strategy.rules ~constraints:t.constraints
+    in
+    let tr =
+      {
+        tr_from = old_epoch;
+        tr_to = epoch;
+        tr_at = at;
+        tr_strategy = strategy.Strategy.strategy_name;
+        tr_survivals = survivals;
+      }
+    in
+    t.proposed <- None;
+    t.draining <- t.draining @ [ old_epoch ];
+    t.current_epoch <- epoch;
+    t.current_rules <- strategy.Strategy.rules;
+    t.rev_transitions <- tr :: t.rev_transitions;
+    let obs = System.obs t.system in
+    if Obs.enabled obs then begin
+      Obs.incr obs "evolution_cutovers";
+      Obs.gauge obs "evolution_epoch" (float_of_int epoch);
+      List.iter
+        (fun cs ->
+          let cname = cs.cs_source ^ "->" ^ cs.cs_target in
+          List.iter
+            (fun g ->
+              Obs.incr obs "evolution_guarantee_survival"
+                ~labels:
+                  [ ("constraint", cname); ("guarantee", g.gs_name);
+                    ("status", survival_status g.gs_survival) ];
+              Obs.gauge obs "evolution_guarantee_held"
+                ~labels:[ ("constraint", cname); ("guarantee", g.gs_name) ]
+                (match g.gs_after with
+                | Derive.Proved _ -> 1.0
+                | Derive.Unprovable _ -> 0.0))
+            cs.cs_guarantees)
+        survivals
+    end;
+    Ok tr
+
+let retire t ~epoch =
+  if not (List.mem epoch t.draining) then
+    Error (Printf.sprintf "epoch %d is not draining" epoch)
+  else begin
+    List.iter
+      (fun (_, shell) -> Shell.retire_epoch shell ~epoch)
+      (System.shells t.system);
+    t.draining <- List.filter (fun e -> e <> epoch) t.draining;
+    t.retirements <- t.retirements + 1;
+    let obs = System.obs t.system in
+    if Obs.enabled obs then Obs.incr obs "evolution_retirements";
+    Ok ()
+  end
+
+let retirements t = t.retirements
+
+let transport_drained t =
+  match System.reliable t.system with
+  | Some r -> Reliable.pending r = 0
+  | None -> true
+
+let retire_after t ~epoch ~delay =
+  Sim.schedule (System.sim t.system) ~delay (fun () -> ignore (retire t ~epoch))
+
+let quiesce_retire ?(check_period = 1.0) t =
+  let sim = System.sim t.system in
+  List.iter
+    (fun epoch ->
+      let rec check () =
+        if List.mem epoch t.draining then
+          if transport_drained t then ignore (retire t ~epoch)
+          else Sim.schedule sim ~delay:check_period check
+      in
+      Sim.schedule sim ~delay:check_period check)
+    t.draining
+
+let evolve ?(quiesce = true) ?check_period t strategy =
+  match propose t strategy with
+  | Error e -> Error e
+  | Ok _ -> (
+    match cutover t with
+    | Error e -> Error e
+    | Ok tr ->
+      if quiesce then quiesce_retire ?check_period t;
+      Ok tr)

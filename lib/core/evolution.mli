@@ -1,0 +1,148 @@
+(** Runtime rule evolution: versioned rule epochs with drain-and-cutover.
+
+    §4.2.3 of the paper walks through an interface change (the payroll
+    database moving from update notifications to a read interface) as an
+    offline reconfiguration.  This module performs that change on a
+    {e running} system instead, reusing the reliable layer's epoch
+    framing: every installed rule program is a numbered {e rule epoch},
+    in-flight [Fire] envelopes carry the epoch that produced them, and a
+    change proceeds through a per-site state machine —
+
+    {v propose -> cutover (old epoch drains) -> retire v}
+
+    A {e proposed} program is staged (and journaled) at every shell
+    without affecting dispatch.  {e Cutover} atomically redirects new
+    event dispatch to the proposed program, while firings produced under
+    the old epoch and still on the wire continue to execute under the
+    old rules (the old epoch is {e draining}).  {e Retirement} ends the
+    drain: stale-epoch envelopes arriving afterwards are rejected and
+    counted ([Shell.stale_epoch_rejections], the
+    [shell_stale_epoch_rejections] counter) — never silently dropped,
+    never executed under rules that did not produce them.
+
+    On every cutover the {!Derive} prover re-runs over both epochs'
+    programs and classifies each §3.3 guarantee of each declared copy
+    constraint as kept / upgraded / lost{i {reason}} — answering the
+    question the paper leaves to the administrator: which guarantees
+    survive the change? *)
+
+(** {1 Guarantee survival} *)
+
+type survival =
+  | Kept  (** proved under both epochs *)
+  | Upgraded  (** unprovable before, proved after *)
+  | Lost of string  (** proved before, unprovable after — the reason *)
+  | Never of string  (** unprovable under both epochs *)
+
+type guarantee_survival = {
+  gs_name : string;  (** {!Guarantee.name} vocabulary, e.g. ["(2) leads"] *)
+  gs_before : Derive.verdict;
+  gs_after : Derive.verdict;
+  gs_survival : survival;
+}
+
+type constraint_survival = {
+  cs_source : string;  (** source item-family base name *)
+  cs_target : string;  (** target item-family base name *)
+  cs_guarantees : guarantee_survival list;  (** the four §3.3.1 forms *)
+}
+
+(** One completed cutover. *)
+type transition = {
+  tr_from : int;
+  tr_to : int;
+  tr_at : float;  (** simulation time of the cutover *)
+  tr_strategy : string;  (** incoming strategy's name *)
+  tr_survivals : constraint_survival list;
+}
+
+val classify : Derive.verdict -> Derive.verdict -> survival
+val survival_status : survival -> string
+(** ["kept"], ["upgraded"], ["lost"], or ["never"] — reason elided. *)
+
+val survival_to_string : survival -> string
+(** Like {!survival_status} but with the reason: ["lost{...}"]. *)
+
+val compare_programs :
+  interfaces_before:Cm_rule.Rule.t list ->
+  interfaces_after:Cm_rule.Rule.t list ->
+  strategy_before:Cm_rule.Rule.t list ->
+  strategy_after:Cm_rule.Rule.t list ->
+  constraints:(string * string) list ->
+  constraint_survival list
+(** Static comparison — feed both epochs' programs to
+    {!Derive.copy_guarantees} for each [(source, target)] base-name pair
+    and classify every guarantee.  Pure; used by [cmtool evolve
+    --dry-run] without building a system. *)
+
+val kept_names : transition -> string list
+(** Names of guarantees proved under {e both} epochs of the transition —
+    the set the chaos harness holds the run to across a cutover. *)
+
+val survivals_to_text : constraint_survival list -> string
+(** Deterministic human-readable rendering (the pinned golden format). *)
+
+val survivals_to_json : constraint_survival list -> string
+(** Deterministic JSON rendering; reasons are escaped. *)
+
+(** {1 Runtime manager} *)
+
+type t
+
+val create :
+  ?constraints:(string * string) list ->
+  ?interfaces:Cm_rule.Rule.t list ->
+  System.t ->
+  t
+(** Manage epochs for a built system.  Call {e after} the base program is
+    installed: the current rules snapshot ({!System.strategy_rules})
+    becomes epoch 0's program for survival comparisons.  [constraints]
+    are the copy constraints (source/target base names) re-proved at
+    each cutover; [interfaces] defaults to {!System.interface_rules}. *)
+
+val propose : t -> Strategy.t -> (int, string) result
+(** Stage [strategy] as the next epoch at every shell (journaled
+    write-ahead).  At most one outstanding proposal; returns the
+    assigned epoch number. *)
+
+val cutover : t -> (transition, string) result
+(** Switch dispatch to the proposed epoch at every shell, apply the
+    incoming strategy's auxiliary initialization and periodic timers,
+    and move the old epoch to draining.  Re-derives guarantee survival
+    and records it on the returned transition (and in Obs:
+    [evolution_epoch] gauge, [evolution_guarantee_survival] counters,
+    [evolution_guarantee_held] gauges). *)
+
+val retire : t -> epoch:int -> (unit, string) result
+(** End the drain of a draining epoch: from now on its envelopes are
+    rejected and counted at the shells. *)
+
+val retire_after : t -> epoch:int -> delay:float -> unit
+(** Schedule {!retire} at a fixed delay from now — used by the chaos
+    harness so retirement happens at the same simulation time in oracle
+    and faulty runs. *)
+
+val quiesce_retire : ?check_period:float -> t -> unit
+(** Retire every currently-draining epoch once the reliable transport is
+    quiescent (no unacknowledged envelopes), polling every
+    [check_period] (default [1.0]) simulated seconds.  Without a
+    reliable layer the epochs retire at the first check. *)
+
+val evolve :
+  ?quiesce:bool -> ?check_period:float -> t -> Strategy.t -> (transition, string) result
+(** [propose] + [cutover] in one step; when [quiesce] (default [true]),
+    also arms {!quiesce_retire} for the now-draining old epoch. *)
+
+val current_epoch : t -> int
+val current_rules : t -> Cm_rule.Rule.t list
+val draining : t -> int list
+(** Epochs cut over but not yet retired, ascending. *)
+
+val transitions : t -> transition list
+(** All completed cutovers, oldest first. *)
+
+val constraints : t -> (string * string) list
+val retirements : t -> int
+
+val stale_rejections : t -> int
+(** Total stale-epoch envelope rejections across all shells. *)

@@ -16,6 +16,7 @@
 
 module Item = Cm_rule.Item
 module Value = Cm_rule.Value
+module Rule = Cm_rule.Rule
 
 type durability = None | Journal | Journal_with_checkpoint
 
@@ -42,6 +43,17 @@ type link_state = {
   in_expected : int;  (* next seq expected from [peer] within [in_epoch] *)
   delivered_mids : int list;
 }
+
+(* Lifecycle of a rule epoch as recorded on stable storage; mirrors
+   Shell's per-site state machine so recovery can replay a crashed site
+   back into the epoch it was actually running. *)
+type epoch_phase = Ep_proposed | Ep_active | Ep_draining | Ep_retired
+
+let epoch_phase_to_string = function
+  | Ep_proposed -> "proposed"
+  | Ep_active -> "active"
+  | Ep_draining -> "draining"
+  | Ep_retired -> "retired"
 
 type record =
   | Event of { time : float; site : string; desc : string }
@@ -70,11 +82,18 @@ type record =
       applied : bool;  (* false: slot consumed but payload was a mid-dup *)
     }
   | Restarted of { time : float; incarnation : int }
+  | Epoch_proposed of { time : float; epoch : int; rules : Rule.t list }
+  | Epoch_cutover of { time : float; epoch : int }
+  | Epoch_retired of { time : float; epoch : int }
   | Checkpoint of {
       time : float;
       incarnation : int;
       store : (Item.t * Value.t) list;  (* in item order *)
       links : link_state list;  (* in peer order *)
+      rule_epochs : (int * epoch_phase * Rule.t list) list;
+          (* epochs other than a sole base epoch, ascending; epoch 0's
+             rules are configuration and serialize as [] *)
+      active_epoch : int;
     }
 
 let record_kind = function
@@ -85,6 +104,9 @@ let record_kind = function
   | Acked _ -> "acked"
   | Delivered _ -> "delivered"
   | Restarted _ -> "restarted"
+  | Epoch_proposed _ -> "epoch_proposed"
+  | Epoch_cutover _ -> "epoch_cutover"
+  | Epoch_retired _ -> "epoch_retired"
   | Checkpoint _ -> "checkpoint"
 
 let link_state_to_string l =
@@ -119,8 +141,29 @@ let record_to_string r =
       (if applied then "applied" else "dup")
   | Restarted { time; incarnation } ->
     Printf.sprintf "%.3f restarted incarnation=%d" time incarnation
-  | Checkpoint { time; incarnation; store; links } ->
-    Printf.sprintf "%.3f checkpoint incarnation=%d store={%s} links={%s}" time
+  | Epoch_proposed { time; epoch; rules } ->
+    Printf.sprintf "%.3f epoch_proposed e%d rules={%s}" time epoch
+      (String.concat "; " (List.map Rule.to_string rules))
+  | Epoch_cutover { time; epoch } ->
+    Printf.sprintf "%.3f epoch_cutover e%d" time epoch
+  | Epoch_retired { time; epoch } ->
+    Printf.sprintf "%.3f epoch_retired e%d" time epoch
+  | Checkpoint { time; incarnation; store; links; rule_epochs; active_epoch } ->
+    (* The epochs section only appears once a site has evolved, keeping
+       checkpoint bytes stable for non-evolving systems. *)
+    let epochs_part =
+      if rule_epochs = [] && active_epoch = 0 then ""
+      else
+        Printf.sprintf " epochs={%s} active=e%d"
+          (String.concat "|"
+             (List.map
+                (fun (e, phase, rules) ->
+                  Printf.sprintf "e%d:%s:{%s}" e (epoch_phase_to_string phase)
+                    (String.concat "; " (List.map Rule.to_string rules)))
+                rule_epochs))
+          active_epoch
+    in
+    Printf.sprintf "%.3f checkpoint incarnation=%d store={%s} links={%s}%s" time
       incarnation
       (String.concat ";"
          (List.map
@@ -128,6 +171,7 @@ let record_to_string r =
               Printf.sprintf "%s=%s" (Item.to_string item) (Value.to_string v))
             store))
       (String.concat "|" (List.map link_state_to_string links))
+      epochs_part
 
 type t = {
   site : string;

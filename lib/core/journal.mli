@@ -41,6 +41,12 @@ type link_state = {
   delivered_mids : int list;
 }
 
+(** Lifecycle phase of a rule epoch (see {!Cm_core.Evolution}) as frozen
+    by a checkpoint. *)
+type epoch_phase = Ep_proposed | Ep_active | Ep_draining | Ep_retired
+
+val epoch_phase_to_string : epoch_phase -> string
+
 type record =
   | Event of { time : float; site : string; desc : string }
       (** An event recorded at this site (trace-level memory). *)
@@ -77,11 +83,28 @@ type record =
           payload was suppressed as a cross-epoch duplicate but the slot
           still advances the expected sequence number on replay. *)
   | Restarted of { time : float; incarnation : int }
+  | Epoch_proposed of { time : float; epoch : int; rules : Cm_rule.Rule.t list }
+      (** A rule epoch staged at this site, with its full program —
+          journaled write-ahead so a crash mid-transition can replay the
+          proposal. *)
+  | Epoch_cutover of { time : float; epoch : int }
+      (** [epoch] became the active program; the previously active epoch
+          began draining. *)
+  | Epoch_retired of { time : float; epoch : int }
+      (** [epoch] stopped draining; firings tagged with it are rejected
+          from now on. *)
   | Checkpoint of {
       time : float;
       incarnation : int;
       store : (Cm_rule.Item.t * Cm_rule.Value.t) list;
       links : link_state list;
+      rule_epochs : (int * epoch_phase * Cm_rule.Rule.t list) list;
+          (** Epoch state at checkpoint time, ascending by number.  Empty
+              for a site still running only the base program; epoch 0,
+              whose rules are configuration rather than journaled state,
+              appears with an empty rule list and only when no longer
+              simply active. *)
+      active_epoch : int;
     }
 
 val record_kind : record -> string

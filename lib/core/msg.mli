@@ -21,6 +21,14 @@ type failure_kind = Metric | Logical
 type t =
   | Fire of {
       rule_id : string;
+      rule_epoch : int;
+          (** Rule epoch (see {!Cm_core.Evolution}) the firing was
+              produced under: [0] is the base program installed at
+              configuration time.  The RHS shell executes the envelope
+              under this epoch's program while it is still draining, and
+              rejects (and counts) it once that epoch is retired — an
+              in-flight firing is never silently re-interpreted under a
+              newer program. *)
       env : (string * Cm_rule.Expr.binding) list;
       trigger_id : int;
       trigger_time : float;

@@ -82,6 +82,7 @@ type derived = {
   d_store : (Item.t * Cm_rule.Value.t) list;  (* in item order *)
   d_out : (string * out_state) list;  (* in peer order *)
   d_in : (string * in_state) list;  (* in peer order *)
+  d_epoch_ops : Shell.epoch_op list;  (* rule-epoch transitions, in order *)
   d_replayed : int;  (* records folded, checkpoint base included *)
 }
 
@@ -91,6 +92,7 @@ let derive j =
   let ins : (string, in_state) Hashtbl.t = Hashtbl.create 4 in
   let incarnation = ref 0 in
   let replayed = ref 0 in
+  let rev_ops : Shell.epoch_op list ref = ref [] in
   let out_for peer =
     match Hashtbl.find_opt outs peer with
     | Some o -> o
@@ -125,8 +127,37 @@ let derive j =
       Hashtbl.replace i.delivered mid ()
     | Journal.Restarted { incarnation = n; _ } ->
       incarnation := max !incarnation n
-    | Journal.Checkpoint { incarnation = n; store = st; links; _ } ->
-      (* Checkpoint base: replace everything derived so far. *)
+    | Journal.Epoch_proposed { epoch; rules; _ } ->
+      rev_ops := Shell.Op_propose (epoch, rules) :: !rev_ops
+    | Journal.Epoch_cutover { epoch; _ } ->
+      rev_ops := Shell.Op_cutover epoch :: !rev_ops
+    | Journal.Epoch_retired { epoch; _ } ->
+      rev_ops := Shell.Op_retire epoch :: !rev_ops
+    | Journal.Checkpoint
+        { incarnation = n; store = st; links; rule_epochs; active_epoch = _; _ }
+      ->
+      (* Checkpoint base: replace everything derived so far.  The frozen
+         epoch phases reconstruct canonically as an op sequence: all
+         proposals ascending, then a cutover for every epoch past the
+         proposed phase ascending (cutovers are monotonic, so the last
+         one is the active epoch), then the retirements.  A retire of a
+         merely proposed epoch is impossible, so phases determine the
+         ops unambiguously. *)
+      rev_ops := [];
+      List.iter
+        (fun (e, _, rules) ->
+          if e > 0 then rev_ops := Shell.Op_propose (e, rules) :: !rev_ops)
+        rule_epochs;
+      List.iter
+        (fun (e, phase, _) ->
+          if e > 0 && phase <> Journal.Ep_proposed then
+            rev_ops := Shell.Op_cutover e :: !rev_ops)
+        rule_epochs;
+      List.iter
+        (fun (e, phase, _) ->
+          if phase = Journal.Ep_retired then
+            rev_ops := Shell.Op_retire e :: !rev_ops)
+        rule_epochs;
       incarnation := max !incarnation n;
       store := List.fold_left (fun m (it, v) -> Item.Map.add it v m) Item.Map.empty st;
       Hashtbl.reset outs;
@@ -159,8 +190,49 @@ let derive j =
     d_store = Item.Map.bindings !store;
     d_out = sorted_peers outs;
     d_in = sorted_peers ins;
+    d_epoch_ops = List.rev !rev_ops;
     d_replayed = !replayed;
   }
+
+(* Epoch state implied by a transition sequence — the checkpoint's
+   frozen form of [d_epoch_ops].  Keeping this a function of the journal
+   (rather than asking the shell) preserves the invariant that a
+   checkpoint is derive() frozen into a record. *)
+let epoch_summary ops =
+  let phases :
+      (int, Journal.epoch_phase * Cm_rule.Rule.t list) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let active = ref 0 in
+  List.iter
+    (function
+      | Shell.Op_propose (e, rules) ->
+        Hashtbl.replace phases e (Journal.Ep_proposed, rules)
+      | Shell.Op_cutover e ->
+        let old_rules =
+          match Hashtbl.find_opt phases !active with
+          | Some (_, r) -> r
+          | None -> []  (* epoch 0: configuration, no journaled rules *)
+        in
+        Hashtbl.replace phases !active (Journal.Ep_draining, old_rules);
+        (match Hashtbl.find_opt phases e with
+        | Some (_, rules) -> Hashtbl.replace phases e (Journal.Ep_active, rules)
+        | None -> Hashtbl.replace phases e (Journal.Ep_active, []));
+        active := e
+      | Shell.Op_retire e ->
+        let rules =
+          match Hashtbl.find_opt phases e with Some (_, r) -> r | None -> []
+        in
+        Hashtbl.replace phases e (Journal.Ep_retired, rules))
+    ops;
+  let entries =
+    Hashtbl.fold
+      (fun e (phase, rules) acc ->
+        (e, phase, (if e = 0 then [] else rules)) :: acc)
+      phases []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  (entries, !active)
 
 (* -- checkpoints -- *)
 
@@ -195,10 +267,11 @@ let checkpoint_now t ~site =
           delivered_mids })
       peers
   in
+  let rule_epochs, active_epoch = epoch_summary d.d_epoch_ops in
   Journal.append j
     (Journal.Checkpoint
        { time = Sim.now t.sim; incarnation = Journal.incarnation j;
-         store = d.d_store; links });
+         store = d.d_store; links; rule_epochs; active_epoch });
   t.checkpoints_taken <- t.checkpoints_taken + 1;
   Obs.incr t.obs "recovery_checkpoints" ~labels:[ ("site", site) ]
 
@@ -240,7 +313,11 @@ let restart t ~site =
     ~labels:[ ("site", site) ];
   (match Hashtbl.find_opt t.shells site with
    | Some shell ->
-     List.iter (fun (item, v) -> Shell.restore_aux shell item v) d.d_store
+     List.iter (fun (item, v) -> Shell.restore_aux shell item v) d.d_store;
+     (* Replay the rule-epoch transitions so the site re-enters the
+        epoch it had actually reached instead of resurrecting the
+        retired base program (ISSUE 6: crash during cutover). *)
+     Shell.restore_epoch_ops shell d.d_epoch_ops
    | None -> ());
   (match t.reliable with
    | Some r ->

@@ -20,6 +20,24 @@ type ctx = {
   ctx_dispatch : dispatch;
 }
 
+(* One versioned rule program at this site (ISSUE 6).  Epoch 0 is the
+   base program installed at configuration time; later epochs are staged
+   by Cm_core.Evolution.  The phase vocabulary is Journal's so that the
+   state machine journals and replays without translation. *)
+type rule_epoch = {
+  re_number : int;
+  mutable re_phase : Journal.epoch_phase;
+  mutable re_rules : Rule.t list;  (* registration order *)
+  re_by_id : (string, Rule.t) Hashtbl.t;
+}
+
+(* A replayable epoch transition, as recovery derives it from the
+   journal. *)
+type epoch_op =
+  | Op_propose of int * Rule.t list
+  | Op_cutover of int
+  | Op_retire of int
+
 type t = {
   sim : Sim.t;
   net : Msg.t Net.t;
@@ -37,10 +55,15 @@ type t = {
          List.find_opt scan over [translators] *)
   handled_sites : (string, unit) Hashtbl.t;
   mutable route : string -> string;
-  rules_by_id : (string, Rule.t) Hashtbl.t;
-  lhs_rules : Rule.t Rule_index.t;
-      (* rules whose LHS site this shell handles, discriminated by
-         (LHS site, descriptor name, arg0 base) *)
+  epochs : (int, rule_epoch) Hashtbl.t;
+  mutable active_epoch : int;
+  mutable stale_epoch_rejections : int;
+      (* Fire envelopes rejected because their origin epoch was retired
+         (or unknown after a crash) — counted, never silently dropped *)
+  mutable lhs_rules : Rule.t Rule_index.t;
+      (* rules of the ACTIVE epoch whose LHS site this shell handles,
+         discriminated by (LHS site, descriptor name, arg0 base); kept
+         in sync incrementally across cutovers *)
   periodics : (string * float, unit) Hashtbl.t;
   custom_handlers : (string, (Event.t -> unit) list ref) Hashtbl.t;
   mutable failure_listeners : (origin:string -> Msg.failure_kind -> unit) list;
@@ -78,6 +101,132 @@ let local_state t =
 
 let eval_cond_safe t env cond =
   try Expr.eval_cond (local_state t) env cond with Expr.Eval_error _ -> None
+
+(* --- rule epochs: program versions and the dispatch index --- *)
+
+let active_program t = Hashtbl.find t.epochs t.active_epoch
+
+let journal_append t r =
+  match t.journal with Some j -> Journal.append j r | None -> ()
+
+let lhs_site_if_handled t rule =
+  let lhs_site = Rule.lhs_site rule t.locator in
+  let handled =
+    match lhs_site with
+    | Some s -> Hashtbl.mem t.handled_sites s
+    | None -> true
+  in
+  (lhs_site, handled)
+
+let index_add t rule =
+  let lhs_site, handled = lhs_site_if_handled t rule in
+  if handled then Rule_index.add t.lhs_rules ~lhs:rule.Rule.lhs ~site:lhs_site rule
+
+let index_remove t rule =
+  let lhs_site, handled = lhs_site_if_handled t rule in
+  if handled then
+    ignore
+      (Rule_index.remove t.lhs_rules ~lhs:rule.Rule.lhs ~site:lhs_site (fun r ->
+           String.equal r.Rule.id rule.Rule.id))
+
+(* Structural rule identity for the cutover delta: Rule.t is pure data
+   and [to_string] is canonical, so equal strings mean the new epoch
+   kept the rule unchanged. *)
+let rule_eq a b = String.equal (Rule.to_string a) (Rule.to_string b)
+
+let propose_epoch_aux t ~journal ~epoch rules =
+  if Hashtbl.mem t.epochs epoch then
+    invalid_arg (Printf.sprintf "Shell.propose_epoch: epoch %d already exists" epoch);
+  if epoch <= t.active_epoch then
+    invalid_arg "Shell.propose_epoch: epoch numbers must advance";
+  let by_id = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem by_id r.Rule.id then
+        invalid_arg ("Shell.propose_epoch: duplicate rule id " ^ r.Rule.id);
+      Hashtbl.replace by_id r.Rule.id r)
+    rules;
+  (* Write-ahead: the proposal (with its full program) hits stable
+     storage before the volatile epoch table, so a crash mid-transition
+     replays into the same state. *)
+  if journal then
+    journal_append t (Journal.Epoch_proposed { time = Sim.now t.sim; epoch; rules });
+  Hashtbl.replace t.epochs epoch
+    { re_number = epoch; re_phase = Journal.Ep_proposed; re_rules = rules;
+      re_by_id = by_id }
+
+let cutover_epoch_aux t ~journal ~epoch =
+  match Hashtbl.find_opt t.epochs epoch with
+  | None ->
+    invalid_arg (Printf.sprintf "Shell.cutover_epoch: unknown epoch %d" epoch)
+  | Some e when e.re_phase <> Journal.Ep_proposed ->
+    invalid_arg "Shell.cutover_epoch: only a proposed epoch can cut over"
+  | Some e ->
+    if journal then
+      journal_append t (Journal.Epoch_cutover { time = Sim.now t.sim; epoch });
+    let old = active_program t in
+    (* Incremental index update: rules the new program keeps verbatim
+       retain their index entries (and registration order); removed or
+       changed ones leave their buckets, added or changed ones are
+       appended.  O(program delta), not an O(all rules) rebuild. *)
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt e.re_by_id r.Rule.id with
+        | Some r' when rule_eq r r' -> ()
+        | _ -> index_remove t r)
+      old.re_rules;
+    List.iter
+      (fun r' ->
+        match Hashtbl.find_opt old.re_by_id r'.Rule.id with
+        | Some r when rule_eq r r' -> ()
+        | _ -> index_add t r')
+      e.re_rules;
+    old.re_phase <- Journal.Ep_draining;
+    e.re_phase <- Journal.Ep_active;
+    t.active_epoch <- epoch
+
+let retire_epoch_aux t ~journal ~epoch =
+  match Hashtbl.find_opt t.epochs epoch with
+  | None ->
+    invalid_arg (Printf.sprintf "Shell.retire_epoch: unknown epoch %d" epoch)
+  | Some e when e.re_phase <> Journal.Ep_draining ->
+    invalid_arg "Shell.retire_epoch: only a draining epoch can retire"
+  | Some e ->
+    if journal then
+      journal_append t (Journal.Epoch_retired { time = Sim.now t.sim; epoch });
+    e.re_phase <- Journal.Ep_retired
+
+let propose_epoch t ~epoch rules = propose_epoch_aux t ~journal:true ~epoch rules
+let cutover_epoch t ~epoch = cutover_epoch_aux t ~journal:true ~epoch
+let retire_epoch t ~epoch = retire_epoch_aux t ~journal:true ~epoch
+
+let restore_epoch_ops t ops =
+  List.iter
+    (function
+      | Op_propose (epoch, rules) -> propose_epoch_aux t ~journal:false ~epoch rules
+      | Op_cutover epoch -> cutover_epoch_aux t ~journal:false ~epoch
+      | Op_retire epoch -> retire_epoch_aux t ~journal:false ~epoch)
+    ops
+
+let rule_epoch t = t.active_epoch
+
+let epoch_phase t ~epoch =
+  Option.map (fun e -> e.re_phase) (Hashtbl.find_opt t.epochs epoch)
+
+let stale_epoch_rejections t = t.stale_epoch_rejections
+
+let epoch_snapshot t =
+  let entries =
+    Hashtbl.fold
+      (fun n e acc ->
+        (* Epoch 0's rules are configuration, not journaled state, and a
+           base epoch that is simply active carries no information. *)
+        if n = 0 && e.re_phase = Journal.Ep_active then acc
+        else (n, e.re_phase, (if n = 0 then [] else e.re_rules)) :: acc)
+      t.epochs []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  (entries, t.active_epoch)
 
 (* Write-ahead: the store mutation is journaled before it is applied, so
    recovery replays exactly the writes that happened. *)
@@ -160,6 +309,7 @@ let rec occurred t (event : Event.t) =
               (Msg.Fire
                  {
                    rule_id = rule.Rule.id;
+                   rule_epoch = t.active_epoch;
                    env = Msg.env_to_list env;
                    trigger_id = event.id;
                    trigger_time = event.time;
@@ -219,13 +369,40 @@ and dispatch t desc ~kind =
     (* Custom / chaining event: occurs at this shell's site. *)
     ignore (emit_at t ~site:t.site desc ~kind)
 
-and handle_fire t ~rule_id ~env ~trigger_id ~parent_span =
-  match Hashtbl.find_opt t.rules_by_id rule_id with
+and handle_fire t ~rule_id ~rule_epoch ~env ~trigger_id ~parent_span =
+  let epoch_entry = Hashtbl.find_opt t.epochs rule_epoch in
+  let executable =
+    match epoch_entry with
+    | Some ({ re_phase = Journal.Ep_active | Journal.Ep_draining; _ } as e) ->
+      Some e
+    | Some _ | None -> None
+  in
+  match executable with
   | None ->
-    Logs.err (fun m ->
+    (* The envelope's origin epoch is retired (or unknown, after a crash
+       forgot un-journaled epochs): reject it and count it.  Executing
+       it under a different program would re-interpret an old firing
+       under new rules; dropping it silently would hide the loss. *)
+    t.stale_epoch_rejections <- t.stale_epoch_rejections + 1;
+    if Obs.enabled t.obs then
+      Obs.incr t.obs "shell_stale_epoch_rejections"
+        ~labels:[ ("site", t.site); ("rule", rule_id) ];
+    Logs.warn (fun m ->
         m ~tags:(tags t ?span:(if parent_span > 0 then Some parent_span else None))
-          "shell %s: Fire for unknown rule %s" t.site rule_id)
-  | Some rule ->
+          "shell %s: Fire %s#%d rejected: rule epoch %d is %s" t.site rule_id
+          trigger_id rule_epoch
+          (match epoch_entry with
+          | Some e -> Journal.epoch_phase_to_string e.re_phase
+          | None -> "unknown"))
+  | Some program -> (
+    match Hashtbl.find_opt program.re_by_id rule_id with
+    | None ->
+      Logs.err (fun m ->
+          m
+            ~tags:(tags t ?span:(if parent_span > 0 then Some parent_span else None))
+            "shell %s: Fire for unknown rule %s (epoch %d)" t.site rule_id
+            rule_epoch)
+    | Some rule ->
     t.fires_executed <- t.fires_executed + 1;
     (* The RHS half of the trace: child of the LHS "fire" span that
        travelled inside the envelope. *)
@@ -275,11 +452,11 @@ and handle_fire t ~rule_id ~env ~trigger_id ~parent_span =
     in
     steps (Msg.env_of_list env) 0 (Rule.rhs_steps rule);
     if Obs.enabled t.obs then
-      Obs.end_span t.obs ~id:exec_span ~at:(Sim.now t.sim)
+      Obs.end_span t.obs ~id:exec_span ~at:(Sim.now t.sim))
 
 and handle_msg t = function
-  | Msg.Fire { rule_id; env; trigger_id; trigger_time = _; span } ->
-    handle_fire t ~rule_id ~env ~trigger_id ~parent_span:span
+  | Msg.Fire { rule_id; rule_epoch; env; trigger_id; trigger_time = _; span } ->
+    handle_fire t ~rule_id ~rule_epoch ~env ~trigger_id ~parent_span:span
   | Msg.Failure_notice { origin_site; kind } ->
     List.iter (fun f -> f ~origin:origin_site kind) t.failure_listeners
   | Msg.Reset_notice { origin_site } ->
@@ -325,7 +502,9 @@ let create ctx ~site =
       translator_by_base = Hashtbl.create 16;
       handled_sites = Hashtbl.create 4;
       route = (fun s -> s);
-      rules_by_id = Hashtbl.create 16;
+      epochs = Hashtbl.create 4;
+      active_epoch = 0;
+      stale_epoch_rejections = 0;
       lhs_rules = Rule_index.create ();
       periodics = Hashtbl.create 4;
       custom_handlers = Hashtbl.create 8;
@@ -338,6 +517,9 @@ let create ctx ~site =
     }
   in
   Hashtbl.replace t.handled_sites site ();
+  Hashtbl.replace t.epochs 0
+    { re_number = 0; re_phase = Journal.Ep_active; re_rules = [];
+      re_by_id = Hashtbl.create 16 };
   (match reliable with
    | Some r -> Reliable.register r ~site (handle_msg t)
    | None -> Net.register net ~site (handle_msg t));
@@ -357,23 +539,21 @@ let attach_translator t (tr : Cmi.t) =
 let emitter_for t ~site : Cmi.emit = fun desc ~kind -> emit_at t ~site desc ~kind
 
 let install_strategy t rules =
+  (* Installs extend the currently active epoch — for a configured (not
+     yet evolved) system that is the base program, epoch 0. *)
+  let e = active_program t in
   List.iter
     (fun rule ->
-      if Hashtbl.mem t.rules_by_id rule.Rule.id then
+      if Hashtbl.mem e.re_by_id rule.Rule.id then
         invalid_arg ("Shell.install_strategy: duplicate rule id " ^ rule.Rule.id);
-      Hashtbl.replace t.rules_by_id rule.Rule.id rule;
-      let lhs_site = Rule.lhs_site rule t.locator in
-      let handled =
-        match lhs_site with
-        | Some s -> Hashtbl.mem t.handled_sites s
-        | None -> true
-      in
-      if handled then
-        Rule_index.add t.lhs_rules ~lhs:rule.Rule.lhs ~site:lhs_site rule)
+      Hashtbl.replace e.re_by_id rule.Rule.id rule;
+      e.re_rules <- e.re_rules @ [ rule ];
+      index_add t rule)
     rules
 
 let installed_rules t =
-  Hashtbl.fold (fun _ r acc -> r :: acc) t.rules_by_id []
+  let e = active_program t in
+  Hashtbl.fold (fun _ r acc -> r :: acc) e.re_by_id []
   |> List.sort (fun a b -> compare a.Rule.id b.Rule.id)
 
 let register_periodic t ?site ~period () =
@@ -424,7 +604,23 @@ let rule_index_stats t = Rule_index.bucket_stats t.lhs_rules
 
 let journal t = t.journal
 
-let reset_volatile t = Store.clear t.store
+let reset_volatile t =
+  Store.clear t.store;
+  if t.active_epoch <> 0 || Hashtbl.length t.epochs > 1 then begin
+    (* Rule epochs beyond the base program are volatile: a crashed site
+       reboots on its configured program (epoch 0).  Recovery replays
+       the journaled transitions to re-enter the epoch the site had
+       actually reached — without a journal, the site keeps running the
+       base program and stale-epoch Fires are rejected and counted
+       rather than resurrecting the retired rules. *)
+    let base = Hashtbl.find t.epochs 0 in
+    Hashtbl.reset t.epochs;
+    base.re_phase <- Journal.Ep_active;
+    Hashtbl.replace t.epochs 0 base;
+    t.active_epoch <- 0;
+    t.lhs_rules <- Rule_index.create ();
+    List.iter (fun r -> index_add t r) base.re_rules
+  end
 
 let restore_aux t item v =
   (* Replay path: re-apply a journaled write without re-emitting its

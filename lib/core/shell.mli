@@ -128,6 +128,60 @@ val rule_index_stats : t -> int * int
 (** [(buckets, largest)] of the rule discrimination index — see
     {!Cm_rule.Rule_index.bucket_stats}. *)
 
+(** {2 Rule epochs}
+
+    The site's installed rule program is versioned (ISSUE 6): epoch 0 is
+    the base program from configuration time; {!Evolution} stages later
+    ones.  The lifecycle per epoch is proposed → active → draining →
+    retired.  Outbound {!Msg.Fire} envelopes carry the epoch they were
+    produced under; an inbound envelope executes under its origin
+    epoch's program while that epoch is active or draining, and is
+    rejected and counted once it is retired — never re-interpreted under
+    a newer program, never silently dropped.  Transitions are journaled
+    write-ahead so {!Recovery} replays a crashed site back into the
+    epoch it had reached. *)
+
+val rule_epoch : t -> int
+(** The active epoch — what outbound firings are tagged with. *)
+
+val epoch_phase : t -> epoch:int -> Journal.epoch_phase option
+
+val stale_epoch_rejections : t -> int
+(** Inbound firings rejected because their origin epoch was retired or
+    unknown. *)
+
+val propose_epoch : t -> epoch:int -> Cm_rule.Rule.t list -> unit
+(** Stage a new program under a fresh epoch number (> the active one).
+    The program (with all its rules) is journaled before the volatile
+    epoch table changes.  Raises [Invalid_argument] on a reused number
+    or duplicate rule ids. *)
+
+val cutover_epoch : t -> epoch:int -> unit
+(** Make a proposed epoch the active program: new events dispatch under
+    it from now on, the previously active epoch starts draining.  The
+    dispatch index is updated incrementally — rules the new program
+    keeps verbatim retain their entries; only the program delta is
+    removed/added. *)
+
+val retire_epoch : t -> epoch:int -> unit
+(** End a draining epoch: firings tagged with it are rejected and
+    counted from now on.  Only a draining epoch can retire. *)
+
+(** A replayed epoch transition (see {!Recovery}). *)
+type epoch_op =
+  | Op_propose of int * Cm_rule.Rule.t list
+  | Op_cutover of int
+  | Op_retire of int
+
+val restore_epoch_ops : t -> epoch_op list -> unit
+(** Replay transitions without re-journaling them — the recovery path,
+    called after {!reset_volatile} dropped the site back to epoch 0. *)
+
+val epoch_snapshot : t -> (int * Journal.epoch_phase * Cm_rule.Rule.t list) list * int
+(** Epoch state for a checkpoint: [(number, phase, rules)] ascending
+    (epoch 0, whose rules are configuration, appears with [] and only
+    when no longer simply active), plus the active epoch number. *)
+
 (** {2 Crash-recovery hooks}
 
     Driven by {!Recovery}; not meant for application use.  When the
@@ -140,9 +194,10 @@ val rule_index_stats : t -> int * int
 val journal : t -> Journal.t option
 
 val reset_volatile : t -> unit
-(** Wipe the private store, modelling the loss of volatile memory at a
-    crash.  Counters and trace survive: they are measurement, not
-    state. *)
+(** Wipe the private store and drop rule epochs beyond the base program,
+    modelling the loss of volatile memory at a crash (the base program
+    is configuration and survives).  Counters and trace survive: they
+    are measurement, not state. *)
 
 val restore_aux : t -> Cm_rule.Item.t -> Cm_rule.Value.t -> unit
 (** Replay a journaled store write without re-emitting its event or

@@ -249,12 +249,10 @@ let period_of_rule rule =
   | "P", [ Expr.Const v ] -> Some (Value.to_float v)
   | _ -> None
 
-let install t (strategy : Strategy.t) =
-  Obs.incr t.obs "system_strategy_installs"
-    ~labels:[ ("strategy", strategy.Strategy.strategy_name) ];
-  t.strategy_rules <- t.strategy_rules @ strategy.Strategy.rules;
-  Hashtbl.iter (fun _ shell -> Shell.install_strategy shell strategy.Strategy.rules)
-    t.shells;
+(* Strategy plumbing shared between config-time install and a runtime
+   epoch cutover (Cm_core.Evolution): auxiliary-item initialization and
+   periodic timers for P-rules. *)
+let apply_aux_init t aux_init =
   List.iter
     (fun (item, v) ->
       let site = t.locator item in
@@ -264,7 +262,9 @@ let install t (strategy : Strategy.t) =
         invalid_arg
           (Printf.sprintf "System.install: no shell handles site %s for aux item %s"
              site (Item.to_string item)))
-    strategy.Strategy.aux_init;
+    aux_init
+
+let register_strategy_periodics t rules =
   List.iter
     (fun rule ->
       match period_of_rule rule with
@@ -280,7 +280,20 @@ let install t (strategy : Strategy.t) =
         | None ->
           invalid_arg
             ("System.install: polling rule " ^ rule.Rule.id ^ " has no resolvable site")))
-    strategy.Strategy.rules
+    rules
+
+let install t (strategy : Strategy.t) =
+  Obs.incr t.obs "system_strategy_installs"
+    ~labels:[ ("strategy", strategy.Strategy.strategy_name) ];
+  t.strategy_rules <- t.strategy_rules @ strategy.Strategy.rules;
+  Hashtbl.iter (fun _ shell -> Shell.install_strategy shell strategy.Strategy.rules)
+    t.shells;
+  apply_aux_init t strategy.Strategy.aux_init;
+  register_strategy_periodics t strategy.Strategy.rules
+
+let shells t =
+  Hashtbl.fold (fun site shell acc -> (site, shell) :: acc) t.shells []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let strategy_rules t = t.strategy_rules
 let all_rules t = t.interface_rules @ t.strategy_rules

@@ -117,6 +117,11 @@ val shell : t -> site:string -> Shell.t
 (** The shell responsible for [site] (its own or a routed one).
     @raise Not_found if no shell handles it. *)
 
+val shells : t -> (string * Shell.t) list
+(** Every shell by primary site, sorted — the deterministic iteration
+    order used when a change must reach all sites (e.g. an epoch
+    transition). *)
+
 val register_translator : t -> shell:Shell.t -> Cmi.t -> unit
 (** Attach, route the translator's site to that shell, and collect its
     interface statements. *)
@@ -131,6 +136,17 @@ val install : t -> Strategy.t -> unit
 
 val strategy_rules : t -> Cm_rule.Rule.t list
 val all_rules : t -> Cm_rule.Rule.t list
+
+val apply_aux_init :
+  t -> (Cm_rule.Item.t * Cm_rule.Value.t) list -> unit
+(** Write a strategy's auxiliary items at their owning shells — done by
+    {!install} at configuration time and by {!Evolution} at cutover, so
+    an incoming epoch never inherits another strategy's stale auxiliary
+    state (e.g. a cached-propagation cache). *)
+
+val register_strategy_periodics : t -> Cm_rule.Rule.t list -> unit
+(** Register [P(p)] timers for the polling rules among [rules];
+    duplicate (site, period) registrations are ignored. *)
 
 type guarantee_handle
 

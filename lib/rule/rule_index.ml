@@ -5,7 +5,12 @@
    (cheap prepend); select merges them by descending seq and accumulates,
    yielding ascending (registration) order. *)
 
-type 'a entry = { seq : int; site : Item.site option; payload : 'a }
+type 'a entry = {
+  seq : int;
+  site : Item.site option;
+  mutable live : bool;
+  payload : 'a;
+}
 
 (* Discrimination on the first template argument: [Expr.Item (b, _)] at
    position 0 matches only events whose first argument is an item with
@@ -24,6 +29,8 @@ let event_arg0_base (desc : Event.desc) =
 
 type 'a t = {
   mutable next_seq : int;
+  mutable live_count : int;
+  mutable dead : int;  (* tombstones still present in rev_all *)
   mutable rev_all : 'a entry list;  (* every entry, newest first *)
   sited : (Item.site * string * string option, 'a entry list) Hashtbl.t;
       (* (LHS site, descriptor name, arg0 base) -> entries, newest first *)
@@ -34,6 +41,8 @@ type 'a t = {
 let create () =
   {
     next_seq = 0;
+    live_count = 0;
+    dead = 0;
     rev_all = [];
     sited = Hashtbl.create 64;
     local = Hashtbl.create 8;
@@ -43,15 +52,56 @@ let push table key entry =
   let prior = Option.value (Hashtbl.find_opt table key) ~default:[] in
   Hashtbl.replace table key (entry :: prior)
 
+let bucket table key = Option.value (Hashtbl.find_opt table key) ~default:[]
+
 let add t ~lhs ~site payload =
-  let entry = { seq = t.next_seq; site; payload } in
+  let entry = { seq = t.next_seq; site; live = true; payload } in
   t.next_seq <- t.next_seq + 1;
+  t.live_count <- t.live_count + 1;
   t.rev_all <- entry :: t.rev_all;
   let name = lhs.Template.name in
   let base = arg0_base lhs in
   match site with
   | Some s -> push t.sited (s, name, base) entry
   | None -> push t.local (name, base) entry
+
+(* Removal is incremental: the discrimination bucket drops the entry
+   (O(bucket), not O(rules)), while [rev_all] keeps a tombstone that the
+   naive oracle skips.  Tombstones are compacted once they outnumber the
+   live entries, keeping [select_naive] amortized O(live). *)
+let remove t ~lhs ~site pred =
+  let name = lhs.Template.name in
+  let base = arg0_base lhs in
+  let found = ref None in
+  let filter_bucket entries =
+    List.filter
+      (fun e ->
+        if Option.is_none !found && e.live && pred e.payload then begin
+          found := Some e;
+          false
+        end
+        else true)
+      entries
+  in
+  let update table key =
+    match filter_bucket (bucket table key) with
+    | [] -> if Option.is_some !found then Hashtbl.remove table key
+    | filtered -> if Option.is_some !found then Hashtbl.replace table key filtered
+  in
+  (match site with
+  | Some s -> update t.sited (s, name, base)
+  | None -> update t.local (name, base));
+  match !found with
+  | None -> false
+  | Some e ->
+    e.live <- false;
+    t.live_count <- t.live_count - 1;
+    t.dead <- t.dead + 1;
+    if t.dead > t.live_count && t.dead > 16 then begin
+      t.rev_all <- List.filter (fun e -> e.live) t.rev_all;
+      t.dead <- 0
+    end;
+    true
 
 (* Merge two newest-first entry lists, newest first.  Candidate buckets
    are small, so the non-tail recursion is fine. *)
@@ -60,8 +110,6 @@ let rec merge2 a b =
   | [], rest | rest, [] -> rest
   | x :: xs, y :: ys ->
     if x.seq > y.seq then x :: merge2 xs b else y :: merge2 a ys
-
-let bucket table key = Option.value (Hashtbl.find_opt table key) ~default:[]
 
 let select t ~local_site ~event_site ~(desc : Event.desc) =
   let name = desc.Event.name in
@@ -93,15 +141,16 @@ let select_naive t ~local_site ~event_site =
         | Some s -> String.equal s event_site
         | None -> String.equal event_site local_site
       in
-      if site_matches then entry.payload :: acc else acc)
+      if entry.live && site_matches then entry.payload :: acc else acc)
     [] t.rev_all
 
-let length t = t.next_seq
+let length t = t.live_count
 
 let bucket_stats t =
   let fold table (buckets, largest) =
     Hashtbl.fold
-      (fun _ entries (b, l) -> (b + 1, max l (List.length entries)))
+      (fun _ entries (b, l) ->
+        match entries with [] -> (b, l) | _ -> (b + 1, max l (List.length entries)))
       table (buckets, largest)
   in
   fold t.sited (fold t.local (0, 0))

@@ -42,6 +42,15 @@ val add : 'a t -> lhs:Template.t -> site:Item.site option -> 'a -> unit
     and resolved LHS [site].  Entries are returned by {!select} /
     {!select_naive} in registration order. *)
 
+val remove : 'a t -> lhs:Template.t -> site:Item.site option -> ('a -> bool) -> bool
+(** Unregister the most recently registered live entry under [lhs]'s
+    discrimination key and [site] whose payload satisfies the predicate.
+    O(bucket): the discrimination bucket is filtered in place and the
+    registration list keeps a tombstone that is compacted once
+    tombstones outnumber live entries, so rule churn never reintroduces
+    an O(all rules) rebuild.  Returns [false] if no live entry under
+    that key matches. *)
+
 val select :
   'a t ->
   local_site:Item.site ->
@@ -67,7 +76,7 @@ val select_naive :
     the two paths to that. *)
 
 val length : 'a t -> int
-(** Total registered entries. *)
+(** Live (registered and not removed) entries. *)
 
 val bucket_stats : 'a t -> int * int
 (** [(buckets, largest)]: number of non-empty discrimination buckets and

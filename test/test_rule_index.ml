@@ -181,6 +181,67 @@ let differential_cases () =
     true
     (!matched * 5 >= !cases)
 
+(* Churn differential: the same equivalence must survive epoch
+   boundaries — rules removed (an epoch retiring its program) and new
+   ones registered (the next epoch cutting over) in interleaved rounds.
+   Exercises the tombstone/compaction path of [remove] under the exact
+   pattern Shell.cutover_epoch produces. *)
+let churn_differential_cases () =
+  let rng = Prng.create ~seed:313131 in
+  let cases = ref 0 in
+  let removed_total = ref 0 in
+  for _program = 1 to 120 do
+    let index, program = gen_program rng in
+    let live = ref program in
+    let next_id = ref (List.length program) in
+    for _round = 1 to 4 do
+      (* Retire a random subset of the live program... *)
+      let keep, retire =
+        List.partition (fun _ -> Prng.int rng 3 > 0) !live
+      in
+      List.iter
+        (fun (id, tpl, site) ->
+          let ok =
+            Rule_index.remove index ~lhs:tpl ~site (fun (id', _) -> id' = id)
+          in
+          if not ok then
+            Alcotest.failf "remove lost a live entry (#%d)" id;
+          incr removed_total)
+        retire;
+      (* ...and cut over to a fresh batch. *)
+      let fresh =
+        List.init (Prng.int rng 6) (fun _ ->
+            let id = !next_id in
+            incr next_id;
+            let tpl = gen_template rng in
+            let site =
+              if Prng.int rng 4 = 0 then None else Some (Prng.pick rng sites)
+            in
+            Rule_index.add index ~lhs:tpl ~site (id, tpl);
+            (id, tpl, site))
+      in
+      live := keep @ fresh;
+      Alcotest.(check int) "length tracks live entries"
+        (List.length !live) (Rule_index.length index);
+      for _event = 1 to 4 do
+        let desc = gen_desc_from_program rng !live in
+        let event_site = Prng.pick rng sites in
+        let local_site =
+          if Prng.bool rng then event_site else Prng.pick rng sites
+        in
+        incr cases;
+        check_case ~case:!cases index desc ~local_site ~event_site
+      done
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "ran >= 1000 churn cases (got %d)" !cases)
+    true (!cases >= 1000);
+  Alcotest.(check bool)
+    (Printf.sprintf "churn actually removed entries (%d)" !removed_total)
+    true
+    (!removed_total >= 500)
+
 (* Deterministic order-preservation scenario: several rules in the same
    discrimination bucket, interleaved with chaining and foreign-site
    rules, must come back in exact registration order. *)
@@ -241,6 +302,9 @@ let () =
         [
           Alcotest.test_case "1500 random programs/events: indexed = naive"
             `Quick differential_cases;
+          Alcotest.test_case
+            "epoch churn (remove + re-add rounds): indexed = naive" `Quick
+            churn_differential_cases;
         ] );
       ( "discrimination",
         [
