@@ -11,7 +11,7 @@
    Usage:  dune exec bench/main.exe                 (all experiments + micro)
            dune exec bench/main.exe -- --exp e4     (one experiment)
            dune exec bench/main.exe -- --no-micro   (skip Bechamel)
-           dune exec bench/main.exe -- --smoke      (reduced E15 sweep)    *)
+           dune exec bench/main.exe -- --smoke      (reduced E15/E17 sweeps) *)
 
 open Cm_rule
 module Sim = Cm_sim.Sim
@@ -1262,8 +1262,8 @@ let exp_e14 () =
 (* E15: rule/event discrimination index — indexed vs naive dispatch    *)
 (* ------------------------------------------------------------------ *)
 
-(* Set by --smoke: a reduced sweep sized for CI. *)
-let e15_smoke = ref false
+(* Set by --smoke: reduced E15/E17 sweeps sized for CI. *)
+let smoke_mode = ref false
 
 (* One measured run: [sites] shells, [constraints] rules per shell (all
    sharing the descriptor name "Upd", so only the discrimination
@@ -1359,9 +1359,9 @@ let exp_e15 () =
           "naive ev/s"; "indexed ev/s"; "speedup"; "alloc w/ev (idx)";
           "buckets (s0)" ]
   in
-  let events = if !e15_smoke then 4_000 else 30_000 in
+  let events = if !smoke_mode then 4_000 else 30_000 in
   let sweep =
-    if !e15_smoke then [ (4, 16, 100.0); (32, 256, 100.0) ]
+    if !smoke_mode then [ (4, 16, 100.0); (32, 256, 100.0) ]
     else
       [ (4, 16, 100.0); (8, 64, 100.0); (16, 128, 100.0); (16, 128, 1000.0);
         (32, 256, 100.0) ]
@@ -1565,6 +1565,152 @@ let exp_e16 () =
      installed program grows, while a full rebuild scales with it.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E17: constraint-aware read routing — SLO sweep, 10^5-10^6 clients   *)
+(* ------------------------------------------------------------------ *)
+
+(* A star federation: four feeds mastered at the hub, one κ-bounded copy
+   of each at its consumer site (κ ladder 5/10/20/40 s via the strategy's
+   propagation delay), client populations co-located with the copies.
+   Each client reads its local feed under a staleness SLO; the router
+   serves the local replica iff its κ qualifies (κ ≤ SLO inclusive) and
+   falls back to the master over the WAN link otherwise — so master
+   offload grows monotonically as the SLO loosens, one rung per replica.
+   Load comes from Readers.open_loop, whose Poisson-superposition trick
+   makes the cost proportional to reads, not clients: the full run
+   simulates 10^6 clients, --smoke 10^5.  Every decision is audited post
+   hoc from the on_decision stream: served κ must be ≤ the SLO. *)
+let exp_e17 () =
+  let module Route = Cm_route.Route in
+  let module Readers = Cm_workload.Readers in
+  let replicas =
+    (* (index, κ): κ = notify δ2 + propagation δ + write δ1 *)
+    [ (0, 5.0); (1, 10.0); (2, 20.0); (3, 40.0) ]
+  in
+  let feed k = Printf.sprintf "Feed%d" k in
+  let copy k = Printf.sprintf "Copy%d" k in
+  let rsite k = Printf.sprintf "r%d" k in
+  let program =
+    String.concat "\n"
+      (List.concat_map
+         (fun (k, kappa) ->
+           [
+             Printf.sprintf "n%d: Ws(%s(n), b) ->[2] N(%s(n), b)" k (feed k)
+               (feed k);
+             Printf.sprintf "w%d: WR(%s(n), b) ->[1] W(%s(n), b)" k (copy k)
+               (copy k);
+             Printf.sprintf "q%d: Ws(%s(n), b) -> FALSE" k (copy k);
+             Printf.sprintf "p%d: N(%s(n), b) ->[%g] WR(%s(n), b)" k (feed k)
+               (kappa -. 3.0) (copy k);
+           ])
+         replicas)
+  in
+  let rules = Parser.parse_rules program in
+  let interfaces, strategy =
+    List.partition (fun r -> Interface.classify r <> None) rules
+  in
+  let locator (item : Item.t) =
+    (* Feedk -> hub, Copyk -> rk *)
+    if String.length item.Item.base > 4 && String.sub item.Item.base 0 4 = "Feed"
+    then "hub"
+    else "r" ^ String.sub item.Item.base 4 (String.length item.Item.base - 4)
+  in
+  let obs = Obs.create () in
+  let system =
+    Sys_.create ~config:Sys_.Config.(seeded 1700 |> with_obs obs) locator
+  in
+  let net = Sys_.net system in
+  List.iter
+    (fun (k, _) ->
+      (* WAN ladder: farther consumers pay more to reach the hub. *)
+      let l = { Net.base = 0.02 +. (0.01 *. float_of_int k); jitter = 0.0 } in
+      Net.set_latency net ~from_site:(rsite k) ~to_site:"hub" l;
+      Net.set_latency net ~from_site:"hub" ~to_site:(rsite k) l)
+    replicas;
+  let route =
+    Route.create ~interfaces ~strategy system
+      ~constraints:(List.map (fun (k, _) -> (feed k, copy k)) replicas)
+  in
+  let clients_total = if !smoke_mode then 100_000 else 1_000_000 in
+  let per_site = clients_total / List.length replicas in
+  let clients = List.map (fun (k, _) -> (rsite k, per_site)) replicas in
+  let rate_per_client = if !smoke_mode then 1e-4 else 5e-5 in
+  let duration = if !smoke_mode then 200.0 else 400.0 in
+  let rng = Cm_util.Prng.create ~seed:1700 in
+  (* Per-sweep-point collector, swapped under one decision subscriber. *)
+  let sink = ref (fun (_ : Route.decision) -> ()) in
+  Route.on_decision route (fun d -> !sink d);
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E17: κ-SLO read routing, %d clients at 4 replica sites (κ \
+            ladder 5/10/20/40 s)"
+           clients_total)
+      ~columns:
+        [ "slo (s)"; "reads"; "replica"; "master"; "forced poll"; "offload";
+          "p99 latency (s)"; "served κ ≤ slo" ]
+  in
+  let feed_of_site site =
+    int_of_string (String.sub site 1 (String.length site - 1))
+  in
+  let offloads =
+    List.map
+      (fun slo ->
+        let n_replica = ref 0 and n_master = ref 0 and n_poll = ref 0 in
+        let latencies = ref [] and violations = ref 0 in
+        sink :=
+          (fun d ->
+            (match d.Route.d_outcome with
+             | Route.Replica -> incr n_replica
+             | Route.Master -> incr n_master
+             | Route.Forced_poll -> incr n_poll);
+            latencies := d.Route.d_latency :: !latencies;
+            match slo with
+            | Some s when d.Route.d_served_kappa > s -> incr violations
+            | _ -> ());
+        let stop = Sim.now (Sys_.sim system) +. duration in
+        Readers.open_loop (Sys_.sim system) ~rng ~clients ~rate_per_client
+          ~until:stop (fun ~site ->
+            ignore
+              (Route.read ?within_kappa:slo route ~client_site:site
+                 (feed (feed_of_site site))));
+        Sys_.run system ~until:stop;
+        let reads = !n_replica + !n_master + !n_poll in
+        let offload =
+          if reads = 0 then 0.0 else float_of_int !n_replica /. float_of_int reads
+        in
+        Table.add_row table
+          [
+            (match slo with Some s -> Printf.sprintf "%g" s | None -> "none");
+            string_of_int reads;
+            string_of_int !n_replica;
+            string_of_int !n_master;
+            string_of_int !n_poll;
+            Printf.sprintf "%.1f%%" (100.0 *. offload);
+            Printf.sprintf "%.3f" (Stats.percentile 0.99 !latencies);
+            (if !violations = 0 then "ok"
+             else Printf.sprintf "VIOLATED (%d)" !violations);
+          ];
+        offload)
+      [ Some 3.0; Some 5.0; Some 10.0; Some 20.0; Some 40.0; None ]
+  in
+  sink := (fun _ -> ());
+  Table.print table;
+  let monotone =
+    let rec check = function
+      | a :: (b :: _ as rest) -> a <= b +. 1e-9 && check rest
+      | _ -> true
+    in
+    check offloads
+  in
+  record_snapshot "e17" obs;
+  Printf.printf
+    "Shape check: master offload monotone in SLO: %s; κ ≤ SLO audited on \
+     every routed read.\nThe κ = 5 copy is served at slo = 5 — the bound is \
+     inclusive: both κ and SLO\nare end-to-end seconds.\n\n"
+    (if monotone then "yes" else "NO")
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1584,6 +1730,7 @@ let experiments =
     ("e14", exp_e14);
     ("e15", exp_e15);
     ("e16", exp_e16);
+    ("e17", exp_e17);
   ]
 
 let () =
@@ -1598,13 +1745,13 @@ let () =
   in
   let json_out = find_opt_arg "--json" args in
   let micro = not (List.mem "--no-micro" args) in
-  e15_smoke := List.mem "--smoke" args;
+  smoke_mode := List.mem "--smoke" args;
   (match wanted with
    | Some name -> (
      match List.assoc_opt name experiments with
      | Some f -> f ()
      | None ->
-       Printf.eprintf "unknown experiment %s (e1..e16)\n" name;
+       Printf.eprintf "unknown experiment %s (e1..e17)\n" name;
        exit 1)
    | None ->
      List.iter

@@ -5,44 +5,19 @@
    - suggest:  list applicable strategies + guarantees for a constraint,
                given the interfaces each item offers
    - config:   validate a CM-RID file and show what each source offers
-   - demo:     run the §4.2 payroll scenario and report guarantees *)
+   - demo:     run the §4.2 payroll scenario and report guarantees
+
+   Flag conventions, positional parsing, file loading, and the static
+   preflight gates shared by the subcommands live in Cmtool_cli. *)
 
 open Cmdliner
 module Interface = Cm_core.Interface
 module Suggest = Cm_core.Suggest
 module Analysis = Cm_analysis.Analysis
 
-let read_file path = In_channel.with_open_text path In_channel.input_all
-
-(* Static preflight over a built-in workload's rule set: refuse to run a
-   scenario whose specifications the checker rejects (gate with
-   --no-check).  Warnings never block, and are kept off the output so
-   byte-compared runs stay stable. *)
-let preflight ~label ~no_check workload =
-  no_check
-  ||
-  let interfaces, strategy, locator = Cm_chaos.Chaos.static_rules workload in
-  let findings = Analysis.check_rules ~file:label ~interfaces ~strategy ~locator () in
-  let errors, _, _ = Analysis.summary findings in
-  if errors = 0 then true
-  else begin
-    List.iter
-      (fun (f : Analysis.finding) ->
-        if f.Analysis.severity = Analysis.Error then
-          Printf.eprintf "%s\n" (Analysis.finding_to_string f))
-      findings;
-    Printf.eprintf
-      "%s: static check found %d error(s) in the workload's rules; \
-       pass --no-check to run anyway\n"
-      label errors;
-    false
-  end
-
-let no_check_arg =
-  Arg.(
-    value & flag
-    & info [ "no-check" ]
-        ~doc:"Skip the static rule check that normally gates this command")
+let read_file = Cmtool_cli.read_file
+let preflight = Cmtool_cli.preflight
+let no_check_arg = Cmtool_cli.no_check_arg
 
 (* ---- parse ---- *)
 
@@ -237,19 +212,17 @@ let check_cmd_run file rule_files json deny_warnings =
     Analysis.exit_code ~deny_warnings findings
 
 let check_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG") in
+  let file = Cmtool_cli.config_pos in
   let rule_files =
-    Arg.(
-      value & pos_right 0 file []
-      & info [] ~docv:"RULES"
-          ~doc:"Additional rule files; interface statements extend the \
-                declared interfaces, the rest is strategy")
+    Cmtool_cli.rules_pos ~after:0
+      ~doc:
+        "Additional rule files; interface statements extend the declared \
+         interfaces, the rest is strategy"
   in
-  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON") in
+  let json = Cmtool_cli.json_arg ~doc:"Emit findings as JSON" in
   let deny_warnings =
-    Arg.(
-      value & flag
-      & info [ "deny-warnings" ] ~doc:"Exit non-zero on warnings, not just errors")
+    Cmtool_cli.deny_warnings_arg
+      ~doc:"Exit non-zero on warnings, not just errors"
   in
   Cmd.v
     (Cmd.info "check"
@@ -263,81 +236,28 @@ let check_cmd =
 
 (* ---- evolve ---- *)
 
-(* Base item an interface statement serves: the LHS item if there is one,
-   else the first RHS item (periodic-notify rules have a P(...) LHS). *)
-let iface_base (r : Cm_rule.Rule.t) =
-  match Cm_rule.Template.item_base r.Cm_rule.Rule.lhs with
-  | Some b -> Some b
-  | None ->
-    List.find_map
-      (fun (s : Cm_rule.Rule.step) ->
-        Cm_rule.Template.item_base s.Cm_rule.Rule.template)
-      (Cm_rule.Rule.rhs_steps r)
-
-let iface_key r =
-  match Interface.classify r with
-  | None -> None
-  | Some kind -> Option.map (fun b -> (kind, b)) (iface_base r)
-
-let parse_rule_file file =
-  match Cm_rule.Parser.parse_rules (read_file file) with
-  | exception Cm_rule.Parser.Parse_error { line; message; _ } ->
-    Printf.eprintf "%s:%d: parse error: %s\n" file line message;
-    Error 1
-  | exception Sys_error m ->
-    Printf.eprintf "%s\n" m;
-    Error 1
-  | rules -> Ok rules
+let parse_rule_file = Cmtool_cli.parse_rule_file
 
 let evolve_cmd_run config_file proposed_file rule_files json deny_warnings
     dry_run =
-  match Cm_core.Cmrid.parse_file config_file with
-  | Error errors ->
-    List.iter
-      (fun (e : Cm_core.Cmrid.error) ->
-        Printf.eprintf "%s:%d: %s\n" config_file e.Cm_core.Cmrid.e_line
-          e.Cm_core.Cmrid.e_msg)
-      errors;
-    1
-  | Ok config -> (
-    match Cm_core.Toolkit.build config with
-    | Error m ->
-      Printf.eprintf "%s: %s\n" config_file m;
-      1
-    | Ok built -> (
-      let system = built.Cm_core.Toolkit.system in
-      let extra =
-        List.fold_left
-          (fun acc f ->
-            match acc, parse_rule_file f with
-            | Error c, _ | _, Error c -> Error c
-            | Ok rs, Ok more -> Ok (rs @ more))
-          (Ok []) rule_files
+  match Cmtool_cli.build_config config_file with
+  | Error c -> c
+  | Ok (config, built) -> (
+    let system = built.Cm_core.Toolkit.system in
+    match
+      (Cmtool_cli.parse_rule_files rule_files, parse_rule_file proposed_file)
+    with
+    | Error c, _ | _, Error c -> c
+    | Ok extra_rules, Ok proposed_rules ->
+      let is_iface r = Interface.classify r <> None in
+      (* Current epoch: interfaces synthesized from the configuration,
+         extended by interface statements in the extra rule files —
+         except statements restating a capability the translators
+         already declared, which are the same interface, not a second
+         channel (mirrors cmtool check's merge). *)
+      let interfaces_before, strategy_before =
+        Cmtool_cli.merge_program ~system extra_rules
       in
-      match extra, parse_rule_file proposed_file with
-      | Error c, _ | _, Error c -> c
-      | Ok extra_rules, Ok proposed_rules ->
-        let is_iface r = Interface.classify r <> None in
-        (* Current epoch: interfaces synthesized from the configuration,
-           extended by interface statements in the extra rule files —
-           except statements restating a capability the translators
-           already declared, which are the same interface, not a second
-           channel (mirrors cmtool check's merge). *)
-        let synth = Cm_core.System.interface_rules system in
-        let synth_keys = List.filter_map iface_key synth in
-        let extra_ifaces, extra_strategy = List.partition is_iface extra_rules in
-        let extra_ifaces =
-          List.filter
-            (fun r ->
-              match iface_key r with
-              | Some k -> not (List.mem k synth_keys)
-              | None -> true)
-            extra_ifaces
-        in
-        let interfaces_before = synth @ extra_ifaces in
-        let strategy_before =
-          Cm_core.System.strategy_rules system @ extra_strategy
-        in
         (* Proposed epoch: its interface statements, when present,
            REPLACE the current set — an interface change (§4.2.3) means
            capabilities disappear, not accumulate.  A proposal with no
@@ -434,12 +354,10 @@ let evolve_cmd_run config_file proposed_file rule_files json deny_warnings
             end;
             0
           end
-        end))
+        end)
 
 let evolve_cmd =
-  let config_file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
-  in
+  let config_file = Cmtool_cli.config_pos in
   let proposed_file =
     Arg.(
       required & pos 1 (some file) None
@@ -449,18 +367,15 @@ let evolve_cmd =
                 new strategy")
   in
   let rule_files =
-    Arg.(
-      value & pos_right 1 file []
-      & info [] ~docv:"RULES"
-          ~doc:"Rule files describing the currently installed epoch, as in \
-                $(b,cmtool check)")
+    Cmtool_cli.rules_pos ~after:1
+      ~doc:
+        "Rule files describing the currently installed epoch, as in \
+         $(b,cmtool check)"
   in
-  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the survival report as JSON") in
+  let json = Cmtool_cli.json_arg ~doc:"Emit the survival report as JSON" in
   let deny_warnings =
-    Arg.(
-      value & flag
-      & info [ "deny-warnings" ]
-          ~doc:"Fail the preflight on warnings, not just errors")
+    Cmtool_cli.deny_warnings_arg
+      ~doc:"Fail the preflight on warnings, not just errors"
   in
   let dry_run =
     Arg.(
@@ -598,7 +513,7 @@ let demo_cmd_run seed minutes dump_trace no_check =
   else run_demo seed minutes dump_trace
 
 let demo_cmd =
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let seed = Cmtool_cli.seed_arg () in
   let minutes = Arg.(value & opt int 20 & info [ "minutes" ] ~docv:"N") in
   let dump_trace =
     Arg.(value & opt (some string) None & info [ "dump-trace" ] ~docv:"FILE")
@@ -716,7 +631,7 @@ let faults_cmd_run seed drop dup minutes employees no_reliable heartbeat no_chec
   else run_faults seed drop dup minutes employees no_reliable heartbeat
 
 let faults_cmd =
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let seed = Cmtool_cli.seed_arg () in
   let drop =
     Arg.(value & opt float 0.2
          & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability on every link")
@@ -791,7 +706,7 @@ let chaos_cmd_run seed events crashes crash_min crash_max workload durability
   end
 
 let chaos_cmd =
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let seed = Cmtool_cli.seed_arg () in
   let events =
     Arg.(value & opt int 200
          & info [ "events" ] ~docv:"N" ~doc:"Workload operations to inject")
@@ -866,31 +781,22 @@ let observed_payroll ~seed ~employees ~drop ~dup =
   Sys_.run p.Payroll.system ~until:700.0;
   obs
 
-let emit ~out text =
-  match out with
-  | None -> print_string text; 0
-  | Some path ->
-    Out_channel.with_open_text path (fun oc -> output_string oc text);
-    Printf.printf "written to %s\n" path;
-    0
-
 let stats_cmd_run seed employees drop dup csv out =
   let obs = observed_payroll ~seed ~employees ~drop ~dup in
-  emit ~out
+  Cmtool_cli.emit ~out
     (if csv then Cm_core.Obs.snapshot_to_csv obs
      else Cm_core.Obs.snapshot_to_json obs)
 
 let spans_cmd_run seed employees drop dup csv out =
   let obs = observed_payroll ~seed ~employees ~drop ~dup in
-  emit ~out
+  Cmtool_cli.emit ~out
     (if csv then Cm_core.Obs.spans_to_csv obs
      else Cm_core.Obs.spans_to_json obs)
 
 let obs_args =
   let seed =
-    Arg.(value & opt int 1300
-         & info [ "seed" ] ~docv:"N"
-             ~doc:"Simulation seed (default matches bench experiment E13)")
+    Cmtool_cli.seed_arg ~default:1300
+      ~doc:"Simulation seed (default matches bench experiment E13)" ()
   in
   let employees = Arg.(value & opt int 3 & info [ "employees" ] ~docv:"N") in
   let drop =
@@ -928,6 +834,65 @@ let spans_cmd =
              included")
     Term.(const spans_cmd_run $ seed $ employees $ drop $ dup $ csv $ out)
 
+(* ---- route ---- *)
+
+let route_cmd_run config_file rule_files slo json no_check =
+  if not (Cmtool_cli.preflight_config ~no_check ~file:config_file rule_files)
+  then 1
+  else
+    match Cmtool_cli.build_config config_file with
+    | Error c -> c
+    | Ok (config, built) -> (
+      match Cmtool_cli.parse_rule_files rule_files with
+      | Error c -> c
+      | Ok extra_rules ->
+        let system = built.Cm_core.Toolkit.system in
+        let interfaces, strategy = Cmtool_cli.merge_program ~system extra_rules in
+        let route = Cm_route.Route.of_cmrid ~interfaces ~strategy system config in
+        (* Static routing table: every declared site acts as a client
+           location, sorted so the output is byte-deterministic. *)
+        let client_sites =
+          List.sort String.compare (Cm_core.Cmrid.sites config)
+        in
+        let decisions =
+          Cm_route.Route.plan ?within_kappa:slo route ~client_sites
+        in
+        print_string
+          (if json then Cm_route.Route.report_to_json ?slo route decisions
+           else Cm_route.Route.report_to_text ?slo route decisions);
+        0)
+
+let route_cmd =
+  let config_file = Cmtool_cli.config_pos in
+  let rule_files =
+    Cmtool_cli.rules_pos ~after:0
+      ~doc:
+        "Rule files describing the running program, as in $(b,cmtool check); \
+         the Derive prover sees them when computing each copy's \xce\xba"
+  in
+  let slo =
+    Arg.(
+      value & opt (some float) None
+      & info [ "slo" ] ~docv:"KAPPA"
+          ~doc:
+            "Per-read staleness budget in seconds: a copy qualifies when its \
+             derived \xce\xba is at most this (inclusive).  Without it any \
+             proved \xce\xba qualifies")
+  in
+  let json = Cmtool_cli.json_arg ~doc:"Emit the catalog and routes as JSON" in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Constraint-aware read routing over a CM-RID configuration: derive \
+          the replica catalog from its $(b,constraint copy) directives \
+          (\xc2\xa73.3.1 guarantees via the Derive prover) and print where each \
+          site's reads would be served under the given staleness SLO — \
+          cheapest qualifying replica, master fallback, or forced \
+          synchronous poll.  Output is byte-deterministic")
+    Term.(
+      const route_cmd_run $ config_file $ rule_files $ slo $ json
+      $ Cmtool_cli.no_check_arg)
+
 let () =
   let info =
     Cmd.info "cmtool" ~version:"1.0"
@@ -935,4 +900,5 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
        [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_cmd; evolve_cmd;
-         check_trace_cmd; demo_cmd; faults_cmd; chaos_cmd; stats_cmd; spans_cmd ]))
+         check_trace_cmd; demo_cmd; faults_cmd; chaos_cmd; stats_cmd; spans_cmd;
+         route_cmd ]))

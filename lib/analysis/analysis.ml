@@ -7,6 +7,7 @@ module Parser = Cm_rule.Parser
 module Cmrid = Cm_core.Cmrid
 module Interface = Cm_core.Interface
 module Derive = Cm_core.Derive
+module Guarantee_view = Cm_core.System.Guarantee_view
 
 type severity = Error | Warning | Info
 
@@ -693,15 +694,12 @@ let guarantee_pass ctx ~file (config : Cmrid.t) add =
             ~source:(pattern c.Cmrid.c_source si)
             ~target:(pattern c.Cmrid.c_target ti)
         in
-        let unprovable = function Derive.Unprovable _ -> true | Derive.Proved _ -> false in
-        if
-          unprovable report.Derive.follows && unprovable report.Derive.leads
-          && unprovable report.Derive.strictly_follows
-          && unprovable report.Derive.metric_follows
-        then
-          let reason =
-            match report.Derive.follows with Derive.Unprovable r -> r | Derive.Proved _ -> ""
-          in
+        (* The "all four unprovable" condition and its reason now come
+           from the unified guarantee view, so `cmtool check` and the
+           read router agree on what "no guarantee" means. *)
+        (match Guarantee_view.blocking_reason report with
+        | None -> ()
+        | Some reason ->
           add
             {
               code = "GRT001";
@@ -713,7 +711,7 @@ let guarantee_pass ctx ~file (config : Cmrid.t) add =
                 Printf.sprintf
                   "constraint %s = copy(%s): none of the four §3.3.1 guarantees is provable from these specifications — %s"
                   c.Cmrid.c_target c.Cmrid.c_source reason;
-            })
+            }))
     config.Cmrid.constraints
 
 (* ------------------------------------------------------------------ *)

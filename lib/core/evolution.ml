@@ -97,6 +97,20 @@ let compare_programs ~interfaces_before ~interfaces_after ~strategy_before
       })
     constraints
 
+(* The incoming epoch's verdicts reassembled as a Derive.report — what
+   System's read-side view should hold after the cutover.  cs_guarantees
+   is always the four §3.3.1 forms in paper order (compare_programs). *)
+let report_after cs =
+  match cs.cs_guarantees with
+  | [ f; l; s; m ] ->
+    {
+      Derive.follows = f.gs_after;
+      leads = l.gs_after;
+      strictly_follows = s.gs_after;
+      metric_follows = m.gs_after;
+    }
+  | _ -> invalid_arg "Evolution.report_after: expected the four §3.3.1 forms"
+
 let kept_names tr =
   List.concat_map
     (fun cs ->
@@ -287,6 +301,26 @@ let cutover t =
     t.current_epoch <- epoch;
     t.current_rules <- strategy.Strategy.rules;
     t.rev_transitions <- tr :: t.rev_transitions;
+    (* Push the incoming epoch's classification into the unified
+       read-side view, so routing immediately skips copies whose metric
+       guarantee this epoch lost (no-op for undeclared pairs). *)
+    List.iter
+      (fun cs ->
+        System.note_epoch_survival t.system ~source:cs.cs_source
+          ~target:cs.cs_target ~report:(report_after cs)
+          (List.map
+             (fun g ->
+               {
+                 System.Guarantee_view.es_epoch = epoch;
+                 es_guarantee = g.gs_name;
+                 es_status = survival_status g.gs_survival;
+                 es_reason =
+                   (match g.gs_survival with
+                   | Lost reason | Never reason -> Some reason
+                   | Kept | Upgraded -> None);
+               })
+             cs.cs_guarantees))
+      survivals;
     let obs = System.obs t.system in
     if Obs.enabled obs then begin
       Obs.incr obs "evolution_cutovers";

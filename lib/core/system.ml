@@ -46,6 +46,117 @@ type guarantee_entry = {
 
 type guarantee_handle = guarantee_entry
 
+module Guarantee_view = struct
+  type survival = {
+    es_epoch : int;
+    es_guarantee : string;
+    es_status : string;
+    es_reason : string option;
+  }
+
+  type entry = {
+    gv_source : string;
+    gv_target : string;
+    gv_master_site : string;
+    gv_site : string;
+    gv_report : Derive.report;
+    gv_kappa : float option;
+    gv_valid : bool;
+    gv_invalidations : (string * Msg.failure_kind) list;
+    gv_epoch_survival : survival list;
+  }
+
+  let metric_name = "(4) metric-follows"
+
+  let kappa_of_report (r : Derive.report) =
+    match r.Derive.metric_follows with
+    | Derive.Proved { kappa; _ } -> kappa
+    | Derive.Unprovable _ -> None
+
+  let blocking_reason (r : Derive.report) =
+    let unprovable = function
+      | Derive.Unprovable _ -> true
+      | Derive.Proved _ -> false
+    in
+    if
+      unprovable r.Derive.follows && unprovable r.Derive.leads
+      && unprovable r.Derive.strictly_follows
+      && unprovable r.Derive.metric_follows
+    then
+      match r.Derive.follows with
+      | Derive.Unprovable reason -> Some reason
+      | Derive.Proved _ -> None
+    else None
+
+  let derive ~interfaces ~strategy ~source ~target =
+    Derive.copy_guarantees ~interfaces ~strategy
+      ~source:(Interface.family source [ "n" ])
+      ~target:(Interface.family target [ "n" ])
+
+  let static ~interfaces ~strategy ~master_site ~site ~source ~target =
+    let report = derive ~interfaces ~strategy ~source ~target in
+    {
+      gv_source = source;
+      gv_target = target;
+      gv_master_site = master_site;
+      gv_site = site;
+      gv_report = report;
+      gv_kappa = kappa_of_report report;
+      gv_valid = true;
+      gv_invalidations = [];
+      gv_epoch_survival = [];
+    }
+
+  let survivals_metric_lost survivals =
+    List.exists
+      (fun s ->
+        String.equal s.es_guarantee metric_name
+        && (String.equal s.es_status "lost" || String.equal s.es_status "never"))
+      survivals
+
+  let metric_lost entry = survivals_metric_lost entry.gv_epoch_survival
+
+  (* The skip-reason vocabulary is part of the routing contract: the
+     router exports it as the [route_replica_skips] reason label and the
+     fallback-matrix tests assert on it. *)
+  let qualify ?slo ~kappa ~valid ~metric_lost () =
+    (* The epoch verdict outranks the κ probe: an epoch that dropped the
+       metric guarantee usually also makes κ unprovable, and "epoch-lost"
+       is the reason that explains the transition. *)
+    if metric_lost then Error "epoch-lost"
+    else
+      match kappa with
+      | None -> Error "unprovable"
+      | Some kappa ->
+        if not valid then Error "invalidated"
+        else (
+        (* Inclusive on the boundary: a copy whose derived κ equals the
+           SLO satisfies "within κ" — Derive's Sampled-channel κ already
+           includes the sampling period, so both sides of the comparison
+           are in the same end-to-end-seconds units. *)
+        match slo with
+        | Some s when not (kappa <= s) -> Error "over-slo"
+        | _ -> Ok kappa)
+
+  let qualifies ?slo entry =
+    qualify ?slo ~kappa:entry.gv_kappa ~valid:entry.gv_valid
+      ~metric_lost:(metric_lost entry) ()
+end
+
+(* Runtime state behind one [Guarantee_view.entry]: the derived report is
+   replaced wholesale at an epoch cutover, the handle's invalidation table
+   mutates in place via the §5 failure machinery, and the survival list
+   always describes the most recent cutover only. *)
+type copy_state = {
+  cp_source : string;
+  cp_target : string;
+  cp_master_site : string;
+  cp_site : string;
+  mutable cp_report : Derive.report;
+  cp_handle : guarantee_entry;
+  mutable cp_survivals : Guarantee_view.survival list;
+}
+
 type t = {
   sim : Sim.t;
   net : Msg.t Net.t;
@@ -63,6 +174,8 @@ type t = {
   guarantees_by_site : (string, guarantee_entry list ref) Hashtbl.t;
       (* declaration-ordered bucket per declared site, so a failure at a
          site touches only the guarantees that mention it *)
+  copies : (string * string, copy_state) Hashtbl.t;  (* (source, target) *)
+  mutable copy_order : (string * string) list;  (* declaration order *)
 }
 
 let create ?(config = Config.default) locator =
@@ -124,6 +237,8 @@ let create ?(config = Config.default) locator =
     interface_rules = [];
     strategy_rules = [];
     guarantees_by_site = Hashtbl.create 8;
+    copies = Hashtbl.create 8;
+    copy_order = [];
   }
 
 let sim t = t.sim
@@ -320,6 +435,86 @@ let invalidations entry =
   (* Sorted keys: the hashtable's iteration order must not leak. *)
   Hashtbl.fold (fun inv () acc -> inv :: acc) entry.invalidated_by []
   |> List.sort compare
+
+let declare_copies ?interfaces ?strategy t pairs =
+  let interfaces = Option.value interfaces ~default:t.interface_rules in
+  let strategy = Option.value strategy ~default:t.strategy_rules in
+  List.iter
+    (fun (source, target) ->
+      let key = (source, target) in
+      if not (Hashtbl.mem t.copies key) then begin
+        let report = Guarantee_view.derive ~interfaces ~strategy ~source ~target in
+        let master_site = t.locator (Item.make source) in
+        let site = t.locator (Item.make target) in
+        (* The live handle is the metric guarantee: it is what §5 failures
+           invalidate (metric guarantees fall to both failure kinds), and
+           what the read router polls per decision.  An unprovable copy
+           still gets a handle — κ 0.0 is never consulted because routing
+           skips it as "unprovable" first. *)
+        let kappa =
+          Option.value (Guarantee_view.kappa_of_report report) ~default:0.0
+        in
+        let handle =
+          declare_guarantee t ~sites:[ master_site; site ]
+            (Guarantee.Metric_follows
+               ( { Guarantee.leader = Item.make source;
+                   follower = Item.make target },
+                 kappa ))
+        in
+        Hashtbl.replace t.copies key
+          {
+            cp_source = source;
+            cp_target = target;
+            cp_master_site = master_site;
+            cp_site = site;
+            cp_report = report;
+            cp_handle = handle;
+            cp_survivals = [];
+          };
+        t.copy_order <- t.copy_order @ [ key ]
+      end)
+    pairs
+
+let entry_of_copy cp =
+  {
+    Guarantee_view.gv_source = cp.cp_source;
+    gv_target = cp.cp_target;
+    gv_master_site = cp.cp_master_site;
+    gv_site = cp.cp_site;
+    gv_report = cp.cp_report;
+    gv_kappa = Guarantee_view.kappa_of_report cp.cp_report;
+    gv_valid = guarantee_valid cp.cp_handle;
+    gv_invalidations = invalidations cp.cp_handle;
+    gv_epoch_survival = cp.cp_survivals;
+  }
+
+let copy_view t ~source ~target =
+  Option.map entry_of_copy (Hashtbl.find_opt t.copies (source, target))
+
+let guarantee_view t =
+  List.map (fun key -> entry_of_copy (Hashtbl.find t.copies key)) t.copy_order
+
+let copy_qualifies ?slo t ~source ~target =
+  (* Router hot path: per routed read.  No entry record, no sorted
+     invalidation list — just the option/validity/survival probes. *)
+  match Hashtbl.find_opt t.copies (source, target) with
+  | None -> Error "undeclared"
+  | Some cp ->
+    Guarantee_view.qualify ?slo
+      ~kappa:(Guarantee_view.kappa_of_report cp.cp_report)
+      ~valid:(guarantee_valid cp.cp_handle)
+      ~metric_lost:(Guarantee_view.survivals_metric_lost cp.cp_survivals)
+      ()
+
+let note_epoch_survival t ~source ~target ~report survivals =
+  match Hashtbl.find_opt t.copies (source, target) with
+  | None -> ()
+  | Some cp ->
+    cp.cp_report <- report;
+    (* Only the most recent cutover: routing asks "did the *current*
+       epoch keep the guarantee", not for the full history (the Obs
+       gauges Evolution emits retain that). *)
+    cp.cp_survivals <- survivals
 
 let run t ~until = Sim.run ~until t.sim
 

@@ -152,11 +152,116 @@ type guarantee_handle
 
 val declare_guarantee :
   t -> sites:string list -> Guarantee.t -> guarantee_handle
-(** Track validity of a guarantee involving the given sites. *)
+(** Track validity of a guarantee involving the given sites.
+
+    Low-level registration.  For declared [constraint copy] directives
+    prefer {!declare_copies} + the {!Guarantee_view} facade: it bundles
+    the handle with the Derive report and epoch-survival state, so
+    callers don't poke handles directly. *)
 
 val guarantee_valid : guarantee_handle -> bool
 val guarantee_of : guarantee_handle -> Guarantee.t
 val invalidations : guarantee_handle -> (string * Msg.failure_kind) list
+
+(** The unified read-side guarantee record — one per declared copy
+    constraint, joining the three previously separate surfaces:
+    {!Derive.copy_guarantees} (static κ), the live {!guarantee_handle}
+    (§5 validity), and {!Evolution}'s survival classification (did the
+    current rule epoch keep the guarantee).  The read router consumes
+    exactly this record; [cmtool check]/[cmtool evolve] report from it. *)
+module Guarantee_view : sig
+  type survival = {
+    es_epoch : int;  (** epoch that took over at the cutover *)
+    es_guarantee : string;  (** {!Guarantee.name}: "(1) follows", … *)
+    es_status : string;  (** "kept" | "upgraded" | "lost" | "never" *)
+    es_reason : string option;  (** set for "lost"/"never" *)
+  }
+
+  type entry = {
+    gv_source : string;  (** master item base *)
+    gv_target : string;  (** copy item base *)
+    gv_master_site : string;
+    gv_site : string;  (** where the copy lives *)
+    gv_report : Derive.report;  (** all four §3.3.1 verdicts *)
+    gv_kappa : float option;  (** κ iff "(4) metric-follows" proved *)
+    gv_valid : bool;  (** live §5 validity of the metric guarantee *)
+    gv_invalidations : (string * Msg.failure_kind) list;
+    gv_epoch_survival : survival list;
+        (** most recent cutover's classification; [] before any *)
+  }
+
+  val metric_name : string
+  (** The survival-entry name of guarantee (4), ["(4) metric-follows"]. *)
+
+  val kappa_of_report : Derive.report -> float option
+  val blocking_reason : Derive.report -> string option
+  (** When all four guarantees are unprovable, the follows verdict's
+      reason — the GRT001 analysis condition. *)
+
+  val static :
+    interfaces:Cm_rule.Rule.t list ->
+    strategy:Cm_rule.Rule.t list ->
+    master_site:string ->
+    site:string ->
+    source:string ->
+    target:string ->
+    entry
+  (** Pure constructor for analysis contexts with no running system:
+      derives the report and presents a valid, survival-free entry. *)
+
+  val metric_lost : entry -> bool
+  (** The current epoch classified guarantee (4) as lost/never. *)
+
+  val qualifies : ?slo:float -> entry -> (float, string) result
+  (** Whether a read with staleness budget [slo] may be served from this
+      copy: κ must be proved, the current epoch must not have lost the
+      metric guarantee, the handle must be valid, and κ ≤ [slo]
+      {e inclusive} — a copy exactly at the bound qualifies, since
+      Derive's κ (sampling period included for Sampled channels) and the
+      SLO are both end-to-end seconds.  [Ok κ] on success; the [Error]
+      strings ["epoch-lost"], ["unprovable"], ["invalidated"],
+      ["over-slo"] are the router's skip-reason vocabulary, in that
+      precedence order — the epoch verdict outranks the κ probe because
+      an epoch that dropped the guarantee usually makes κ unprovable
+      too, and "epoch-lost" explains the transition. *)
+end
+
+val declare_copies :
+  ?interfaces:Cm_rule.Rule.t list ->
+  ?strategy:Cm_rule.Rule.t list ->
+  t ->
+  (string * string) list ->
+  unit
+(** Register [(source, target)] copy constraints (the parsed
+    [constraint copy] directives): derive each report from the currently
+    collected interface + strategy rules (overridable with [interfaces]
+    / [strategy], e.g. when extra rule files describe the running
+    program), locate master and copy sites, and declare the live
+    metric-guarantee handle over both.  Idempotent per pair; declaration
+    order is preserved by {!guarantee_view}. *)
+
+val copy_view :
+  t -> source:string -> target:string -> Guarantee_view.entry option
+
+val guarantee_view : t -> Guarantee_view.entry list
+(** Every declared copy, in declaration order, with live state. *)
+
+val copy_qualifies :
+  ?slo:float -> t -> source:string -> target:string -> (float, string) result
+(** {!Guarantee_view.qualifies} without materializing the entry — the
+    router's per-read probe ([Error "undeclared"] for unknown pairs). *)
+
+val note_epoch_survival :
+  t ->
+  source:string ->
+  target:string ->
+  report:Derive.report ->
+  Guarantee_view.survival list ->
+  unit
+(** Called by {!Evolution} at cutover: replace the copy's derived report
+    with the incoming epoch's and record its survival classification.
+    Unknown pairs are ignored (the constraint may not be declared on
+    this system). *)
 
 val run : t -> until:float -> unit
 

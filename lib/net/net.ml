@@ -198,6 +198,22 @@ let send t ~from_site ~to_site msg =
       end
     end
 
+let link_base_latency t ~from_site ~to_site =
+  if String.equal from_site to_site then 0.0
+  else
+    match Hashtbl.find_opt t.links (from_site, to_site) with
+    | Some l -> l.link_latency.base
+    | None -> t.default.base
+
+let reachable t ~from_site ~to_site =
+  (not (Hashtbl.mem t.down_sites from_site))
+  && (not (Hashtbl.mem t.down_sites to_site))
+  && (String.equal from_site to_site
+     ||
+     match Hashtbl.find_opt t.links (from_site, to_site) with
+     | Some l -> Sim.now t.sim >= l.down_until
+     | None -> true)
+
 let messages_sent t = t.sent
 
 let messages_between t ~from_site ~to_site =

@@ -123,6 +123,19 @@ val on_deliver :
 val on_duplicate : 'msg t -> (from_site:string -> to_site:string -> unit) -> unit
 (** Hook invoked when the fault model duplicates a message. *)
 
+val link_base_latency : 'msg t -> from_site:string -> to_site:string -> float
+(** The configured base latency of the directed link, jitter excluded —
+    the network default for links never overridden with {!set_latency},
+    [0.0] from a site to itself.  A pure cost query (used by the read
+    router's cheapest-replica comparison); it does not materialize the
+    link. *)
+
+val reachable : 'msg t -> from_site:string -> to_site:string -> bool
+(** Both endpoints up and the directed link outside any open partition
+    window at the current simulation time.  This is the router's
+    availability test: probabilistic loss does not count — a lossy link
+    is reachable, a partitioned or crashed one is not. *)
+
 val messages_sent : 'msg t -> int
 (** Send attempts, including ones that were then dropped. *)
 

@@ -1,0 +1,363 @@
+module Sim = Cm_sim.Sim
+module Net = Cm_net.Net
+module Item = Cm_rule.Item
+module System = Cm_core.System
+module Cmrid = Cm_core.Cmrid
+module Obs = Cm_core.Obs
+module Guarantee_view = System.Guarantee_view
+
+type outcome = Replica | Master | Forced_poll
+
+let outcome_to_string = function
+  | Replica -> "replica"
+  | Master -> "master"
+  | Forced_poll -> "forced_poll"
+
+type skip = { sk_target : string; sk_site : string; sk_reason : string }
+
+type decision = {
+  d_base : string;
+  d_client_site : string;
+  d_slo : float option;
+  d_outcome : outcome;
+  d_served_base : string;
+  d_served_site : string;
+  d_served_kappa : float;
+  d_latency : float;
+  d_skips : skip list;
+}
+
+type replica = { rep_target : string; rep_site : string }
+
+type t = {
+  system : System.t;
+  poll_penalty : float;
+  trace_spans : bool;
+  by_source : (string, replica list) Hashtbl.t;  (* declaration order *)
+  master_site : (string, string) Hashtbl.t;  (* source base -> site *)
+  mutable rev_bases : string list;  (* distinct sources, newest first *)
+  hooks : (decision -> unit) Queue.t;
+  mutable n_reads : int;
+  mutable n_replica : int;
+  mutable n_master : int;
+  mutable n_poll : int;
+}
+
+let create ?interfaces ?strategy ?(poll_penalty = 1.0) ?(trace_spans = false)
+    system ~constraints =
+  System.declare_copies ?interfaces ?strategy system constraints;
+  let locator = System.locator system in
+  let t =
+    {
+      system;
+      poll_penalty;
+      trace_spans;
+      by_source = Hashtbl.create 8;
+      master_site = Hashtbl.create 8;
+      rev_bases = [];
+      hooks = Queue.create ();
+      n_reads = 0;
+      n_replica = 0;
+      n_master = 0;
+      n_poll = 0;
+    }
+  in
+  List.iter
+    (fun (source, target) ->
+      let rep = { rep_target = target; rep_site = locator (Item.make target) } in
+      (match Hashtbl.find_opt t.by_source source with
+      | Some reps ->
+        if not (List.exists (fun r -> String.equal r.rep_target target) reps)
+        then Hashtbl.replace t.by_source source (reps @ [ rep ])
+      | None ->
+        Hashtbl.replace t.by_source source [ rep ];
+        Hashtbl.replace t.master_site source (locator (Item.make source));
+        t.rev_bases <- source :: t.rev_bases))
+    constraints;
+  t
+
+let of_cmrid ?interfaces ?strategy ?poll_penalty ?trace_spans system
+    (cmrid : Cmrid.t) =
+  create ?interfaces ?strategy ?poll_penalty ?trace_spans system
+    ~constraints:
+      (List.map
+         (fun (c : Cmrid.constraint_decl) -> (c.Cmrid.c_source, c.Cmrid.c_target))
+         cmrid.Cmrid.constraints)
+
+let system t = t.system
+let bases t = List.rev t.rev_bases
+
+let replicas t ~base =
+  match Hashtbl.find_opt t.by_source base with
+  | Some reps -> List.map (fun r -> (r.rep_target, r.rep_site)) reps
+  | None -> []
+
+let on_decision t hook = Queue.add hook t.hooks
+let reads t = t.n_reads
+
+let reads_by t = function
+  | Replica -> t.n_replica
+  | Master -> t.n_master
+  | Forced_poll -> t.n_poll
+
+(* Round-trip cost of reading across one directed link: request out,
+   value back.  Base latency only — routing must not consume the
+   simulation PRNG (jitter draws would make runs depend on read volume). *)
+let round_trip net ~from_site ~to_site =
+  2.0 *. Net.link_base_latency net ~from_site ~to_site
+
+let read ?within_kappa t ~client_site base =
+  let net = System.net t.system in
+  let master =
+    match Hashtbl.find_opt t.master_site base with
+    | Some site -> site
+    | None -> System.locator t.system (Item.make base)
+  in
+  let reps =
+    Option.value (Hashtbl.find_opt t.by_source base) ~default:[]
+  in
+  (* One pass over the catalog: collect skip reasons, keep the cheapest
+     qualifying copy (ties broken by site then base name, so the choice
+     is independent of catalog insertion order). *)
+  let skips = ref [] in
+  let best = ref None in
+  List.iter
+    (fun r ->
+      let skip reason =
+        skips :=
+          { sk_target = r.rep_target; sk_site = r.rep_site; sk_reason = reason }
+          :: !skips
+      in
+      match
+        System.copy_qualifies ?slo:within_kappa t.system ~source:base
+          ~target:r.rep_target
+      with
+      | Error reason -> skip reason
+      | Ok kappa ->
+        if not (Net.reachable net ~from_site:client_site ~to_site:r.rep_site)
+        then skip "unreachable"
+        else begin
+          let cost = round_trip net ~from_site:client_site ~to_site:r.rep_site in
+          let better =
+            match !best with
+            | None -> true
+            | Some (bc, br, _) ->
+              cost < bc
+              || (cost = bc
+                 &&
+                 let c = String.compare r.rep_site br.rep_site in
+                 c < 0 || (c = 0 && String.compare r.rep_target br.rep_target < 0))
+          in
+          if better then best := Some (cost, r, kappa)
+        end)
+    reps;
+  let outcome, served_base, served_site, served_kappa, latency =
+    match !best with
+    | Some (cost, r, kappa) -> (Replica, r.rep_target, r.rep_site, kappa, cost)
+    | None ->
+      if Net.reachable net ~from_site:client_site ~to_site:master then
+        ( Master,
+          base,
+          master,
+          0.0,
+          round_trip net ~from_site:client_site ~to_site:master )
+      else begin
+        (* Master partitioned away: force a synchronous poll through the
+           §3.1.1 read interface, relayed via the cheapest replica site
+           that can still reach the master.  With no such relay the
+           client polls directly and blocks across the partition — the
+           penalty stands in for that wait. *)
+        let relay = ref None in
+        List.iter
+          (fun r ->
+            if
+              Net.reachable net ~from_site:client_site ~to_site:r.rep_site
+              && Net.reachable net ~from_site:r.rep_site ~to_site:master
+            then begin
+              let cost =
+                round_trip net ~from_site:client_site ~to_site:r.rep_site
+                +. round_trip net ~from_site:r.rep_site ~to_site:master
+              in
+              let better =
+                match !relay with
+                | None -> true
+                | Some (bc, bs) ->
+                  cost < bc
+                  || (cost = bc && String.compare r.rep_site bs < 0)
+              in
+              if better then relay := Some (cost, r.rep_site)
+            end)
+          reps;
+        let cost =
+          match !relay with
+          | Some (c, _) -> t.poll_penalty +. c
+          | None ->
+            t.poll_penalty
+            +. round_trip net ~from_site:client_site ~to_site:master
+        in
+        (Forced_poll, base, master, 0.0, cost)
+      end
+  in
+  let decision =
+    {
+      d_base = base;
+      d_client_site = client_site;
+      d_slo = within_kappa;
+      d_outcome = outcome;
+      d_served_base = served_base;
+      d_served_site = served_site;
+      d_served_kappa = served_kappa;
+      d_latency = latency;
+      d_skips = List.rev !skips;
+    }
+  in
+  t.n_reads <- t.n_reads + 1;
+  (match outcome with
+  | Replica -> t.n_replica <- t.n_replica + 1
+  | Master -> t.n_master <- t.n_master + 1
+  | Forced_poll -> t.n_poll <- t.n_poll + 1);
+  let obs = System.obs t.system in
+  if Obs.enabled obs then begin
+    let olabel = outcome_to_string outcome in
+    Obs.incr obs "route_reads" ~labels:[ ("outcome", olabel) ];
+    Obs.observe obs "route_latency" ~labels:[ ("outcome", olabel) ] latency;
+    List.iter
+      (fun s ->
+        Obs.incr obs "route_replica_skips" ~labels:[ ("reason", s.sk_reason) ])
+      decision.d_skips;
+    if t.trace_spans then begin
+      let now = Sim.now (System.sim t.system) in
+      let id =
+        Obs.span obs ~name:"routed_read" ~at:now
+          ~labels:
+            [ ("base", base); ("client", client_site); ("outcome", olabel) ]
+      in
+      Obs.end_span obs ~id ~at:(now +. latency)
+    end
+  end;
+  Queue.iter (fun hook -> hook decision) t.hooks;
+  decision
+
+(* -- deterministic reports (cmtool route) -- *)
+
+let plan ?within_kappa t ~client_sites =
+  List.concat_map
+    (fun site ->
+      List.map (fun base -> read ?within_kappa t ~client_site:site base) (bases t))
+    client_sites
+
+let fg = Printf.sprintf "%g"
+
+let survival_summary (entry : Guarantee_view.entry) =
+  match entry.Guarantee_view.gv_epoch_survival with
+  | [] -> "-"
+  | s :: _ ->
+    let metric =
+      List.find_opt
+        (fun sv ->
+          String.equal sv.Guarantee_view.es_guarantee Guarantee_view.metric_name)
+        entry.Guarantee_view.gv_epoch_survival
+    in
+    let status =
+      match metric with
+      | Some sv -> sv.Guarantee_view.es_status
+      | None -> "-"
+    in
+    Printf.sprintf "epoch %d %s" s.Guarantee_view.es_epoch status
+
+let report_to_text ?slo t decisions =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "replica catalog:\n";
+  List.iter
+    (fun (e : Guarantee_view.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s copies %s: master %s, copy %s, kappa %s, %s, survival %s\n"
+           e.Guarantee_view.gv_target e.Guarantee_view.gv_source
+           e.Guarantee_view.gv_master_site e.Guarantee_view.gv_site
+           (match e.Guarantee_view.gv_kappa with
+           | Some k -> fg k
+           | None -> "unprovable")
+           (if e.Guarantee_view.gv_valid then "valid" else "invalidated")
+           (survival_summary e)))
+    (System.guarantee_view t.system);
+  Buffer.add_string buf
+    (match slo with
+    | Some s -> Printf.sprintf "routes (slo %s):\n" (fg s)
+    | None -> "routes (no slo):\n");
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s reads %s -> %s %s@%s (kappa %s, latency %s)\n"
+           d.d_client_site d.d_base
+           (outcome_to_string d.d_outcome)
+           d.d_served_base d.d_served_site (fg d.d_served_kappa)
+           (fg d.d_latency));
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "    skipped %s@%s: %s\n" s.sk_target s.sk_site
+               s.sk_reason))
+        d.d_skips)
+    decisions;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_to_json ?slo t decisions =
+  let catalog =
+    List.map
+      (fun (e : Guarantee_view.entry) ->
+        Printf.sprintf
+          "    { \"source\": \"%s\", \"target\": \"%s\", \"master_site\": \"%s\", \"site\": \"%s\", \"kappa\": %s, \"valid\": %b, \"survival\": \"%s\" }"
+          (json_escape e.Guarantee_view.gv_source)
+          (json_escape e.Guarantee_view.gv_target)
+          (json_escape e.Guarantee_view.gv_master_site)
+          (json_escape e.Guarantee_view.gv_site)
+          (match e.Guarantee_view.gv_kappa with
+          | Some k -> fg k
+          | None -> "null")
+          e.Guarantee_view.gv_valid
+          (json_escape (survival_summary e)))
+      (System.guarantee_view t.system)
+  in
+  let skips d =
+    List.map
+      (fun s ->
+        Printf.sprintf
+          "        { \"target\": \"%s\", \"site\": \"%s\", \"reason\": \"%s\" }"
+          (json_escape s.sk_target) (json_escape s.sk_site)
+          (json_escape s.sk_reason))
+      d.d_skips
+  in
+  let routes =
+    List.map
+      (fun d ->
+        Printf.sprintf
+          "    { \"client\": \"%s\", \"base\": \"%s\", \"outcome\": \"%s\", \"served_base\": \"%s\", \"served_site\": \"%s\", \"kappa\": %s, \"latency\": %s,\n      \"skips\": [%s] }"
+          (json_escape d.d_client_site) (json_escape d.d_base)
+          (outcome_to_string d.d_outcome)
+          (json_escape d.d_served_base)
+          (json_escape d.d_served_site)
+          (fg d.d_served_kappa) (fg d.d_latency)
+          (match skips d with
+          | [] -> ""
+          | ss -> "\n" ^ String.concat ",\n" ss ^ "\n      "))
+      decisions
+  in
+  Printf.sprintf
+    "{ \"slo\": %s,\n  \"catalog\": [\n%s\n  ],\n  \"routes\": [\n%s\n  ] }\n"
+    (match slo with Some s -> fg s | None -> "null")
+    (String.concat ",\n" catalog)
+    (String.concat ",\n" routes)

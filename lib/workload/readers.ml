@@ -1,0 +1,36 @@
+module Prng = Cm_util.Prng
+
+let open_loop sim ~rng ~clients ~rate_per_client ~until action =
+  if rate_per_client <= 0.0 then
+    invalid_arg "Readers.open_loop: rate_per_client must be positive";
+  let clients = List.filter (fun (_, n) -> n > 0) clients in
+  (* Cumulative population prefix sums: an arrival draws one uniform
+     integer over the whole population and binary-searches its site, so
+     the cost of a run is O(reads × log sites) — independent of the
+     population size, which is what lets E17 simulate 10⁵–10⁶ clients. *)
+  let sites = Array.of_list (List.map fst clients) in
+  let cumulative = Array.make (Array.length sites) 0 in
+  let total =
+    List.fold_left
+      (fun acc (i, (_, n)) ->
+        cumulative.(i) <- acc + n;
+        acc + n)
+      0
+      (List.mapi (fun i c -> (i, c)) clients)
+  in
+  if total = 0 then invalid_arg "Readers.open_loop: no clients";
+  let site_of draw =
+    (* First index whose cumulative count exceeds [draw]. *)
+    let lo = ref 0 and hi = ref (Array.length cumulative - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if draw < cumulative.(mid) then hi := mid else lo := mid + 1
+    done;
+    sites.(!lo)
+  in
+  (* Superposition of [total] independent Poisson client processes at
+     [rate_per_client] each = one Poisson process at the aggregate rate;
+     the per-arrival site draw recovers which client population fired. *)
+  let mean_interarrival = 1.0 /. (float_of_int total *. rate_per_client) in
+  Gen.poisson sim ~rng ~mean_interarrival ~until (fun () ->
+      action ~site:(site_of (Prng.int rng total)))

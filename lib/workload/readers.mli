@@ -1,0 +1,30 @@
+(** Open-loop read-heavy client populations.
+
+    The ROADMAP's "millions of users" north star needs read traffic at a
+    scale where simulating each client as its own process would swamp
+    the event heap.  This generator exploits the superposition property
+    of Poisson processes: [n] independent clients each issuing reads at
+    rate [λ] are statistically one Poisson source at rate [n·λ], and a
+    per-arrival weighted draw recovers {e which} site's population the
+    read came from.  Simulation cost is therefore proportional to the
+    number of {e reads}, not the number of {e clients} — E17 runs 10⁵–10⁶
+    simulated clients this way.
+
+    Open-loop means arrivals never wait for responses: load is offered
+    at the configured rate regardless of how slowly reads are served,
+    the standard client model for tail-latency measurement. *)
+
+val open_loop :
+  Cm_sim.Sim.t ->
+  rng:Cm_util.Prng.t ->
+  clients:(string * int) list ->
+  rate_per_client:float ->
+  until:float ->
+  (site:string -> unit) ->
+  unit
+(** [open_loop sim ~rng ~clients ~rate_per_client ~until action] drives
+    [action ~site] at aggregate Poisson arrivals until [until].
+    [clients] gives the population per client site (entries with
+    non-positive counts are ignored); each arrival's [site] is drawn
+    with probability proportional to that site's population.
+    @raise Invalid_argument on a non-positive rate or empty population. *)

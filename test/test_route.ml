@@ -1,0 +1,332 @@
+(* Tests for the constraint-aware read router (Cm_route.Route): the
+   qualification/fallback matrix (replica -> master -> forced poll), the
+   inclusive kappa <= SLO boundary — including a sampled channel whose
+   kappa carries the poll period in the same end-to-end seconds as the
+   SLO — replicas dropping out and re-qualifying across rule-epoch
+   churn, and byte-determinism of the cmtool route reports. *)
+
+module Net = Cm_net.Net
+module Sys_ = Cm_core.System
+module Shell = Cm_core.Shell
+module Msg = Cm_core.Msg
+module Interface = Cm_core.Interface
+module Strategy = Cm_core.Strategy
+module Evolution = Cm_core.Evolution
+module Route = Cm_route.Route
+module Payroll = Cm_workload.Payroll
+open Cm_rule
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" label m
+
+let outcome =
+  Alcotest.testable
+    (fun ppf o -> Format.pp_print_string ppf (Route.outcome_to_string o))
+    ( = )
+
+let skip_reasons d =
+  List.map (fun s -> (s.Route.sk_target, s.Route.sk_reason)) d.Route.d_skips
+
+(* -- a two-replica star --------------------------------------------------
+
+   Feed mastered at hub; CopyA at ra with kappa 5, CopyB at rb with
+   kappa 20 (kappa = notify delta 2 + propagation delta + write delta 1).
+   All links at the network default 0.05 s base, so a local replica
+   costs 0 and any remote read costs 0.1. *)
+
+let star_program =
+  String.concat "\n"
+    [
+      "nf: Ws(Feed(n), b) ->[2] N(Feed(n), b)";
+      "wa: WR(CopyA(n), b) ->[1] W(CopyA(n), b)";
+      "qa: Ws(CopyA(n), b) -> FALSE";
+      "pa: N(Feed(n), b) ->[2] WR(CopyA(n), b)";
+      "wb: WR(CopyB(n), b) ->[1] W(CopyB(n), b)";
+      "qb: Ws(CopyB(n), b) -> FALSE";
+      "pb: N(Feed(n), b) ->[17] WR(CopyB(n), b)";
+    ]
+
+let star_locator (item : Item.t) =
+  match item.Item.base with
+  | "Feed" -> "hub"
+  | "CopyA" -> "ra"
+  | "CopyB" -> "rb"
+  | b -> Alcotest.failf "unexpected base %s" b
+
+(* [keep] filters the program's rules (by id) before they are handed to
+   the router — dropping the quiet statements makes kappa unprovable. *)
+let star ?(seed = 7) ?(keep = fun _ -> true) () =
+  let rules = Parser.parse_rules star_program in
+  let rules = List.filter (fun r -> keep r.Rule.id) rules in
+  let interfaces, strategy =
+    List.partition (fun r -> Interface.classify r <> None) rules
+  in
+  let system = Sys_.create ~config:(Sys_.Config.seeded seed) star_locator in
+  let route =
+    Route.create ~interfaces ~strategy system
+      ~constraints:[ ("Feed", "CopyA"); ("Feed", "CopyB") ]
+  in
+  (system, route)
+
+(* -- qualification and replica selection -- *)
+
+let replica_local_and_cheapest () =
+  let _, route = star () in
+  (* Local copy wins at zero cost. *)
+  let d = Route.read route ~client_site:"ra" "Feed" in
+  Alcotest.check outcome "local replica" Route.Replica d.Route.d_outcome;
+  Alcotest.(check string) "served CopyA" "CopyA" d.Route.d_served_base;
+  Alcotest.(check (float 1e-9)) "kappa 5" 5.0 d.Route.d_served_kappa;
+  Alcotest.(check (float 1e-9)) "zero latency" 0.0 d.Route.d_latency;
+  (* Both qualify from rb: the local one is cheaper. *)
+  let d = Route.read route ~client_site:"rb" "Feed" in
+  Alcotest.(check string) "rb serves its own copy" "CopyB" d.Route.d_served_base;
+  (* From a third site both cost the same round trip: the site-name
+     tie-break picks ra deterministically. *)
+  let d = Route.read route ~client_site:"cx" "Feed" in
+  Alcotest.(check string) "tie broken by site" "CopyA" d.Route.d_served_base;
+  Alcotest.(check (float 1e-9)) "one round trip" 0.1 d.Route.d_latency
+
+let slo_filters_catalog () =
+  let _, route = star () in
+  (* SLO 10: CopyB (kappa 20) is over budget, CopyA still qualifies even
+     from rb — a stale-enough local copy is not served. *)
+  let d = Route.read ~within_kappa:10.0 route ~client_site:"rb" "Feed" in
+  Alcotest.check outcome "remote replica" Route.Replica d.Route.d_outcome;
+  Alcotest.(check string) "served CopyA" "CopyA" d.Route.d_served_base;
+  Alcotest.(check (list (pair string string)))
+    "CopyB skipped over-slo"
+    [ ("CopyB", "over-slo") ]
+    (skip_reasons d)
+
+let slo_boundary_is_inclusive () =
+  let _, route = star () in
+  (* kappa = SLO qualifies: both are end-to-end seconds. *)
+  let d = Route.read ~within_kappa:5.0 route ~client_site:"ra" "Feed" in
+  Alcotest.check outcome "kappa = slo serves replica" Route.Replica
+    d.Route.d_outcome;
+  Alcotest.(check (float 1e-9)) "kappa 5" 5.0 d.Route.d_served_kappa;
+  (* Just under the bound: nothing qualifies, fall back to the master. *)
+  let d = Route.read ~within_kappa:4.999 route ~client_site:"ra" "Feed" in
+  Alcotest.check outcome "below kappa falls back" Route.Master d.Route.d_outcome;
+  Alcotest.(check string) "master serves Feed" "Feed" d.Route.d_served_base;
+  Alcotest.(check string) "at hub" "hub" d.Route.d_served_site;
+  Alcotest.(check (float 1e-9)) "authoritative kappa" 0.0 d.Route.d_served_kappa;
+  Alcotest.(check (list (pair string string)))
+    "both copies over-slo"
+    [ ("CopyA", "over-slo"); ("CopyB", "over-slo") ]
+    (skip_reasons d)
+
+(* A sampled channel's kappa includes the poll period, in the same
+   seconds the SLO is expressed in — so a copy refreshed every 120 s
+   qualifies at SLO = kappa exactly and not one millisecond under. *)
+let sampled_kappa_same_units () =
+  let p =
+    Payroll.create
+      ~config:(Sys_.Config.seeded 1701)
+      ~employees:1 ~mode:Payroll.Read_only ()
+  in
+  Payroll.install_polling ~period:120.0 p;
+  let system = p.Payroll.system in
+  let nsw = Interface.no_spontaneous_write Payroll.target_pattern in
+  let route =
+    Route.create
+      ~interfaces:(Sys_.interface_rules system @ [ nsw ])
+      ~strategy:(Sys_.strategy_rules system)
+      system
+      ~constraints:[ ("Salary1", "Salary2") ]
+  in
+  let entry =
+    match Sys_.copy_view system ~source:"Salary1" ~target:"Salary2" with
+    | Some e -> e
+    | None -> Alcotest.fail "copy not declared"
+  in
+  let kappa =
+    match entry.Sys_.Guarantee_view.gv_kappa with
+    | Some k -> k
+    | None -> Alcotest.fail "sampled kappa unprovable"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "kappa (%g) includes the 120 s period" kappa)
+    true (kappa >= 120.0);
+  let d =
+    Route.read ~within_kappa:kappa route ~client_site:Payroll.site_b "Salary1"
+  in
+  Alcotest.check outcome "slo = kappa qualifies" Route.Replica d.Route.d_outcome;
+  let d =
+    Route.read
+      ~within_kappa:(kappa -. 0.001)
+      route ~client_site:Payroll.site_b "Salary1"
+  in
+  Alcotest.check outcome "slo just under kappa does not" Route.Master
+    d.Route.d_outcome
+
+(* -- fallback matrix -- *)
+
+let unprovable_falls_back_to_master () =
+  (* Without the no-spontaneous-write statements nothing is provable. *)
+  let _, route = star ~keep:(fun id -> id <> "qa" && id <> "qb") () in
+  let d = Route.read route ~client_site:"ra" "Feed" in
+  Alcotest.check outcome "master" Route.Master d.Route.d_outcome;
+  Alcotest.(check (list (pair string string)))
+    "both unprovable"
+    [ ("CopyA", "unprovable"); ("CopyB", "unprovable") ]
+    (skip_reasons d)
+
+let invalidated_copy_skipped () =
+  let system, route = star () in
+  let shell = Sys_.add_shell system ~site:"ra" in
+  Shell.report_failure shell Msg.Metric;
+  let d = Route.read route ~client_site:"ra" "Feed" in
+  Alcotest.check outcome "other replica serves" Route.Replica d.Route.d_outcome;
+  Alcotest.(check string) "served CopyB" "CopyB" d.Route.d_served_base;
+  Alcotest.(check (list (pair string string)))
+    "CopyA invalidated"
+    [ ("CopyA", "invalidated") ]
+    (skip_reasons d);
+  let entry =
+    match Sys_.copy_view system ~source:"Feed" ~target:"CopyA" with
+    | Some e -> e
+    | None -> Alcotest.fail "copy not declared"
+  in
+  Alcotest.(check bool) "view shows invalid" false
+    entry.Sys_.Guarantee_view.gv_valid
+
+let partitioned_master_forces_poll () =
+  let system, route = star () in
+  let net = Sys_.net system in
+  Net.partition net ~from_site:"ra" ~to_site:"hub" ~until:1e9;
+  (* SLO 1: no copy qualifies; the master is unreachable from ra; the
+     poll is relayed via rb, the only replica site that still reaches
+     the hub: penalty 1.0 + rt(ra,rb) 0.1 + rt(rb,hub) 0.1. *)
+  let d = Route.read ~within_kappa:1.0 route ~client_site:"ra" "Feed" in
+  Alcotest.check outcome "forced poll" Route.Forced_poll d.Route.d_outcome;
+  Alcotest.(check string) "answered by the master" "Feed" d.Route.d_served_base;
+  Alcotest.(check (float 1e-9)) "authoritative kappa" 0.0 d.Route.d_served_kappa;
+  Alcotest.(check (float 1e-9)) "penalty + relay trips" 1.2 d.Route.d_latency;
+  (* From rb the master is still reachable: plain master fallback. *)
+  let d = Route.read ~within_kappa:1.0 route ~client_site:"rb" "Feed" in
+  Alcotest.check outcome "master from rb" Route.Master d.Route.d_outcome
+
+(* -- epoch churn: a replica loses its guarantee, then wins it back -- *)
+
+let epoch_churn_requalifies () =
+  let p = Payroll.create ~config:(Sys_.Config.seeded 1702) ~employees:1 () in
+  Payroll.install_propagation p;
+  let system = p.Payroll.system in
+  let nsw = Interface.no_spontaneous_write Payroll.target_pattern in
+  let interfaces = Sys_.interface_rules system @ [ nsw ] in
+  let route =
+    Route.create ~interfaces
+      ~strategy:(Sys_.strategy_rules system)
+      system
+      ~constraints:[ ("Salary1", "Salary2") ]
+  in
+  let read () = Route.read route ~client_site:Payroll.site_b "Salary1" in
+  let d = read () in
+  Alcotest.check outcome "epoch 0 serves the replica" Route.Replica
+    d.Route.d_outcome;
+  Alcotest.(check (float 1e-9)) "kappa 11" 11.0 d.Route.d_served_kappa;
+  let evo =
+    Evolution.create ~constraints:[ ("Salary1", "Salary2") ] ~interfaces system
+  in
+  (* Epoch 1: an empty program — nothing propagates, the metric
+     guarantee is lost, the router must stop serving the copy. *)
+  let noop =
+    {
+      Strategy.strategy_name = "noop";
+      description = "no propagation";
+      rules = [];
+      aux_init = [];
+    }
+  in
+  ignore (ok_or_fail "propose noop" (Evolution.propose evo noop));
+  ignore (ok_or_fail "cutover noop" (Evolution.cutover evo));
+  ok_or_fail "retire 0" (Evolution.retire evo ~epoch:0);
+  let d = read () in
+  Alcotest.check outcome "lost guarantee falls back" Route.Master
+    d.Route.d_outcome;
+  Alcotest.(check (list (pair string string)))
+    "skipped epoch-lost"
+    [ ("Salary2", "epoch-lost") ]
+    (skip_reasons d);
+  (* Epoch 2: propagation reinstated — the copy re-qualifies. *)
+  let v2 =
+    Strategy.propagate ~prefix:"v2" ~delta:5.0 ~source:Payroll.source_pattern
+      ~target:Payroll.target_pattern ()
+  in
+  ignore (ok_or_fail "propose v2" (Evolution.propose evo v2));
+  ignore (ok_or_fail "cutover v2" (Evolution.cutover evo));
+  ok_or_fail "retire 1" (Evolution.retire evo ~epoch:1);
+  let d = read () in
+  Alcotest.check outcome "re-qualified" Route.Replica d.Route.d_outcome;
+  Alcotest.(check (float 1e-9)) "kappa restored" 11.0 d.Route.d_served_kappa
+
+(* -- deterministic reports -- *)
+
+let reports_are_deterministic () =
+  let client_sites = [ "hub"; "ra"; "rb" ] in
+  let render () =
+    let _, route = star () in
+    let decisions = Route.plan ~within_kappa:10.0 route ~client_sites in
+    ( Route.report_to_text ~slo:10.0 route decisions,
+      Route.report_to_json ~slo:10.0 route decisions )
+  in
+  let text1, json1 = render () in
+  let text2, json2 = render () in
+  Alcotest.(check string) "text byte-identical" text1 text2;
+  Alcotest.(check string) "json byte-identical" json1 json2;
+  (* And re-planning on the same router is stable too. *)
+  let _, route = star () in
+  let d1 = Route.plan ~within_kappa:10.0 route ~client_sites in
+  let d2 = Route.plan ~within_kappa:10.0 route ~client_sites in
+  Alcotest.(check string) "replan identical"
+    (Route.report_to_json ~slo:10.0 route d1)
+    (Route.report_to_json ~slo:10.0 route d2)
+
+let counters_track_outcomes () =
+  let system, route = star () in
+  ignore (Route.read route ~client_site:"ra" "Feed");
+  ignore (Route.read ~within_kappa:1.0 route ~client_site:"ra" "Feed");
+  Net.partition (Sys_.net system) ~from_site:"ra" ~to_site:"hub" ~until:1e9;
+  ignore (Route.read ~within_kappa:1.0 route ~client_site:"ra" "Feed");
+  Alcotest.(check int) "reads" 3 (Route.reads route);
+  Alcotest.(check int) "replica" 1 (Route.reads_by route Route.Replica);
+  Alcotest.(check int) "master" 1 (Route.reads_by route Route.Master);
+  Alcotest.(check int) "poll" 1 (Route.reads_by route Route.Forced_poll)
+
+let () =
+  Alcotest.run "cm_route"
+    [
+      ( "qualification",
+        [
+          Alcotest.test_case "local + cheapest replica" `Quick
+            replica_local_and_cheapest;
+          Alcotest.test_case "slo filters catalog" `Quick slo_filters_catalog;
+          Alcotest.test_case "kappa = slo is inclusive" `Quick
+            slo_boundary_is_inclusive;
+          Alcotest.test_case "sampled kappa same units" `Quick
+            sampled_kappa_same_units;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "unprovable -> master" `Quick
+            unprovable_falls_back_to_master;
+          Alcotest.test_case "invalidated copy skipped" `Quick
+            invalidated_copy_skipped;
+          Alcotest.test_case "partitioned master -> forced poll" `Quick
+            partitioned_master_forces_poll;
+          Alcotest.test_case "counters" `Quick counters_track_outcomes;
+        ] );
+      ( "epoch churn",
+        [
+          Alcotest.test_case "lost then re-qualified" `Quick
+            epoch_churn_requalifies;
+        ] );
+      ( "reports",
+        [
+          Alcotest.test_case "byte-deterministic" `Quick
+            reports_are_deterministic;
+        ] );
+    ]

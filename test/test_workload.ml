@@ -43,6 +43,58 @@ let gen_random_walk () =
       (next <> 100 && abs (next - 100) <= 5)
   done
 
+(* Open-loop population: arrivals come only from populated sites, in
+   proportion to population, and a re-run at the same seeds reproduces
+   the exact same draw sequence. *)
+let readers_open_loop () =
+  let run () =
+    let sim = Cm_sim.Sim.create ~seed:4 () in
+    let rng = Cm_util.Prng.create ~seed:5 in
+    let counts = Hashtbl.create 4 in
+    Readers.open_loop sim ~rng
+      ~clients:[ ("a", 9_000); ("b", 1_000); ("c", 0) ]
+      ~rate_per_client:0.001 ~until:1000.0 (fun ~site ->
+        Hashtbl.replace counts site
+          (1 + Option.value (Hashtbl.find_opt counts site) ~default:0));
+    Cm_sim.Sim.run sim;
+    counts
+  in
+  let counts = run () in
+  let n site = Option.value (Hashtbl.find_opt counts site) ~default:0 in
+  (* 10^4 clients at 10^-3 reads/s over 10^3 s: ~10^4 arrivals. *)
+  let total = n "a" + n "b" in
+  Alcotest.(check bool)
+    (Printf.sprintf "total plausible (%d)" total)
+    true
+    (total > 8_000 && total < 12_000);
+  Alcotest.(check int) "empty population never drawn" 0 (n "c");
+  Alcotest.(check bool)
+    (Printf.sprintf "draws follow population (a=%d b=%d)" (n "a") (n "b"))
+    true
+    (n "a" > 5 * n "b");
+  let counts' = run () in
+  Alcotest.(check int) "deterministic (a)" (n "a")
+    (Option.value (Hashtbl.find_opt counts' "a") ~default:0);
+  Alcotest.(check int) "deterministic (b)" (n "b")
+    (Option.value (Hashtbl.find_opt counts' "b") ~default:0)
+
+let readers_open_loop_rejects () =
+  let sim = Cm_sim.Sim.create ~seed:4 () in
+  let rng = Cm_util.Prng.create ~seed:5 in
+  let raises f =
+    match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty population" true
+    (raises (fun () ->
+         Readers.open_loop sim ~rng ~clients:[ ("a", 0) ] ~rate_per_client:1.0
+           ~until:1.0 (fun ~site:_ -> ())));
+  Alcotest.(check bool) "non-positive rate" true
+    (raises (fun () ->
+         Readers.open_loop sim ~rng ~clients:[ ("a", 1) ] ~rate_per_client:0.0
+           ~until:1.0 (fun ~site:_ -> ())))
+
 (* ---- payroll ---- *)
 
 let payroll_propagation () =
@@ -342,6 +394,8 @@ let () =
           Alcotest.test_case "poisson" `Quick gen_poisson_counts;
           Alcotest.test_case "fixed" `Quick gen_fixed_counts;
           Alcotest.test_case "random walk" `Quick gen_random_walk;
+          Alcotest.test_case "open-loop readers" `Quick readers_open_loop;
+          Alcotest.test_case "open-loop rejects" `Quick readers_open_loop_rejects;
         ] );
       ( "payroll",
         [
