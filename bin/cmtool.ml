@@ -320,6 +320,7 @@ let evolve_cmd_run config_file proposed_file rule_files json deny_warnings
             let sim = Cm_core.System.sim system in
             let evo =
               Cm_core.Evolution.create ~constraints
+                ~required:(Cm_core.Cmrid.required_constraints config)
                 ~interfaces:interfaces_before system
             in
             let strategy =
@@ -350,7 +351,19 @@ let evolve_cmd_run config_file proposed_file rule_files json deny_warnings
                 (Cm_core.Evolution.retirements evo)
                 (String.concat ", "
                    (List.map string_of_int (Cm_core.Evolution.draining evo)))
-                (Cm_core.Evolution.stale_rejections evo)
+                (Cm_core.Evolution.stale_rejections evo);
+              List.iter
+                (fun (rb : Cm_core.Evolution.rollback) ->
+                  Printf.printf
+                    "  t=%.2f  ROLLED BACK epoch %d -> %d (via %d): required \
+                     guarantee(s) lost: %s\n"
+                    rb.Cm_core.Evolution.rb_at rb.Cm_core.Evolution.rb_from
+                    rb.Cm_core.Evolution.rb_to rb.Cm_core.Evolution.rb_via
+                    (String.concat ", "
+                       (List.map
+                          (fun (s, tg, g) -> Printf.sprintf "%s->%s %s" s tg g)
+                          rb.Cm_core.Evolution.rb_lost)))
+                (Cm_core.Evolution.rollbacks evo)
             end;
             0
           end
@@ -665,7 +678,7 @@ let faults_cmd =
 (* ---- chaos ---- *)
 
 let chaos_cmd_run seed events crashes crash_min crash_max workload durability
-    churn no_check =
+    churn heal no_check =
   let module Chaos = Cm_chaos.Chaos in
   let chaos_workload =
     match Chaos.workload_of_string workload with
@@ -678,6 +691,10 @@ let chaos_cmd_run seed events crashes crash_min crash_max workload durability
     Printf.eprintf "--churn is only defined for the payroll workload\n";
     exit 2
   end;
+  if heal && chaos_workload <> Chaos.Payroll then begin
+    Printf.eprintf "--heal is only defined for the payroll workload\n";
+    exit 2
+  end;
   let durability =
     match Cm_core.Journal.durability_of_string durability with
     | Some d -> d
@@ -688,21 +705,28 @@ let chaos_cmd_run seed events crashes crash_min crash_max workload durability
   in
   if not (preflight ~label:workload ~no_check chaos_workload) then 1
   else begin
-    let report =
-      Chaos.run
-        {
-          Chaos.seed;
-          events;
-          crashes;
-          crash_min_len = crash_min;
-          crash_max_len = crash_max;
-          durability;
-          chaos_workload;
-          churn;
-        }
+    let spec =
+      {
+        Chaos.seed;
+        events;
+        crashes;
+        crash_min_len = crash_min;
+        crash_max_len = crash_max;
+        durability;
+        chaos_workload;
+        churn;
+      }
     in
-    print_string (Chaos.report_to_string report);
-    if Chaos.passed report then 0 else 1
+    if heal then begin
+      let report = Chaos.run_heal spec in
+      print_string (Chaos.heal_report_to_string report);
+      if Chaos.heal_passed report then 0 else 1
+    end
+    else begin
+      let report = Chaos.run spec in
+      print_string (Chaos.report_to_string report);
+      if Chaos.passed report then 0 else 1
+    end
   end
 
 let chaos_cmd =
@@ -745,6 +769,17 @@ let chaos_cmd =
                    retires cleanly and that guarantees proved under all epochs \
                    hold on the observed timeline")
   in
+  let heal =
+    Arg.(value & flag
+         & info [ "heal" ]
+             ~doc:"Run the self-healing schedule instead: silent-drop windows \
+                   on the notify channel plus one bad rule rollout, under \
+                   streaming guarantee monitors.  Checks that staleness is \
+                   detected within kappa + one tick, no read is served from a \
+                   stale copy, the bad cutover auto-rolls back (journaled), \
+                   and every quarantined copy probes back to service — \
+                   payroll only")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Derive a randomized crash/loss/partition schedule from the seed, \
@@ -753,7 +788,7 @@ let chaos_cmd =
              duplicated.  Output is byte-identical for identical arguments; \
              exits non-zero if any invariant fails")
     Term.(const chaos_cmd_run $ seed $ events $ crashes $ crash_min $ crash_max
-          $ workload $ durability $ churn $ no_check_arg)
+          $ workload $ durability $ churn $ heal $ no_check_arg)
 
 (* ---- stats / spans ---- *)
 

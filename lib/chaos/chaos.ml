@@ -10,8 +10,13 @@ module Guarantee = Cm_core.Guarantee
 module Evolution = Cm_core.Evolution
 module Strategy = Cm_core.Strategy
 module Prng = Cm_util.Prng
+module Monitor = Cm_core.Monitor
+module Tr_rel = Cm_core.Tr_relational
+module Health = Cm_sources.Health
+module Route = Cm_route.Route
 module Pw = Cm_workload.Payroll
 module Bw = Cm_workload.Bank
+module Readers = Cm_workload.Readers
 
 type workload = Payroll | Bank
 
@@ -107,14 +112,18 @@ let employees = [| "e1"; "e2"; "e3"; "e4"; "e5" |]
 
 (* Master stream is split once per concern, in a fixed order, so the op
    stream never shifts when the fault generator draws more or less.  The
-   churn stream splits last for the same reason: a spec with churn = 0
-   derives the exact ops and faults it did before churn existed. *)
+   churn stream splits after faults for the same reason: a spec with
+   churn = 0 derives the exact ops and faults it did before churn
+   existed.  The heal stream (silent-drop windows, bad cutover, reader
+   traffic) splits last, so pre-heal specs keep their exact schedules
+   and reports. *)
 let streams spec =
   let master = Prng.create ~seed:spec.seed in
   let ops = Prng.split master in
   let faults = Prng.split master in
   let churn = Prng.split master in
-  (ops, faults, churn)
+  let heal = Prng.split master in
+  (ops, faults, churn, heal)
 
 let derive_ops spec rng =
   let t = ref 5.0 in
@@ -213,12 +222,12 @@ let derive_churn spec rng ~inject_end =
     end
 
 let schedule spec =
-  let ops_rng, fault_rng, _ = streams spec in
+  let ops_rng, fault_rng, _, _ = streams spec in
   let _, inject_end = derive_ops spec ops_rng in
   derive_faults spec fault_rng ~inject_end ~sites:(sites spec.chaos_workload)
 
 let churn_schedule spec =
-  let ops_rng, _, churn_rng = streams spec in
+  let ops_rng, _, churn_rng, _ = streams spec in
   let _, inject_end = derive_ops spec ops_rng in
   derive_churn spec churn_rng ~inject_end
 
@@ -390,7 +399,7 @@ let run_payroll spec ~faulty =
       (Guarantee.Follows
          { Guarantee.leader = Pw.source_item "e1"; follower = Pw.target_item "e1" })
   in
-  let ops_rng, fault_rng, churn_rng = streams spec in
+  let ops_rng, fault_rng, churn_rng, _ = streams spec in
   let ops, inject_end = derive_ops spec ops_rng in
   let faults =
     derive_faults spec fault_rng ~inject_end ~sites:(sites Payroll)
@@ -509,7 +518,7 @@ let run_bank spec ~faulty =
     Bw.create ~config:(chaos_config spec) ~policy:Cm_core.Demarcation.Conservative ()
   in
   let tally = count_notices [ b.Bw.shell_a; b.Bw.shell_b ] in
-  let ops_rng, fault_rng, _ = streams spec in
+  let ops_rng, fault_rng, _, _ = streams spec in
   let ops, inject_end = derive_ops spec ops_rng in
   let faults = derive_faults spec fault_rng ~inject_end ~sites:(sites Bank) in
   let sim = Sys_.sim b.Bw.system in
@@ -589,7 +598,7 @@ let check_invariants spec ~churns ~oracle ~chaos =
      other fault keeps the full obligations: cross-site fires are
      journaled and requeued, so crashes elsewhere must lose nothing. *)
   let poll_crash_overlap =
-    let ops_rng, _, _ = streams spec in
+    let ops_rng, _, _, _ = streams spec in
     let _, inject_end = derive_ops spec ops_rng in
     let faults = schedule spec in
     let horizon = horizon_of ~inject_end faults in
@@ -808,4 +817,359 @@ let report_to_string r =
       line "  %s %s — %s" (if i.ok then "ok  " else "FAIL") i.inv_name i.detail)
     r.invariants;
   line "verdict: %s" (if passed r then "PASS" else "FAIL");
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Self-healing (--heal): silent drops, a bad rollout, live monitors   *)
+(* ------------------------------------------------------------------ *)
+
+(* A §5 Silent_drop window on the source translator: writes keep landing
+   in the ground-truth trace, but the notifications that would propagate
+   them die without any failure notice.  The post-hoc fold only sees the
+   damage at the end of the run; the streaming staleness verdict must
+   see it within κ plus one monitor tick. *)
+type drop_window = { dw_at : float; dw_until : float }
+
+type heal_report = {
+  h_spec : spec;
+  h_drops : drop_window list;
+  h_bad_cutover_at : float;
+  h_flush_at : float;
+  h_horizon : float;
+  h_kappa : float;
+  h_reads : int;
+  h_replica_reads : int;
+  h_master_reads : int;
+  h_poll_reads : int;
+  h_stale_serves : int;
+  h_quarantines : int;
+  h_probes : int;
+  h_readmissions : int;
+  h_stale_onsets : float list;
+  h_stream_violations : int;
+  h_rollbacks : int;
+  h_rollback_journaled : bool;
+  h_final_epoch : int;
+  h_fold_mismatches : string list;
+  h_invariants : invariant list;
+}
+
+(* Windows are long relative to κ (~10 s for the payroll program) so a
+   write dropped early in a window is guaranteed to age out of the κ
+   horizon before the window lifts — each window should produce a real
+   staleness onset, not just a near miss. *)
+let derive_drops spec rng ~inject_end =
+  let n = 2 + (spec.events / 200) in
+  let slot = inject_end /. float_of_int n in
+  List.init n (fun i ->
+      let s = float_of_int i *. slot in
+      let hi = Float.min 45.0 (0.7 *. slot) in
+      let dur = Prng.uniform_in rng ~lo:(Float.min 20.0 (0.5 *. hi)) ~hi in
+      let at = s +. Prng.uniform_in rng ~lo:0.0 ~hi:(slot -. dur) in
+      { dw_at = at; dw_until = at +. dur })
+
+(* Drops first, then the bad-cutover instant, so neither draw shifts the
+   other; the reader arrivals consume the same stream lazily during the
+   run, after both up-front draws. *)
+let heal_schedule spec =
+  let ops_rng, _, _, heal_rng = streams spec in
+  let _, inject_end = derive_ops spec ops_rng in
+  let drops = derive_drops spec heal_rng ~inject_end in
+  let bad_at =
+    Prng.uniform_in heal_rng ~lo:(0.3 *. inject_end) ~hi:(0.7 *. inject_end)
+  in
+  (drops, bad_at)
+
+let run_heal spec =
+  if spec.chaos_workload <> Payroll then
+    invalid_arg "Chaos.run_heal: heal schedules are defined over the payroll workload";
+  let config = Sys_.Config.with_monitor true (chaos_config spec) in
+  let p = Pw.create ~config ~employees:(Array.length employees) () in
+  Pw.install_propagation p;
+  let sim = Sys_.sim p.Pw.system in
+  let monitor =
+    match Sys_.monitor p.Pw.system with
+    | Some m -> m
+    | None -> failwith "Chaos.run_heal: monitor not enabled"
+  in
+  (* Same augmentation as run_payroll: the op stream only writes site A,
+     so declaring no-spontaneous-write on the target is true by
+     construction and is what lets Derive prove a κ at all. *)
+  let interfaces =
+    Sys_.interface_rules p.Pw.system
+    @ [ Cm_core.Interface.no_spontaneous_write Pw.target_pattern ]
+  in
+  let route =
+    Route.create ~interfaces p.Pw.system ~constraints:[ ("Salary1", "Salary2") ]
+  in
+  Monitor.note_initial monitor p.Pw.initial;
+  let kappa =
+    match Sys_.copy_qualifies p.Pw.system ~source:"Salary1" ~target:"Salary2" with
+    | Ok k -> k
+    | Error e -> failwith ("Chaos.run_heal: copy does not qualify: " ^ e)
+  in
+  let evo =
+    Evolution.create
+      ~constraints:[ ("Salary1", "Salary2") ]
+      ~required:[ ("Salary1", "Salary2") ]
+      ~interfaces p.Pw.system
+  in
+  let ops_rng, _, _, heal_rng = streams spec in
+  let ops, inject_end = derive_ops spec ops_rng in
+  let drops = derive_drops spec heal_rng ~inject_end in
+  let bad_at =
+    Prng.uniform_in heal_rng ~lo:(0.3 *. inject_end) ~hi:(0.7 *. inject_end)
+  in
+  List.iter
+    (fun op ->
+      Pw.schedule_update p ~at:op.op_at ~emp:employees.(op.op_slot)
+        ~salary:op.op_value)
+    ops;
+  let health = Tr_rel.health p.Pw.tr_a in
+  List.iter
+    (fun w ->
+      Sim.schedule_at sim w.dw_at (fun () -> Health.set health Health.Silent_drop);
+      Sim.schedule_at sim w.dw_until (fun () -> Health.set health Health.Healthy))
+    drops;
+  (* The bad rollout: an empty program has no propagation chain to the
+     copy, so Derive classifies every guarantee of the required pair as
+     Lost and Evolution must roll the cutover back on the spot. *)
+  let bad_strategy =
+    {
+      Strategy.strategy_name = "drop-propagation";
+      description = "bad rollout: empty program, loses every guarantee";
+      rules = [];
+      aux_init = [];
+    }
+  in
+  Sim.schedule_at sim bad_at (fun () ->
+      match Evolution.evolve ~quiesce:false evo bad_strategy with
+      | Ok _ -> ()
+      | Error e -> failwith ("Chaos: bad cutover failed: " ^ e));
+  (* Flush: one fresh value per employee after the last drop window, so
+     every copy converges and every quarantine can probe back to
+     service.  Values sit outside the op range (1000–9999): a same-value
+     write takes nothing and fires no notification, so a PRNG-drawn
+     flush could silently leave a copy stale forever. *)
+  let flush_at =
+    List.fold_left (fun acc w -> Float.max acc w.dw_until) inject_end drops
+    +. 10.0
+  in
+  Array.iteri
+    (fun idx emp ->
+      Pw.schedule_update p
+        ~at:(flush_at +. (0.5 *. float_of_int idx))
+        ~emp ~salary:(20000 + idx))
+    employees;
+  let horizon = flush_at +. 60.0 in
+  Sim.schedule_at sim (horizon -. 30.0) (fun () ->
+      List.iter
+        (fun epoch ->
+          match Evolution.retire evo ~epoch with
+          | Ok () -> ()
+          | Error e -> failwith ("Chaos: heal retire failed: " ^ e))
+        (Evolution.draining evo));
+  (* Audits.  The router already refuses to serve a copy whose monitor
+     reports it stale (quarantine plus a per-read re-check), so the
+     stale-serve counter is 0 by construction — it is the tripwire that
+     says so from outside the router. *)
+  let stale_serves = ref 0 in
+  Route.on_decision route (fun d ->
+      match d.Route.d_outcome with
+      | Route.Replica ->
+        if
+          Monitor.copy_stale monitor ~source:d.Route.d_base
+            ~target:d.Route.d_served_base
+        then incr stale_serves
+      | Route.Master | Route.Forced_poll -> ());
+  let onsets = ref [] in
+  Monitor.on_staleness monitor (fun ~source:_ ~target:_ ~at ~stale ->
+      if stale then onsets := at :: !onsets);
+  let stream_violations = ref 0 in
+  Monitor.on_violation monitor (fun _ -> incr stream_violations);
+  Readers.open_loop sim ~rng:heal_rng
+    ~clients:[ (Pw.site_a, 20); (Pw.site_b, 30) ]
+    ~rate_per_client:0.02 ~until:horizon
+    (fun ~site -> ignore (Route.read route ~client_site:site "Salary1"));
+  (* One deterministic sweep near the horizon: even if the Poisson tail
+     is quiet, a read considers (and so probes) every copy after the
+     flush has landed. *)
+  Sim.schedule_at sim (horizon -. 1.0) (fun () ->
+      ignore (Route.plan route ~client_sites:[ Pw.site_b ]));
+  Sys_.run p.Pw.system ~until:horizon;
+  (* Post-run audits — live verdicts first, then finalize for the
+     streaming-vs-fold comparison (finalize is one-shot). *)
+  let copies_fresh =
+    not (Monitor.copy_stale monitor ~source:"Salary1" ~target:"Salary2")
+  in
+  let q_final = Route.quarantined route in
+  let rollbacks = Evolution.rollbacks evo in
+  let requalifies =
+    match Sys_.copy_qualifies p.Pw.system ~source:"Salary1" ~target:"Salary2" with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  let rollback_journaled =
+    match Sys_.journals p.Pw.system with
+    | None -> true  (* durability None: nothing to check *)
+    | Some _ ->
+      List.for_all
+        (fun site ->
+          match Sys_.journal p.Pw.system ~site with
+          | None -> true
+          | Some j ->
+            List.exists
+              (function Journal.Epoch_rollback _ -> true | _ -> false)
+              (Journal.records j))
+        [ Pw.site_a; Pw.site_b ]
+  in
+  Monitor.finalize monitor ~horizon;
+  let fold_mismatches =
+    List.filter_map
+      (fun (g, v) ->
+        let rep = Sys_.check_guarantee ~initial:p.Pw.initial p.Pw.system g in
+        if
+          Bool.equal v.Monitor.v_holds rep.Guarantee.holds
+          && v.Monitor.v_points = rep.Guarantee.checked_points
+        then None
+        else
+          Some
+            (Printf.sprintf
+               "%s: stream holds=%b points=%d, fold holds=%b points=%d"
+               (Guarantee.to_string g) v.Monitor.v_holds v.Monitor.v_points
+               rep.Guarantee.holds rep.Guarantee.checked_points))
+      (Monitor.family_verdicts monitor ~source:"Salary1" ~target:"Salary2")
+  in
+  let pending, _, _, _, _, _, _ = transport_stats p.Pw.system in
+  (* A window is only obliged to produce a staleness onset when some
+     write was dropped early enough to age out of the κ horizon before
+     the window lifts; the +2.0 covers the 1.0 s monitor tick plus
+     scheduling slack.  The bound check is the remediation-latency
+     contract: every onset the monitor reports must be attributable to a
+     drop window, detected within κ + one tick of the window's end. *)
+  let expected_onset =
+    List.exists
+      (fun w ->
+        List.exists
+          (fun op -> op.op_at > w.dw_at && op.op_at +. kappa +. 2.0 < w.dw_until)
+          ops)
+      drops
+  in
+  let out_of_bound =
+    List.filter
+      (fun t ->
+        not
+          (List.exists
+             (fun w -> t >= w.dw_at && t <= w.dw_until +. kappa +. 2.0)
+             drops))
+      !onsets
+  in
+  let quarantines = Route.quarantines route in
+  let inv name ok detail = { inv_name = name; ok; detail } in
+  let invariants =
+    [
+      inv "no-stale-serve" (!stale_serves = 0)
+        (Printf.sprintf
+           "%d reads served from a copy its monitor reported stale (want 0)"
+           !stale_serves);
+      inv "silent-drop-detected"
+        ((not expected_onset) || (List.length !onsets >= 1 && quarantines >= 1))
+        (if expected_onset then
+           Printf.sprintf
+             "%d staleness onsets, %d quarantines for %d silent-drop windows"
+             (List.length !onsets) quarantines (List.length drops)
+         else
+           "no window held a dropped write past the κ horizon; nothing to detect");
+      inv "staleness-detected-within-bound" (out_of_bound = [])
+        (match out_of_bound with
+        | [] ->
+          Printf.sprintf
+            "every onset within [window start, window end + κ(%.2f) + tick + 1.0]"
+            kappa
+        | t :: _ ->
+          Printf.sprintf "onset at %.2f is outside every drop window's bound" t);
+      inv "required-rollback"
+        (List.length rollbacks = 1 && rollback_journaled && requalifies)
+        (Printf.sprintf
+           "%d rollbacks (want 1: the bad rollout), journaled=%b, copy \
+            qualifies again=%b"
+           (List.length rollbacks) rollback_journaled requalifies);
+      inv "reads-fail-over-to-master"
+        (quarantines = 0 || Route.reads_by route Route.Master >= 1)
+        (Printf.sprintf "%d master reads while copies were quarantined"
+           (Route.reads_by route Route.Master));
+      inv "quarantine-cleared" (q_final = [])
+        (Printf.sprintf "%d copies still quarantined at the horizon (want 0)"
+           (List.length q_final));
+      inv "copies-fresh-at-horizon" copies_fresh
+        "the flush must converge every copy before the run ends";
+      inv "streaming-equals-fold" (fold_mismatches = [])
+        (match fold_mismatches with
+        | [] -> "every streamed verdict equals the post-hoc fold"
+        | m :: _ -> m);
+      inv "transport-drained" (pending = 0)
+        (Printf.sprintf "%d unacknowledged envelopes after quiescence" pending);
+    ]
+  in
+  {
+    h_spec = spec;
+    h_drops = drops;
+    h_bad_cutover_at = bad_at;
+    h_flush_at = flush_at;
+    h_horizon = horizon;
+    h_kappa = kappa;
+    h_reads = Route.reads route;
+    h_replica_reads = Route.reads_by route Route.Replica;
+    h_master_reads = Route.reads_by route Route.Master;
+    h_poll_reads = Route.reads_by route Route.Forced_poll;
+    h_stale_serves = !stale_serves;
+    h_quarantines = quarantines;
+    h_probes = Route.probes route;
+    h_readmissions = Route.readmissions route;
+    h_stale_onsets = List.sort Float.compare !onsets;
+    h_stream_violations = !stream_violations;
+    h_rollbacks = List.length rollbacks;
+    h_rollback_journaled = rollback_journaled;
+    h_final_epoch = Evolution.current_epoch evo;
+    h_fold_mismatches = fold_mismatches;
+    h_invariants = invariants;
+  }
+
+let heal_passed r = List.for_all (fun i -> i.ok) r.h_invariants
+
+let heal_report_to_string r =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "heal report";
+  line "workload=payroll seed=%d events=%d durability=%s monitor_tick=1.0"
+    r.h_spec.seed r.h_spec.events
+    (Journal.durability_to_string r.h_spec.durability);
+  line "schedule:";
+  List.iter
+    (fun w -> line "  silent-drop @ %.2f -> %.2f" w.dw_at w.dw_until)
+    r.h_drops;
+  line "  bad cutover (drop-propagation) @ %.2f" r.h_bad_cutover_at;
+  line "  flush @ %.2f" r.h_flush_at;
+  line "results (quiesced @ %.2f, kappa=%.2f):" r.h_horizon r.h_kappa;
+  line "  reads total=%d replica=%d master=%d forced_poll=%d stale_serves=%d"
+    r.h_reads r.h_replica_reads r.h_master_reads r.h_poll_reads r.h_stale_serves;
+  line "  quarantine entries=%d probes=%d readmissions=%d" r.h_quarantines
+    r.h_probes r.h_readmissions;
+  line "  staleness onsets: %s"
+    (match r.h_stale_onsets with
+    | [] -> "(none)"
+    | ts -> String.concat ", " (List.map (Printf.sprintf "%.2f") ts));
+  line "  stream violations=%d" r.h_stream_violations;
+  line "  rollbacks=%d journaled=%b final_epoch=%d" r.h_rollbacks
+    r.h_rollback_journaled r.h_final_epoch;
+  line "  fold mismatches: %s"
+    (match r.h_fold_mismatches with
+    | [] -> "(none)"
+    | ms -> String.concat "; " ms);
+  line "invariants:";
+  List.iter
+    (fun i ->
+      line "  %s %s — %s" (if i.ok then "ok  " else "FAIL") i.inv_name i.detail)
+    r.h_invariants;
+  line "verdict: %s" (if heal_passed r then "PASS" else "FAIL");
   Buffer.contents b

@@ -142,3 +142,74 @@ val passed : report -> bool
 
 val report_to_string : report -> string
 (** Canonical multi-line report, stable across runs of the same spec. *)
+
+(** {1 Self-healing ([--heal])}
+
+    A second kind of schedule, aimed at the remediation layer instead of
+    the recovery layer.  No crashes or message loss — the adversary here
+    is the §5 [Silent_drop] failure (a notify channel that dies without
+    a failure notice, so writes keep landing in the ground truth while
+    the copy silently rots) plus one deliberately bad rule rollout that
+    loses every guarantee of a [required] copy pair.  The run holds the
+    toolkit to the self-healing contract: streaming monitors flag the
+    rot within κ + one tick, the router quarantines the copy and never
+    serves a read its monitor currently calls stale, the bad cutover is
+    rolled back on the spot (and journaled), and after a flush every
+    quarantined copy probes back to service.  Like {!run}, the whole
+    thing is a pure function of the spec — byte-identical
+    {!heal_report_to_string} output for the same seed, which CI diffs
+    literally. *)
+
+(** One silent-drop window on the source translator, absolute time. *)
+type drop_window = { dw_at : float; dw_until : float }
+
+type heal_report = {
+  h_spec : spec;
+  h_drops : drop_window list;
+  h_bad_cutover_at : float;  (** the rejected rollout's cutover instant *)
+  h_flush_at : float;  (** post-window refresh of every employee *)
+  h_horizon : float;
+  h_kappa : float;  (** the copy's proved κ (staleness bound) *)
+  h_reads : int;  (** routed reads issued by the open-loop population *)
+  h_replica_reads : int;
+  h_master_reads : int;
+  h_poll_reads : int;
+  h_stale_serves : int;
+      (** reads served from a copy whose monitor reported it stale at
+          serve time — 0 on a passing run, audited from outside the
+          router via {!Cm_route.Route.on_decision} *)
+  h_quarantines : int;  (** transitions into quarantine *)
+  h_probes : int;  (** half-open re-admission probes issued *)
+  h_readmissions : int;  (** probes that returned the copy to service *)
+  h_stale_onsets : float list;
+      (** detection times of staleness transitions, ascending — each
+          must fall within some window's
+          [[start, end + κ + tick + 1.0]] *)
+  h_stream_violations : int;  (** point violations streamed live *)
+  h_rollbacks : int;  (** {!Cm_core.Evolution} auto-rollbacks (want 1) *)
+  h_rollback_journaled : bool;
+      (** an {!Cm_core.Journal.record.Epoch_rollback} record landed in
+          every site's journal (vacuously true without durability) *)
+  h_final_epoch : int;
+  h_fold_mismatches : string list;
+      (** streamed verdicts that disagree with the post-hoc
+          {!Cm_core.Guarantee.check} fold — empty on a passing run *)
+  h_invariants : invariant list;
+}
+
+val heal_schedule : spec -> drop_window list * float
+(** The silent-drop windows and bad-cutover instant alone — pure in the
+    spec, like {!schedule}. *)
+
+val run_heal : spec -> heal_report
+(** Execute the self-healing schedule (payroll only — raises
+    [Invalid_argument] on the bank workload) under
+    {!Cm_core.System.Config.monitor}.  [crashes] and [churn] in the spec
+    are ignored: the heal schedule derives its own injections from a
+    dedicated PRNG stream, so heal and fault schedules of one seed never
+    perturb each other. *)
+
+val heal_passed : heal_report -> bool
+
+val heal_report_to_string : heal_report -> string
+(** Canonical multi-line report, stable across runs of the same spec. *)

@@ -37,7 +37,12 @@ type location_decl = { l_base : string; l_site : string; l_line : int }
 
 type rule_decl = { r_text : string; r_line : int }
 
-type constraint_decl = { c_source : string; c_target : string; c_line : int }
+type constraint_decl = {
+  c_source : string;
+  c_target : string;
+  c_required : bool;
+  c_line : int;
+}
 
 type t = {
   sources : source_decl list;
@@ -197,9 +202,17 @@ let parse_partial src_text =
           match rest with
           | [ "copy"; source; target ] ->
             st.constraint_lines <-
-              { c_source = source; c_target = target; c_line = lineno }
+              { c_source = source; c_target = target; c_required = false;
+                c_line = lineno }
               :: st.constraint_lines
-          | _ -> fail lineno "constraint declaration needs: copy <source> <target>")
+          | [ "copy"; source; target; "required" ] ->
+            st.constraint_lines <-
+              { c_source = source; c_target = target; c_required = true;
+                c_line = lineno }
+              :: st.constraint_lines
+          | _ ->
+            fail lineno
+              "constraint declaration needs: copy <source> <target> [required]")
         | "init" :: _ -> (
           match st.cur_source with
           | Some src -> st.cur_source <- Some { src with s_init = src.s_init @ [ rest_after line 1 ] }
@@ -287,6 +300,11 @@ let locator ?(default = "unknown") (t : t) =
     match Hashtbl.find_opt table item.Cm_rule.Item.base with
     | Some site -> site
     | None -> default
+
+let required_constraints (t : t) =
+  List.filter_map
+    (fun c -> if c.c_required then Some (c.c_source, c.c_target) else None)
+    t.constraints
 
 let sites (t : t) =
   let from_sources = List.map (fun s -> s.s_site) t.sources in

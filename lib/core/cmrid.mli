@@ -80,9 +80,17 @@ type location_decl = { l_base : string; l_site : string; l_line : int }
 
 type rule_decl = { r_text : string; r_line : int }
 
-type constraint_decl = { c_source : string; c_target : string; c_line : int }
-(** [constraint copy <source> <target>]: maintain [c_target] as a copy
-    of [c_source] (§3.3.1). *)
+type constraint_decl = {
+  c_source : string;
+  c_target : string;
+  c_required : bool;
+      (** the trailing [required] attribute: this pair is under
+          self-healing — a rule-epoch cutover that loses one of its
+          proved guarantees is rolled back ({!Evolution.create}) *)
+  c_line : int;
+}
+(** [constraint copy <source> <target> [required]]: maintain [c_target]
+    as a copy of [c_source] (§3.3.1). *)
 
 type t = {
   sources : source_decl list;
@@ -115,5 +123,9 @@ val parse_file : string -> (t, error list) result
 val locator : ?default:string -> t -> Cm_rule.Item.locator
 (** Item base → site, from source item declarations and [location]
     lines.  Unknown bases go to [default] (default ["unknown"]). *)
+
+val required_constraints : t -> (string * string) list
+(** The [(source, target)] pairs declared [required], in declaration
+    order — what {!Evolution.create}'s [?required] wants. *)
 
 val sites : t -> string list

@@ -46,6 +46,15 @@ type transition = {
   tr_survivals : constraint_survival list;
 }
 
+type rollback = {
+  rb_at : float;
+  rb_from : int;  (* the regressing epoch, rolled back *)
+  rb_to : int;  (* the epoch whose program was restored *)
+  rb_via : int;  (* fresh epoch number carrying the restored program *)
+  rb_strategy : string;  (* name of the rejected strategy *)
+  rb_lost : (string * string * string) list;
+}
+
 let classify before after =
   match before, after with
   | Derive.Proved _, Derive.Proved _ -> Kept
@@ -195,32 +204,49 @@ let survivals_to_json css =
 type t = {
   system : System.t;
   constraints : (string * string) list;
+  required : (string * string) list;
   interfaces : Rule.t list;
   mutable current_epoch : int;
   mutable current_rules : Rule.t list;
+  mutable current_strategy : Strategy.t option;  (* set at each cutover *)
   mutable next_epoch : int;
   mutable proposed : (int * Strategy.t) option;
   mutable draining : int list;  (* ascending *)
   mutable rev_transitions : transition list;  (* newest first *)
+  mutable rev_rollbacks : rollback list;  (* newest first *)
+  mutable rolling_back : bool;  (* re-entrancy guard for auto-rollback *)
   mutable retirements : int;
 }
 
-let create ?(constraints = []) ?interfaces system =
+let create ?(constraints = []) ?(required = []) ?interfaces system =
   let interfaces =
     match interfaces with
     | Some ifs -> ifs
     | None -> System.interface_rules system
   in
+  List.iter
+    (fun pair ->
+      if not (List.mem pair constraints) then
+        invalid_arg
+          (Printf.sprintf
+             "Evolution.create: required pair %s->%s is not a declared \
+              constraint"
+             (fst pair) (snd pair)))
+    required;
   {
     system;
     constraints;
+    required;
     interfaces;
     current_epoch = 0;
     current_rules = System.strategy_rules system;
+    current_strategy = None;
     next_epoch = 1;
     proposed = None;
     draining = [];
     rev_transitions = [];
+    rev_rollbacks = [];
+    rolling_back = false;
     retirements = 0;
   }
 
@@ -228,7 +254,9 @@ let current_epoch t = t.current_epoch
 let current_rules t = t.current_rules
 let draining t = t.draining
 let transitions t = List.rev t.rev_transitions
+let rollbacks t = List.rev t.rev_rollbacks
 let constraints t = t.constraints
+let required t = t.required
 
 let stale_rejections t =
   List.fold_left
@@ -268,11 +296,12 @@ let propose t (strategy : Strategy.t) =
           ~labels:[ ("strategy", strategy.Strategy.strategy_name) ];
       Ok epoch)
 
-let cutover t =
+let rec cutover t =
   match t.proposed with
   | None -> Error "no epoch is proposed"
   | Some (epoch, strategy) ->
     let old_epoch = t.current_epoch and old_rules = t.current_rules in
+    let old_strategy = t.current_strategy in
     let at = Sim.now (System.sim t.system) in
     List.iter
       (fun (_, shell) -> Shell.cutover_epoch shell ~epoch)
@@ -300,6 +329,7 @@ let cutover t =
     t.draining <- t.draining @ [ old_epoch ];
     t.current_epoch <- epoch;
     t.current_rules <- strategy.Strategy.rules;
+    t.current_strategy <- Some strategy;
     t.rev_transitions <- tr :: t.rev_transitions;
     (* Push the incoming epoch's classification into the unified
        read-side view, so routing immediately skips copies whose metric
@@ -341,6 +371,85 @@ let cutover t =
                 | Derive.Unprovable _ -> 0.0))
             cs.cs_guarantees)
         survivals
+    end;
+    (* -- auto-rollback (self-healing): a cutover that *regresses* a
+       required pair — a guarantee proved under the outgoing epoch,
+       unprovable under the incoming one — is undone immediately by
+       re-proposing the outgoing program under a fresh epoch number.
+       Only [Lost] triggers: [Never] means the guarantee was absent all
+       along, so the prior epoch is no better a refuge. *)
+    let lost_required =
+      if t.rolling_back then []
+      else
+        List.concat_map
+          (fun cs ->
+            if List.mem (cs.cs_source, cs.cs_target) t.required then
+              List.filter_map
+                (fun g ->
+                  match g.gs_survival with
+                  | Lost _ -> Some (cs.cs_source, cs.cs_target, g.gs_name)
+                  | Kept | Upgraded | Never _ -> None)
+                cs.cs_guarantees
+            else [])
+          survivals
+    in
+    if lost_required <> [] then begin
+      let restore =
+        match old_strategy with
+        | Some s -> s
+        | None ->
+          (* Epoch 0's program is configuration, not a Strategy — wrap
+             the rules snapshot so it can be re-proposed. *)
+          {
+            Strategy.strategy_name = "epoch0";
+            description = "base program restored by rollback";
+            rules = old_rules;
+            aux_init = [];
+          }
+      in
+      let reason =
+        String.concat ", "
+          (List.map
+             (fun (s, tg, g) -> Printf.sprintf "%s->%s %s" s tg g)
+             lost_required)
+      in
+      (* Write-ahead: the rollback intent reaches stable storage before
+         the restoring epoch's own Epoch_proposed / Epoch_cutover
+         records, so a crash mid-rollback is explainable from the log
+         and replay lands in the restored epoch. *)
+      List.iter
+        (fun (site, _) ->
+          match System.journal t.system ~site with
+          | Some j ->
+            Journal.append j
+              (Journal.Epoch_rollback
+                 { time = at; from_epoch = epoch; to_epoch = old_epoch; reason })
+          | None -> ())
+        (System.shells t.system);
+      t.rolling_back <- true;
+      let restored =
+        match propose t restore with
+        | Error _ -> None
+        | Ok via -> (
+          match cutover t with Ok _ -> Some via | Error _ -> None)
+      in
+      t.rolling_back <- false;
+      match restored with
+      | None -> ()  (* unreachable: no outstanding proposal, valid rules *)
+      | Some via ->
+        t.rev_rollbacks <-
+          {
+            rb_at = at;
+            rb_from = epoch;
+            rb_to = old_epoch;
+            rb_via = via;
+            rb_strategy = strategy.Strategy.strategy_name;
+            rb_lost = lost_required;
+          }
+          :: t.rev_rollbacks;
+        if Obs.enabled obs then
+          Obs.incr obs "evolution_rollbacks"
+            ~labels:[ ("strategy", strategy.Strategy.strategy_name) ]
     end;
     Ok tr
 

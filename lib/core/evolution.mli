@@ -56,6 +56,18 @@ type transition = {
   tr_survivals : constraint_survival list;
 }
 
+(** One automatic rollback: a cutover that regressed a [required] pair,
+    undone by re-proposing the outgoing program under a fresh epoch. *)
+type rollback = {
+  rb_at : float;  (** simulation time (= the bad cutover's time) *)
+  rb_from : int;  (** the regressing epoch, rolled back *)
+  rb_to : int;  (** the epoch whose program was restored *)
+  rb_via : int;  (** fresh epoch number carrying the restored program *)
+  rb_strategy : string;  (** name of the rejected strategy *)
+  rb_lost : (string * string * string) list;
+      (** (source, target, guarantee name) triples classified [Lost] *)
+}
+
 val classify : Derive.verdict -> Derive.verdict -> survival
 val survival_status : survival -> string
 (** ["kept"], ["upgraded"], ["lost"], or ["never"] — reason elided. *)
@@ -91,6 +103,7 @@ type t
 
 val create :
   ?constraints:(string * string) list ->
+  ?required:(string * string) list ->
   ?interfaces:Cm_rule.Rule.t list ->
   System.t ->
   t
@@ -98,7 +111,20 @@ val create :
     installed: the current rules snapshot ({!System.strategy_rules})
     becomes epoch 0's program for survival comparisons.  [constraints]
     are the copy constraints (source/target base names) re-proved at
-    each cutover; [interfaces] defaults to {!System.interface_rules}. *)
+    each cutover; [interfaces] defaults to {!System.interface_rules}.
+
+    [required] (the CM-RID [required] attribute, a subset of
+    [constraints] — checked) marks pairs under self-healing: a cutover
+    whose survival report classifies any of their guarantees as {!Lost}
+    is rolled back automatically — the outgoing program is re-proposed
+    under a fresh epoch and cut over in the same simulation instant, the
+    rollback is journaled write-ahead ({!Journal.record.Epoch_rollback})
+    at every durable site, and the episode is recorded in {!rollbacks}
+    (and as an [evolution_rollbacks] counter).  [Never] does not
+    trigger: the prior epoch is no better a refuge for a guarantee that
+    was unprovable all along.
+    @raise Invalid_argument if [required] is not a subset of
+    [constraints]. *)
 
 val propose : t -> Strategy.t -> (int, string) result
 (** Stage [strategy] as the next epoch at every shell (journaled
@@ -111,7 +137,12 @@ val cutover : t -> (transition, string) result
     and move the old epoch to draining.  Re-derives guarantee survival
     and records it on the returned transition (and in Obs:
     [evolution_epoch] gauge, [evolution_guarantee_survival] counters,
-    [evolution_guarantee_held] gauges). *)
+    [evolution_guarantee_held] gauges).
+
+    If the survival report loses a guarantee of a [required] pair the
+    cutover is rolled back before returning (see {!create}); the
+    returned transition is still the {e regressing} one — inspect
+    {!rollbacks} / {!current_epoch} for the restored state. *)
 
 val retire : t -> epoch:int -> (unit, string) result
 (** End the drain of a draining epoch: from now on its envelopes are
@@ -139,9 +170,14 @@ val draining : t -> int list
 (** Epochs cut over but not yet retired, ascending. *)
 
 val transitions : t -> transition list
-(** All completed cutovers, oldest first. *)
+(** All completed cutovers, oldest first — rollbacks' restoring
+    cutovers included. *)
+
+val rollbacks : t -> rollback list
+(** All automatic rollbacks, oldest first. *)
 
 val constraints : t -> (string * string) list
+val required : t -> (string * string) list
 val retirements : t -> int
 
 val stale_rejections : t -> int

@@ -85,6 +85,12 @@ type record =
   | Epoch_proposed of { time : float; epoch : int; rules : Rule.t list }
   | Epoch_cutover of { time : float; epoch : int }
   | Epoch_retired of { time : float; epoch : int }
+  | Epoch_rollback of {
+      time : float;
+      from_epoch : int;  (* the cutover being undone *)
+      to_epoch : int;  (* the epoch whose program is re-proposed *)
+      reason : string;
+    }
   | Checkpoint of {
       time : float;
       incarnation : int;
@@ -107,6 +113,7 @@ let record_kind = function
   | Epoch_proposed _ -> "epoch_proposed"
   | Epoch_cutover _ -> "epoch_cutover"
   | Epoch_retired _ -> "epoch_retired"
+  | Epoch_rollback _ -> "epoch_rollback"
   | Checkpoint _ -> "checkpoint"
 
 let link_state_to_string l =
@@ -148,6 +155,9 @@ let record_to_string r =
     Printf.sprintf "%.3f epoch_cutover e%d" time epoch
   | Epoch_retired { time; epoch } ->
     Printf.sprintf "%.3f epoch_retired e%d" time epoch
+  | Epoch_rollback { time; from_epoch; to_epoch; reason } ->
+    Printf.sprintf "%.3f epoch_rollback e%d -> e%d (%s)" time from_epoch
+      to_epoch reason
   | Checkpoint { time; incarnation; store; links; rule_epochs; active_epoch } ->
     (* The epochs section only appears once a site has evolved, keeping
        checkpoint bytes stable for non-evolving systems. *)

@@ -93,6 +93,18 @@ type record =
   | Epoch_retired of { time : float; epoch : int }
       (** [epoch] stopped draining; firings tagged with it are rejected
           from now on. *)
+  | Epoch_rollback of {
+      time : float;
+      from_epoch : int;
+      to_epoch : int;
+      reason : string;
+    }
+      (** The cutover to [from_epoch] regressed a required guarantee and
+          was undone by re-proposing [to_epoch]'s program under a fresh
+          epoch number.  Logged write-ahead so a crash mid-rollback is
+          explainable from the log; the epoch-state effects themselves
+          replay via the rollback's own {!Epoch_proposed} /
+          {!Epoch_cutover} records. *)
   | Checkpoint of {
       time : float;
       incarnation : int;

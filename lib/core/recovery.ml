@@ -176,6 +176,10 @@ let derive j =
           List.iter (fun mid -> Hashtbl.replace i.delivered mid ())
             l.Journal.delivered_mids)
         links
+    | Journal.Epoch_rollback _ ->
+      (* Documentation only: the rollback's epoch-state effects replay
+         via its own Epoch_proposed / Epoch_cutover records. *)
+      ()
     | Journal.Event _ | Journal.Fire_sent _ -> ()
   in
   let base, rest = Journal.replay_base j in

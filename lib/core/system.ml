@@ -12,6 +12,8 @@ module Config = struct
     obs : Obs.t option;
     durability : Journal.durability;
     dispatch : Shell.dispatch;
+    monitor : bool;
+    monitor_tick : float;
   }
 
   let default =
@@ -24,6 +26,8 @@ module Config = struct
       obs = None;
       durability = Journal.None;
       dispatch = Shell.Indexed;
+      monitor = false;
+      monitor_tick = 1.0;
     }
 
   let seeded seed = { default with seed }
@@ -35,6 +39,8 @@ module Config = struct
   let with_obs obs t = { t with obs = Some obs }
   let with_durability durability t = { t with durability }
   let with_dispatch dispatch t = { t with dispatch }
+  let with_monitor monitor t = { t with monitor }
+  let with_monitor_tick monitor_tick t = { t with monitor_tick }
 end
 
 type guarantee_entry = {
@@ -176,6 +182,7 @@ type t = {
          site touches only the guarantees that mention it *)
   copies : (string * string, copy_state) Hashtbl.t;  (* (source, target) *)
   mutable copy_order : (string * string) list;  (* declaration order *)
+  monitor : Monitor.t option;
 }
 
 let create ?(config = Config.default) locator =
@@ -222,13 +229,22 @@ let create ?(config = Config.default) locator =
           config.Config.durability)
       journals
   in
+  let trace = Trace.create () in
+  let monitor =
+    if config.Config.monitor then begin
+      let m = Monitor.create ~sim ~obs ~tick:config.Config.monitor_tick () in
+      Monitor.attach m trace;
+      Some m
+    end
+    else None
+  in
   {
     sim;
     net;
     reliable;
     journals;
     recovery;
-    trace = Trace.create ();
+    trace;
     locator;
     obs;
     shells = Hashtbl.create 8;
@@ -239,6 +255,7 @@ let create ?(config = Config.default) locator =
     guarantees_by_site = Hashtbl.create 8;
     copies = Hashtbl.create 8;
     copy_order = [];
+    monitor;
   }
 
 let sim t = t.sim
@@ -253,6 +270,7 @@ let journal t ~site =
 let trace t = t.trace
 let locator t = t.locator
 let obs t = t.obs
+let monitor t = t.monitor
 
 (* With a recovery manager, crash/restart go through the full §5
    protocol; without one they degrade to the raw network operations —
@@ -471,7 +489,16 @@ let declare_copies ?interfaces ?strategy t pairs =
             cp_handle = handle;
             cp_survivals = [];
           };
-        t.copy_order <- t.copy_order @ [ key ]
+        t.copy_order <- t.copy_order @ [ key ];
+        (* Under a monitored configuration every declared copy gets
+           streaming §3.3 monitors: the three logical forms per
+           parameter vector, plus metric-follows and the live staleness
+           verdict when κ is proved. *)
+        Option.iter
+          (fun m ->
+            Monitor.watch_copy m ~source ~target
+              ~kappa:(Guarantee_view.kappa_of_report report))
+          t.monitor
       end)
     pairs
 

@@ -54,6 +54,18 @@ module Config : sig
             {!Shell.dispatch.Naive} retains the pre-index linear scan —
             the oracle the E15 benchmark and the differential tests
             compare against.  Both produce byte-identical traces. *)
+    monitor : bool;
+        (** stream every declared copy constraint through
+            {!Monitor} ([false] by default): per parameter vector, the
+            §3.3.1 guarantee forms are checked incrementally as events
+            are recorded, and a live per-copy staleness verdict feeds
+            the read router's quarantine machinery.  Observation only —
+            the trace, the PRNG and the dispatch path are untouched, so
+            a monitored run is byte-identical to an unmonitored one. *)
+    monitor_tick : float;
+        (** staleness re-evaluation period of the monitor (default 1.0
+            s) — the "poll period" in the κ + tick detection bound for
+            silently dying notification channels (§5 [Silent_drop]). *)
   }
 
   val default : t
@@ -68,6 +80,8 @@ module Config : sig
   val with_obs : Obs.t -> t -> t
   val with_durability : Journal.durability -> t -> t
   val with_dispatch : Shell.dispatch -> t -> t
+  val with_monitor : bool -> t -> t
+  val with_monitor_tick : float -> t -> t
 end
 
 val create : ?config:Config.t -> Cm_rule.Item.locator -> t
@@ -106,6 +120,11 @@ val restart_site : t -> site:string -> unit
 
 val obs : t -> Obs.t
 (** The configured observability registry, or {!Obs.noop}. *)
+
+val monitor : t -> Monitor.t option
+(** The streaming guarantee monitor, when [config.monitor] is set.  It
+    is attached to the trace at creation; {!declare_copies} registers
+    every declared pair with it automatically. *)
 
 val trace : t -> Cm_rule.Trace.t
 val locator : t -> Cm_rule.Item.locator

@@ -4,6 +4,7 @@ module Item = Cm_rule.Item
 module System = Cm_core.System
 module Cmrid = Cm_core.Cmrid
 module Obs = Cm_core.Obs
+module Monitor = Cm_core.Monitor
 module Guarantee_view = System.Guarantee_view
 
 type outcome = Replica | Master | Forced_poll
@@ -31,35 +32,71 @@ type replica = { rep_target : string; rep_site : string }
 
 type t = {
   system : System.t;
+  monitor : Monitor.t option;  (* staleness verdicts; None = no quarantine *)
   poll_penalty : float;
+  probe_after : float;
   trace_spans : bool;
   by_source : (string, replica list) Hashtbl.t;  (* declaration order *)
   master_site : (string, string) Hashtbl.t;  (* source base -> site *)
   mutable rev_bases : string list;  (* distinct sources, newest first *)
+  quarantined : (string * string, float) Hashtbl.t;
+      (* (source, target) -> earliest probe time; absent = active *)
   hooks : (decision -> unit) Queue.t;
   mutable n_reads : int;
   mutable n_replica : int;
   mutable n_master : int;
   mutable n_poll : int;
+  mutable n_quarantines : int;
+  mutable n_probes : int;
+  mutable n_readmissions : int;
 }
 
-let create ?interfaces ?strategy ?(poll_penalty = 1.0) ?(trace_spans = false)
-    system ~constraints =
+(* Entering (or re-entering, on a flap while awaiting probe) quarantine:
+   the copy stops serving and the next probe moves [probe_after] out. *)
+let quarantine_copy t ~source ~target ~at =
+  let fresh = not (Hashtbl.mem t.quarantined (source, target)) in
+  Hashtbl.replace t.quarantined (source, target) (at +. t.probe_after);
+  if fresh then begin
+    t.n_quarantines <- t.n_quarantines + 1;
+    let obs = System.obs t.system in
+    if Obs.enabled obs then begin
+      Obs.incr obs "route_quarantines" ~labels:[ ("target", target) ];
+      Obs.gauge obs "route_quarantined" ~labels:[ ("target", target) ] 1.0
+    end
+  end
+
+let readmit_copy t ~source ~target =
+  Hashtbl.remove t.quarantined (source, target);
+  t.n_readmissions <- t.n_readmissions + 1;
+  let obs = System.obs t.system in
+  if Obs.enabled obs then begin
+    Obs.incr obs "route_readmissions" ~labels:[ ("target", target) ];
+    Obs.gauge obs "route_quarantined" ~labels:[ ("target", target) ] 0.0
+  end
+
+let create ?interfaces ?strategy ?(poll_penalty = 1.0) ?(probe_after = 5.0)
+    ?(trace_spans = false) system ~constraints =
   System.declare_copies ?interfaces ?strategy system constraints;
   let locator = System.locator system in
   let t =
     {
       system;
+      monitor = System.monitor system;
       poll_penalty;
+      probe_after;
       trace_spans;
       by_source = Hashtbl.create 8;
       master_site = Hashtbl.create 8;
       rev_bases = [];
+      quarantined = Hashtbl.create 8;
       hooks = Queue.create ();
       n_reads = 0;
       n_replica = 0;
       n_master = 0;
       n_poll = 0;
+      n_quarantines = 0;
+      n_probes = 0;
+      n_readmissions = 0;
     }
   in
   List.iter
@@ -74,11 +111,21 @@ let create ?interfaces ?strategy ?(poll_penalty = 1.0) ?(trace_spans = false)
         Hashtbl.replace t.master_site source (locator (Item.make source));
         t.rev_bases <- source :: t.rev_bases))
     constraints;
+  (* A live staleness transition quarantines the copy instantly; the
+     healthy transition does NOT readmit — only a successful probe does
+     (half-open), so one synchronous look at the copy always separates
+     "monitor stopped complaining" from "serving reads again". *)
+  Option.iter
+    (fun m ->
+      Monitor.on_staleness m (fun ~source ~target ~at ~stale ->
+          if stale && Hashtbl.mem t.by_source source then
+            quarantine_copy t ~source ~target ~at))
+    t.monitor;
   t
 
-let of_cmrid ?interfaces ?strategy ?poll_penalty ?trace_spans system
-    (cmrid : Cmrid.t) =
-  create ?interfaces ?strategy ?poll_penalty ?trace_spans system
+let of_cmrid ?interfaces ?strategy ?poll_penalty ?probe_after ?trace_spans
+    system (cmrid : Cmrid.t) =
+  create ?interfaces ?strategy ?poll_penalty ?probe_after ?trace_spans system
     ~constraints:
       (List.map
          (fun (c : Cmrid.constraint_decl) -> (c.Cmrid.c_source, c.Cmrid.c_target))
@@ -95,6 +142,16 @@ let replicas t ~base =
 let on_decision t hook = Queue.add hook t.hooks
 let reads t = t.n_reads
 
+let quarantined t =
+  Hashtbl.fold
+    (fun (source, target) probe_at acc -> (source, target, probe_at) :: acc)
+    t.quarantined []
+  |> List.sort compare
+
+let quarantines t = t.n_quarantines
+let probes t = t.n_probes
+let readmissions t = t.n_readmissions
+
 let reads_by t = function
   | Replica -> t.n_replica
   | Master -> t.n_master
@@ -108,6 +165,7 @@ let round_trip net ~from_site ~to_site =
 
 let read ?within_kappa t ~client_site base =
   let net = System.net t.system in
+  let now = Sim.now (System.sim t.system) in
   let master =
     match Hashtbl.find_opt t.master_site base with
     | Some site -> site
@@ -128,28 +186,71 @@ let read ?within_kappa t ~client_site base =
           { sk_target = r.rep_target; sk_site = r.rep_site; sk_reason = reason }
           :: !skips
       in
-      match
-        System.copy_qualifies ?slo:within_kappa t.system ~source:base
-          ~target:r.rep_target
-      with
-      | Error reason -> skip reason
-      | Ok kappa ->
-        if not (Net.reachable net ~from_site:client_site ~to_site:r.rep_site)
-        then skip "unreachable"
-        else begin
-          let cost = round_trip net ~from_site:client_site ~to_site:r.rep_site in
-          let better =
-            match !best with
-            | None -> true
-            | Some (bc, br, _) ->
-              cost < bc
-              || (cost = bc
-                 &&
-                 let c = String.compare r.rep_site br.rep_site in
-                 c < 0 || (c = 0 && String.compare r.rep_target br.rep_target < 0))
-          in
-          if better then best := Some (cost, r, kappa)
-        end)
+      (* Whether this copy may serve, and at what surcharge: a copy in
+         quarantine with its probe due pays one forced refresh (the
+         half-open "single trial request"), billed as a poll. *)
+      let admission =
+        match t.monitor with
+        | None -> Some 0.0
+        | Some m -> (
+          match Hashtbl.find_opt t.quarantined (base, r.rep_target) with
+          | Some probe_at when now < probe_at ->
+            skip "quarantined";
+            None
+          | Some _ ->
+            t.n_probes <- t.n_probes + 1;
+            let obs = System.obs t.system in
+            if Obs.enabled obs then
+              Obs.incr obs "route_probes" ~labels:[ ("target", r.rep_target) ];
+            if Monitor.force_refresh m ~source:base ~target:r.rep_target then begin
+              (* Still stale: back off another probe_after. *)
+              Hashtbl.replace t.quarantined (base, r.rep_target)
+                (now +. t.probe_after);
+              skip "stale";
+              None
+            end
+            else begin
+              readmit_copy t ~source:base ~target:r.rep_target;
+              Some t.poll_penalty
+            end
+          | None ->
+            (* Active, but never serve against a live stale verdict even
+               if no transition has fired yet (belt and braces). *)
+            if Monitor.copy_stale m ~source:base ~target:r.rep_target then begin
+              quarantine_copy t ~source:base ~target:r.rep_target ~at:now;
+              skip "stale";
+              None
+            end
+            else Some 0.0)
+      in
+      match admission with
+      | None -> ()
+      | Some surcharge -> (
+        match
+          System.copy_qualifies ?slo:within_kappa t.system ~source:base
+            ~target:r.rep_target
+        with
+        | Error reason -> skip reason
+        | Ok kappa ->
+          if not (Net.reachable net ~from_site:client_site ~to_site:r.rep_site)
+          then skip "unreachable"
+          else begin
+            let cost =
+              surcharge
+              +. round_trip net ~from_site:client_site ~to_site:r.rep_site
+            in
+            let better =
+              match !best with
+              | None -> true
+              | Some (bc, br, _) ->
+                cost < bc
+                || (cost = bc
+                   &&
+                   let c = String.compare r.rep_site br.rep_site in
+                   c < 0 || (c = 0 && String.compare r.rep_target br.rep_target < 0))
+            in
+            if better then best := Some (cost, r, kappa)
+          end))
     reps;
   let outcome, served_base, served_site, served_kappa, latency =
     match !best with

@@ -26,7 +26,22 @@
     Every decision is recorded via {!Cm_core.Obs} (per-outcome counters
     and latency series, per-reason skip counters, optional routed-read
     spans) and handed to {!on_decision} subscribers — the E17 bench
-    audits served-κ ≤ SLO post hoc from exactly that stream. *)
+    audits served-κ ≤ SLO post hoc from exactly that stream.
+
+    {b Quarantine (self-healing).}  When the system runs with streaming
+    guarantee monitors ({!Cm_core.System.Config.monitor}), the router
+    subscribes to their live staleness transitions: a copy whose monitor
+    reports it stale — including the §5 [Silent_drop] failure, where the
+    copy's notify channel dies while the master keeps writing — is
+    {e quarantined} immediately and stops serving reads.  Re-admission
+    is half-open: after [probe_after] simulated seconds, the next read
+    that considers the copy issues one {!Cm_core.Monitor.force_refresh}
+    (a synchronous poll, billed at [poll_penalty] on the served
+    latency); a fresh verdict readmits the copy, a stale one re-arms the
+    quarantine for another [probe_after].  Active copies are also
+    re-checked against the live verdict on every read, so a read is
+    never served from a copy whose monitor currently reports it stale.
+    Without monitors the router behaves exactly as before. *)
 
 type t
 
@@ -42,7 +57,10 @@ type skip = {
   sk_reason : string;
       (** {!Cm_core.System.Guarantee_view.qualifies} vocabulary
           ("epoch-lost" | "unprovable" | "invalidated" | "over-slo")
-          plus the router's own "unreachable" *)
+          plus the router's own "unreachable", "quarantined" (copy in
+          quarantine, probe not yet due) and "stale" (live monitor
+          verdict: on an active copy it also enters quarantine, on a
+          probe it re-arms the quarantine) *)
 }
 
 type decision = {
@@ -63,6 +81,7 @@ val create :
   ?interfaces:Cm_rule.Rule.t list ->
   ?strategy:Cm_rule.Rule.t list ->
   ?poll_penalty:float ->
+  ?probe_after:float ->
   ?trace_spans:bool ->
   Cm_core.System.t ->
   constraints:(string * string) list ->
@@ -72,14 +91,19 @@ val create :
     ({!Cm_core.System.declare_copies}, with the same optional
     [interfaces]/[strategy] overrides) and indexes replicas by source
     base.  [poll_penalty] (default [1.0] s) is the synchronous-poll
-    surcharge of [Forced_poll].  [trace_spans] (default [false]) opens a
+    surcharge of [Forced_poll] and of a quarantine probe.
+    [probe_after] (default [5.0] s) is the quarantine dwell before a
+    half-open probe is allowed.  [trace_spans] (default [false]) opens a
     ["routed_read"] span per decision — off by default because a
-    10⁶-read sweep would retain every span in memory. *)
+    10⁶-read sweep would retain every span in memory.  Quarantine is
+    armed iff the system was built with
+    {!Cm_core.System.Config.monitor}. *)
 
 val of_cmrid :
   ?interfaces:Cm_rule.Rule.t list ->
   ?strategy:Cm_rule.Rule.t list ->
   ?poll_penalty:float ->
+  ?probe_after:float ->
   ?trace_spans:bool ->
   Cm_core.System.t ->
   Cm_core.Cmrid.t ->
@@ -105,6 +129,22 @@ val read : ?within_kappa:float -> t -> client_site:string -> string -> decision
 
 val reads : t -> int
 val reads_by : t -> outcome -> int
+
+(** {1 Quarantine state} *)
+
+val quarantined : t -> (string * string * float) list
+(** Currently-quarantined copies as [(source, target, probe_at)],
+    sorted — [probe_at] is the earliest simulated time a read may probe
+    the copy. *)
+
+val quarantines : t -> int
+(** Quarantine entries (transitions into quarantine, not re-arms). *)
+
+val probes : t -> int
+(** Half-open probes issued (each one forced refresh + poll billing). *)
+
+val readmissions : t -> int
+(** Probes that came back fresh and returned the copy to service. *)
 
 (** {1 Deterministic reports (cmtool route)} *)
 

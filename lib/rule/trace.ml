@@ -1,6 +1,13 @@
-type t = { mutable rev_events : Event.t list; mutable count : int; mutable last : float }
+type t = {
+  mutable rev_events : Event.t list;
+  mutable count : int;
+  mutable last : float;
+  mutable hooks : (Event.t -> unit) list;  (* registration order *)
+}
 
-let create () = { rev_events = []; count = 0; last = 0.0 }
+let create () = { rev_events = []; count = 0; last = 0.0; hooks = [] }
+
+let on_record t f = t.hooks <- t.hooks @ [ f ]
 
 let record t ~time ~site ?(kind = Event.Spontaneous) desc =
   if time < t.last then
@@ -10,6 +17,9 @@ let record t ~time ~site ?(kind = Event.Spontaneous) desc =
   t.rev_events <- e :: t.rev_events;
   t.count <- t.count + 1;
   t.last <- time;
+  (match t.hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun f -> f e) hooks);
   e
 
 let events t = List.rev t.rev_events

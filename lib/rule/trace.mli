@@ -21,6 +21,13 @@ val record :
     with its fresh id.  @raise Invalid_argument if [time] precedes the
     last recorded event — executions are recorded in time order. *)
 
+val on_record : t -> (Event.t -> unit) -> unit
+(** Subscribe to every subsequent {!record}, in registration order.
+    Subscribers observe the event after it is appended; they must not
+    record into the trace themselves.  With no subscribers the record
+    path is unchanged — streaming consumers (e.g. the guarantee
+    monitors) are pay-as-you-go. *)
+
 val events : t -> Event.t list
 (** In occurrence order. *)
 

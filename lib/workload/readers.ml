@@ -1,8 +1,22 @@
 module Prng = Cm_util.Prng
 
 let open_loop sim ~rng ~clients ~rate_per_client ~until action =
+  (* Degenerate inputs are configuration bugs, not load levels: reject
+     them loudly instead of silently generating no (or infinite) traffic.
+     The NaN case matters — [nan <= 0.0] is false, so a bare sign check
+     would wave NaN through into the interarrival divide. *)
+  if not (Float.is_finite rate_per_client) then
+    invalid_arg "Readers.open_loop: rate_per_client must be finite";
   if rate_per_client <= 0.0 then
     invalid_arg "Readers.open_loop: rate_per_client must be positive";
+  if clients = [] then invalid_arg "Readers.open_loop: empty client list";
+  List.iter
+    (fun (site, n) ->
+      if n < 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Readers.open_loop: negative client count %d for site %s" n site))
+    clients;
   let clients = List.filter (fun (_, n) -> n > 0) clients in
   (* Cumulative population prefix sums: an arrival draws one uniform
      integer over the whole population and binary-searches its site, so
@@ -18,7 +32,8 @@ let open_loop sim ~rng ~clients ~rate_per_client ~until action =
       0
       (List.mapi (fun i c -> (i, c)) clients)
   in
-  if total = 0 then invalid_arg "Readers.open_loop: no clients";
+  if total = 0 then
+    invalid_arg "Readers.open_loop: all client populations are zero";
   let site_of draw =
     (* First index whose cumulative count exceeds [draw]. *)
     let lo = ref 0 and hi = ref (Array.length cumulative - 1) in

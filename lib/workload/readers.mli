@@ -24,7 +24,10 @@ val open_loop :
   unit
 (** [open_loop sim ~rng ~clients ~rate_per_client ~until action] drives
     [action ~site] at aggregate Poisson arrivals until [until].
-    [clients] gives the population per client site (entries with
-    non-positive counts are ignored); each arrival's [site] is drawn
-    with probability proportional to that site's population.
-    @raise Invalid_argument on a non-positive rate or empty population. *)
+    [clients] gives the population per client site (zero-count entries
+    are ignored); each arrival's [site] is drawn with probability
+    proportional to that site's population.
+    @raise Invalid_argument on a non-finite or non-positive rate (NaN
+    included), an empty [clients] list, a negative client count, or an
+    all-zero population — each with a distinct message naming the
+    offending input. *)

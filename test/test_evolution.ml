@@ -235,6 +235,150 @@ let crash_during_drain_recovers_epochs () =
   Alcotest.(check bool) "epoch-1 program live after recovery" true
     (Value.equal (Payroll.salary_at p `B "e1") (Value.Int 3131))
 
+(* -- self-healing: required pairs roll a regressing cutover back -- *)
+
+let healing_payroll ?(seed = 23) ?required () =
+  let p =
+    Payroll.create
+      ~config:
+        Sys_.Config.(
+          seeded seed |> with_durability Journal.Journal_with_checkpoint)
+      ~employees:1 ()
+  in
+  Payroll.install_propagation p;
+  let interfaces =
+    Sys_.interface_rules p.Payroll.system
+    @ [ Interface.no_spontaneous_write Payroll.target_pattern ]
+  in
+  let evo =
+    Evolution.create
+      ~constraints:[ ("Salary1", "Salary2") ]
+      ?required ~interfaces p.Payroll.system
+  in
+  Sys_.declare_copies ~interfaces p.Payroll.system [ ("Salary1", "Salary2") ];
+  (p, evo)
+
+let required_regression_rolls_back () =
+  let p, evo = healing_payroll ~required:[ ("Salary1", "Salary2") ] () in
+  let system = p.Payroll.system in
+  (* The bad rollout: an empty program loses every guarantee of the
+     required pair, so the cutover must be undone on the spot. *)
+  ignore (ok_or_fail "evolve noop" (Evolution.evolve ~quiesce:false evo noop_strategy));
+  (match Evolution.rollbacks evo with
+  | [ rb ] ->
+    Alcotest.(check int) "rolled back epoch 1" 1 rb.Evolution.rb_from;
+    Alcotest.(check int) "restored epoch 0's program" 0 rb.Evolution.rb_to;
+    Alcotest.(check int) "via a fresh epoch" 2 rb.Evolution.rb_via;
+    Alcotest.(check string) "names the rejected strategy" "noop"
+      rb.Evolution.rb_strategy;
+    Alcotest.(check bool) "records the lost guarantees" true
+      (rb.Evolution.rb_lost <> [])
+  | rbs -> Alcotest.failf "expected 1 rollback, got %d" (List.length rbs));
+  Alcotest.(check int) "current epoch is the restoring one" 2
+    (Evolution.current_epoch evo);
+  (* Write-ahead: the rollback record reaches the journal before the
+     restoring epoch's own proposal, at every durable site. *)
+  List.iter
+    (fun site ->
+      let records =
+        match Sys_.journal system ~site with
+        | Some j -> Journal.records j
+        | None -> Alcotest.failf "no journal at %s" site
+      in
+      let index kind =
+        match
+          List.find_index
+            (fun r -> String.equal (Journal.record_kind r) kind)
+            records
+        with
+        | Some i -> i
+        | None -> Alcotest.failf "no %s record at %s" kind site
+      in
+      let rb_i = index "epoch_rollback" in
+      let restore_i =
+        match
+          List.find_index
+            (function
+              | Journal.Epoch_proposed { epoch = 2; _ } -> true | _ -> false)
+            records
+        with
+        | Some i -> i
+        | None -> Alcotest.failf "no epoch-2 proposal at %s" site
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "rollback journaled before the restore at %s" site)
+        true (rb_i < restore_i))
+    [ Payroll.site_a; Payroll.site_b ];
+  (* The restored program still propagates and the copy still
+     qualifies: self-healing leaves the system as it was. *)
+  (match Sys_.copy_qualifies system ~source:"Salary1" ~target:"Salary2" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "copy lost its guarantee after rollback: %s" e);
+  Payroll.schedule_update p ~at:10.0 ~emp:"e1" ~salary:4242;
+  Sys_.run system ~until:60.0;
+  Alcotest.(check bool) "restored program live" true
+    (Value.equal (Payroll.salary_at p `B "e1") (Value.Int 4242))
+
+let unrequired_regression_stands () =
+  let p, evo = healing_payroll () in
+  ignore (ok_or_fail "evolve noop" (Evolution.evolve ~quiesce:false evo noop_strategy));
+  Alcotest.(check int) "no rollback" 0 (List.length (Evolution.rollbacks evo));
+  Alcotest.(check int) "bad epoch stands" 1 (Evolution.current_epoch evo);
+  ignore p
+
+let never_lost_does_not_trigger () =
+  (* With no quiet statement nothing is provable in epoch 0 either: the
+     noop cutover classifies the guarantees Never, not Lost — the prior
+     epoch is no better a refuge, so no rollback. *)
+  let p =
+    Payroll.create ~config:(Sys_.Config.seeded 29) ~employees:1 ()
+  in
+  Payroll.install_propagation p;
+  let evo =
+    Evolution.create
+      ~constraints:[ ("Salary1", "Salary2") ]
+      ~required:[ ("Salary1", "Salary2") ]
+      ~interfaces:[] p.Payroll.system
+  in
+  ignore (ok_or_fail "evolve noop" (Evolution.evolve ~quiesce:false evo noop_strategy));
+  Alcotest.(check int) "no rollback for Never" 0
+    (List.length (Evolution.rollbacks evo));
+  Alcotest.(check int) "cutover stands" 1 (Evolution.current_epoch evo)
+
+let required_must_be_subset () =
+  let p = Payroll.create ~config:(Sys_.Config.seeded 31) ~employees:1 () in
+  Payroll.install_propagation p;
+  match
+    Evolution.create
+      ~constraints:[ ("Salary1", "Salary2") ]
+      ~required:[ ("Salary1", "Elsewhere") ]
+      p.Payroll.system
+  with
+  | _ -> Alcotest.fail "required outside constraints accepted"
+  | exception Invalid_argument _ -> ()
+
+let rollback_survives_crash_replay () =
+  let p, evo = healing_payroll ~required:[ ("Salary1", "Salary2") ] () in
+  let system = p.Payroll.system in
+  let sim = Sys_.sim system in
+  Sim.schedule_at sim 10.0 (fun () ->
+      ignore
+        (ok_or_fail "evolve noop"
+           (Evolution.evolve ~quiesce:false evo noop_strategy)));
+  Sim.schedule_at sim 12.0 (fun () ->
+      Sys_.crash_site system ~site:Payroll.site_b);
+  Sim.schedule_at sim 30.0 (fun () ->
+      Sys_.restart_site system ~site:Payroll.site_b);
+  Sys_.run system ~until:40.0;
+  (* Replay must land the crashed site in the restoring epoch (2), with
+     the rolled-back epoch's program nowhere active. *)
+  Alcotest.(check int) "replayed into the restoring epoch" 2
+    (Shell.rule_epoch p.Payroll.shell_b);
+  Payroll.schedule_update p ~at:45.0 ~emp:"e1" ~salary:5151;
+  Sys_.run system ~until:100.0;
+  Alcotest.(check bool) "restored program live after replay" true
+    (Value.equal (Payroll.salary_at p `B "e1") (Value.Int 5151))
+
 (* -- the pinned §4.2.3 survival report -- *)
 
 let read_file path = In_channel.with_open_text path In_channel.input_all
@@ -358,6 +502,19 @@ let () =
         [
           Alcotest.test_case "crash during drain replays epochs" `Quick
             crash_during_drain_recovers_epochs;
+        ] );
+      ( "rollback",
+        [
+          Alcotest.test_case "required regression rolls back" `Quick
+            required_regression_rolls_back;
+          Alcotest.test_case "unrequired regression stands" `Quick
+            unrequired_regression_stands;
+          Alcotest.test_case "Never does not trigger rollback" `Quick
+            never_lost_does_not_trigger;
+          Alcotest.test_case "required must be within constraints" `Quick
+            required_must_be_subset;
+          Alcotest.test_case "rollback survives crash replay" `Quick
+            rollback_survives_crash_replay;
         ] );
       ( "survival",
         [

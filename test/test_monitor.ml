@@ -1,0 +1,321 @@
+(* Streaming §3.3 monitors (Cm_core.Monitor).
+
+   The heart of this file is the differential suite: hundreds of seeded
+   random traces — same-instant micro-batches, INS/DEL interleavings,
+   repeated values, parameterized items — fed event-by-event into the
+   streaming monitors, then re-checked with the post-hoc Guarantee.check
+   fold over the identical timeline.  Verdict, obligation count, and
+   violation flag must agree trace-by-trace for every supported form.
+
+   On top sit the self-healing units: live staleness verdicts (the §5
+   Silent_drop failure caught within κ plus one poll period, where the
+   fold only notices at the end of the run), staleness transitions,
+   forced refreshes, and feed-discipline errors. *)
+
+module Sys_ = Cm_core.System
+module Monitor = Cm_core.Monitor
+module Guarantee = Cm_core.Guarantee
+module Tr_rel = Cm_core.Tr_relational
+module Health = Cm_sources.Health
+module Payroll = Cm_workload.Payroll
+module Prng = Cm_util.Prng
+open Cm_rule
+
+(* ---- differential suite ------------------------------------------- *)
+
+(* A small alphabet with shared last characters, so the feed path's
+   base-filter bitmap sees both definitive misses and false-positive
+   hits that must still fall through to the exact lookup. *)
+let bases = [| "x"; "y"; "z"; "qx"; "qy" |]
+
+let values = [| 1; 2; 3; 42 |]
+
+(* One random trace: events in time order with deliberate same-instant
+   clusters (micro-batches), weighted toward writes. *)
+let random_events rng ~n =
+  let time = ref 0.0 in
+  List.init n (fun _ ->
+      (* ~1/3 of events share the previous instant. *)
+      if Prng.int rng 3 > 0 then
+        time := !time +. (0.1 +. Prng.uniform_in rng ~lo:0.0 ~hi:2.0);
+      let item = Item.make bases.(Prng.int rng (Array.length bases)) in
+      let desc =
+        match Prng.int rng 10 with
+        | 0 -> Event.ins item
+        | 1 -> Event.del item
+        | _ -> Event.w item (Value.Int values.(Prng.int rng (Array.length values)))
+      in
+      (!time, desc))
+
+let forms ~leader ~follower =
+  let pair = { Guarantee.leader; follower } in
+  [
+    Guarantee.Follows pair;
+    Guarantee.Leads pair;
+    Guarantee.Strictly_follows pair;
+    Guarantee.Metric_follows (pair, 0.5);
+    Guarantee.Metric_follows (pair, 3.0);
+    Guarantee.Metric_follows (pair, 50.0);
+    Guarantee.Always_leq { smaller = leader; larger = follower };
+  ]
+
+(* Feed one trace through watchers for every form over every ordered
+   base pair, finalize, and compare each verdict against the fold. *)
+let differential_one ~seed ~n ~with_initial ~ignore_after () =
+  let rng = Prng.create ~seed in
+  let events = random_events rng ~n in
+  let horizon =
+    List.fold_left (fun acc (t, _) -> Float.max acc t) 0.0 events +. 1.0
+  in
+  let ignore_after =
+    if ignore_after then Some (horizon /. 2.0) else None
+  in
+  let initial =
+    if with_initial then
+      [ (Item.make "x", Value.Int 1); (Item.make "y", Value.Int 2) ]
+    else []
+  in
+  let m = Monitor.create () in
+  let trace = Trace.create () in
+  Monitor.attach m trace;
+  let watched =
+    List.concat_map
+      (fun leader ->
+        List.concat_map
+          (fun follower ->
+            if String.equal leader follower then []
+            else
+              List.map
+                (fun g -> (g, Monitor.watch ?ignore_after m g))
+                (forms ~leader:(Item.make leader)
+                   ~follower:(Item.make follower)))
+          [ "x"; "y"; "qx" ])
+      [ "x"; "y"; "qx" ]
+  in
+  if initial <> [] then Monitor.note_initial m initial;
+  List.iter
+    (fun (time, desc) -> ignore (Trace.record trace ~time ~site:"s" desc))
+    events;
+  Monitor.finalize m ~horizon;
+  let tl = Timeline.of_trace ~initial trace in
+  List.iter
+    (fun (g, handle) ->
+      let v = Monitor.verdict handle in
+      let rep = Guarantee.check ?ignore_after ~horizon tl g in
+      let label =
+        Printf.sprintf "seed %d %s" seed (Guarantee.to_string g)
+      in
+      Alcotest.(check bool) (label ^ ": holds") rep.Guarantee.holds
+        v.Monitor.v_holds;
+      Alcotest.(check int) (label ^ ": points") rep.Guarantee.checked_points
+        v.Monitor.v_points;
+      Alcotest.(check bool)
+        (label ^ ": violations consistent")
+        (not rep.Guarantee.holds)
+        (v.Monitor.v_violations > 0))
+    watched
+
+let differential_sweep () =
+  for seed = 1 to 150 do
+    differential_one ~seed ~n:60 ~with_initial:(seed mod 2 = 0)
+      ~ignore_after:(seed mod 3 = 0) ()
+  done
+
+(* Longer traces stress state pruning (κ windows, leads discharge). *)
+let differential_long () =
+  for seed = 500 to 520 do
+    differential_one ~seed ~n:400 ~with_initial:(seed mod 2 = 0)
+      ~ignore_after:false ()
+  done
+
+(* The empty trace: finalize alone must reproduce the fold's vacuous
+   verdicts (always-leq still samples the 0.0 point when initial values
+   exist). *)
+let differential_empty () =
+  differential_one ~seed:9999 ~n:0 ~with_initial:true ~ignore_after:false ()
+
+(* ---- violation stream --------------------------------------------- *)
+
+let violations_surface_immediately () =
+  let m = Monitor.create () in
+  let seen = ref [] in
+  Monitor.on_violation m (fun v -> seen := v :: !seen);
+  let x = Item.make "x" and y = Item.make "y" in
+  ignore (Monitor.watch m (Guarantee.Follows { leader = x; follower = y }));
+  let ev id time desc =
+    { Event.id; time; site = "s"; desc; kind = Event.Spontaneous }
+  in
+  Monitor.feed m (ev 0 1.0 (Event.w x (Value.Int 1)));
+  Monitor.feed m (ev 1 2.0 (Event.w y (Value.Int 7)));
+  (* The batch at 2.0 is still open; the next event closes it, and the
+     violation (y = 7 never held by x) surfaces attributed to the
+     instant of its obligation, 2.0 — not to the event that happened to
+     close the batch. *)
+  Monitor.feed m (ev 2 3.0 (Event.w x (Value.Int 1)));
+  (match !seen with
+  | [ v ] ->
+    Alcotest.(check (float 1e-9)) "attributed to its instant" 2.0 v.Monitor.vi_at
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+  Monitor.finalize m ~horizon:10.0;
+  Alcotest.(check int) "no duplicate at finalize" 1 (List.length !seen)
+
+let feed_discipline () =
+  let m = Monitor.create () in
+  let x = Item.make "x" in
+  ignore
+    (Monitor.watch m
+       (Guarantee.Follows { leader = x; follower = Item.make "y" }));
+  let ev id time desc =
+    { Event.id; time; site = "s"; desc; kind = Event.Spontaneous }
+  in
+  Monitor.feed m (ev 0 5.0 (Event.w x (Value.Int 1)));
+  (match Monitor.feed m (ev 1 4.0 (Event.w x (Value.Int 2))) with
+  | () -> Alcotest.fail "out-of-order feed accepted"
+  | exception Invalid_argument _ -> ());
+  Monitor.finalize m ~horizon:10.0;
+  match Monitor.feed m (ev 2 6.0 (Event.w x (Value.Int 3))) with
+  | () -> Alcotest.fail "feed after finalize accepted"
+  | exception Invalid_argument _ -> ()
+
+let unsupported_forms_rejected () =
+  let m = Monitor.create () in
+  let g =
+    Guarantee.Exists_within
+      { antecedent = Item.make "x"; consequent = Item.make "y"; bound = 5.0 }
+  in
+  Alcotest.(check bool) "not supported" false (Monitor.supported g);
+  match Monitor.watch m g with
+  | _ -> Alcotest.fail "unsupported form accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---- live staleness ----------------------------------------------- *)
+
+(* No simulation attached: time is the feed clock.  κ = 2: after the
+   leader moves on, a copy still holding the old value turns stale as
+   soon as the old value ages out of the (now − κ, now] window. *)
+let staleness_verdict_no_sim () =
+  let m = Monitor.create () in
+  let transitions = ref [] in
+  Monitor.on_staleness m (fun ~source:_ ~target:_ ~at ~stale ->
+      transitions := (at, stale) :: !transitions);
+  Monitor.watch_copy m ~source:"S" ~target:"C" ~kappa:(Some 2.0);
+  Alcotest.(check bool) "unwatched pair is never stale" false
+    (Monitor.copy_stale m ~source:"S" ~target:"Other");
+  let s = Item.make "S" and c = Item.make "C" in
+  let feed id time desc =
+    Monitor.feed m { Event.id; time; site = "s"; desc; kind = Event.Spontaneous }
+  in
+  feed 0 1.0 (Event.w s (Value.Int 1));
+  feed 1 1.0 (Event.w c (Value.Int 1));
+  feed 2 5.0 (Event.w s (Value.Int 2));
+  (* At 5.0 the copy's value 1 left the leader at 5.0 exactly: still
+     inside the window.  By 8.0 (> 5 + κ) it has aged out — but with no
+     simulation clock the passive verdict only reflects the last
+     completed instant (the batch at 8.0 is still open), so quiet aging
+     needs the probe's synchronous look. *)
+  feed 3 8.0 (Event.w s (Value.Int 3));
+  Alcotest.(check bool) "passive verdict lags the open instant" false
+    (Monitor.copy_stale m ~source:"S" ~target:"C");
+  Alcotest.(check bool) "force_refresh sees the aged-out value" true
+    (Monitor.force_refresh m ~source:"S" ~target:"C");
+  Alcotest.(check bool) "refreshed verdict is cached" true
+    (Monitor.copy_stale m ~source:"S" ~target:"C");
+  (* The copy catches up; the next completed instant turns it fresh. *)
+  feed 4 9.0 (Event.w c (Value.Int 3));
+  feed 5 10.0 (Event.w s (Value.Int 3));
+  Alcotest.(check bool) "fresh after catch-up" false
+    (Monitor.copy_stale m ~source:"S" ~target:"C");
+  match List.rev !transitions with
+  | (8.0, true) :: (9.0, false) :: [] -> ()
+  | ts ->
+    Alcotest.failf "expected stale@8 then fresh@9, got [%s]"
+      (String.concat "; "
+         (List.map (fun (at, s) -> Printf.sprintf "(%.1f,%b)" at s) ts))
+
+(* §5 Silent_drop regression over the real payroll pipeline: writes keep
+   landing on the source database (and in the trace), the notifications
+   die silently.  The live verdict must flag the copy within κ plus one
+   monitor tick of the dropped write — the post-hoc fold over the same
+   prefix sees nothing until the horizon. *)
+let silent_drop_flagged_within_kappa () =
+  let config = Sys_.Config.with_monitor true (Sys_.Config.seeded 4242) in
+  let p = Payroll.create ~config ~employees:1 () in
+  Payroll.install_propagation p;
+  let system = p.Payroll.system in
+  let sim = Sys_.sim system in
+  let monitor = Option.get (Sys_.monitor system) in
+  let nsw = Cm_core.Interface.no_spontaneous_write Payroll.target_pattern in
+  Sys_.declare_copies system
+    ~interfaces:(Sys_.interface_rules system @ [ nsw ])
+    [ ("Salary1", "Salary2") ];
+  Monitor.note_initial monitor p.Payroll.initial;
+  let kappa =
+    match Sys_.copy_qualifies system ~source:"Salary1" ~target:"Salary2" with
+    | Ok k -> k
+    | Error e -> Alcotest.failf "copy does not qualify: %s" e
+  in
+  let emp = List.hd p.Payroll.employees in
+  let stale_at = ref None in
+  Monitor.on_staleness monitor (fun ~source:_ ~target:_ ~at ~stale ->
+      if stale && !stale_at = None then stale_at := Some at);
+  (* A healthy write propagates; then the channel starts dropping. *)
+  Payroll.schedule_update p ~at:10.0 ~emp ~salary:1111;
+  let health = Tr_rel.health p.Payroll.tr_a in
+  Cm_sim.Sim.schedule_at sim 30.0 (fun () ->
+      Health.set health Health.Silent_drop);
+  Payroll.schedule_update p ~at:35.0 ~emp ~salary:2222;
+  Sys_.run system ~until:100.0;
+  Alcotest.(check bool) "copy is stale at the horizon" true
+    (Monitor.copy_stale monitor ~source:"Salary1" ~target:"Salary2");
+  match !stale_at with
+  | None -> Alcotest.fail "silent drop never flagged"
+  | Some at ->
+    let bound = 35.0 +. kappa +. 1.0 (* + one default-tick poll period *) in
+    Alcotest.(check bool)
+      (Printf.sprintf "flagged at %.2f <= %.2f (write + kappa + tick)" at bound)
+      true
+      (at <= bound);
+    Alcotest.(check bool) "not before the write aged out" true
+      (at >= 35.0 +. kappa -. 1e-9)
+
+(* The monitor only observes: a monitored run's trace is byte-identical
+   to an unmonitored one. *)
+let observation_only () =
+  let run monitored =
+    let base = Sys_.Config.seeded 777 in
+    let config = if monitored then Sys_.Config.with_monitor true base else base in
+    let p = Payroll.create ~config ~employees:2 () in
+    Payroll.install_propagation p;
+    Payroll.random_updates p ~mean_interarrival:15.0 ~until:300.0;
+    Sys_.run p.Payroll.system ~until:400.0;
+    List.map Event.to_string (Trace.events (Sys_.trace p.Payroll.system))
+  in
+  Alcotest.(check (list string)) "same trace" (run false) (run true)
+
+let () =
+  Alcotest.run "cm_monitor"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "150 random traces, all forms" `Quick
+            differential_sweep;
+          Alcotest.test_case "long traces" `Quick differential_long;
+          Alcotest.test_case "empty trace" `Quick differential_empty;
+        ] );
+      ( "violations",
+        [
+          Alcotest.test_case "surface at their instant" `Quick
+            violations_surface_immediately;
+          Alcotest.test_case "feed discipline" `Quick feed_discipline;
+          Alcotest.test_case "unsupported forms" `Quick
+            unsupported_forms_rejected;
+        ] );
+      ( "staleness",
+        [
+          Alcotest.test_case "verdict + transitions" `Quick
+            staleness_verdict_no_sim;
+          Alcotest.test_case "silent drop within kappa + tick" `Quick
+            silent_drop_flagged_within_kappa;
+          Alcotest.test_case "observation only" `Quick observation_only;
+        ] );
+    ]

@@ -255,6 +255,35 @@ let fifty_crash_chaos_schedule_is_lossless () =
   Alcotest.(check bool) "crashes were visible" true (r.Chaos.metric_notices > 0);
   Alcotest.(check bool) "final state converged" true r.Chaos.final_state_matches
 
+(* -- acceptance: self-healing across 50 seeded schedules -- *)
+
+let fifty_seed_heal_schedules_self_heal () =
+  for seed = 1 to 50 do
+    let spec = { Chaos.default_spec with seed } in
+    let r = Chaos.run_heal spec in
+    if not (Chaos.heal_passed r) then
+      Alcotest.failf "heal verdict FAIL (seed %d):\n%s" seed
+        (Chaos.heal_report_to_string r);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: no stale serves" seed)
+      0 r.Chaos.h_stale_serves;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: bad rollout rolled back" seed)
+      1 r.Chaos.h_rollbacks;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: rollback journaled" seed)
+      true r.Chaos.h_rollback_journaled;
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d: streamed verdicts match the fold" seed)
+      [] r.Chaos.h_fold_mismatches;
+    (* Spot-check byte determinism (every seed would double the sweep). *)
+    if seed mod 10 = 0 then
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: deterministic report" seed)
+        (Chaos.heal_report_to_string r)
+        (Chaos.heal_report_to_string (Chaos.run_heal spec))
+  done
+
 let () =
   Alcotest.run "cm_recovery"
     [
@@ -287,5 +316,7 @@ let () =
         [
           Alcotest.test_case "50-crash payroll schedule" `Slow
             fifty_crash_chaos_schedule_is_lossless;
+          Alcotest.test_case "50-seed heal schedules self-heal" `Slow
+            fifty_seed_heal_schedules_self_heal;
         ] );
     ]

@@ -263,6 +263,95 @@ let epoch_churn_requalifies () =
   Alcotest.check outcome "re-qualified" Route.Replica d.Route.d_outcome;
   Alcotest.(check (float 1e-9)) "kappa restored" 11.0 d.Route.d_served_kappa
 
+(* -- quarantine: live staleness pulls a copy out of service ---------- *)
+
+(* A §5 Silent_drop makes Salary2 stale; the monitor's transition
+   quarantines it instantly.  Re-admission is half-open: reads before
+   the dwell skip "quarantined", the first read after it probes (one
+   forced refresh billed as a poll); a probe against a still-stale copy
+   re-arms the quarantine, and only a fresh probe returns the copy to
+   service. *)
+let quarantine_probe_readmission () =
+  let module Monitor = Cm_core.Monitor in
+  let module Tr_rel = Cm_core.Tr_relational in
+  let module Health = Cm_sources.Health in
+  let config = Sys_.Config.with_monitor true (Sys_.Config.seeded 1703) in
+  let p = Payroll.create ~config ~employees:1 () in
+  Payroll.install_propagation p;
+  let system = p.Payroll.system in
+  let sim = Sys_.sim system in
+  let monitor = Option.get (Sys_.monitor system) in
+  let nsw = Interface.no_spontaneous_write Payroll.target_pattern in
+  let route =
+    Route.create
+      ~interfaces:(Sys_.interface_rules system @ [ nsw ])
+      ~probe_after:5.0 system
+      ~constraints:[ ("Salary1", "Salary2") ]
+  in
+  Monitor.note_initial monitor p.Payroll.initial;
+  let kappa =
+    match Sys_.copy_qualifies system ~source:"Salary1" ~target:"Salary2" with
+    | Ok k -> k
+    | Error e -> Alcotest.failf "copy does not qualify: %s" e
+  in
+  Alcotest.(check (float 1e-9)) "kappa 11" 11.0 kappa;
+  let emp = List.hd p.Payroll.employees in
+  let decisions = ref [] in
+  let read_at at label =
+    Cm_sim.Sim.schedule_at sim at (fun () ->
+        let d = Route.read route ~client_site:Payroll.site_b "Salary1" in
+        decisions := (label, d) :: !decisions)
+  in
+  (* t=10: healthy write, propagates.  t=30: channel starts dropping
+     silently.  t=35: a dropped write — staleness onset at 35 + κ = 46,
+     quarantine entry on the tick that notices it, probe due ~5 s on. *)
+  Payroll.schedule_update p ~at:10.0 ~emp ~salary:1111;
+  let health = Tr_rel.health p.Payroll.tr_a in
+  Cm_sim.Sim.schedule_at sim 30.0 (fun () ->
+      Health.set health Health.Silent_drop);
+  Payroll.schedule_update p ~at:35.0 ~emp ~salary:2222;
+  Cm_sim.Sim.schedule_at sim 40.0 (fun () -> Health.set health Health.Healthy);
+  read_at 20.0 "healthy";
+  read_at 48.0 "dwell";  (* quarantined, probe not yet due *)
+  read_at 54.0 "probe-stale";  (* probe fires; copy still stale; re-arm *)
+  (* t=56: a fresh write propagates (arrives ~57.2), so the next probe
+     after the re-armed dwell (54 + 5) finds the copy fresh. *)
+  Payroll.schedule_update p ~at:56.0 ~emp ~salary:3333;
+  read_at 62.0 "probe-fresh";
+  read_at 65.0 "served-again";
+  Sys_.run system ~until:80.0;
+  let d label = List.assoc label !decisions in
+  Alcotest.check outcome "healthy read serves the replica" Route.Replica
+    (d "healthy").Route.d_outcome;
+  Alcotest.check outcome "quarantined read falls back" Route.Master
+    (d "dwell").Route.d_outcome;
+  Alcotest.(check (list (pair string string)))
+    "dwell skip reason"
+    [ ("Salary2", "quarantined") ]
+    (skip_reasons (d "dwell"));
+  Alcotest.check outcome "stale probe falls back" Route.Master
+    (d "probe-stale").Route.d_outcome;
+  Alcotest.(check (list (pair string string)))
+    "stale probe skip reason"
+    [ ("Salary2", "stale") ]
+    (skip_reasons (d "probe-stale"));
+  Alcotest.check outcome "fresh probe serves the replica" Route.Replica
+    (d "probe-fresh").Route.d_outcome;
+  Alcotest.(check bool)
+    (Printf.sprintf "probe pays the poll surcharge (%.2f)"
+       (d "probe-fresh").Route.d_latency)
+    true
+    ((d "probe-fresh").Route.d_latency >= 1.0);
+  Alcotest.check outcome "readmitted copy serves normally" Route.Replica
+    (d "served-again").Route.d_outcome;
+  Alcotest.(check bool) "no surcharge once readmitted" true
+    ((d "served-again").Route.d_latency < 1.0);
+  Alcotest.(check int) "one quarantine entry" 1 (Route.quarantines route);
+  Alcotest.(check int) "two probes" 2 (Route.probes route);
+  Alcotest.(check int) "one readmission" 1 (Route.readmissions route);
+  Alcotest.(check (list (triple string string (float 1e-9))))
+    "quarantine list empty at the end" [] (Route.quarantined route)
+
 (* -- deterministic reports -- *)
 
 let reports_are_deterministic () =
@@ -323,6 +412,11 @@ let () =
         [
           Alcotest.test_case "lost then re-qualified" `Quick
             epoch_churn_requalifies;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "stale -> quarantine -> probe -> readmit" `Quick
+            quarantine_probe_readmission;
         ] );
       ( "reports",
         [

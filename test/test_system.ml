@@ -178,6 +178,60 @@ let duplicate_shell_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* ---- Guarantee_view: §5 invalidation -> reset round trip ---- *)
+
+module GV = Sys_.Guarantee_view
+module Payroll = Cm_workload.Payroll
+
+let guarantee_view_roundtrip () =
+  let p = Payroll.create ~config:(Sys_.Config.seeded 7) ~employees:1 () in
+  Payroll.install_propagation p;
+  let system = p.Payroll.system in
+  let interfaces =
+    Sys_.interface_rules system
+    @ [ Cm_core.Interface.no_spontaneous_write Payroll.target_pattern ]
+  in
+  Sys_.declare_copies ~interfaces system [ ("Salary1", "Salary2") ];
+  let entry () =
+    match Sys_.copy_view system ~source:"Salary1" ~target:"Salary2" with
+    | Some e -> e
+    | None -> Alcotest.fail "declared copy missing from the view"
+  in
+  let qualifies () =
+    Sys_.copy_qualifies system ~source:"Salary1" ~target:"Salary2"
+  in
+  let e0 = entry () in
+  Alcotest.(check bool) "valid at declaration" true e0.GV.gv_valid;
+  let kappa0 =
+    match qualifies () with
+    | Ok k -> k
+    | Error e -> Alcotest.failf "expected qualification, got %s" e
+  in
+  Alcotest.(check bool) "kappa positive" true (kappa0 > 0.0);
+  (* A §5 metric failure at the copy site invalidates the metric
+     guarantee and takes the copy out of qualification... *)
+  Shell.report_failure p.Payroll.shell_b Msg.Metric;
+  Sys_.run system ~until:1.0;
+  let e1 = entry () in
+  Alcotest.(check bool) "invalidated after failure" false e1.GV.gv_valid;
+  Alcotest.(check bool) "invalidation recorded" true
+    (e1.GV.gv_invalidations <> []);
+  (match qualifies () with
+  | Error "invalidated" -> ()
+  | Ok _ -> Alcotest.fail "invalidated copy still qualifies"
+  | Error e -> Alcotest.failf "wrong skip reason: %s" e);
+  (* ...and the origin's reset notice restores exactly the prior state:
+     same validity, same kappa, empty invalidation log. *)
+  Shell.broadcast_reset p.Payroll.shell_b;
+  Sys_.run system ~until:2.0;
+  let e2 = entry () in
+  Alcotest.(check bool) "re-validated after reset" true e2.GV.gv_valid;
+  Alcotest.(check int) "invalidation log cleared" 0
+    (List.length e2.GV.gv_invalidations);
+  match qualifies () with
+  | Ok k -> Alcotest.(check (float 0.0)) "same kappa as before" kappa0 k
+  | Error e -> Alcotest.failf "copy did not re-qualify: %s" e
+
 let () =
   Alcotest.run "cm_system"
     [
@@ -203,5 +257,10 @@ let () =
         [
           Alcotest.test_case "lookup by site" `Quick shell_lookup_by_site;
           Alcotest.test_case "duplicate rejected" `Quick duplicate_shell_rejected;
+        ] );
+      ( "guarantee view",
+        [
+          Alcotest.test_case "invalidation/reset round trip" `Quick
+            guarantee_view_roundtrip;
         ] );
     ]

@@ -93,7 +93,36 @@ let readers_open_loop_rejects () =
   Alcotest.(check bool) "non-positive rate" true
     (raises (fun () ->
          Readers.open_loop sim ~rng ~clients:[ ("a", 1) ] ~rate_per_client:0.0
-           ~until:1.0 (fun ~site:_ -> ())))
+           ~until:1.0 (fun ~site:_ -> ())));
+  Alcotest.(check bool) "negative rate" true
+    (raises (fun () ->
+         Readers.open_loop sim ~rng ~clients:[ ("a", 1) ] ~rate_per_client:(-2.0)
+           ~until:1.0 (fun ~site:_ -> ())));
+  (* NaN <= 0.0 is false, so a bare sign check would let NaN through
+     into the interarrival divide and schedule at time NaN forever. *)
+  Alcotest.(check bool) "NaN rate" true
+    (raises (fun () ->
+         Readers.open_loop sim ~rng ~clients:[ ("a", 1) ]
+           ~rate_per_client:Float.nan ~until:1.0 (fun ~site:_ -> ())));
+  Alcotest.(check bool) "infinite rate" true
+    (raises (fun () ->
+         Readers.open_loop sim ~rng ~clients:[ ("a", 1) ]
+           ~rate_per_client:Float.infinity ~until:1.0 (fun ~site:_ -> ())));
+  Alcotest.(check bool) "empty client list" true
+    (raises (fun () ->
+         Readers.open_loop sim ~rng ~clients:[] ~rate_per_client:1.0 ~until:1.0
+           (fun ~site:_ -> ())));
+  Alcotest.(check bool) "negative client count" true
+    (raises (fun () ->
+         Readers.open_loop sim ~rng
+           ~clients:[ ("a", 3); ("b", -1) ]
+           ~rate_per_client:1.0 ~until:1.0 (fun ~site:_ -> ())));
+  (* Several sites, all empty — distinct from the empty-list case. *)
+  Alcotest.(check bool) "all-zero population" true
+    (raises (fun () ->
+         Readers.open_loop sim ~rng
+           ~clients:[ ("a", 0); ("b", 0) ]
+           ~rate_per_client:1.0 ~until:1.0 (fun ~site:_ -> ())))
 
 (* ---- payroll ---- *)
 
