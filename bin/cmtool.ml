@@ -234,6 +234,176 @@ let check_cmd =
           non-zero on errors, and on warnings with --deny-warnings")
     Term.(const check_cmd_run $ file $ rule_files $ json $ deny_warnings)
 
+(* ---- deps ---- *)
+
+module Chase = Cm_chase.Chase
+
+let deps_json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let deps_cmd_run config_file json =
+  match Cmtool_cli.load_config config_file with
+  | Error c -> c
+  | Ok config ->
+    let parsed =
+      List.mapi
+        (fun i (d : Cm_core.Cmrid.dependency_decl) ->
+          (d, Chase.parse ~label:(Printf.sprintf "d%d" (i + 1)) d.Cm_core.Cmrid.d_text))
+        config.Cm_core.Cmrid.dependencies
+    in
+    let bad =
+      List.filter_map
+        (fun ((d : Cm_core.Cmrid.dependency_decl), r) ->
+          match r with
+          | Error m -> Some (d.Cm_core.Cmrid.d_line, m)
+          | Ok _ -> None)
+        parsed
+    in
+    if bad <> [] then begin
+      List.iter (fun (line, m) -> Printf.eprintf "%s:%d: %s\n" config_file line m) bad;
+      1
+    end
+    else begin
+      let deps =
+        List.filter_map (fun ((d : Cm_core.Cmrid.dependency_decl), r) ->
+            match r with Ok dep -> Some (d.Cm_core.Cmrid.d_line, dep) | Error _ -> None)
+          parsed
+      in
+      let program = List.map snd deps in
+      let edges = Chase.dependency_graph program in
+      let cycles = Chase.special_cycles program in
+      let interactions = Chase.interaction_cycles program in
+      let compiled = Chase.to_rules program in
+      if json then begin
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf
+          (Printf.sprintf "{\"config\":\"%s\",\"dependencies\":[" (deps_json_escape config_file));
+        List.iteri
+          (fun i (line, (dep : Chase.dep)) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "{\"label\":\"%s\",\"kind\":\"%s\",\"line\":%d,\"text\":\"%s\"}"
+                 (deps_json_escape dep.Chase.d_label) (Chase.kind_name dep) line
+                 (deps_json_escape (Chase.to_string dep))))
+          deps;
+        Buffer.add_string buf "],\"edges\":[";
+        List.iteri
+          (fun i (e : Chase.edge) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "{\"src\":\"%s\",\"dst\":\"%s\",\"special\":%b,\"dep\":\"%s\"}"
+                 (Chase.position_to_string e.Chase.e_src)
+                 (Chase.position_to_string e.Chase.e_dst)
+                 e.Chase.e_special (deps_json_escape e.Chase.e_dep)))
+          edges;
+        Buffer.add_string buf
+          (Printf.sprintf "],\"weakly_acyclic\":%b,\"special_cycles\":[" (cycles = []));
+        List.iteri
+          (fun i (c : Chase.cycle) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "{\"positions\":[%s],\"labels\":[%s]}"
+                 (String.concat ","
+                    (List.map
+                       (fun p -> "\"" ^ Chase.position_to_string p ^ "\"")
+                       c.Chase.c_positions))
+                 (String.concat ","
+                    (List.map (fun l -> "\"" ^ deps_json_escape l ^ "\"") c.Chase.c_labels))))
+          cycles;
+        Buffer.add_string buf "],\"interaction_cycles\":[";
+        List.iteri
+          (fun i group ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "[%s]"
+                 (String.concat ","
+                    (List.map
+                       (fun (d : Chase.dep) -> "\"" ^ deps_json_escape d.Chase.d_label ^ "\"")
+                       group))))
+          interactions;
+        (match compiled with
+        | Ok rules ->
+          Buffer.add_string buf "],\"rules\":[";
+          List.iteri
+            (fun i r ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf
+                ("\"" ^ deps_json_escape (Cm_rule.Rule.to_string r) ^ "\""))
+            rules;
+          Buffer.add_string buf "]}"
+        | Error m ->
+          Buffer.add_string buf
+            (Printf.sprintf "],\"rules\":null,\"rules_error\":\"%s\"}" (deps_json_escape m)));
+        print_endline (Buffer.contents buf)
+      end
+      else begin
+        Printf.printf "# %d dependenc%s\n" (List.length deps)
+          (if List.length deps = 1 then "y" else "ies");
+        List.iter
+          (fun (line, (dep : Chase.dep)) ->
+            Printf.printf "%4d  %-4s %s\n" line (Chase.kind_name dep) (Chase.to_string dep))
+          deps;
+        let specials = List.length (List.filter (fun (e : Chase.edge) -> e.Chase.e_special) edges) in
+        Printf.printf "\nposition graph: %d edge(s), %d existential\n" (List.length edges) specials;
+        List.iter
+          (fun (e : Chase.edge) ->
+            Printf.printf "  %s %s %s  [%s]\n"
+              (Chase.position_to_string e.Chase.e_src)
+              (if e.Chase.e_special then "->*" else "-> ")
+              (Chase.position_to_string e.Chase.e_dst)
+              e.Chase.e_dep)
+          edges;
+        if cycles = [] then
+          Printf.printf "weakly acyclic: yes — the chase terminates on every instance\n"
+        else begin
+          Printf.printf "weakly acyclic: NO\n";
+          List.iter
+            (fun (c : Chase.cycle) ->
+              Printf.printf "  cycle through ⁎ edge: positions %s  [%s]\n"
+                (String.concat ", " (List.map Chase.position_to_string c.Chase.c_positions))
+                (String.concat ", " c.Chase.c_labels))
+            cycles
+        end;
+        if interactions = [] then Printf.printf "interaction cycles: none\n"
+        else
+          List.iter
+            (fun group ->
+              Printf.printf "interaction cycle: %s\n"
+                (String.concat ", "
+                   (List.map (fun (d : Chase.dep) -> d.Chase.d_label) group)))
+            interactions;
+        (match compiled with
+        | Ok rules ->
+          Printf.printf "\ncompiled rules:\n";
+          List.iter (fun r -> Printf.printf "  %s\n" (Cm_rule.Rule.to_string r)) rules
+        | Error m -> Printf.printf "\ncompiled rules: none — %s\n" m)
+      end;
+      if cycles = [] then 0 else 1
+    end
+
+let deps_cmd =
+  let file = Cmtool_cli.config_pos in
+  let json = Cmtool_cli.json_arg ~doc:"Emit the dependency report as JSON" in
+  Cmd.v
+    (Cmd.info "deps"
+       ~doc:
+         "Analyze the [dependency] TGD/EGD constraints of a CM-RID \
+          configuration: position graph with ordinary vs existential (⁎) \
+          edges, weak-acyclicity verdict (chase termination), EGD/TGD \
+          interaction cycles, and the CM rules the weakly-acyclic program \
+          compiles to.  Exits non-zero when the program is not weakly \
+          acyclic")
+    Term.(const deps_cmd_run $ file $ json)
+
 (* ---- evolve ---- *)
 
 let parse_rule_file = Cmtool_cli.parse_rule_file
@@ -934,6 +1104,6 @@ let () =
       ~doc:"Constraint management toolkit for heterogeneous information systems"
   in
   exit (Cmd.eval' (Cmd.group info
-       [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_cmd; evolve_cmd;
-         check_trace_cmd; demo_cmd; faults_cmd; chaos_cmd; stats_cmd; spans_cmd;
-         route_cmd ]))
+       [ parse_cmd; suggest_cmd; derive_cmd; config_cmd; check_cmd; deps_cmd;
+         evolve_cmd; check_trace_cmd; demo_cmd; faults_cmd; chaos_cmd;
+         stats_cmd; spans_cmd; route_cmd ]))

@@ -5,6 +5,7 @@ module Item = Cm_rule.Item
 module Value = Cm_rule.Value
 module Parser = Cm_rule.Parser
 module Cmrid = Cm_core.Cmrid
+module Chase = Cm_chase.Chase
 module Interface = Cm_core.Interface
 module Derive = Cm_core.Derive
 module Guarantee_view = Cm_core.System.Guarantee_view
@@ -470,44 +471,9 @@ let capability_pass ctx add =
 (* ------------------------------------------------------------------ *)
 (* Pass 3: conflict analysis over the static rule dependency graph     *)
 
-(* Tarjan's strongly connected components. *)
-let sccs n succs =
-  let index = Array.make n (-1) in
-  let low = Array.make n 0 in
-  let onstack = Array.make n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let comps = ref [] in
-  let rec connect v =
-    index.(v) <- !counter;
-    low.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    onstack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) < 0 then begin
-          connect w;
-          low.(v) <- min low.(v) low.(w)
-        end
-        else if onstack.(w) then low.(v) <- min low.(v) index.(w))
-      (succs v);
-    if low.(v) = index.(v) then begin
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-          stack := rest;
-          onstack.(w) <- false;
-          if w = v then w :: acc else pop (w :: acc)
-        | [] -> acc
-      in
-      comps := pop [] :: !comps
-    end
-  in
-  for v = 0 to n - 1 do
-    if index.(v) < 0 then connect v
-  done;
-  !comps
+(* Tarjan's strongly connected components, shared with the chase-based
+   dependency analysis via Cm_util.Graph. *)
+let sccs = Cm_util.Graph.sccs
 
 let conflict_pass ctx add =
   let rules = Array.of_list ctx.all in
@@ -542,12 +508,7 @@ let conflict_pass ctx add =
       (Rule.rhs_steps rules.(a).rule)
   done;
   let succs_of keep v = List.filter_map (fun (w, d) -> if keep d then Some w else None) edges.(v) in
-  let cyclic succs comp =
-    match comp with
-    | [ v ] -> List.mem v (succs v)
-    | _ :: _ :: _ -> true
-    | [] -> false
-  in
+  let cyclic = Cm_util.Graph.cyclic in
   let comp_finding code severity comp message_of =
     let members = List.map (fun v -> rules.(v)) comp in
     let ids = rule_ids members in
@@ -846,6 +807,16 @@ let unused_pass ctx ~file (config : Cmrid.t) add =
         Hashtbl.replace used c.Cmrid.c_source ();
         Hashtbl.replace used c.Cmrid.c_target ())
       config.Cmrid.constraints;
+    (* Dependency atoms reference items the same way rules do. *)
+    List.iter
+      (fun (d : Cmrid.dependency_decl) ->
+        match Chase.parse d.Cmrid.d_text with
+        | Ok dep ->
+          List.iter
+            (fun (a : Chase.atom) -> Hashtbl.replace used a.Chase.a_base ())
+            (Chase.body_atoms dep @ Chase.head_atoms dep)
+        | Error _ -> ())
+      config.Cmrid.dependencies;
     Hashtbl.fold (fun base ii acc -> (base, ii) :: acc) ctx.items []
     |> List.sort compare
     |> List.iter (fun (base, ii) ->
@@ -862,6 +833,112 @@ let unused_pass ctx ~file (config : Cmrid.t) add =
                      "item %s is declared but no rule or constraint mentions it" base;
                })
   end
+
+(* ------------------------------------------------------------------ *)
+(* Pass 7: chase-based dependency analysis (DEP001–DEP005, §4.1)       *)
+
+(* The [dependency] declarations are TGD/EGD constraints over the item
+   bases.  The chase repairs them at runtime; these checks decide,
+   before anything runs, that the chase terminates (weak acyclicity via
+   the shared Tarjan machinery), that its repairs are executable against
+   the declared §3.1.1 interfaces, and that each dependency can fire at
+   all. *)
+let dependency_pass ctx ~file (config : Cmrid.t) add =
+  let mk code severity line site message = add { code; severity; file; line; site; message } in
+  let parsed =
+    List.mapi
+      (fun i (d : Cmrid.dependency_decl) ->
+        (d, Chase.parse ~label:(Printf.sprintf "d%d" (i + 1)) d.Cmrid.d_text))
+      config.Cmrid.dependencies
+  in
+  let deps =
+    List.filter_map
+      (fun (d, r) -> match r with Ok dep -> Some (d, dep) | Error _ -> None)
+      parsed
+  in
+  let declared base = Hashtbl.find_opt ctx.items base in
+  let is_aux base = Hashtbl.mem ctx.aux base in
+  List.iter
+    (fun ((d : Cmrid.dependency_decl), r) ->
+      match r with
+      | Ok _ -> ()
+      | Error m ->
+        mk "DEP005" Error (Some d.Cmrid.d_line) None ("dependency does not parse: " ^ m))
+    parsed;
+  List.iter
+    (fun ((d : Cmrid.dependency_decl), (dep : Chase.dep)) ->
+      (* Arity under the value-last convention: an item with k declared
+         parameters takes k + 1 atom arguments. *)
+      List.iter
+        (fun (a : Chase.atom) ->
+          match declared a.Chase.a_base with
+          | Some ii when List.length a.Chase.a_args <> ii.ii_arity + 1 ->
+            mk "DEP005" Error (Some d.Cmrid.d_line) (Some ii.ii_site)
+              (Printf.sprintf
+                 "dependency %s: atom %s takes %d argument(s), but item %s declares %d parameter(s) — atoms take the parameters plus the value"
+                 dep.Chase.d_label (Chase.atom_to_string a) (List.length a.Chase.a_args)
+                 a.Chase.a_base ii.ii_arity)
+          | _ -> ())
+        (Chase.body_atoms dep @ Chase.head_atoms dep);
+      let bases = Chase.body_bases dep in
+      if not (List.exists (fun b -> declared b <> None || is_aux b) bases) then
+        mk "DEP004" Warning (Some d.Cmrid.d_line) None
+          (Printf.sprintf
+             "dependency %s is unreachable: none of its body bases (%s) is declared by any source or location, so it can never have an active trigger"
+             dep.Chase.d_label (String.concat ", " bases));
+      List.iter
+        (fun base ->
+          match declared base with
+          | Some ii when not ii.ii_writable ->
+            mk "DEP003" Error (Some d.Cmrid.d_line) (Some ii.ii_site)
+              (Printf.sprintf
+                 "dependency %s: its repair writes %s, but %s offers no write interface (§3.1.1) — the chase-derived repair cannot execute"
+                 dep.Chase.d_label base base)
+          | Some _ -> ()
+          | None ->
+            if not (is_aux base) then
+              mk "DEP003" Error (Some d.Cmrid.d_line) None
+                (Printf.sprintf
+                   "dependency %s: its repair writes %s, which no source or location declares"
+                   dep.Chase.d_label base))
+        (Chase.written_bases dep))
+    deps;
+  let program = List.map snd deps in
+  let line_of_label label =
+    List.fold_left
+      (fun acc ((d : Cmrid.dependency_decl), (dep : Chase.dep)) ->
+        if dep.Chase.d_label = label then
+          match acc with
+          | Some l -> Some (min l d.Cmrid.d_line)
+          | None -> Some d.Cmrid.d_line
+        else acc)
+      None deps
+  in
+  let min_line labels =
+    List.fold_left
+      (fun acc l ->
+        match line_of_label l, acc with
+        | Some x, Some y -> Some (min x y)
+        | Some x, None -> Some x
+        | None, acc -> acc)
+      None labels
+  in
+  List.iter
+    (fun (c : Chase.cycle) ->
+      mk "DEP001" Error (min_line c.Chase.c_labels) None
+        (Printf.sprintf
+           "dependencies %s are not weakly acyclic: positions %s form a cycle through an existential (⁎) edge — chase termination cannot be guaranteed, repairs may cascade forever"
+           (String.concat ", " c.Chase.c_labels)
+           (String.concat ", " (List.map Chase.position_to_string c.Chase.c_positions))))
+    (Chase.special_cycles program);
+  List.iter
+    (fun group ->
+      let labels = List.map (fun (dep : Chase.dep) -> dep.Chase.d_label) group in
+      mk "DEP002" Warning (min_line labels) None
+        (Printf.sprintf
+           "dependencies %s form an EGD/TGD interaction cycle: the EGD can merge labelled nulls the TGD creates and re-enable it — restricted-chase termination becomes firing-order-dependent"
+           (String.concat ", " labels)))
+    (Chase.interaction_cycles program)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -997,6 +1074,7 @@ let check_config ?(rule_files = []) ~file text =
   duplicate_pass { ctx with all = user_rules } add;
   reachability_pass ctx add;
   unused_pass { ctx with all = user_rules } ~file config add;
+  dependency_pass ctx ~file config add;
   finish !findings
 
 let check_rules ?(file = "<rules>") ~interfaces ~strategy ~locator () =

@@ -5,7 +5,7 @@
     checker, grown into a diagnostics engine.  It never executes a
     system: it parses a configuration (and optional rule files), builds
     the same interface statements the CM-Translators would report, and
-    runs five static pass families over the result:
+    runs six static pass families over the result:
 
     - {b resolution} (R…): every item a rule mentions is declared, with
       the declared arity; rule parameters are bound; right-hand sides
@@ -23,7 +23,17 @@
       {e no} §3.3.1 guarantee is provable is flagged — the configuration
       promises nothing;
     - {b hygiene} (HYG…): unreachable rules, duplicate labels, items
-      declared but never used.
+      declared but never used;
+    - {b dependencies} (DEP…): the [dependency] TGD/EGD constraints are
+      run through {!Cm_chase.Chase} — DEP001 (error) a ⁎-cycle in the
+      position graph defeats weak acyclicity, so chase termination is
+      unproven; DEP002 (warning) an EGD/TGD interaction cycle makes
+      restricted-chase termination firing-order-dependent; DEP003
+      (error) a repair writes a base whose declared §3.1.1 interface
+      lacks write capability; DEP004 (warning) no body base of a
+      dependency is declared, so it can never have an active trigger;
+      DEP005 (error) malformed surface text or an atom whose arity
+      breaks the value-last convention (declared parameters + 1).
 
     Findings are plain data; {!to_text} and {!to_json} render them, and
     {!exit_code} maps them to a CI-friendly process status. *)

@@ -1,0 +1,641 @@
+module Value = Cm_rule.Value
+module Expr = Cm_rule.Expr
+module Template = Cm_rule.Template
+module Rule = Cm_rule.Rule
+module Parser = Cm_rule.Parser
+module Db = Cm_relational.Database
+
+type term = Tvar of string | Tconst of Value.t
+
+type atom = { a_base : string; a_args : term list }
+
+type tgd = { t_body : atom list; t_head : atom list }
+
+type egd = { e_body : atom list; e_eqs : (term * term) list }
+
+type form = Tgd of tgd | Egd of egd
+
+type dep = { d_label : string; d_form : form }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let term_to_string = function Tvar x -> x | Tconst v -> Value.to_string v
+
+let atom_to_string a =
+  Printf.sprintf "%s(%s)" a.a_base (String.concat ", " (List.map term_to_string a.a_args))
+
+let eq_to_string (a, b) = Printf.sprintf "%s == %s" (term_to_string a) (term_to_string b)
+
+let to_string d =
+  let body, head =
+    match d.d_form with
+    | Tgd t ->
+      ( String.concat " && " (List.map atom_to_string t.t_body),
+        String.concat " && " (List.map atom_to_string t.t_head) )
+    | Egd e ->
+      ( String.concat " && " (List.map atom_to_string e.e_body),
+        String.concat " && " (List.map eq_to_string e.e_eqs) )
+  in
+  Printf.sprintf "%s: %s -> %s" d.d_label body head
+
+let kind_name d = match d.d_form with Tgd _ -> "tgd" | Egd _ -> "egd"
+
+let body_atoms d = match d.d_form with Tgd t -> t.t_body | Egd e -> e.e_body
+
+let head_atoms d = match d.d_form with Tgd t -> t.t_head | Egd _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Variables and bases                                                 *)
+
+let atom_vars a = List.filter_map (function Tvar x -> Some x | Tconst _ -> None) a.a_args
+
+let atoms_vars atoms =
+  (* first-occurrence order, no duplicates *)
+  List.fold_left
+    (fun acc a ->
+      List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) acc (atom_vars a))
+    [] atoms
+
+let existential_vars t =
+  let universal = atoms_vars t.t_body in
+  List.filter (fun x -> not (List.mem x universal)) (atoms_vars t.t_head)
+
+let body_bases d = List.sort_uniq compare (List.map (fun a -> a.a_base) (body_atoms d))
+
+let eq_vars eqs =
+  List.concat_map
+    (fun (a, b) -> List.filter_map (function Tvar x -> Some x | Tconst _ -> None) [ a; b ])
+    eqs
+
+let written_bases d =
+  match d.d_form with
+  | Tgd t -> List.sort_uniq compare (List.map (fun a -> a.a_base) t.t_head)
+  | Egd e ->
+    let equated = eq_vars e.e_eqs in
+    List.filter_map
+      (fun a -> if List.exists (fun x -> List.mem x equated) (atom_vars a) then Some a.a_base else None)
+      e.e_body
+    |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Surface syntax                                                      *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+(* Optional "label:" prefix, recognized only when a bare identifier is
+   immediately followed by ':' — atoms always open a parenthesis first. *)
+let split_label text =
+  let n = String.length text in
+  let rec skip_spaces i = if i < n && text.[i] = ' ' then skip_spaces (i + 1) else i in
+  let start = skip_spaces 0 in
+  let rec ident_end i = if i < n && is_ident_char text.[i] then ident_end (i + 1) else i in
+  let stop = ident_end start in
+  if stop > start && stop < n && text.[stop] = ':' then
+    (Some (String.sub text start (stop - start)), String.sub text (stop + 1) (n - stop - 1))
+  else (None, text)
+
+(* The first "->" outside a string literal splits body from head. *)
+let split_arrow text =
+  let n = String.length text in
+  let rec scan i in_str =
+    if i >= n then None
+    else if text.[i] = '"' then scan (i + 1) (not in_str)
+    else if (not in_str) && text.[i] = '-' && i + 1 < n && text.[i + 1] = '>' then
+      Some (String.sub text 0 i, String.sub text (i + 2) (n - i - 2))
+    else scan (i + 1) in_str
+  in
+  scan 0 false
+
+let rec conjuncts = function
+  | Expr.Binop (Expr.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let term_of_expr = function
+  | Expr.Var x -> Ok (Tvar x)
+  | Expr.Const v -> Ok (Tconst v)
+  | e -> Error (Printf.sprintf "term %s must be a variable or a constant" (Expr.to_string e))
+
+let atom_of_expr = function
+  | Expr.Item (base, args) ->
+    let rec go acc = function
+      | [] -> Ok { a_base = base; a_args = List.rev acc }
+      | arg :: rest -> (
+        match term_of_expr arg with Ok t -> go (t :: acc) rest | Error m -> Error m)
+    in
+    go [] args
+  | e ->
+    Error
+      (Printf.sprintf "%s is not an item atom — expected Base(t1, …, tk, v)" (Expr.to_string e))
+
+let parse ?(label = "dep") text =
+  let ( let* ) = Result.bind in
+  let explicit, rest = split_label text in
+  let label = Option.value explicit ~default:label in
+  match split_arrow rest with
+  | None -> Error "a dependency needs '->' between body and head"
+  | Some (body_text, head_text) ->
+    let parse_side what s =
+      if String.trim s = "" then Error (Printf.sprintf "empty %s" what)
+      else
+        match Parser.parse_expr s with
+        | e -> Ok (conjuncts e)
+        | exception Parser.Parse_error { message; _ } ->
+          Error (Printf.sprintf "cannot parse %s: %s" what message)
+        | exception Invalid_argument m -> Error (Printf.sprintf "cannot parse %s: %s" what m)
+    in
+    let* body_exprs = parse_side "body" body_text in
+    let* head_exprs = parse_side "head" head_text in
+    let rec atoms acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest -> (
+        match atom_of_expr e with Ok a -> atoms (a :: acc) rest | Error m -> Error m)
+    in
+    let* body = atoms [] body_exprs in
+    let is_eq = function Expr.Binop (Expr.Eq, _, _) -> true | _ -> false in
+    if List.exists is_eq head_exprs then
+      (* EGD: every head conjunct must be an equality over body terms. *)
+      let rec eqs acc = function
+        | [] -> Ok (List.rev acc)
+        | Expr.Binop (Expr.Eq, a, b) :: rest ->
+          let* ta = term_of_expr a in
+          let* tb = term_of_expr b in
+          eqs ((ta, tb) :: acc) rest
+        | e :: _ ->
+          Error
+            (Printf.sprintf "EGD heads mix no atoms with equalities: %s" (Expr.to_string e))
+      in
+      let* eqs = eqs [] head_exprs in
+      let universal = atoms_vars body in
+      let unbound = List.filter (fun x -> not (List.mem x universal)) (eq_vars eqs) in
+      (match unbound with
+      | [] -> Ok { d_label = label; d_form = Egd { e_body = body; e_eqs = eqs } }
+      | x :: _ ->
+        Error (Printf.sprintf "equality variable %s is not bound by the body" x))
+    else
+      let* head = atoms [] head_exprs in
+      Ok { d_label = label; d_form = Tgd { t_body = body; t_head = head } }
+
+(* ------------------------------------------------------------------ *)
+(* The position graph and weak acyclicity                              *)
+
+type position = { p_base : string; p_index : int }
+
+let position_to_string p = Printf.sprintf "%s.%d" p.p_base p.p_index
+
+type edge = { e_src : position; e_dst : position; e_special : bool; e_dep : string }
+
+let var_positions atoms x =
+  List.concat_map
+    (fun a ->
+      List.concat
+        (List.mapi
+           (fun i t -> if t = Tvar x then [ { p_base = a.a_base; p_index = i } ] else [])
+           a.a_args))
+    atoms
+
+let dependency_graph deps =
+  let edges =
+    List.concat_map
+      (fun d ->
+        match d.d_form with
+        | Egd _ -> []
+        | Tgd t ->
+          let universal = atoms_vars t.t_body in
+          let head_vars = atoms_vars t.t_head in
+          let shared = List.filter (fun x -> List.mem x head_vars) universal in
+          let existential = existential_vars t in
+          let special_dsts =
+            List.concat_map (fun y -> var_positions t.t_head y) existential
+          in
+          List.concat_map
+            (fun x ->
+              let srcs = var_positions t.t_body x in
+              let ordinary_dsts = var_positions t.t_head x in
+              List.concat_map
+                (fun src ->
+                  List.map
+                    (fun dst -> { e_src = src; e_dst = dst; e_special = false; e_dep = d.d_label })
+                    ordinary_dsts
+                  @ List.map
+                      (fun dst -> { e_src = src; e_dst = dst; e_special = true; e_dep = d.d_label })
+                      special_dsts)
+                srcs)
+            shared)
+      deps
+  in
+  List.sort_uniq compare edges
+
+type cycle = { c_positions : position list; c_labels : string list }
+
+let special_cycles deps =
+  let edges = dependency_graph deps in
+  let positions =
+    List.sort_uniq compare (List.concat_map (fun e -> [ e.e_src; e.e_dst ]) edges)
+  in
+  let pos_arr = Array.of_list positions in
+  let n = Array.length pos_arr in
+  let index_of = Hashtbl.create (max 8 n) in
+  Array.iteri (fun i p -> Hashtbl.replace index_of p i) pos_arr;
+  let succ = Array.make n [] in
+  List.iter
+    (fun e ->
+      let s = Hashtbl.find index_of e.e_src and d = Hashtbl.find index_of e.e_dst in
+      if not (List.mem d succ.(s)) then succ.(s) <- succ.(s) @ [ d ])
+    edges;
+  let comps = Cm_util.Graph.sccs n (fun v -> succ.(v)) in
+  List.filter_map
+    (fun comp ->
+      let inside p = List.exists (fun v -> pos_arr.(v) = p) comp in
+      let internal = List.filter (fun e -> inside e.e_src && inside e.e_dst) edges in
+      if List.exists (fun e -> e.e_special) internal then
+        Some
+          {
+            c_positions = List.sort compare (List.map (fun v -> pos_arr.(v)) comp);
+            c_labels = List.sort_uniq compare (List.map (fun e -> e.e_dep) internal);
+          }
+      else None)
+    comps
+  |> List.sort compare
+
+let weakly_acyclic deps = special_cycles deps = []
+
+let interaction_cycles deps =
+  let arr = Array.of_list deps in
+  let n = Array.length arr in
+  let writes = Array.map written_bases arr in
+  let reads = Array.map body_bases arr in
+  let succ v =
+    let out = ref [] in
+    for w = n - 1 downto 0 do
+      if List.exists (fun b -> List.mem b reads.(w)) writes.(v) then out := w :: !out
+    done;
+    !out
+  in
+  let comps = Cm_util.Graph.sccs n succ in
+  List.filter_map
+    (fun comp ->
+      let comp = List.sort compare comp in
+      let members = List.map (fun v -> arr.(v)) comp in
+      let has_egd = List.exists (fun d -> match d.d_form with Egd _ -> true | Tgd _ -> false) members in
+      let has_ex_tgd =
+        List.exists
+          (fun d -> match d.d_form with Tgd t -> existential_vars t <> [] | Egd _ -> false)
+          members
+      in
+      if Cm_util.Graph.cyclic succ comp && has_egd && has_ex_tgd then Some members else None)
+    comps
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                           *)
+
+type const = Cval of Value.t | Lnull of int
+
+let const_to_string = function Cval v -> Value.to_string v | Lnull n -> Printf.sprintf "⊥%d" n
+
+let const_equal a b =
+  match a, b with
+  | Cval x, Cval y -> Value.equal x y
+  | Lnull m, Lnull n -> m = n
+  | Cval _, Lnull _ | Lnull _, Cval _ -> false
+
+type fact = { f_base : string; f_args : const list }
+
+let fact_to_string f =
+  Printf.sprintf "%s(%s)" f.f_base (String.concat ", " (List.map const_to_string f.f_args))
+
+module Instance = struct
+  type t = {
+    by_base : (string, fact list ref) Hashtbl.t;  (* reversed insertion order *)
+    index : (fact, unit) Hashtbl.t;
+    mutable count : int;
+  }
+
+  let create () = { by_base = Hashtbl.create 16; index = Hashtbl.create 64; count = 0 }
+
+  let mem t f = Hashtbl.mem t.index f
+
+  let add t f =
+    if mem t f then false
+    else begin
+      Hashtbl.replace t.index f ();
+      let cell =
+        match Hashtbl.find_opt t.by_base f.f_base with
+        | Some cell -> cell
+        | None ->
+          let cell = ref [] in
+          Hashtbl.replace t.by_base f.f_base cell;
+          cell
+      in
+      cell := f :: !cell;
+      t.count <- t.count + 1;
+      true
+    end
+
+  let size t = t.count
+
+  let of_base t base =
+    match Hashtbl.find_opt t.by_base base with Some cell -> List.rev !cell | None -> []
+
+  let bases t =
+    Hashtbl.fold (fun base _ acc -> base :: acc) t.by_base [] |> List.sort compare
+
+  let facts t = List.concat_map (of_base t) (bases t)
+
+  let copy t =
+    let t' = create () in
+    List.iter (fun f -> ignore (add t' f)) (facts t);
+    t'
+
+  (* Rewrite every fact through [subst], preserving per-base insertion
+     order; merged duplicates collapse. *)
+  let rewrite t subst =
+    let groups = List.map (fun b -> (b, of_base t b)) (bases t) in
+    Hashtbl.reset t.by_base;
+    Hashtbl.reset t.index;
+    t.count <- 0;
+    List.iter
+      (fun (_, fs) ->
+        List.iter (fun f -> ignore (add t { f with f_args = List.map subst f.f_args })) fs)
+      groups
+
+  let max_null t =
+    Hashtbl.fold
+      (fun f () acc ->
+        List.fold_left
+          (fun acc c -> match c with Lnull n -> max acc n | Cval _ -> acc)
+          acc f.f_args)
+      t.index 0
+
+  let load_database t ~base_of_table db =
+    let rec go = function
+      | [] -> Ok ()
+      | table :: rest -> (
+        match base_of_table table with
+        | None -> go rest
+        | Some base -> (
+          match Db.exec db (Printf.sprintf "SELECT * FROM %s" table) with
+          | Ok (Db.Rows { rows; _ }) ->
+            List.iter
+              (fun row -> ignore (add t { f_base = base; f_args = List.map (fun v -> Cval v) row }))
+              rows;
+            go rest
+          | Ok _ -> go rest
+          | Error e ->
+            Error (Printf.sprintf "loading table %s: %s" table (Db.error_to_string e))))
+    in
+    go (List.sort compare (Db.table_names db))
+end
+
+(* ------------------------------------------------------------------ *)
+(* The restricted chase                                                *)
+
+type repair =
+  | Insert of { by : string; fact : fact }
+  | Merge of { by : string; null_ : int; into : const }
+
+let repair_to_string = function
+  | Insert { by; fact } -> Printf.sprintf "insert %s  (by %s)" (fact_to_string fact) by
+  | Merge { by; null_; into } ->
+    Printf.sprintf "merge ⊥%d := %s  (by %s)" null_ (const_to_string into) by
+
+type outcome = { rounds : int; repairs : repair list }
+
+exception Chase_failure of string
+
+let chase ?(max_rounds = 1000) deps inst =
+  let next_null = ref (Instance.max_null inst + 1) in
+  let subst : (int, const) Hashtbl.t = Hashtbl.create 8 in
+  let rec resolve c =
+    match c with
+    | Cval _ -> c
+    | Lnull n -> (
+      match Hashtbl.find_opt subst n with
+      | None -> c
+      | Some c' ->
+        let r = resolve c' in
+        if r <> c' then Hashtbl.replace subst n r;
+        r)
+  in
+  let repairs = ref [] in
+  let changed = ref false in
+  (* Homomorphisms of [atoms] into the current instance extending [env],
+     in deterministic (program × insertion) order.  Fully materialized
+     before any firing so mutation never perturbs the trigger set of the
+     current dependency. *)
+  let unify env atom fact =
+    if List.length atom.a_args <> List.length fact.f_args then None
+    else
+      List.fold_left2
+        (fun env t c ->
+          match env with
+          | None -> None
+          | Some env -> (
+            match t with
+            | Tconst v -> if const_equal (Cval v) c then Some env else None
+            | Tvar x -> (
+              match List.assoc_opt x env with
+              | Some c' -> if const_equal c' c then Some env else None
+              | None -> Some ((x, c) :: env))))
+        (Some env) atom.a_args fact.f_args
+  in
+  let rec homs env = function
+    | [] -> [ env ]
+    | a :: rest ->
+      List.concat_map
+        (fun f -> match unify env a f with Some env' -> homs env' rest | None -> [])
+        (Instance.of_base inst a.a_base)
+  in
+  let resolve_env env = List.map (fun (x, c) -> (x, resolve c)) env in
+  let rec satisfied env = function
+    | [] -> true
+    | a :: rest ->
+      List.exists
+        (fun f -> match unify env a f with Some env' -> satisfied env' rest | None -> false)
+        (Instance.of_base inst a.a_base)
+  in
+  let term_const label env = function
+    | Tconst v -> Cval v
+    | Tvar x -> (
+      match List.assoc_opt x env with
+      | Some c -> c
+      | None -> raise (Chase_failure (Printf.sprintf "dependency %s: unbound variable %s" label x)))
+  in
+  let fire_tgd label t env =
+    let env = resolve_env env in
+    if not (satisfied env t.t_head) then begin
+      let fresh =
+        List.map
+          (fun y ->
+            let n = !next_null in
+            incr next_null;
+            (y, Lnull n))
+          (existential_vars t)
+      in
+      let env = fresh @ env in
+      List.iter
+        (fun a ->
+          let f = { f_base = a.a_base; f_args = List.map (term_const label env) a.a_args } in
+          if Instance.add inst f then begin
+            repairs := Insert { by = label; fact = f } :: !repairs;
+            changed := true
+          end)
+        t.t_head
+    end
+  in
+  let apply_egd label e env =
+    let env = resolve_env env in
+    List.iter
+      (fun (ta, tb) ->
+        let ca = resolve (term_const label env ta) and cb = resolve (term_const label env tb) in
+        if not (const_equal ca cb) then
+          match ca, cb with
+          | Cval x, Cval y ->
+            raise
+              (Chase_failure
+                 (Printf.sprintf
+                    "dependency %s forces distinct constants %s == %s — the instance is irreparable"
+                    label (Value.to_string x) (Value.to_string y)))
+          | Lnull n, (Cval _ as into) | (Cval _ as into), Lnull n | Lnull n, (Lnull _ as into)
+            ->
+            let n, into =
+              (* null/null merges fold the younger null into the older *)
+              match into with Lnull m when m > n -> (m, Lnull n) | _ -> (n, into)
+            in
+            Hashtbl.replace subst n into;
+            Instance.rewrite inst resolve;
+            repairs := Merge { by = label; null_ = n; into } :: !repairs;
+            changed := true)
+      e.e_eqs
+  in
+  let step d =
+    match d.d_form with
+    | Tgd t ->
+      let triggers = homs [] t.t_body in
+      List.iter (fun env -> fire_tgd d.d_label t env) triggers
+    | Egd e ->
+      let triggers = homs [] e.e_body in
+      List.iter (fun env -> apply_egd d.d_label e env) triggers
+  in
+  let rec loop n =
+    if n > max_rounds then
+      Error (Printf.sprintf "chase did not reach a fixpoint within %d rounds" max_rounds)
+    else begin
+      changed := false;
+      List.iter step deps;
+      if !changed then loop (n + 1) else Ok n
+    end
+  in
+  match loop 1 with
+  | Ok rounds -> Ok { rounds; repairs = List.rev !repairs }
+  | Error m -> Error m
+  | exception Chase_failure m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Compiling weakly-acyclic TGDs to CM rules                           *)
+
+let to_rules ?(delta = 5.0) deps =
+  let ( let* ) = Result.bind in
+  if not (weakly_acyclic deps) then
+    Error "program is not weakly acyclic — chase termination is unproven, refusing to compile"
+  else
+    let term_expr = function Tvar x -> Expr.Var x | Tconst v -> Expr.Const v in
+    let split_atom label a =
+      match List.rev a.a_args with
+      | [] -> Error (Printf.sprintf "dependency %s: atom %s has no value argument" label a.a_base)
+      | value :: rev_params -> Ok (List.rev rev_params, value)
+    in
+    let compile d =
+      match d.d_form with
+      | Egd _ ->
+        Error
+          (Printf.sprintf
+             "dependency %s is an EGD — equality repairs have no CM-rule form, run the chase directly"
+             d.d_label)
+      | Tgd t -> (
+        match t.t_body with
+        | [] -> Error (Printf.sprintf "dependency %s has an empty body" d.d_label)
+        | lead :: rest ->
+          let* lead_params, lead_value = split_atom d.d_label lead in
+          let lhs =
+            Template.make "N" [ Expr.Item (lead.a_base, List.map term_expr lead_params); term_expr lead_value ]
+          in
+          let bound = ref (atom_vars lead) in
+          let is_bound = function Tconst _ -> true | Tvar x -> List.mem x !bound in
+          let* conds =
+            List.fold_left
+              (fun acc a ->
+                let* acc = acc in
+                let* params, value = split_atom d.d_label a in
+                match List.find_opt (fun p -> not (is_bound p)) params with
+                | Some (Tvar x) ->
+                  Error
+                    (Printf.sprintf
+                       "dependency %s: join parameter %s of %s is not bound by the preceding atoms"
+                       d.d_label x a.a_base)
+                | Some (Tconst _) | None ->
+                  let item = Expr.Item (a.a_base, List.map term_expr params) in
+                  let cond = Expr.Binop (Expr.Eq, item, term_expr value) in
+                  (match value with Tvar x when not (List.mem x !bound) -> bound := x :: !bound | _ -> ());
+                  Ok (acc @ [ cond ]))
+              (Ok []) rest
+          in
+          let existential = existential_vars t in
+          let* steps =
+            List.fold_left
+              (fun acc a ->
+                let* acc = acc in
+                let* params, value = split_atom d.d_label a in
+                (match
+                   List.find_opt
+                     (fun p -> match p with Tvar x -> List.mem x existential | Tconst _ -> false)
+                     params
+                 with
+                | Some (Tvar x) ->
+                  Error
+                    (Printf.sprintf
+                       "dependency %s: existential variable %s names a parameter of %s — the repair cannot pick which item to write"
+                       d.d_label x a.a_base)
+                | _ ->
+                  let item_args = List.map term_expr params in
+                  let* guard, value_expr =
+                    match value with
+                    | Tvar x when List.mem x existential ->
+                      (* create-if-absent: the repair only promises existence,
+                         the placeholder value is null *)
+                      Ok
+                        ( Expr.Unop (Expr.Not, Expr.Exists (a.a_base, item_args)),
+                          Expr.Const Value.Null )
+                    | Tvar x when not (List.mem x !bound) ->
+                      Error
+                        (Printf.sprintf
+                           "dependency %s: head variable %s of %s is not bound by the body"
+                           d.d_label x a.a_base)
+                    | v -> Ok (Expr.Const (Value.Bool true), term_expr v)
+                  in
+                  let template = Template.make "WR" [ Expr.Item (a.a_base, item_args); value_expr ] in
+                  Ok (acc @ [ { Rule.guard; template } ])))
+              (Ok []) t.t_head
+          in
+          let lhs_cond =
+            match conds with
+            | [] -> None
+            | c :: cs -> Some (List.fold_left (fun acc c -> Expr.Binop (Expr.And, acc, c)) c cs)
+          in
+          (match
+             match lhs_cond with
+             | None -> Rule.make ~id:d.d_label ~delta ~lhs (Rule.Steps steps)
+             | Some lhs_cond -> Rule.make ~id:d.d_label ~lhs_cond ~delta ~lhs (Rule.Steps steps)
+           with
+          | rule -> Ok rule
+          | exception Invalid_argument m ->
+            Error (Printf.sprintf "dependency %s: %s" d.d_label m)))
+    in
+    List.fold_left
+      (fun acc d ->
+        let* acc = acc in
+        let* rule = compile d in
+        Ok (acc @ [ rule ]))
+      (Ok []) deps

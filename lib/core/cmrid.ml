@@ -44,11 +44,14 @@ type constraint_decl = {
   c_line : int;
 }
 
+type dependency_decl = { d_text : string; d_line : int }
+
 type t = {
   sources : source_decl list;
   locations : location_decl list;
   rules : rule_decl list;
   constraints : constraint_decl list;
+  dependencies : dependency_decl list;
 }
 
 type error = { e_line : int; e_msg : string }
@@ -103,6 +106,7 @@ type state = {
   mutable locations : location_decl list;  (* reversed *)
   mutable rule_lines : rule_decl list;  (* reversed *)
   mutable constraint_lines : constraint_decl list;  (* reversed *)
+  mutable dependency_lines : dependency_decl list;  (* reversed *)
   mutable cur_source : source_decl option;
   mutable cur_item : item_decl option;
 }
@@ -160,8 +164,9 @@ let parse_notify words =
 let parse_partial src_text =
   let st =
     { sources = []; locations = []; rule_lines = []; constraint_lines = [];
-      cur_source = None; cur_item = None }
+      dependency_lines = []; cur_source = None; cur_item = None }
   in
+  let constraint_seen = Hashtbl.create 8 in
   let errors = ref [] in
   (* Accumulate every problem instead of stopping at the first: `cmtool
      check` reports them all in one run. *)
@@ -199,20 +204,33 @@ let parse_partial src_text =
           st.rule_lines <-
             { r_text = rest_after line 1; r_line = lineno } :: st.rule_lines
         | "constraint" :: rest -> (
+          let add_copy source target required =
+            (* Duplicate (source, target) pairs used to be silently
+               order-dependent (first declaration won); reject them so the
+               effective constraint set never depends on file order. *)
+            match Hashtbl.find_opt constraint_seen (source, target) with
+            | Some first ->
+              fail lineno
+                (Printf.sprintf
+                   "duplicate constraint copy %s %s (first declared on line %d)"
+                   source target first)
+            | None ->
+              Hashtbl.replace constraint_seen (source, target) lineno;
+              st.constraint_lines <-
+                { c_source = source; c_target = target; c_required = required;
+                  c_line = lineno }
+                :: st.constraint_lines
+          in
           match rest with
-          | [ "copy"; source; target ] ->
-            st.constraint_lines <-
-              { c_source = source; c_target = target; c_required = false;
-                c_line = lineno }
-              :: st.constraint_lines
-          | [ "copy"; source; target; "required" ] ->
-            st.constraint_lines <-
-              { c_source = source; c_target = target; c_required = true;
-                c_line = lineno }
-              :: st.constraint_lines
+          | [ "copy"; source; target ] -> add_copy source target false
+          | [ "copy"; source; target; "required" ] -> add_copy source target true
           | _ ->
             fail lineno
               "constraint declaration needs: copy <source> <target> [required]")
+        | "dependency" :: _ :: _ ->
+          st.dependency_lines <-
+            { d_text = rest_after line 1; d_line = lineno } :: st.dependency_lines
+        | [ "dependency" ] -> fail lineno "dependency declaration needs a body"
         | "init" :: _ -> (
           match st.cur_source with
           | Some src -> st.cur_source <- Some { src with s_init = src.s_init @ [ rest_after line 1 ] }
@@ -277,6 +295,7 @@ let parse_partial src_text =
       locations = List.rev st.locations;
       rules = List.rev st.rule_lines;
       constraints = List.rev st.constraint_lines;
+      dependencies = List.rev st.dependency_lines;
     },
     List.rev !errors )
 

@@ -90,7 +90,16 @@ type constraint_decl = {
   c_line : int;
 }
 (** [constraint copy <source> <target> [required]]: maintain [c_target]
-    as a copy of [c_source] (§3.3.1). *)
+    as a copy of [c_source] (§3.3.1).  Duplicate [(source, target)]
+    pairs are a parse error — the effective constraint set must not
+    depend on declaration order. *)
+
+type dependency_decl = { d_text : string; d_line : int }
+(** One top-level [dependency <text>] line: a tuple- or
+    equality-generating dependency in the surface syntax of
+    {!Cm_chase.Chase.parse} ([label: body -> head]).  Held as raw text
+    here — like [rule] lines — and parsed by the chase library so this
+    module stays independent of it. *)
 
 type t = {
   sources : source_decl list;
@@ -101,6 +110,11 @@ type t = {
   constraints : constraint_decl list;
       (** declared inter-site constraints, checked statically by
           [cmtool check] *)
+  dependencies : dependency_decl list;
+      (** top-level [dependency <text>] lines: TGD/EGD constraints,
+          analyzed by the DEP passes of [cmtool check] and compiled to
+          ordinary CM rules on demand by [Chase.to_rules] — never
+          auto-installed by {!Toolkit.build} *)
 }
 
 type error = { e_line : int; e_msg : string }

@@ -1,0 +1,50 @@
+(* Small graph algorithms shared by the static analyses.
+
+   The only resident so far is Tarjan's strongly-connected-components
+   algorithm, extracted from the CON conflict pass so the chase-based
+   dependency analysis can reuse the exact same machinery on its
+   position and interaction graphs. *)
+
+let sccs n succs =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let onstack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let rec connect v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    onstack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          connect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if onstack.(w) then low.(v) <- min low.(v) index.(w))
+      (succs v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          onstack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then connect v
+  done;
+  !comps
+
+let cyclic succs comp =
+  match comp with
+  | [ v ] -> List.mem v (succs v)
+  | _ :: _ :: _ -> true
+  | [] -> false

@@ -1,0 +1,13 @@
+(** Small graph algorithms shared by the static analyses. *)
+
+val sccs : int -> (int -> int list) -> int list list
+(** [sccs n succs] returns the strongly connected components of the
+    directed graph over vertices [0 .. n-1] with successor function
+    [succs] (Tarjan's algorithm).  Each component lists its vertices in
+    discovery order; components appear in reverse topological order of
+    the condensation.  Deterministic for a fixed [succs]. *)
+
+val cyclic : (int -> int list) -> int list -> bool
+(** [cyclic succs comp] holds when the component [comp] (as returned by
+    {!sccs}) actually contains a cycle: it has at least two vertices, or
+    its single vertex has a self-edge. *)

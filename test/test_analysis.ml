@@ -12,6 +12,7 @@ let interfaces_rules = "../examples/config/interfaces.rules"
 let strategy_rules = "../examples/config/strategy.rules"
 let broken = "../examples/config/broken.cmrid"
 let broken_rules = "../examples/config/broken.rules"
+let broken_deps = "../examples/config/broken_deps.cmrid"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -150,6 +151,86 @@ let test_broken_messages () =
   assert_contains "GRT001" "copy(G1)";
   assert_contains "HYG002" "same1, same2"
 
+(* --- the broken_deps fixture (DEP pass family) ------------------------ *)
+
+let check_broken_deps () =
+  Analysis.check_config ~file:broken_deps (read_file broken_deps)
+
+let test_broken_deps_summary () =
+  let fs = check_broken_deps () in
+  let errors, warnings, infos = Analysis.summary fs in
+  Alcotest.(check int) "errors" 4 errors;
+  Alcotest.(check int) "warnings" 2 warnings;
+  Alcotest.(check int) "infos" 0 infos;
+  Alcotest.(check int) "exit code" 1 (Analysis.exit_code fs);
+  Alcotest.(check (list string)) "exactly the DEP family fires"
+    [ "DEP001"; "DEP002"; "DEP003"; "DEP004"; "DEP005" ]
+    (distinct_codes fs)
+
+let test_broken_deps_golden () =
+  let fs = check_broken_deps () in
+  let cm = "broken_deps.cmrid" in
+  (* weak acyclicity: wa1/wa2 close a position cycle through a ⁎ edge *)
+  expect fs ~sev:Analysis.Error ~file:cm ~line:24 "DEP001";
+  (* EGD/TGD interaction: ie2 can merge the null ie1 creates *)
+  expect fs ~sev:Analysis.Warning ~file:cm ~line:29 "DEP002";
+  (* repair writes a base without a §3.1.1 write interface *)
+  expect fs ~sev:Analysis.Error ~file:cm ~line:34 ~site:"lab" "DEP003";
+  (* no body base declared anywhere: never an active trigger *)
+  expect fs ~sev:Analysis.Warning ~file:cm ~line:38 "DEP004";
+  (* malformed surface text, and an arity break of value-last *)
+  expect fs ~sev:Analysis.Error ~file:cm ~line:41 "DEP005";
+  expect fs ~sev:Analysis.Error ~file:cm ~line:45 ~site:"lab" "DEP005"
+
+let test_broken_deps_json_deterministic () =
+  let run () = Analysis.to_json ~checked:broken_deps (check_broken_deps ()) in
+  Alcotest.(check string) "byte-identical across runs" (run ()) (run ())
+
+(* Boundary: an ordinary position cycle plus an existential edge that
+   stays OFF every cycle is still weakly acyclic — DEP001 must not fire
+   on mere existence of ⁎ edges or of cycles. *)
+let deps_config deps =
+  let header =
+    [
+      "source s1 relational";
+      "  item A(n)";
+      "    read SELECT v FROM t WHERE k = $n";
+      "    write UPDATE t SET v = $b WHERE k = $n";
+      "  item B(n)";
+      "    read SELECT v FROM t WHERE k = $n";
+      "    write UPDATE t SET v = $b WHERE k = $n";
+      "  item F(n)";
+      "    read SELECT v FROM t WHERE k = $n";
+      "    write UPDATE t SET v = $b WHERE k = $n";
+    ]
+  in
+  let body = List.map (fun d -> "dependency " ^ d) deps in
+  ( String.concat "\n" (header @ body) ^ "\n",
+    (* line of the first dependency *)
+    List.length header + 1 )
+
+let test_dep_weakly_acyclic_boundary () =
+  let text, _ =
+    deps_config
+      [
+        "r1: A(x, v) -> B(x, v)";
+        "r2: B(x, v) -> A(x, v)";
+        "r3: A(x, v) -> F(x, w)";
+      ]
+  in
+  let fs = Analysis.check_config ~file:"inline.cmrid" text in
+  let errors, warnings, _ = Analysis.summary fs in
+  Alcotest.(check int) "no errors: the ⁎ edge escapes every cycle" 0 errors;
+  Alcotest.(check int) "no warnings either" 0 warnings
+
+let test_dep_star_cycle_rejected () =
+  let text, first =
+    deps_config [ "wa1: A(x, y) -> B(x, z)"; "wa2: B(x, y) -> A(y, w)" ]
+  in
+  let fs = Analysis.check_config ~file:"inline.cmrid" text in
+  expect fs ~sev:Analysis.Error ~file:"inline.cmrid" ~line:first "DEP001";
+  Alcotest.(check int) "exits 1" 1 (Analysis.exit_code fs)
+
 (* --- renderers and exit codes ----------------------------------------- *)
 
 let test_json_deterministic () =
@@ -196,6 +277,28 @@ let test_parse_accumulates_errors () =
     Alcotest.(check (list int)) "with their line numbers" [ 1; 3 ]
       (List.map (fun e -> e.Cmrid.e_line) errs)
 
+let test_duplicate_constraint_rejected () =
+  let text =
+    "constraint copy A B\nconstraint copy A B required\nconstraint copy A C\n"
+  in
+  (match Cmrid.parse text with
+  | Ok _ -> Alcotest.fail "duplicate constraint copy must be rejected"
+  | Error errs ->
+    let contains hay needle =
+      let lh = String.length hay and ln = String.length needle in
+      let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check int) "exactly one error" 1 (List.length errs);
+    let e = List.hd errs in
+    Alcotest.(check int) "reported on the duplicate's line" 2 e.Cmrid.e_line;
+    Alcotest.(check bool) "names the first declaration" true
+      (contains e.Cmrid.e_msg "first declared on line 1"));
+  (* parse_partial keeps the first of the pair and the distinct pair *)
+  let t, _ = Cmrid.parse_partial text in
+  Alcotest.(check int) "partial result holds two constraints" 2
+    (List.length t.Cmrid.constraints)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -214,6 +317,18 @@ let () =
           Alcotest.test_case "messages name culprits" `Quick
             test_broken_messages;
         ] );
+      ( "broken deps fixture",
+        [
+          Alcotest.test_case "summary counts" `Quick test_broken_deps_summary;
+          Alcotest.test_case "golden diagnostics" `Quick
+            test_broken_deps_golden;
+          Alcotest.test_case "json determinism" `Quick
+            test_broken_deps_json_deterministic;
+          Alcotest.test_case "weakly-acyclic boundary passes" `Quick
+            test_dep_weakly_acyclic_boundary;
+          Alcotest.test_case "star cycle rejected" `Quick
+            test_dep_star_cycle_rejected;
+        ] );
       ( "renderers",
         [
           Alcotest.test_case "json determinism" `Quick test_json_deterministic;
@@ -229,5 +344,7 @@ let () =
         [
           Alcotest.test_case "errors accumulate" `Quick
             test_parse_accumulates_errors;
+          Alcotest.test_case "duplicate constraint copy rejected" `Quick
+            test_duplicate_constraint_rejected;
         ] );
     ]
