@@ -848,7 +848,7 @@ let faults_cmd =
 (* ---- chaos ---- *)
 
 let chaos_cmd_run seed events crashes crash_min crash_max workload durability
-    churn heal no_check =
+    churn heal shards sites no_check =
   let module Chaos = Cm_chaos.Chaos in
   let chaos_workload =
     match Chaos.workload_of_string workload with
@@ -873,7 +873,26 @@ let chaos_cmd_run seed events crashes crash_min crash_max workload durability
         "unknown durability %S (none|journal|journal+checkpoint)\n" durability;
       exit 2
   in
-  if not (preflight ~label:workload ~no_check chaos_workload) then 1
+  if shards > 0 then begin
+    if heal || churn > 0 then begin
+      Printf.eprintf "--shards cannot be combined with --heal or --churn\n";
+      exit 2
+    end;
+    let spec =
+      {
+        Chaos.ss_seed = seed;
+        ss_sites = sites;
+        ss_shards = shards;
+        ss_events = events;
+        ss_crashes = crashes;
+        ss_durability = durability;
+      }
+    in
+    let report = Chaos.run_sharded spec in
+    print_string (Chaos.shard_report_to_string report);
+    if Chaos.shard_passed report then 0 else 1
+  end
+  else if not (preflight ~label:workload ~no_check chaos_workload) then 1
   else begin
     let spec =
       {
@@ -950,6 +969,22 @@ let chaos_cmd =
                    and every quarantined copy probes back to service — \
                    payroll only")
   in
+  let shards =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Run the sharded chaos schedule instead: a cross-shard \
+                   notification ring over N OCaml domains with crashes on \
+                   one shard while others keep firing.  The report is \
+                   byte-identical across repeated runs and across shard \
+                   counts for one seed (it omits N on purpose); 0 (the \
+                   default) keeps the classic single-system workloads")
+  in
+  let sites =
+    Arg.(value & opt int 6
+         & info [ "sites" ] ~docv:"N"
+             ~doc:"Ring size for --shards runs (at least 4; ignored \
+                   otherwise)")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Derive a randomized crash/loss/partition schedule from the seed, \
@@ -958,7 +993,8 @@ let chaos_cmd =
              duplicated.  Output is byte-identical for identical arguments; \
              exits non-zero if any invariant fails")
     Term.(const chaos_cmd_run $ seed $ events $ crashes $ crash_min $ crash_max
-          $ workload $ durability $ churn $ heal $ no_check_arg)
+          $ workload $ durability $ churn $ heal $ shards $ sites
+          $ no_check_arg)
 
 (* ---- stats / spans ---- *)
 

@@ -1173,3 +1173,279 @@ let heal_report_to_string r =
     r.h_invariants;
   line "verdict: %s" (if heal_passed r then "PASS" else "FAIL");
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Sharded chaos (--shards): crashes under the multi-domain fabric    *)
+(* ------------------------------------------------------------------ *)
+
+module Fabric = Cm_shard.Shard.Fabric
+module Obs = Cm_core.Obs
+
+type shard_spec = {
+  ss_seed : int;
+  ss_sites : int;
+  ss_shards : int;
+  ss_events : int;
+  ss_crashes : int;
+  ss_durability : Journal.durability;
+}
+
+let default_shard_spec =
+  {
+    ss_seed = 42;
+    ss_sites = 6;
+    ss_shards = 2;
+    ss_events = 60;
+    ss_crashes = 2;
+    ss_durability = Journal.Journal_with_checkpoint;
+  }
+
+type shard_report = {
+  sr_spec : shard_spec;
+  sr_faults : fault list;
+  sr_horizon : float;
+  sr_digest : string;
+  sr_events : int;
+  sr_fires : int;
+  sr_restarts : int;
+  sr_recovered_crashes : int;
+  sr_replayed : int;
+  sr_live_during_crash : int;
+  sr_invariants : invariant list;
+}
+
+let shard_site i = Printf.sprintf "s%d" i
+let shard_base i = Printf.sprintf "X%d" i
+
+let shard_locator item =
+  let b = item.Cm_rule.Item.base in
+  if String.length b > 1 && b.[0] = 'X' then
+    match int_of_string_opt (String.sub b 1 (String.length b - 1)) with
+    | Some i -> shard_site i
+    | None -> shard_site 0
+  else shard_site 0
+
+(* A notification ring: U at site i fires C at site i+1 (a cross-site,
+   and — under [i mod shards] assignment — cross-shard message), which
+   settles locally as a W.  Workload U events are injected only at even
+   sites and crashes hit only odd sites, so an injection never lands on
+   a crashed shell and "one shard keeps firing while another is down"
+   holds by construction. *)
+let shard_rules m =
+  let buf = Buffer.create 256 in
+  for i = 0 to m - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "u%d: U(%s, v) ->[5] C(%s, v)\n" i (shard_base i)
+         (shard_base ((i + 1) mod m)));
+    Buffer.add_string buf
+      (Printf.sprintf "c%d: C(%s, v) ->[5] W(%s, v)\n" i (shard_base i)
+         (shard_base i))
+  done;
+  Cm_rule.Parser.parse_rules (Buffer.contents buf)
+
+(* Ops and faults are pure functions of the spec, derived from keyed
+   streams (never the run's own wheels), so the schedule is identical at
+   every shard count.  Distinct fractional offsets keep op times, crash
+   instants and deliveries off shared instants — cross-layout digest
+   equality needs causally unrelated events to stay on distinct
+   times. *)
+let shard_schedule spec =
+  if spec.ss_sites < 4 then
+    invalid_arg "Chaos.shard_schedule: need at least 4 sites";
+  let m = spec.ss_sites in
+  let ops_rng = Prng.of_key ~seed:spec.ss_seed "shard-chaos-ops" in
+  let ops =
+    List.init spec.ss_events (fun idx ->
+        let slot = 2 * Prng.int ops_rng ((m + 1) / 2) in
+        {
+          op_at = 2.0 +. (0.83 *. float_of_int idx) +. (0.0019 *. float_of_int slot);
+          op_slot = slot;
+          op_value = 1000 + (idx * 13) + slot;
+        })
+  in
+  let last_op =
+    List.fold_left (fun acc o -> Float.max acc o.op_at) 0.0 ops
+  in
+  let fault_rng = Prng.of_key ~seed:spec.ss_seed "shard-chaos-faults" in
+  let faults = ref [] in
+  let cursor = ref 8.0 in
+  for _ = 1 to spec.ss_crashes do
+    let odd_count = m / 2 in
+    let site = shard_site ((2 * Prng.int fault_rng odd_count) + 1) in
+    let at = !cursor +. 2.0 +. float_of_int (Prng.int fault_rng 4) +. 0.41 in
+    let len = 6.0 +. float_of_int (Prng.int fault_rng 10) +. 0.27 in
+    let restart_at = at +. len in
+    cursor := restart_at +. 3.0;
+    faults := Crash { site; at; restart_at } :: !faults
+  done;
+  let faults =
+    if spec.ss_crashes > 0 && m >= 4 then
+      (* one partitioned ring edge (even source -> odd target) for
+         mirrored-flag coverage *)
+      let at = 5.0 +. float_of_int (Prng.int fault_rng 6) +. 0.19 in
+      Partition { at; until = at +. 6.0 } :: !faults
+    else !faults
+  in
+  let last_restart =
+    List.fold_left
+      (fun acc -> function
+        | Crash { restart_at; _ } -> Float.max acc restart_at
+        | Loss_window { until; _ } | Partition { until; _ } -> Float.max acc until)
+      0.0 faults
+  in
+  let horizon = Float.max last_op last_restart +. 40.0 in
+  (ops, List.rev faults, horizon)
+
+let shard_schedule_faults spec =
+  let _, faults, _ = shard_schedule spec in
+  faults
+
+let run_sharded spec =
+  if spec.ss_shards < 1 then invalid_arg "Chaos.run_sharded: shards < 1";
+  let m = spec.ss_sites in
+  let ops, faults, horizon = shard_schedule spec in
+  let config =
+    Sys_.Config.(
+      seeded spec.ss_seed
+      |> with_shards spec.ss_shards
+      |> with_durability spec.ss_durability
+      |> with_obs (Obs.create ()))
+  in
+  let fab =
+    Fabric.create ~config ~keyed_single:true
+      ~assign:(fun s ->
+        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+        | Some i -> i mod spec.ss_shards
+        | None -> 0)
+      shard_locator
+  in
+  for i = 0 to m - 1 do
+    ignore (Fabric.add_shell fab ~site:(shard_site i))
+  done;
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if i <> j then
+        Fabric.set_latency fab ~from_site:(shard_site i) ~to_site:(shard_site j)
+          { Net.base = 0.4 +. (0.0071 *. float_of_int ((i * m) + j)); jitter = 0.0 }
+    done
+  done;
+  Fabric.install fab
+    {
+      Strategy.strategy_name = "shard-chaos-ring";
+      description = "cross-shard notification ring";
+      rules = shard_rules m;
+      aux_init = [];
+    };
+  List.iter
+    (function
+      | Crash { site; at; restart_at } ->
+        Fabric.schedule_crash fab ~site ~at;
+        Fabric.schedule_restart fab ~site ~at:restart_at
+      | Partition { at; until } ->
+        Fabric.schedule_partition fab ~from_site:(shard_site 0)
+          ~to_site:(shard_site 1) ~at ~until
+      | Loss_window _ -> ())
+    faults;
+  List.iter
+    (fun op ->
+      let s = shard_site op.op_slot in
+      let shell = Fabric.shell_for fab ~site:s in
+      let emit = Shell.emitter_for shell ~site:s in
+      Fabric.at fab ~site:s op.op_at (fun () ->
+          ignore
+            (emit
+               {
+                 Cm_rule.Event.name = "U";
+                 args =
+                   [
+                     Cm_rule.Event.Ai (Cm_rule.Item.make (shard_base op.op_slot));
+                     Cm_rule.Event.Av (Cm_rule.Value.Int op.op_value);
+                   ];
+               }
+               ~kind:Cm_rule.Event.Spontaneous)))
+    ops;
+  Fabric.run fab ~until:horizon;
+  let merged = Fabric.merged_events fab in
+  let live_during_crash =
+    List.fold_left
+      (fun acc (e : Cm_rule.Event.t) ->
+        let inside =
+          List.exists
+            (function
+              | Crash { site; at; restart_at } ->
+                e.Cm_rule.Event.site <> site
+                && e.Cm_rule.Event.time > at
+                && e.Cm_rule.Event.time < restart_at
+              | _ -> false)
+            faults
+        in
+        if inside then acc + 1 else acc)
+      0 merged
+  in
+  let durable = spec.ss_durability <> Journal.None in
+  let restarts = Fabric.counter_total fab "recovery_restarts" in
+  let crash_count = Fabric.counter_total fab "recovery_crashes" in
+  let replayed = Fabric.counter_total fab "recovery_replayed_records" in
+  let fires = Fabric.counter_total fab "shell_fires_executed" in
+  let inv inv_name ok detail = { inv_name; ok; detail } in
+  let invariants =
+    [
+      inv "fires-executed"
+        (spec.ss_events = 0 || fires > 0)
+        (Printf.sprintf "%d rule firings executed across shards" fires);
+      inv "crashes-recovered"
+        ((not durable) || (restarts = spec.ss_crashes && crash_count = spec.ss_crashes))
+        (Printf.sprintf
+           "%d crash(es) scheduled, %d recovery crash records, %d restarts"
+           spec.ss_crashes crash_count restarts);
+      inv "progress-during-crash"
+        (spec.ss_crashes = 0 || live_during_crash > 0)
+        (Printf.sprintf
+           "%d events at live sites inside crash windows (other shards keep \
+            firing while one site is down)"
+           live_during_crash);
+      inv "trace-nonempty"
+        (spec.ss_events = 0 || merged <> [])
+        (Printf.sprintf "%d merged trace events" (List.length merged));
+    ]
+  in
+  {
+    sr_spec = spec;
+    sr_faults = faults;
+    sr_horizon = horizon;
+    sr_digest = Fabric.trace_digest fab;
+    sr_events = List.length merged;
+    sr_fires = fires;
+    sr_restarts = restarts;
+    sr_recovered_crashes = crash_count;
+    sr_replayed = replayed;
+    sr_live_during_crash = live_during_crash;
+    sr_invariants = invariants;
+  }
+
+let shard_passed r = List.for_all (fun i -> i.ok) r.sr_invariants
+
+(* The shard count is deliberately absent: one seed must print one
+   report at every layout, and CI diffs the output across N literally. *)
+let shard_report_to_string r =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "sharded chaos report";
+  line "seed=%d sites=%d events=%d crashes=%d durability=%s" r.sr_spec.ss_seed
+    r.sr_spec.ss_sites r.sr_spec.ss_events r.sr_spec.ss_crashes
+    (Journal.durability_to_string r.sr_spec.ss_durability);
+  line "schedule:";
+  List.iter (fun f -> line "  %s" (fault_to_string f)) r.sr_faults;
+  line "results (quiesced @ %.2f):" r.sr_horizon;
+  line "  canonical digest %s" r.sr_digest;
+  line "  trace events=%d firings=%d" r.sr_events r.sr_fires;
+  line "  recovery crashes=%d restarts=%d replayed=%d" r.sr_recovered_crashes
+    r.sr_restarts r.sr_replayed;
+  line "  live events during crash windows=%d" r.sr_live_during_crash;
+  line "invariants:";
+  List.iter
+    (fun i ->
+      line "  %s %s — %s" (if i.ok then "ok  " else "FAIL") i.inv_name i.detail)
+    r.sr_invariants;
+  line "verdict: %s" (if shard_passed r then "PASS" else "FAIL");
+  Buffer.contents b

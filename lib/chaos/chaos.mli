@@ -213,3 +213,65 @@ val heal_passed : heal_report -> bool
 
 val heal_report_to_string : heal_report -> string
 (** Canonical multi-line report, stable across runs of the same spec. *)
+
+(** {1 Sharded chaos ([--shards])}
+
+    Crash/partition schedules under the multi-domain fabric
+    ({!Cm_shard.Shard.Fabric}): a cross-shard notification ring where
+    workload injections land only on even sites and crashes hit only odd
+    sites, so one shard keeps firing while another holds a crashed site.
+    The schedule is derived from keyed streams (pure in the spec, like
+    {!schedule}), crashes are mirrored across every shard's wheel, and
+    the crashed site replays its shard-local journal on restart.
+
+    Determinism contract, checked by CI and the recovery suite:
+    {!shard_report_to_string} output is byte-identical across repeated
+    runs of one spec {e and} across shard counts — the report quotes the
+    canonical (id-free, sorted) trace digest and layout-invariant
+    counters, and deliberately omits the shard count itself.  [ss_shards
+    = 1] runs the fabric's keyed single-shard form
+    ([keyed_single = true]) so its draws match the multi-shard
+    layouts'. *)
+
+type shard_spec = {
+  ss_seed : int;
+  ss_sites : int;  (** ring size, at least 4 *)
+  ss_shards : int;
+  ss_events : int;  (** spontaneous updates, even sites only *)
+  ss_crashes : int;  (** non-overlapping crash windows, odd sites only *)
+  ss_durability : Cm_core.Journal.durability;
+}
+
+val default_shard_spec : shard_spec
+(** Seed 42, 6 sites over 2 shards, 60 events, 2 crashes,
+    [Journal_with_checkpoint]. *)
+
+type shard_report = {
+  sr_spec : shard_spec;
+  sr_faults : fault list;
+  sr_horizon : float;
+  sr_digest : string;  (** {!Cm_shard.Shard.Fabric.trace_digest} *)
+  sr_events : int;  (** merged trace events across shards *)
+  sr_fires : int;
+  sr_restarts : int;
+  sr_recovered_crashes : int;
+  sr_replayed : int;  (** journal records replayed on restart *)
+  sr_live_during_crash : int;
+      (** events at live sites strictly inside crash windows — the
+          "other shards keep firing" witness, asserted positive *)
+  sr_invariants : invariant list;
+}
+
+val shard_schedule_faults : shard_spec -> fault list
+(** The fault schedule alone — derived, not run; pure in the spec. *)
+
+val run_sharded : shard_spec -> shard_report
+(** Build the ring on a fabric with [ss_shards] shards, run the derived
+    schedule, and check invariants.  Pure in the spec.
+    @raise Invalid_argument when [ss_sites < 4] or [ss_shards < 1]. *)
+
+val shard_passed : shard_report -> bool
+
+val shard_report_to_string : shard_report -> string
+(** Canonical multi-line report — byte-identical across runs {e and}
+    across shard counts for one spec. *)

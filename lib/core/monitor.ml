@@ -116,6 +116,9 @@ type watcher = {
   mutable w_touched : bool;
   mutable w_left_takes : (float * Value.t) list;  (* rev order *)
   mutable w_right_takes : (float * Value.t) list;  (* rev order *)
+  mutable w_down : bool;
+      (* homed at a crashed site: volatile state wiped, live feed
+         suspended until {!relearn} rebuilds it from the journal *)
 }
 
 type handle = watcher
@@ -132,6 +135,7 @@ type instance = {
   in_watchers : watcher list;  (* §3.3.1 order *)
   in_stale : stale_state option;
   mutable in_touched : bool;
+  mutable in_down : bool;  (* mirrors its watchers' [w_down] *)
 }
 
 type family = {
@@ -178,6 +182,7 @@ type t = {
     (source:string -> target:string -> at:float -> stale:bool -> unit) list;
   mutable finalized : bool;
   mutable ticking : bool;
+  mutable wiped_families : family list;  (* families with down instances *)
 }
 
 let create ?sim ?(obs = Obs.noop) ?(tick = 1.0) () =
@@ -203,6 +208,7 @@ let create ?sim ?(obs = Obs.noop) ?(tick = 1.0) () =
     stale_subs = [];
     finalized = false;
     ticking = false;
+    wiped_families = [];
   }
 
 let now_of t = match t.sim with Some sim -> Sim.now sim | None -> t.batch_time
@@ -273,6 +279,7 @@ let make_watcher t ?ignore_after g =
       w_touched = false;
       w_left_takes = [];
       w_right_takes = [];
+      w_down = false;
     }
   in
   t.watchers <- w :: t.watchers;
@@ -392,7 +399,9 @@ let refresh_family t fa ~now =
       match inst.in_stale with
       | None -> ()
       | Some ss ->
-        ss.ss_stale <- eval_stale ss ~now;
+        (* A down instance's verdict is frozen at its pre-crash value
+           until the journal relearn rebuilds the window. *)
+        if not inst.in_down then ss.ss_stale <- eval_stale ss ~now;
         if ss.ss_stale then stale := true)
     fa.fa_instances;
   if !stale <> fa.fa_stale then begin
@@ -469,6 +478,9 @@ let flush t =
         | Some bucket ->
           List.iter
             (fun w ->
+              if w.w_down then ()  (* crashed site: its monitor is dead;
+                                      the journal relearn catches it up *)
+              else begin
               if not w.w_touched then begin
                 w.w_touched <- true;
                 t.touched <- w :: t.touched
@@ -507,6 +519,7 @@ let flush t =
                 match track_change w.w_rt v with
                 | Some taken -> w.w_right_takes <- (at, taken) :: w.w_right_takes
                 | None -> ()
+              end
               end)
             !bucket);
         match Hashtbl.find_opt t.by_base item.Item.base with
@@ -519,6 +532,7 @@ let flush t =
                   (String.concat "," (List.map Value.to_string item.Item.params))
               with
               | None -> ()
+              | Some inst when inst.in_down -> ()
               | Some inst -> (
                 if not inst.in_touched then begin
                   inst.in_touched <- true;
@@ -536,9 +550,11 @@ let flush t =
     (* Stage 2: evaluate the instant's obligations against the settled
        state — intra-instant event order must not matter, as it does not
        for the fold. *)
-    List.iter (fun w -> flush_watcher t w ~at) (List.rev t.touched);
+    List.iter
+      (fun w -> if not w.w_down then flush_watcher t w ~at)
+      (List.rev t.touched);
     t.touched <- [];
-    List.iter (fun w -> eval_leq t w ~at) t.leqs;
+    List.iter (fun w -> if not w.w_down then eval_leq t w ~at) t.leqs;
     List.iter
       (fun (fa, inst) -> refresh_instance t fa inst ~now:at)
       (List.rev t.touched_instances);
@@ -576,7 +592,8 @@ let ensure_instances t item =
               fa.fa_kappa
           in
           Hashtbl.replace fa.fa_instances key
-            { in_watchers = watchers; in_stale = stale; in_touched = false };
+            { in_watchers = watchers; in_stale = stale; in_touched = false;
+              in_down = false };
           fa.fa_order <- key :: fa.fa_order
         end)
       !fams
@@ -711,6 +728,221 @@ let watch_copy t ~source ~target ~kappa =
 
 let watched_copies t =
   List.rev_map (fun fa -> (fa.fa_source, fa.fa_target)) t.families
+
+(* --- crash recovery: volatile wipe + journal-backed relearn ---
+
+   A site's monitor runs at the site: its watcher state is volatile and
+   dies with a crash.  [crash_wipe] models the loss — every watcher
+   whose monitored (right-hand) item lives at the crashed site loses its
+   tracks, value sets, pending obligations and κ windows, and stops
+   consuming the live feed.  [relearn] is the §5 recovery step: the
+   journaled event history is replayed through the wiped watchers'
+   state machines only — silently, without re-evaluating obligations
+   (those instants were checked in the previous life; re-learning must
+   rebuild knowledge, not re-report or double-count) — after which the
+   live feed resumes.  An obligation that was pending at the crash
+   (e.g. a leads take the follower had not yet reflected) is thereby
+   restored and still fails at finalize if never discharged: a crash
+   between a violation and its detection does not bury it. *)
+
+let wipe_watcher w =
+  w.w_lt.cur <- None;
+  w.w_lt.last_taken <- None;
+  w.w_rt.cur <- None;
+  w.w_rt.last_taken <- None;
+  w.w_left_takes <- [];
+  w.w_right_takes <- [];
+  (match w.w_form with
+  | F_follows seen -> Vtbl.reset seen
+  | F_leads st -> st.pending <- []
+  | F_strictly st ->
+    Queue.clear st.remaining;
+    Queue.clear st.pend
+  | F_metric wd ->
+    wd.wd_open <- None;
+    wd.wd_closed <- []
+  | F_leq -> ());
+  w.w_down <- true
+
+let crash_wipe t ~owns =
+  let n = ref 0 in
+  List.iter
+    (fun w ->
+      if (not w.w_down) && owns w.w_right then begin
+        wipe_watcher w;
+        incr n
+      end)
+    t.watchers;
+  List.iter
+    (fun fa ->
+      let touched = ref false in
+      Hashtbl.iter
+        (fun _ inst ->
+          if
+            (not inst.in_down)
+            && List.exists (fun w -> w.w_down) inst.in_watchers
+          then begin
+            touched := true;
+            inst.in_down <- true;
+            match inst.in_stale with
+            | Some ss ->
+              ss.ss_window.wd_open <- None;
+              ss.ss_window.wd_closed <- [];
+              ss.ss_track.cur <- None;
+              ss.ss_track.last_taken <- None
+            | None -> ()
+          end)
+        fa.fa_instances;
+      if !touched && not (List.memq fa t.wiped_families) then
+        t.wiped_families <- fa :: t.wiped_families)
+    t.families;
+  !n
+
+(* The silent counterpart of [flush_watcher]: takes move into the
+   obligation state (leads pending, strictly queues) with no points, no
+   violations, no gauges. *)
+let relearn_flush w =
+  let left_takes = List.rev w.w_left_takes in
+  let right_takes = List.rev w.w_right_takes in
+  w.w_left_takes <- [];
+  w.w_right_takes <- [];
+  match w.w_form with
+  | F_leads st ->
+    List.iter
+      (fun (t1, x) ->
+        let in_scope =
+          match w.w_ignore_after with None -> true | Some ia -> t1 <= ia
+        in
+        if in_scope then st.pending <- (t1, x) :: st.pending)
+      left_takes
+  | F_strictly st ->
+    List.iter (fun (t1, y) -> Queue.add (t1, y) st.pend) right_takes;
+    let continue = ref true in
+    while !continue && not (Queue.is_empty st.pend) do
+      let _, y = Queue.peek st.pend in
+      if seek_consume st.remaining y then ignore (Queue.pop st.pend)
+      else continue := false
+    done
+  | F_follows _ | F_metric _ | F_leq -> ()
+
+(* Stage-1 state update for one historical change, applied to down
+   watchers only.  Mirrors [flush]'s update logic; the shared [state]
+   table is deliberately untouched (it reflects the live feed, which
+   never stopped). *)
+let relearn_apply t ~at (item, change) =
+  let v =
+    match change with
+    | Cset v -> Some v
+    | Cdel -> None
+    | Cins ->
+      Some
+        (Option.value (Option.join (Itbl.find_opt t.state item)) ~default:Value.Null)
+  in
+  (match Itbl.find_opt t.by_item item with
+  | None -> ()
+  | Some bucket ->
+    List.iter
+      (fun w ->
+        if w.w_down then begin
+          if Item.equal item w.w_left then begin
+            (match w.w_form with
+            | F_follows seen -> (
+              match v with Some nv -> Vtbl.replace seen nv () | None -> ())
+            | F_metric window -> window_change window ~time:at v
+            | _ -> ());
+            match track_change w.w_lt v with
+            | Some taken -> (
+              match w.w_form with
+              | F_leads _ -> w.w_left_takes <- (at, taken) :: w.w_left_takes
+              | F_strictly st -> Queue.add taken st.remaining
+              | _ -> ())
+            | None -> ()
+          end;
+          if Item.equal item w.w_right then begin
+            (match w.w_form with
+            | F_leads st -> (
+              match w.w_rt.cur, v with
+              | Some ov, Some nv when Value.equal ov nv -> ()
+              | Some ov, _ ->
+                st.pending <-
+                  List.filter
+                    (fun (t1, x) -> not (Value.equal x ov && t1 < at))
+                    st.pending
+              | None, _ -> ())
+            | _ -> ());
+            match track_change w.w_rt v with
+            | Some taken -> w.w_right_takes <- (at, taken) :: w.w_right_takes
+            | None -> ()
+          end
+        end)
+      !bucket);
+  match Hashtbl.find_opt t.by_base item.Item.base with
+  | None -> ()
+  | Some fams ->
+    List.iter
+      (fun fa ->
+        if List.memq fa t.wiped_families then
+          match
+            Hashtbl.find_opt fa.fa_instances
+              (String.concat "," (List.map Value.to_string item.Item.params))
+          with
+          | Some ({ in_stale = Some ss; _ } as inst) when inst.in_down ->
+            if String.equal item.Item.base fa.fa_source then
+              window_change ss.ss_window ~time:at v;
+            if String.equal item.Item.base fa.fa_target then
+              ignore (track_change ss.ss_track v)
+          | _ -> ())
+      !fams
+
+let relearn t events =
+  if t.finalized then invalid_arg "Monitor.relearn: already finalized";
+  let down = List.filter (fun w -> w.w_down) t.watchers in
+  if down <> [] then begin
+    let events =
+      List.stable_sort
+        (fun (a : Event.t) (b : Event.t) -> Float.compare a.time b.time)
+        events
+    in
+    (* Per-instant micro-batches, like the live feed. *)
+    let pending = ref [] in
+    let pending_at = ref 0.0 in
+    let flush_pending () =
+      if !pending <> [] then begin
+        List.iter (relearn_apply t ~at:!pending_at) (List.rev !pending);
+        List.iter relearn_flush down;
+        pending := []
+      end
+    in
+    List.iter
+      (fun (e : Event.t) ->
+        match e.desc.Event.name, e.desc.Event.args with
+        | "W", [ Event.Ai item; Event.Av v ]
+        | "Ws", [ Event.Ai item; _; Event.Av v ] ->
+          if e.time > !pending_at then flush_pending ();
+          pending_at := e.time;
+          pending := (item, Cset v) :: !pending
+        | "INS", [ Event.Ai item ] ->
+          if e.time > !pending_at then flush_pending ();
+          pending_at := e.time;
+          pending := (item, Cins) :: !pending
+        | "DEL", [ Event.Ai item ] ->
+          if e.time > !pending_at then flush_pending ();
+          pending_at := e.time;
+          pending := (item, Cdel) :: !pending
+        | _ -> ())
+      events;
+    flush_pending ();
+    List.iter (fun w -> w.w_down <- false) down;
+    let now = now_of t in
+    List.iter
+      (fun fa ->
+        Hashtbl.iter (fun _ inst -> inst.in_down <- false) fa.fa_instances;
+        (* Verdict recomputed from the relearned windows; subscribers
+           hear only genuine transitions. *)
+        refresh_family t fa ~now)
+      (List.rev t.wiped_families);
+    t.wiped_families <- []
+  end
 
 (* --- finalize: resolve the eventually-properties --- *)
 

@@ -127,6 +127,33 @@ val force_refresh : t -> source:string -> target:string -> bool
     ground-truth leader timeline stands in for the poll result) and
     return the refreshed verdict — [true] = still stale. *)
 
+val crash_wipe : t -> owns:(Cm_rule.Item.t -> bool) -> int
+(** Model a site crash: monitor state is volatile, so every watcher
+    homed at the crashed site (its follower/right item satisfies
+    [owns]) loses its in-memory state — value tracks, metric windows,
+    pending leads obligations, strictly queues — and stops hearing the
+    live feed.  Copy-family instances whose watchers went down freeze
+    their staleness verdict until recovery.  Returns the number of
+    watchers wiped.  Accumulated points/violations are kept: those were
+    already reported before the crash.  Pair with {!relearn} at
+    restart. *)
+
+val relearn : t -> Cm_rule.Event.t list -> unit
+(** Journal-replay recovery for watchers downed by {!crash_wipe}: feed
+    the full journaled event history (any site order; re-sorted stably
+    by time here) through the wiped watchers only, rebuilding their
+    state *silently* — no points are scored, no violations reported, no
+    staleness transitions published during the replay, because the
+    surviving watchers already observed (and reported on) this history
+    live.  What the replay restores is the *obligations*: a leads
+    trigger journaled before the crash re-enters the pending set, so a
+    violation that occurred before the crash but whose detection
+    deadline falls after it is still reported at {!finalize} — the
+    crash cannot launder a violation.  Watchers then resume hearing the
+    live feed, and revived copy instances re-evaluate staleness once
+    (subscribers hear only genuine transitions).
+    @raise Invalid_argument after {!finalize}. *)
+
 val finalize : t -> horizon:float -> unit
 (** Resolve the eventually-properties: close open intervals at
     [horizon], discharge or fail the remaining leads obligations, embed

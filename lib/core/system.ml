@@ -14,6 +14,8 @@ module Config = struct
     dispatch : Shell.dispatch;
     monitor : bool;
     monitor_tick : float;
+    shards : int;
+    shard_slot : (int * int) option;
   }
 
   let default =
@@ -28,6 +30,8 @@ module Config = struct
       dispatch = Shell.Indexed;
       monitor = false;
       monitor_tick = 1.0;
+      shards = 1;
+      shard_slot = None;
     }
 
   let seeded seed = { default with seed }
@@ -41,6 +45,12 @@ module Config = struct
   let with_dispatch dispatch t = { t with dispatch }
   let with_monitor monitor t = { t with monitor }
   let with_monitor_tick monitor_tick t = { t with monitor_tick }
+
+  let with_shards shards t =
+    if shards < 1 then invalid_arg "Config.with_shards: shards must be >= 1";
+    { t with shards }
+
+  let with_shard_slot slot t = { t with shard_slot = Some slot }
 end
 
 type guarantee_entry = {
@@ -183,13 +193,31 @@ type t = {
   copies : (string * string, copy_state) Hashtbl.t;  (* (source, target) *)
   mutable copy_order : (string * string) list;  (* declaration order *)
   monitor : Monitor.t option;
+  partitioned : bool;
+      (* a shard-slot system holds only its shard's sites: strategy
+         state for foreign sites is skipped, not an error — the shard
+         that owns the site handles it *)
 }
 
 let create ?(config = Config.default) locator =
-  let sim = Sim.create ~seed:config.Config.seed () in
+  (* A shard-slot system is one partition of a sharded world: its sim is
+     seeded per shard (streams must not collide across wheels), its
+     network draws are keyed per link (so fault/jitter decisions agree
+     across shard layouts), and its trace ids are strided (globally
+     unique without coordination).  Without a slot nothing changes. *)
+  let sim =
+    match config.Config.shard_slot with
+    | None -> Sim.create ~seed:config.Config.seed ()
+    | Some (k, _) -> Sim.create ~seed:(config.Config.seed + ((k + 1) * 1000003)) ()
+  in
   let net =
     Net.create ~sim ?latency:config.Config.latency ~fifo:config.Config.fifo
-      ?faults:config.Config.faults ()
+      ?faults:config.Config.faults
+      ?draws:
+        (match config.Config.shard_slot with
+         | None -> None
+         | Some _ -> Some (Net.Keyed config.Config.seed))
+      ()
   in
   let obs = Option.value config.Config.obs ~default:Obs.noop in
   if Obs.enabled obs then begin
@@ -229,7 +257,11 @@ let create ?(config = Config.default) locator =
           config.Config.durability)
       journals
   in
-  let trace = Trace.create () in
+  let trace =
+    match config.Config.shard_slot with
+    | None -> Trace.create ()
+    | Some (k, n) -> Trace.create ~first_id:k ~stride:n ()
+  in
   let monitor =
     if config.Config.monitor then begin
       let m = Monitor.create ~sim ~obs ~tick:config.Config.monitor_tick () in
@@ -256,6 +288,7 @@ let create ?(config = Config.default) locator =
     copies = Hashtbl.create 8;
     copy_order = [];
     monitor;
+    partitioned = config.Config.shard_slot <> None;
   }
 
 let sim t = t.sim
@@ -276,14 +309,47 @@ let monitor t = t.monitor
    protocol; without one they degrade to the raw network operations —
    the pre-durability behaviour. *)
 let crash_site t ~site =
+  (match t.monitor with
+  | Some m ->
+    (* Monitor state is volatile: watchers homed at the crashed site
+       lose their in-memory state and stop hearing the live feed until
+       [restart_site] relearns them from the journal. *)
+    ignore
+      (Monitor.crash_wipe m ~owns:(fun item -> String.equal (t.locator item) site))
+  | None -> ());
   match t.recovery with
   | Some r -> Recovery.crash r ~site
   | None -> Net.crash_site t.net ~site
 
+(* The restarted site's monitor watchers relearn their state from the
+   journaled event history — every site's journal, merged by time, so
+   cross-site guarantees (the common case: leader and follower live on
+   different sites) see the leader's writes too. *)
+let relearn_monitor t m =
+  match t.journals with
+  | None -> ()
+  | Some reg ->
+    let events =
+      List.concat_map
+        (fun site ->
+          List.filter_map
+            (function
+              | Journal.Event { time; site; desc } -> (
+                match Trace_io.parse_desc desc with
+                | Ok desc ->
+                  Some { Event.id = 0; time; site; desc; kind = Event.Spontaneous }
+                | Error _ -> None)
+              | _ -> None)
+            (Journal.records (Journal.for_site reg ~site)))
+        (Journal.sites reg)
+    in
+    Monitor.relearn m (List.stable_sort (fun a b -> compare a.Event.time b.Event.time) events)
+
 let restart_site t ~site =
-  match t.recovery with
+  (match t.recovery with
   | Some r -> Recovery.restart r ~site
-  | None -> Net.restart_site t.net ~site
+  | None -> Net.restart_site t.net ~site);
+  match t.monitor with Some m -> relearn_monitor t m | None -> ()
 
 let refresh_routing t =
   let peers = Hashtbl.fold (fun site _ acc -> site :: acc) t.shells [] in
@@ -391,6 +457,7 @@ let apply_aux_init t aux_init =
       let site = t.locator item in
       match Hashtbl.find_opt t.site_to_shell site with
       | Some shell -> Shell.write_aux shell item v
+      | None when t.partitioned -> ()  (* the owning shard writes it *)
       | None ->
         invalid_arg
           (Printf.sprintf "System.install: no shell handles site %s for aux item %s"
@@ -407,6 +474,7 @@ let register_strategy_periodics t rules =
         | Some site -> (
           match Hashtbl.find_opt t.site_to_shell site with
           | Some sh -> Shell.register_periodic sh ~site ~period ()
+          | None when t.partitioned -> ()  (* the owning shard ticks it *)
           | None ->
             invalid_arg
               ("System.install: no shell for polling rule site " ^ site))

@@ -66,6 +66,21 @@ module Config : sig
         (** staleness re-evaluation period of the monitor (default 1.0
             s) — the "poll period" in the κ + tick detection bound for
             silently dying notification channels (§5 [Silent_drop]). *)
+    shards : int;
+        (** how many OCaml domains the world is partitioned across
+            (default 1 — today's sequential single-wheel execution,
+            byte-identical to every release before sharding existed).
+            A plain {!System} ignores values above 1: partitioned
+            execution is built by [Cm_shard.Fabric], which reads this
+            field and assembles one shard-slot system per shard. *)
+    shard_slot : (int * int) option;
+        (** [Some (k, n)]: this system is shard [k] of [n] in a
+            [Cm_shard.Fabric] — its sim seed is derived per shard, its
+            network runs keyed per-link draws, its trace ids are strided
+            ([k, k+n, …]), and strategy state for sites this shard does
+            not hold is skipped rather than an error.  Set by the
+            fabric, not by applications; [None] (default) is the whole
+            world. *)
   }
 
   val default : t
@@ -82,6 +97,12 @@ module Config : sig
   val with_dispatch : Shell.dispatch -> t -> t
   val with_monitor : bool -> t -> t
   val with_monitor_tick : float -> t -> t
+
+  val with_shards : int -> t -> t
+  (** @raise Invalid_argument when below 1. *)
+
+  val with_shard_slot : int * int -> t -> t
+  (** Fabric-internal; see {!type-t.shard_slot}. *)
 end
 
 val create : ?config:Config.t -> Cm_rule.Item.locator -> t

@@ -8,6 +8,8 @@ type faults = { drop_prob : float; dup_prob : float }
 
 let no_faults = { drop_prob = 0.0; dup_prob = 0.0 }
 
+type draws = Stream | Keyed of int
+
 type drop_reason = Unroutable | Endpoint_down | Partitioned | Faulty
 
 let drop_reason_to_string = function
@@ -25,6 +27,11 @@ type 'msg link = {
   mutable link_faults : faults option;  (* None = follow the net default *)
   mutable down_until : float;  (* partition window: drop while now < down_until *)
   mutable dropped : int;
+  (* Keyed-draw stream of this directed link, created on first draw.
+     Its state advances in link-send order, which is deterministic for a
+     deterministic execution — and independent of how sites are sharded,
+     because a directed link lives entirely at its source site's shard. *)
+  mutable link_rng : Cm_util.Prng.t option;
 }
 
 type 'msg t = {
@@ -32,6 +39,13 @@ type 'msg t = {
   default : latency;
   fifo : bool;
   rng : Cm_util.Prng.t;
+  draws : draws;
+  (* Cross-shard routing, installed by Cm_shard: [remote_site] says
+     whether a site with no local handler lives on another shard, and
+     [forward] hands it the message with its final delivery time. *)
+  mutable remote_site : string -> bool;
+  mutable forward :
+    from_site:string -> to_site:string -> at:float -> 'msg -> unit;
   handlers : (string, 'msg -> unit) Hashtbl.t;
   links : (string * string, 'msg link) Hashtbl.t;
   down_sites : (string, unit) Hashtbl.t;
@@ -54,12 +68,18 @@ type 'msg t = {
   duplicate_hooks : (from_site:string -> to_site:string -> unit) Queue.t;
 }
 
-let create ~sim ?(latency = default_latency) ?(fifo = true) ?(faults = no_faults) () =
+let create ~sim ?(latency = default_latency) ?(fifo = true) ?(faults = no_faults)
+    ?(draws = Stream) () =
   {
     sim;
     default = latency;
     fifo;
+    (* The split happens whether or not the stream is used, so turning
+       keyed draws on/off never shifts another component's stream. *)
     rng = Cm_util.Prng.split (Sim.rng sim);
+    draws;
+    remote_site = (fun _ -> false);
+    forward = (fun ~from_site:_ ~to_site:_ ~at:_ _ -> ());
     handlers = Hashtbl.create 8;
     links = Hashtbl.create 16;
     down_sites = Hashtbl.create 4;
@@ -91,6 +111,7 @@ let link t ~from_site ~to_site =
         link_faults = None;
         down_until = 0.0;
         dropped = 0;
+        link_rng = None;
       }
     in
     Hashtbl.replace t.links key l;
@@ -143,19 +164,48 @@ let record_drop t ?link ?(in_flight = false) ~from_site ~to_site reason =
    | None -> ());
   Queue.iter (fun hook -> hook ~from_site ~to_site reason) t.drop_hooks
 
+(* Stream of the keyed-draw mode: one Prng per directed link, named by
+   (seed, from, to).  Advanced in link-send order, so the draws a link
+   sees are a pure function of its own traffic — every shard layout of
+   one simulation (the link always lives at its source site's shard)
+   makes the same choices. *)
+let link_stream ~seed l ~from_site ~to_site =
+  match l.link_rng with
+  | Some rng -> rng
+  | None ->
+    let rng = Cm_util.Prng.of_key ~seed (from_site ^ ">" ^ to_site) in
+    l.link_rng <- Some rng;
+    rng
+
 (* A fault draw happens only when the matching probability is nonzero, so a
    zero-fault network consumes exactly the PRNG stream it did before the
    fault model existed — seeded runs stay byte-identical. *)
-let draw t prob = prob > 0.0 && Cm_util.Prng.float t.rng 1.0 < prob
+let draw t l ~from_site ~to_site prob =
+  prob > 0.0
+  && (match t.draws with
+      | Stream -> Cm_util.Prng.float t.rng 1.0
+      | Keyed seed ->
+        Cm_util.Prng.float (link_stream ~seed l ~from_site ~to_site) 1.0)
+     < prob
 
-let deliver_copy t l ~from_site ~to_site handler msg =
+let jitter_draw t l ~from_site ~to_site bound =
+  match t.draws with
+  | Stream -> Cm_util.Prng.float t.rng bound
+  | Keyed seed -> Cm_util.Prng.float (link_stream ~seed l ~from_site ~to_site) bound
+
+(* Where a message copy goes once it has a delivery time: onto the local
+   wheel, or — for a destination another shard owns — out through the
+   cross-shard forward hook, which will {!inject} it over there. *)
+type 'msg sink = Local of ('msg -> unit) | Forward
+
+let deliver_copy t l ~from_site ~to_site sink msg =
   let now = Sim.now t.sim in
   let delay =
     if String.equal from_site to_site then 0.0
     else
       l.link_latency.base
       +. (if l.link_latency.jitter > 0.0 then
-            Cm_util.Prng.float t.rng l.link_latency.jitter
+            jitter_draw t l ~from_site ~to_site l.link_latency.jitter
           else 0.0)
   in
   (* FIFO: never deliver before a previously sent message on this link. *)
@@ -164,39 +214,64 @@ let deliver_copy t l ~from_site ~to_site handler msg =
   in
   l.last_delivery <- Float.max at l.last_delivery;
   Queue.iter (fun hook -> hook ~from_site ~to_site ~latency:(at -. now)) t.deliver_hooks;
-  Sim.schedule_at t.sim at (fun () ->
-      (* In-flight messages arriving at a crashed endpoint are lost. *)
-      if Hashtbl.mem t.down_sites to_site then
-        record_drop t ~link:l ~in_flight:true ~from_site ~to_site Endpoint_down
-      else handler msg)
+  match sink with
+  | Forward -> t.forward ~from_site ~to_site ~at msg
+  | Local handler ->
+    Sim.schedule_at t.sim at (fun () ->
+        (* In-flight messages arriving at a crashed endpoint are lost. *)
+        if Hashtbl.mem t.down_sites to_site then
+          record_drop t ~link:l ~in_flight:true ~from_site ~to_site Endpoint_down
+        else handler msg)
+
+let send_via t ~from_site ~to_site sink msg =
+  let l = link t ~from_site ~to_site in
+  l.count <- l.count + 1;
+  if Hashtbl.mem t.down_sites from_site || Hashtbl.mem t.down_sites to_site then
+    record_drop t ~link:l ~from_site ~to_site Endpoint_down
+  else if Sim.now t.sim < l.down_until then
+    record_drop t ~link:l ~from_site ~to_site Partitioned
+  else begin
+    let local = String.equal from_site to_site in
+    let faults = Option.value l.link_faults ~default:t.default_faults in
+    (* Loss and duplication are drawn independently, in a fixed order, so
+       runs with the same seed make the same choices. *)
+    let lost = (not local) && draw t l ~from_site ~to_site faults.drop_prob in
+    let duplicated = (not local) && draw t l ~from_site ~to_site faults.dup_prob in
+    if lost then record_drop t ~link:l ~from_site ~to_site Faulty
+    else deliver_copy t l ~from_site ~to_site sink msg;
+    if duplicated then begin
+      t.duplicated <- t.duplicated + 1;
+      Queue.iter (fun hook -> hook ~from_site ~to_site) t.duplicate_hooks;
+      deliver_copy t l ~from_site ~to_site sink msg
+    end
+  end
 
 let send t ~from_site ~to_site msg =
   t.sent <- t.sent + 1;
   Queue.iter (fun hook -> hook ~from_site ~to_site) t.send_hooks;
   match Hashtbl.find_opt t.handlers to_site with
-  | None -> record_drop t ~from_site ~to_site Unroutable
-  | Some handler ->
-    let l = link t ~from_site ~to_site in
-    l.count <- l.count + 1;
-    if Hashtbl.mem t.down_sites from_site || Hashtbl.mem t.down_sites to_site then
-      record_drop t ~link:l ~from_site ~to_site Endpoint_down
-    else if Sim.now t.sim < l.down_until then
-      record_drop t ~link:l ~from_site ~to_site Partitioned
-    else begin
-      let local = String.equal from_site to_site in
-      let faults = Option.value l.link_faults ~default:t.default_faults in
-      (* Loss and duplication are drawn independently, in a fixed order, so
-         runs with the same seed make the same choices. *)
-      let lost = (not local) && draw t faults.drop_prob in
-      let duplicated = (not local) && draw t faults.dup_prob in
-      if lost then record_drop t ~link:l ~from_site ~to_site Faulty
-      else deliver_copy t l ~from_site ~to_site handler msg;
-      if duplicated then begin
-        t.duplicated <- t.duplicated + 1;
-        Queue.iter (fun hook -> hook ~from_site ~to_site) t.duplicate_hooks;
-        deliver_copy t l ~from_site ~to_site handler msg
-      end
-    end
+  | Some handler -> send_via t ~from_site ~to_site (Local handler) msg
+  | None ->
+    if t.remote_site to_site then send_via t ~from_site ~to_site Forward msg
+    else record_drop t ~from_site ~to_site Unroutable
+
+let set_remote t ~remote_site ~forward =
+  t.remote_site <- remote_site;
+  t.forward <- forward
+
+let inject t ~from_site ~to_site ~at msg =
+  (* Destination half of a cross-shard delivery: the source shard already
+     ran the send-side pipeline (counters, fault draws, FIFO hold-back)
+     and computed [at]; here only the delivery-time checks remain. *)
+  Sim.schedule_at t.sim at (fun () ->
+      if Hashtbl.mem t.down_sites to_site then
+        record_drop t
+          ~link:(link t ~from_site ~to_site)
+          ~in_flight:true ~from_site ~to_site Endpoint_down
+      else
+        match Hashtbl.find_opt t.handlers to_site with
+        | Some handler -> handler msg
+        | None -> record_drop t ~from_site ~to_site Unroutable)
 
 let link_base_latency t ~from_site ~to_site =
   if String.equal from_site to_site then 0.0

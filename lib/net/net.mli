@@ -40,6 +40,19 @@ type faults = {
 val no_faults : faults
 (** [{ drop_prob = 0.0; dup_prob = 0.0 }] — the paper's reliable network. *)
 
+type draws =
+  | Stream  (** draws come from one net-wide PRNG stream, in global send
+                order — the classic sequential behaviour *)
+  | Keyed of int
+      (** draws come from one {!Cm_util.Prng.of_key} stream per directed
+          link, named by [(seed, from, to)] and advanced in link-send
+          order.  A directed link lives entirely at its source site, so
+          the draw a message sees is a pure function of the link's own
+          traffic — independent of how sites are partitioned across
+          shards.  The sharded executor runs every shard's network in
+          this mode (with the one global seed) so fault and jitter
+          decisions agree across shard counts. *)
+
 type drop_reason =
   | Unroutable  (** destination site never registered *)
   | Endpoint_down  (** source or destination site crashed *)
@@ -54,6 +67,7 @@ val create :
   ?latency:latency ->
   ?fifo:bool ->
   ?faults:faults ->
+  ?draws:draws ->
   unit ->
   'msg t
 (** [fifo] (default [true]) enforces per-link in-order delivery.
@@ -61,7 +75,9 @@ val create :
     violating the paper's in-order assumption (Appendix A.2, property 7)
     for the ablation experiment that shows why the assumption matters.
     [faults] (default {!no_faults}) is the initial default fault model
-    for every link. *)
+    for every link.  [draws] (default {!draws.Stream}) selects where
+    fault/jitter draws come from; a [Stream] network consumes exactly
+    the PRNG stream it always did, draw for draw. *)
 
 val set_latency : 'msg t -> from_site:string -> to_site:string -> latency -> unit
 (** Override the default for one directed link. *)
@@ -102,7 +118,29 @@ val send : 'msg t -> from_site:string -> to_site:string -> 'msg -> unit
     next simulation step).  Sending to a site that was never registered
     is recorded as an [Unroutable] drop — with crash/restart in play a
     missing destination is a runtime condition, not a configuration
-    error, and must not abort the event loop. *)
+    error, and must not abort the event loop.  A destination claimed by
+    {!set_remote} instead runs the full send-side pipeline here
+    (counters, down/partition checks, fault draws, FIFO hold-back) and
+    leaves through the forward hook with its final delivery time. *)
+
+val set_remote :
+  'msg t ->
+  remote_site:(string -> bool) ->
+  forward:(from_site:string -> to_site:string -> at:float -> 'msg -> unit) ->
+  unit
+(** Cross-shard routing, installed by [Cm_shard]: sites with no local
+    handler for which [remote_site] holds are forwarded rather than
+    dropped as [Unroutable].  [forward] receives the absolute delivery
+    time computed by this (source) network and must hand the message to
+    the owning shard, which completes delivery with {!inject}. *)
+
+val inject :
+  'msg t -> from_site:string -> to_site:string -> at:float -> 'msg -> unit
+(** Destination half of a cross-shard delivery: schedule the message for
+    its precomputed delivery time on this network's wheel.  Only the
+    delivery-time checks run here (a crashed destination records an
+    in-flight [Endpoint_down] drop); the send-side pipeline already ran
+    on the source shard. *)
 
 val on_drop :
   'msg t -> (from_site:string -> to_site:string -> drop_reason -> unit) -> unit

@@ -1,11 +1,15 @@
 type t = {
   mutable rev_events : Event.t list;
   mutable count : int;
+  mutable next_id : int;
+  stride : int;
   mutable last : float;
   mutable hooks : (Event.t -> unit) list;  (* registration order *)
 }
 
-let create () = { rev_events = []; count = 0; last = 0.0; hooks = [] }
+let create ?(first_id = 0) ?(stride = 1) () =
+  if stride <= 0 then invalid_arg "Trace.create: stride must be positive";
+  { rev_events = []; count = 0; next_id = first_id; stride; last = 0.0; hooks = [] }
 
 let on_record t f = t.hooks <- t.hooks @ [ f ]
 
@@ -13,9 +17,10 @@ let record t ~time ~site ?(kind = Event.Spontaneous) desc =
   if time < t.last then
     invalid_arg
       (Printf.sprintf "Trace.record: time %g precedes last event at %g" time t.last);
-  let e = { Event.id = t.count; time; site; desc; kind } in
+  let e = { Event.id = t.next_id; time; site; desc; kind } in
   t.rev_events <- e :: t.rev_events;
   t.count <- t.count + 1;
+  t.next_id <- t.next_id + t.stride;
   t.last <- time;
   (match t.hooks with
   | [] -> ()
@@ -27,7 +32,7 @@ let events t = List.rev t.rev_events
 let length t = t.count
 
 let find t id =
-  if id < 0 || id >= t.count then None
+  if id < 0 || id >= t.next_id then None
   else List.find_opt (fun e -> e.Event.id = id) t.rev_events
 
 let named t name =

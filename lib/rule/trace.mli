@@ -8,7 +8,13 @@
 
 type t
 
-val create : unit -> t
+val create : ?first_id:int -> ?stride:int -> unit -> t
+(** [first_id] (default 0) and [stride] (default 1) set the id sequence
+    {!record} assigns: [first_id, first_id + stride, …].  The sharded
+    executor gives shard [k] of [K] the sequence [k, k + K, …] so event
+    ids — which travel across shards inside firing envelopes as
+    provenance — stay globally unique without cross-shard coordination.
+    The default is the classic dense sequence. *)
 
 val record :
   t ->

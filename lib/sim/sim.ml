@@ -84,6 +84,21 @@ let run ?until t =
     | _ -> ()
   with Stop -> ()
 
+let advance ?(inclusive = false) t ~until =
+  let continue () =
+    match Cm_util.Heap.min t.queue with
+    | None -> false
+    | Some e -> if inclusive then e.at <= until else e.at < until
+  in
+  (try
+     while continue () do
+       ignore (step t)
+     done
+   with Stop -> ());
+  if t.clock < until then t.clock <- until
+
+let next_at t = Option.map (fun e -> e.at) (Cm_util.Heap.min t.queue)
+
 let pending t =
   Cm_util.Heap.fold (fun n e -> if e.live () then n + 1 else n) 0 t.queue
 let events_processed t = t.processed

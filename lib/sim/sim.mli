@@ -49,6 +49,21 @@ val run : ?until:time -> t -> unit
 val step : t -> bool
 (** Process exactly one queued event.  [false] if the queue was empty. *)
 
+val advance : ?inclusive:bool -> t -> until:time -> unit
+(** Conservative-window variant of {!run}: process events strictly
+    before [until] ([inclusive] adds the boundary instant itself), then
+    set the clock to [until] even if later events remain queued.  This
+    is the lookahead horizon of the sharded executor — a shard whose
+    peers cannot affect it before [until] runs its wheel up to that
+    horizon and then waits for the cross-shard exchange; events at or
+    beyond the horizon stay queued for later windows.  Honors {!Stop}. *)
+
+val next_at : t -> time option
+(** Time of the earliest queued event ([None] on an empty queue) —
+    including entries whose [live] predicate already returns [false],
+    which occupy the wheel until their instant.  The sharded executor's
+    quiescence test. *)
+
 val pending : t -> int
 (** Number of queued events that will still do work: a periodic re-arm
     whose [cancel] already returns [true] sits in the queue until its

@@ -4,6 +4,20 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create ~seed = { state = Int64.of_int seed }
 
+(* FNV-1a over the key bytes, folded into the seed.  Hand-rolled (not
+   Hashtbl.hash) so the mapping key -> stream is fixed by this file
+   alone: streams derived from equal (seed, key) pairs are identical in
+   every process, which is what lets two differently-sharded executions
+   of one simulation agree on every draw. *)
+let of_key ~seed key =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    key;
+  { state = Int64.add (Int64.of_int seed) !h }
+
 let copy t = { state = t.state }
 
 (* splitmix64 finalizer: Steele, Lea & Flood, "Fast splittable pseudorandom

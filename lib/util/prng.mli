@@ -11,6 +11,14 @@ val create : seed:int -> t
 (** [create ~seed] returns a fresh generator.  Equal seeds yield equal
     streams. *)
 
+val of_key : seed:int -> string -> t
+(** [of_key ~seed key] is a generator whose stream is a pure function of
+    [(seed, key)] — no ambient state, no splitting order.  Used where
+    draws must not depend on how a run is partitioned: the sharded
+    executor keys one stream per network link (and per workload tag) so
+    every shard layout of one simulation sees the same draws in the same
+    per-key order. *)
+
 val copy : t -> t
 (** Independent copy with the same current state. *)
 

@@ -47,9 +47,11 @@ let binding base col =
     periodic = None;
   }
 
-let create ?(config = Sys_.Config.default) ?(x_init = (0, 50)) ?(y_init = (100, 50))
-    ~policy () =
-  let system = Sys_.create ~config locator in
+let create ?(config = Sys_.Config.default) ?system ?(x_init = (0, 50))
+    ?(y_init = (100, 50)) ~policy () =
+  let system =
+    match system with Some s -> s | None -> Sys_.create ~config locator
+  in
   let shell_a = Sys_.add_shell system ~site:"branch_a" in
   let shell_b = Sys_.add_shell system ~site:"branch_b" in
   let db_a = Db.create () and db_b = Db.create () in

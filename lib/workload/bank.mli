@@ -20,8 +20,13 @@ type t = {
   y : Cm_core.Demarcation.side;
 }
 
+val locator : Cm_rule.Item.locator
+(** X-side items → "branch_a", everything else → "branch_b"; see
+    {!Cm_workload.Payroll.locator} for the [?system] protocol. *)
+
 val create :
   ?config:Cm_core.System.Config.t ->
+  ?system:Cm_core.System.t ->
   ?x_init:int * int ->
   ?y_init:int * int ->
   policy:Cm_core.Demarcation.policy ->
@@ -29,7 +34,9 @@ val create :
   t
 (** Defaults: X starts at (0, limit 50), Y at (100, limit 50).
     [config] carries the seed and the network/reliability/observability
-    setup (see {!Cm_core.System.create}). *)
+    setup (see {!Cm_core.System.create}); [system] substitutes a
+    pre-built system (created over {!locator}) and [config] is then
+    ignored. *)
 
 type outcome = Applied | Requested
 (** [Requested]: the local write was rejected by the limit and a

@@ -102,10 +102,13 @@ let binding ~base ~mode =
     periodic = None;
   }
 
-let create ?(config = Sys_.Config.default) ?(employees = 10) ?(mode = Notify)
-    ?(notify_latency = 1.0) ?(notify_delta = 5.0) ?(write_latency = 0.2) () =
+let create ?(config = Sys_.Config.default) ?system ?(employees = 10)
+    ?(mode = Notify) ?(notify_latency = 1.0) ?(notify_delta = 5.0)
+    ?(write_latency = 0.2) () =
   let employees = List.init employees (fun i -> "e" ^ string_of_int (i + 1)) in
-  let system = Sys_.create ~config locator in
+  let system =
+    match system with Some s -> s | None -> Sys_.create ~config locator
+  in
   let shell_a = Sys_.add_shell system ~site:site_a in
   let shell_b = Sys_.add_shell system ~site:site_b in
   let db_a = Db.create () and db_b = Db.create () in

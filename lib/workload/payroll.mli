@@ -26,8 +26,14 @@ type t = {
 val site_a : string
 val site_b : string
 
+val locator : Cm_rule.Item.locator
+(** Salary1(…) → {!site_a}, everything else → {!site_b} — the locator
+    the internally-built system uses; pass it to an externally-built
+    system (e.g. a shard fabric) handed in via [?system]. *)
+
 val create :
   ?config:Cm_core.System.Config.t ->
+  ?system:Cm_core.System.t ->
   ?employees:int ->
   ?mode:source_mode ->
   ?notify_latency:float ->
@@ -39,7 +45,10 @@ val create :
     with a 5 s bound, 0.2 s writes.  [config] (default
     {!Cm_core.System.Config.default}) carries the seed, network model,
     reliable-delivery layer, durability mode, and observability registry
-    (see {!Cm_core.System.create}). *)
+    (see {!Cm_core.System.create}).  [system] substitutes a pre-built
+    system (created over {!locator}) for the internally-constructed one;
+    [config] is then ignored — the sharded golden suite uses this to run
+    the same workload through a fabric-owned system. *)
 
 val source_item : string -> Cm_rule.Item.t
 (** salary1(emp). *)

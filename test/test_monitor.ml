@@ -278,6 +278,147 @@ let silent_drop_flagged_within_kappa () =
     Alcotest.(check bool) "not before the write aged out" true
       (at >= 35.0 +. kappa -. 1e-9)
 
+(* ---- crash recovery (wipe + journal relearn) ---------------------- *)
+
+let ev id time desc =
+  { Event.id; time; site = "s"; desc; kind = Event.Spontaneous }
+
+let owns_y item = String.equal item.Item.base "y"
+
+(* The ROADMAP gap, unit-level: a crash between a violation and its
+   detection must still report the violation.  Two leader takes are
+   pending when the follower's site crashes; the wipe destroys the
+   obligations, the journal relearn restores them, and finalize fails
+   them.  The [relearn:false] control shows the gap being closed: the
+   bare wipe buries both violations. *)
+let crash_buried_leads_violation_still_reported () =
+  let x = Item.make "x" and y = Item.make "y" in
+  let run ~relearn =
+    let m = Monitor.create () in
+    let seen = ref 0 in
+    Monitor.on_violation m (fun _ -> incr seen);
+    let h = Monitor.watch m (Guarantee.Leads { leader = x; follower = y }) in
+    let history =
+      [ ev 0 1.0 (Event.w x (Value.Int 5)); ev 1 2.0 (Event.w x (Value.Int 6)) ]
+    in
+    List.iter (Monitor.feed m) history;
+    let wiped = Monitor.crash_wipe m ~owns:owns_y in
+    Alcotest.(check int) "one watcher wiped" 1 wiped;
+    if relearn then Monitor.relearn m history;
+    Monitor.finalize m ~horizon:10.0;
+    (Monitor.verdict h, !seen)
+  in
+  let v, n = run ~relearn:true in
+  Alcotest.(check bool) "violations survive the crash" false v.Monitor.v_holds;
+  Alcotest.(check int) "both buried obligations fail" 2 v.Monitor.v_violations;
+  Alcotest.(check int) "both surfaced on the stream" 2 n;
+  let v0, n0 = run ~relearn:false in
+  Alcotest.(check bool) "without relearn the crash buries them" true
+    v0.Monitor.v_holds;
+  Alcotest.(check int) "nothing surfaced without relearn" 0 n0
+
+(* The replay is a state rebuild, not a re-evaluation: history the
+   watcher already scored live is not re-scored (no double count), and
+   a post-recovery follower take of a value the leader held only before
+   the crash is not a false violation (the seen-set is rebuilt). *)
+let relearn_rebuilds_without_double_count () =
+  let x = Item.make "x" and y = Item.make "y" in
+  let m = Monitor.create () in
+  let seen = ref 0 in
+  Monitor.on_violation m (fun _ -> incr seen);
+  let h = Monitor.watch m (Guarantee.Follows { leader = x; follower = y }) in
+  let history =
+    [
+      ev 0 1.0 (Event.w x (Value.Int 5));
+      ev 1 2.0 (Event.w y (Value.Int 5));
+      ev 2 3.0 (Event.w x (Value.Int 8));
+    ]
+  in
+  List.iter (Monitor.feed m) history;
+  ignore (Monitor.crash_wipe m ~owns:owns_y);
+  Monitor.relearn m history;
+  (* Live again: y takes 8 (held now) and then 5 (held only pre-crash —
+     a wiped seen-set would flag it). *)
+  Monitor.feed m (ev 3 4.0 (Event.w y (Value.Int 8)));
+  Monitor.feed m (ev 4 5.0 (Event.w y (Value.Int 5)));
+  Monitor.finalize m ~horizon:10.0;
+  let v = Monitor.verdict h in
+  Alcotest.(check bool) "no false positive after relearn" true v.Monitor.v_holds;
+  Alcotest.(check int) "no violations" 0 v.Monitor.v_violations;
+  (* 1 live point pre-crash + 2 live points post-recovery; the replayed
+     follower take is deliberately not re-scored. *)
+  Alcotest.(check int) "replay scores no points" 3 v.Monitor.v_points;
+  Alcotest.(check int) "stream stayed quiet" 0 !seen
+
+(* A relearned obligation is a live obligation: the restored leads take
+   discharges against post-recovery follower activity like it was never
+   lost. *)
+let relearned_obligation_discharges_live () =
+  let x = Item.make "x" and y = Item.make "y" in
+  let m = Monitor.create () in
+  let h = Monitor.watch m (Guarantee.Leads { leader = x; follower = y }) in
+  let history = [ ev 0 1.0 (Event.w x (Value.Int 5)) ] in
+  List.iter (Monitor.feed m) history;
+  ignore (Monitor.crash_wipe m ~owns:owns_y);
+  Monitor.relearn m history;
+  Monitor.feed m (ev 1 2.0 (Event.w y (Value.Int 5)));
+  Monitor.finalize m ~horizon:10.0;
+  let v = Monitor.verdict h in
+  Alcotest.(check bool) "discharged after recovery" true v.Monitor.v_holds;
+  Alcotest.(check int) "no violations" 0 v.Monitor.v_violations
+
+(* End-to-end through the system: a durable payroll world where the
+   target site crashes before an in-flight propagation arrives (no
+   reliable layer, so the fire is genuinely lost).  The source's write
+   is journaled; the crash wipes the monitor watchers homed at the
+   target site; [Sys_.restart_site] relearns them from the merged
+   journals.  The lost update is a real Leads violation, and it must
+   still be reported even though the watcher that owed the detection
+   was down when the evidence went by. *)
+let system_crash_between_violation_and_detection () =
+  let config =
+    Sys_.Config.(
+      seeded 606 |> with_monitor true
+      |> with_durability Cm_core.Journal.Journal_with_checkpoint)
+  in
+  let p = Payroll.create ~config ~employees:1 () in
+  Payroll.install_propagation p;
+  let system = p.Payroll.system in
+  let monitor = Option.get (Sys_.monitor system) in
+  Monitor.note_initial monitor p.Payroll.initial;
+  let emp = List.hd p.Payroll.employees in
+  let h =
+    Monitor.watch monitor
+      (Guarantee.Leads
+         {
+           leader = Payroll.source_item emp;
+           follower = Payroll.target_item emp;
+         })
+  in
+  let violations = ref [] in
+  Monitor.on_violation monitor (fun v -> violations := v :: !violations);
+  let sim = Sys_.sim system in
+  Cm_sim.Sim.schedule_at sim 1.0 (fun () ->
+      Sys_.crash_site system ~site:Payroll.site_b);
+  Payroll.schedule_update p ~at:2.0 ~emp ~salary:4242;
+  Cm_sim.Sim.schedule_at sim 50.0 (fun () ->
+      Sys_.restart_site system ~site:Payroll.site_b);
+  Sys_.run system ~until:200.0;
+  Alcotest.(check bool) "the update really was lost" true
+    (Value.to_float (Payroll.salary_at p `B emp) <> 4242.0);
+  Monitor.finalize monitor ~horizon:200.0;
+  let v = Monitor.verdict h in
+  Alcotest.(check bool) "lost propagation detected" false v.Monitor.v_holds;
+  Alcotest.(check bool) "violation names the buried value" true
+    (List.exists
+       (fun vi ->
+         let s = vi.Monitor.vi_detail in
+         let needle = "4242" in
+         let n = String.length s and k = String.length needle in
+         let rec scan i = i + k <= n && (String.sub s i k = needle || scan (i + 1)) in
+         scan 0)
+       !violations)
+
 (* The monitor only observes: a monitored run's trace is byte-identical
    to an unmonitored one. *)
 let observation_only () =
@@ -317,5 +458,16 @@ let () =
           Alcotest.test_case "silent drop within kappa + tick" `Quick
             silent_drop_flagged_within_kappa;
           Alcotest.test_case "observation only" `Quick observation_only;
+        ] );
+      ( "crash recovery",
+        [
+          Alcotest.test_case "crash between violation and detection" `Quick
+            crash_buried_leads_violation_still_reported;
+          Alcotest.test_case "relearn is silent (no double count)" `Quick
+            relearn_rebuilds_without_double_count;
+          Alcotest.test_case "relearned obligation discharges" `Quick
+            relearned_obligation_discharges_live;
+          Alcotest.test_case "system-level lost propagation" `Quick
+            system_crash_between_violation_and_detection;
         ] );
     ]

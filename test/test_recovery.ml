@@ -284,6 +284,59 @@ let fifty_seed_heal_schedules_self_heal () =
         (Chaos.heal_report_to_string (Chaos.run_heal spec))
   done
 
+(* -- acceptance: sharded chaos across 25 seeded schedules --
+
+   The multi-domain fabric under crash schedules: every seed must pass
+   its invariants (journaled recovery on the crashed site's shard, live
+   sites elsewhere keep firing through the window) with a durable
+   config, and the report must be byte-identical across repeated runs
+   AND across shard counts — the report deliberately omits the shard
+   count so one seed prints one report at every layout. *)
+
+let twenty_five_seed_sharded_chaos () =
+  for seed = 1 to 25 do
+    let spec =
+      {
+        Chaos.default_shard_spec with
+        ss_seed = seed;
+        ss_events = 40;
+        ss_crashes = 2;
+        ss_durability = Journal.Journal_with_checkpoint;
+      }
+    in
+    let r2 = Chaos.run_sharded { spec with ss_shards = 2 } in
+    if not (Chaos.shard_passed r2) then
+      Alcotest.failf "sharded chaos verdict FAIL (seed %d):\n%s" seed
+        (Chaos.shard_report_to_string r2);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: both crashes recovered" seed)
+      2 r2.Chaos.sr_restarts;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: journal replay on restart" seed)
+      true
+      (r2.Chaos.sr_replayed > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: live shard fired during crash windows" seed)
+      true
+      (r2.Chaos.sr_live_during_crash > 0);
+    (* Byte determinism across layouts on every seed; repeated-run
+       determinism spot-checked (each extra run re-executes the world). *)
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: report identical at 1 and 2 shards" seed)
+      (Chaos.shard_report_to_string (Chaos.run_sharded { spec with ss_shards = 1 }))
+      (Chaos.shard_report_to_string r2);
+    if seed mod 5 = 0 then begin
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: report identical at 3 shards" seed)
+        (Chaos.shard_report_to_string r2)
+        (Chaos.shard_report_to_string (Chaos.run_sharded { spec with ss_shards = 3 }));
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: repeated run byte-identical" seed)
+        (Chaos.shard_report_to_string r2)
+        (Chaos.shard_report_to_string (Chaos.run_sharded { spec with ss_shards = 2 }))
+    end
+  done
+
 let () =
   Alcotest.run "cm_recovery"
     [
@@ -318,5 +371,7 @@ let () =
             fifty_crash_chaos_schedule_is_lossless;
           Alcotest.test_case "50-seed heal schedules self-heal" `Slow
             fifty_seed_heal_schedules_self_heal;
+          Alcotest.test_case "25-seed sharded chaos schedules" `Slow
+            twenty_five_seed_sharded_chaos;
         ] );
     ]
